@@ -1,0 +1,124 @@
+"""Shared benchmark fixtures and the purchase-order workload generator.
+
+Workloads scale by item count; every experiment that sweeps document
+size uses :func:`purchase_order_text` so the approaches are compared on
+byte-identical inputs.
+"""
+
+import random
+
+import pytest
+
+from repro.core import bind
+from repro.schemas import PURCHASE_ORDER_SCHEMA, WML_SCHEMA
+
+_PRODUCTS = (
+    "Lawnmower", "Baby Monitor", "Garden Hose", "Rake", "Sprinkler",
+    "Work Gloves", "Wheelbarrow", "Hedge Trimmer", "Bird Feeder",
+)
+
+
+def purchase_order_text(item_count: int, seed: int = 7) -> str:
+    """A valid purchase order document with *item_count* items."""
+    rng = random.Random(seed)
+    items = []
+    for index in range(item_count):
+        product = _PRODUCTS[index % len(_PRODUCTS)]
+        sku = f"{rng.randint(100, 999)}-{chr(65 + index % 26)}{chr(65 + (index // 26) % 26)}"
+        quantity = rng.randint(1, 99)
+        price = f"{rng.randint(1, 500)}.{rng.randint(0, 99):02d}"
+        comment = (
+            f"      <comment>note {index}</comment>\n"
+            if index % 3 == 0
+            else ""
+        )
+        items.append(
+            f'    <item partNum="{sku}">\n'
+            f"      <productName>{product}</productName>\n"
+            f"      <quantity>{quantity}</quantity>\n"
+            f"      <USPrice>{price}</USPrice>\n"
+            f"{comment}"
+            f"    </item>\n"
+        )
+    return (
+        '<purchaseOrder orderDate="1999-10-20">\n'
+        '  <shipTo country="US">\n'
+        "    <name>Alice Smith</name>\n"
+        "    <street>123 Maple Street</street>\n"
+        "    <city>Mill Valley</city>\n"
+        "    <state>CA</state>\n"
+        "    <zip>90952</zip>\n"
+        "  </shipTo>\n"
+        '  <billTo country="US">\n'
+        "    <name>Robert Smith</name>\n"
+        "    <street>8 Oak Avenue</street>\n"
+        "    <city>Old Town</city>\n"
+        "    <state>PA</state>\n"
+        "    <zip>95819</zip>\n"
+        "  </billTo>\n"
+        "  <items>\n" + "".join(items) + "  </items>\n"
+        "</purchaseOrder>\n"
+    )
+
+
+def build_typed_purchase_order(binding, item_count: int, seed: int = 7):
+    """Build the same order through the typed (V-DOM) API."""
+    rng = random.Random(seed)
+    factory = binding.factory
+    items = []
+    for index in range(item_count):
+        product = _PRODUCTS[index % len(_PRODUCTS)]
+        sku = f"{rng.randint(100, 999)}-{chr(65 + index % 26)}{chr(65 + (index // 26) % 26)}"
+        quantity = rng.randint(1, 99)
+        price = f"{rng.randint(1, 500)}.{rng.randint(0, 99):02d}"
+        children = [
+            factory.create_product_name(product),
+            factory.create_quantity(quantity),
+            factory.create_us_price(price),
+        ]
+        if index % 3 == 0:
+            children.append(factory.create_comment(f"note {index}"))
+        items.append(factory.create_item(*children, part_num=sku))
+    return factory.create_purchase_order(
+        factory.create_ship_to(
+            factory.create_name("Alice Smith"),
+            factory.create_street("123 Maple Street"),
+            factory.create_city("Mill Valley"),
+            factory.create_state("CA"),
+            factory.create_zip("90952"),
+        ),
+        factory.create_bill_to(
+            factory.create_name("Robert Smith"),
+            factory.create_street("8 Oak Avenue"),
+            factory.create_city("Old Town"),
+            factory.create_state("PA"),
+            factory.create_zip("95819"),
+        ),
+        factory.create_items(*items),
+        order_date="1999-10-20",
+    )
+
+
+@pytest.fixture(scope="session")
+def po_binding():
+    return bind(PURCHASE_ORDER_SCHEMA)
+
+
+@pytest.fixture(scope="session")
+def wml_binding():
+    return bind(WML_SCHEMA)
+
+
+@pytest.fixture(scope="session")
+def po_text_small():
+    return purchase_order_text(10)
+
+
+@pytest.fixture(scope="session")
+def po_text_medium():
+    return purchase_order_text(100)
+
+
+@pytest.fixture(scope="session")
+def po_text_large():
+    return purchase_order_text(1000)

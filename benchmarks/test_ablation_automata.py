@@ -1,0 +1,121 @@
+"""Ablation — Glushkov DFA vs naive backtracking content matching.
+
+DESIGN.md calls out the automaton construction as a design choice worth
+ablating: the paper's ASU-style DFA matches children in O(n), whereas a
+direct backtracking interpretation of the particle tree can go
+exponential on ambiguous models and is linear-with-large-constants even
+on friendly ones.
+"""
+
+import pytest
+
+from repro.automata import (
+    Alternation,
+    Epsilon,
+    Regex,
+    Repetition,
+    Sequence,
+    Symbol,
+    UNBOUNDED,
+    build_dfa,
+)
+
+
+def backtrack_match(regex: Regex, word: tuple, start: int = 0) -> set[int]:
+    """Positions reachable after matching a prefix from *start* (naive)."""
+    if isinstance(regex, Epsilon):
+        return {start}
+    if isinstance(regex, Symbol):
+        if start < len(word) and word[start] == regex.payload:
+            return {start + 1}
+        return set()
+    if isinstance(regex, Sequence):
+        positions = {start}
+        for part in regex.parts:
+            next_positions: set[int] = set()
+            for position in positions:
+                next_positions |= backtrack_match(part, word, position)
+            positions = next_positions
+            if not positions:
+                return set()
+        return positions
+    if isinstance(regex, Alternation):
+        positions: set[int] = set()
+        for alternative in regex.alternatives:
+            positions |= backtrack_match(alternative, word, start)
+        return positions
+    assert isinstance(regex, Repetition)
+    count = 0
+    frontier = {start}
+    positions: set[int] = set() if regex.min_occurs > 0 else {start}
+    limit = (
+        regex.max_occurs if regex.max_occurs != UNBOUNDED else len(word) + 1
+    )
+    while count < limit and frontier:
+        next_frontier: set[int] = set()
+        for position in frontier:
+            next_frontier |= backtrack_match(regex.child, word, position)
+        count += 1
+        frontier = next_frontier - frontier if next_frontier == frontier else next_frontier
+        if count >= regex.min_occurs:
+            positions |= frontier
+        if not next_frontier:
+            break
+    return positions
+
+
+def backtrack_accepts(regex: Regex, word: list) -> bool:
+    return len(word) in backtrack_match(regex, tuple(word), 0)
+
+
+# items: (item)* with item alternating across 3 kinds
+WORKLOAD_REGEX = Sequence(
+    [
+        Symbol("shipTo"),
+        Symbol("billTo"),
+        Repetition(Symbol("comment"), 0, 1),
+        Repetition(
+            Alternation([Symbol("itemA"), Symbol("itemB"), Symbol("itemC")]),
+            0,
+            UNBOUNDED,
+        ),
+    ]
+)
+
+WORKLOAD_WORD = ["shipTo", "billTo", "comment"] + [
+    f"item{'ABC'[i % 3]}" for i in range(300)
+]
+
+
+def test_ablation_agreement():
+    dfa = build_dfa(WORKLOAD_REGEX)
+    assert dfa.accepts(WORKLOAD_WORD)
+    assert backtrack_accepts(WORKLOAD_REGEX, WORKLOAD_WORD)
+    bad = WORKLOAD_WORD + ["shipTo"]
+    assert not dfa.accepts(bad)
+    assert not backtrack_accepts(WORKLOAD_REGEX, bad)
+
+
+def test_bench_dfa_build_once_match_many(benchmark):
+    dfa = build_dfa(WORKLOAD_REGEX)
+
+    def run():
+        return dfa.accepts(WORKLOAD_WORD)
+
+    assert benchmark(run)
+
+
+def test_bench_backtracking_match(benchmark):
+    def run():
+        return backtrack_accepts(WORKLOAD_REGEX, WORKLOAD_WORD)
+
+    assert benchmark(run)
+
+
+def test_bench_dfa_including_build(benchmark):
+    """Build + match, for fairness against the build-free backtracker."""
+
+    def run():
+        return build_dfa(WORKLOAD_REGEX).accepts(WORKLOAD_WORD)
+
+    assert benchmark(run)

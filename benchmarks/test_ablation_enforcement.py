@@ -1,0 +1,74 @@
+"""Ablation — construction-time enforcement vs deferred whole-tree check.
+
+V-DOM validates at every constructor and mutation (`validate_on_mutate`);
+the alternative defers everything to one `check_valid_deep` at the end.
+Deferring is faster per operation but loses the paper's property that an
+invalid tree can never exist (and error reports lose the construction
+site).
+"""
+
+import pytest
+
+from repro.core import bind
+from repro.errors import VdomTypeError
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+
+from benchmarks.conftest import build_typed_purchase_order
+
+ITEMS = 200
+
+
+@pytest.fixture(scope="module")
+def eager_binding():
+    return bind(PURCHASE_ORDER_SCHEMA, validate_on_mutate=True)
+
+
+@pytest.fixture(scope="module")
+def deferred_binding():
+    return bind(PURCHASE_ORDER_SCHEMA, validate_on_mutate=False)
+
+
+def test_modes_agree_on_valid_input(eager_binding, deferred_binding):
+    from repro.dom import serialize
+
+    eager = build_typed_purchase_order(eager_binding, 25)
+    deferred = build_typed_purchase_order(deferred_binding, 25)
+    deferred.check_valid_deep()
+    assert serialize(eager) == serialize(deferred)
+
+
+def test_deferred_mode_lets_invalid_trees_exist(deferred_binding):
+    """The property the ablation trades away."""
+    factory = deferred_binding.factory
+    dangling = factory.create_ship_to(factory.create_name("n"))
+    assert dangling.tag_name == "shipTo"  # it exists...
+    with pytest.raises(VdomTypeError):
+        dangling.check_valid()  # ...and is invalid
+
+
+def test_eager_mode_never_lets_them_exist(eager_binding):
+    factory = eager_binding.factory
+    with pytest.raises(VdomTypeError):
+        factory.create_ship_to(factory.create_name("n"))
+
+
+def test_bench_eager_construction(benchmark, eager_binding):
+    result = benchmark(build_typed_purchase_order, eager_binding, ITEMS)
+    assert len(result.items.item_list) == ITEMS
+
+
+def test_bench_deferred_construction_plus_final_check(
+    benchmark, deferred_binding
+):
+    def run():
+        typed = build_typed_purchase_order(deferred_binding, ITEMS)
+        typed.check_valid_deep()
+        return typed
+
+    result = benchmark(run)
+    assert len(result.items.item_list) == ITEMS
+
+
+def test_bench_deferred_construction_unchecked(benchmark, deferred_binding):
+    result = benchmark(build_typed_purchase_order, deferred_binding, ITEMS)
+    assert len(result.items.item_list) == ITEMS

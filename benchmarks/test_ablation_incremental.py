@@ -1,0 +1,68 @@
+"""Ablation — incremental append checking vs full re-validation.
+
+`parent.add(child)` resumes the content DFA from a cached state (O(1)
+per append) instead of re-walking every child (O(n)).  This bench pins
+the win and a test pins the equivalence: interleaving a slow-path
+mutation invalidates the cache, and verdicts never differ from a full
+check.
+"""
+
+import pytest
+
+from repro.errors import VdomTypeError
+
+
+def build_options(factory, count):
+    select = factory.create_select(
+        factory.create_option("..", value="/"), name="d"
+    )
+    for index in range(count):
+        select.add(factory.create_option(f"o{index}", value=f"/{index}"))
+    return select
+
+
+@pytest.mark.parametrize("count", (50, 200, 800))
+def test_bench_incremental_append_loop(benchmark, wml_binding, count):
+    factory = wml_binding.factory
+    select = benchmark(build_options, factory, count)
+    assert len(select.child_elements()) == count + 1
+
+
+def test_incremental_and_full_check_agree(wml_binding):
+    factory = wml_binding.factory
+    select = build_options(factory, 50)
+    select.check_valid_deep()  # full check approves the fast-path result
+
+    # A slow-path mutation (remove) invalidates the cache...
+    select.remove_child(select.child_elements()[0])
+    # ...and subsequent appends still work and stay valid.
+    select.add(factory.create_option("again", value="/x"))
+    select.check_valid_deep()
+
+    # Fast-path rejections leave the tree untouched.
+    before = len(select.child_elements())
+    with pytest.raises(VdomTypeError):
+        select.add(factory.create_p())
+    assert len(select.child_elements()) == before
+    select.check_valid_deep()
+
+
+def test_incremental_respects_completeness(po_binding):
+    """An append that would leave content incomplete is rejected even
+    on the fast path (shipTo after shipTo is never acceptable)."""
+    factory = po_binding.factory
+    order = factory.create_purchase_order(
+        factory.create_ship_to(
+            factory.create_name("n"), factory.create_street("s"),
+            factory.create_city("c"), factory.create_state("st"),
+            factory.create_zip("1"),
+        ),
+        factory.create_bill_to(
+            factory.create_name("n"), factory.create_street("s"),
+            factory.create_city("c"), factory.create_state("st"),
+            factory.create_zip("2"),
+        ),
+        factory.create_items(),
+    )
+    with pytest.raises(VdomTypeError):
+        order.append_child(factory.create_comment("after items"))

@@ -1,0 +1,54 @@
+"""Ablation — compiled P-XML templates vs interpreted rendering.
+
+The paper's preprocessor emits code (Fig. 11); an interpreter over the
+checked template AST gives the same guarantee without code generation.
+This ablation measures what compilation buys per render.
+"""
+
+from repro.dom import serialize
+from repro.pxml import Template
+from repro.pxml.runtime import render_interpreted
+
+SOURCE = """\
+<item partNum="$sku$">
+  <productName>$product:text$</productName>
+  <quantity>$qty$</quantity>
+  <USPrice>$price$</USPrice>
+  <comment>$note:text$</comment>
+</item>"""
+
+VALUES = dict(sku="872-AA", product="Lawnmower", qty=3, price="148.95",
+              note="Confirm this is electric")
+
+
+def test_modes_agree(po_binding):
+    template = Template(po_binding, SOURCE)
+    compiled_output = serialize(template.render(**VALUES))
+    interpreted_output = serialize(
+        render_interpreted(template.checked, **VALUES)
+    )
+    assert compiled_output == interpreted_output
+
+
+def test_bench_compiled_render(benchmark, po_binding):
+    template = Template(po_binding, SOURCE, compiled=True)
+    element = benchmark(template.render, **VALUES)
+    assert element.part_num == "872-AA"
+
+
+def test_bench_interpreted_render(benchmark, po_binding):
+    template = Template(po_binding, SOURCE, compiled=False)
+    element = benchmark(template.render, **VALUES)
+    assert element.part_num == "872-AA"
+
+
+def test_bench_check_only(benchmark, po_binding):
+    """The one-time cost interpretation avoids: compilation."""
+    checked_template = Template(po_binding, SOURCE, compiled=False)
+
+    def run():
+        return Template(po_binding, SOURCE, compiled=True)
+
+    template = benchmark(run)
+    assert template.generated_source is not None
+    assert checked_template.hole_names == template.hole_names

@@ -1,0 +1,45 @@
+"""Ablation — streaming validation vs build-DOM-then-validate.
+
+For *incoming* documents (the ingestion direction), the DOM walk pays
+tree construction before any checking starts; the streaming validator
+checks straight off the parser events.
+"""
+
+import pytest
+
+from repro.dom import parse_document
+from repro.xsd import SchemaValidator, StreamingValidator
+
+from benchmarks.conftest import purchase_order_text
+
+SIZES = (10, 100, 1000)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_stream_validate(benchmark, po_binding, size):
+    text = purchase_order_text(size)
+    validator = StreamingValidator(po_binding.schema)
+    errors = benchmark(validator.validate_text, text)
+    assert errors == []
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_dom_then_validate(benchmark, po_binding, size):
+    text = purchase_order_text(size)
+    validator = SchemaValidator(po_binding.schema)
+
+    def run():
+        return validator.validate(parse_document(text))
+
+    assert benchmark(run) == []
+
+
+def test_stream_and_dom_agree_on_corpus(po_binding):
+    from repro.schemas import PURCHASE_ORDER_INVALID_DOCUMENTS
+
+    stream = StreamingValidator(po_binding.schema)
+    dom = SchemaValidator(po_binding.schema)
+    for fault, text in PURCHASE_ORDER_INVALID_DOCUMENTS.items():
+        assert bool(stream.validate_text(text)) == bool(
+            dom.validate(parse_document(text))
+        ), fault

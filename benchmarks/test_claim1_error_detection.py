@@ -1,0 +1,89 @@
+"""CLAIM-1 — the error-detection-stage matrix.
+
+The paper's argument is qualitative: generic approaches find invalid
+documents "not until runtime requiring extensive testing", while V-DOM /
+P-XML find them at construction / statically.  This experiment makes the
+matrix measurable: for every fault in the corpus it records *which stage*
+detects it under each approach and prints the paper-style summary table;
+the benchmark measures time-to-detection for each stage.
+"""
+
+import pytest
+
+from repro import Template, parse_document, validate
+from repro.errors import PxmlStaticError, VdomTypeError, XmlSyntaxError
+from repro.schemas import PURCHASE_ORDER_INVALID_DOCUMENTS
+
+from benchmarks.test_claim1_support import (
+    FAULT_TEMPLATES,
+    detection_stage_dom,
+    detection_stage_pxml,
+    detection_stage_vdom,
+)
+
+
+def test_claim1_matrix(po_binding, capsys):
+    """Regenerate the stage matrix; V-DOM/P-XML always detect earlier."""
+    stage_rank = {
+        "static": 0,  # before the program runs (P-XML)
+        "construction": 1,  # while building (V-DOM)
+        "validation": 2,  # post-hoc validator walk (generic DOM)
+        "undetected": 3,
+    }
+    rows = []
+    for fault in sorted(PURCHASE_ORDER_INVALID_DOCUMENTS):
+        dom_stage = detection_stage_dom(po_binding, fault)
+        vdom_stage = detection_stage_vdom(po_binding, fault)
+        pxml_stage = detection_stage_pxml(po_binding, fault)
+        rows.append((fault, dom_stage, vdom_stage, pxml_stage))
+        assert dom_stage == "validation"
+        assert vdom_stage == "construction"
+        assert stage_rank[vdom_stage] < stage_rank[dom_stage]
+        if pxml_stage is not None:
+            assert pxml_stage == "static"
+            assert stage_rank[pxml_stage] < stage_rank[vdom_stage]
+    print("\nfault                            DOM          V-DOM         P-XML")
+    for fault, dom_stage, vdom_stage, pxml_stage in rows:
+        print(
+            f"{fault:32s} {dom_stage:12s} {vdom_stage:12s} "
+            f"{pxml_stage or 'n/a (data-dependent)'}"
+        )
+
+
+def test_bench_detection_dom(benchmark, po_binding):
+    """Time to detect 'bad-quantity' via parse + full validation."""
+    text = PURCHASE_ORDER_INVALID_DOCUMENTS["bad-quantity"]
+
+    def run():
+        return validate(parse_document(text), po_binding.schema)
+
+    errors = benchmark(run)
+    assert errors
+
+
+def test_bench_detection_vdom(benchmark, po_binding):
+    """Time to detect the same fault via typed unmarshalling."""
+    text = PURCHASE_ORDER_INVALID_DOCUMENTS["bad-quantity"]
+
+    def run():
+        document = parse_document(text)
+        try:
+            po_binding.from_dom(document.document_element)
+        except VdomTypeError as error:
+            return error
+        raise AssertionError("fault missed")
+
+    assert benchmark(run) is not None
+
+
+def test_bench_detection_pxml_static(benchmark, po_binding):
+    """Time to detect the fault statically, no document at all."""
+
+    def run():
+        try:
+            Template(po_binding, FAULT_TEMPLATES["bad-quantity"])
+        except PxmlStaticError as error:
+            return error
+        raise AssertionError("fault missed")
+
+    assert benchmark(run) is not None

@@ -1,0 +1,84 @@
+"""Support code for the CLAIM-1 matrix (no tests here).
+
+Maps each corpus fault to the stage that detects it per approach.
+``FAULT_TEMPLATES`` expresses the statically-expressible faults as P-XML
+constructors; faults that only exist in runtime data (a value computed
+at request time) are data-dependent and legitimately invisible to the
+static checker — the paper's P-XML pushes those to the typed constructor
+at render time, i.e. the V-DOM stage.
+"""
+
+from repro import Template, parse_document, validate
+from repro.errors import PxmlStaticError, VdomTypeError
+from repro.schemas import PURCHASE_ORDER_INVALID_DOCUMENTS
+
+#: Faults expressible as literal templates (no holes) → static stage.
+FAULT_TEMPLATES = {
+    "bad-quantity": "<quantity>100</quantity>",
+    "bad-sku": (
+        '<item partNum="87-AA"><productName>x</productName>'
+        "<quantity>1</quantity><USPrice>1.0</USPrice></item>"
+    ),
+    "bad-price": (
+        "<item partNum='123-AB'><productName>x</productName>"
+        "<quantity>1</quantity><USPrice>expensive</USPrice></item>"
+    ),
+    "bad-date": '<purchaseOrder orderDate="late autumn">'
+    "$s:shipTo$$b:billTo$$i:items$</purchaseOrder>",
+    "wrong-country": (
+        '<shipTo country="DE"><name>n</name><street>s</street>'
+        "<city>c</city><state>st</state><zip>1</zip></shipTo>"
+    ),
+    "missing-child": (
+        "<shipTo><name>n</name><street>s</street>"
+        "<state>st</state><zip>1</zip></shipTo>"
+    ),
+    "wrong-element-order": (
+        "<purchaseOrder>$s:shipTo$$b:billTo$$i:items$"
+        "$c:comment$</purchaseOrder>"
+    ),
+    "missing-required-attribute": (
+        "<item><productName>x</productName><quantity>1</quantity>"
+        "<USPrice>1.0</USPrice></item>"
+    ),
+    "undeclared-element": (
+        "<item partNum='123-AB'><productName>x</productName>"
+        "<color>red</color><quantity>1</quantity>"
+        "<USPrice>1.0</USPrice></item>"
+    ),
+    "text-in-element-content": "<items>loose text</items>",
+}
+
+
+def detection_stage_dom(binding, fault: str) -> str:
+    """Generic DOM: build always succeeds; only validation notices."""
+    document = parse_document(PURCHASE_ORDER_INVALID_DOCUMENTS[fault])
+    assert document.document_element is not None  # building succeeded
+    if validate(document, binding.schema):
+        return "validation"
+    return "undetected"
+
+
+def detection_stage_vdom(binding, fault: str) -> str:
+    """V-DOM: typed construction (unmarshalling) refuses the fault."""
+    document = parse_document(PURCHASE_ORDER_INVALID_DOCUMENTS[fault])
+    try:
+        binding.from_dom(document.document_element)
+    except VdomTypeError:
+        return "construction"
+    return "undetected"
+
+
+def detection_stage_pxml(binding, fault: str) -> str | None:
+    """P-XML: a literal-template rendering of the fault fails statically.
+
+    Returns ``None`` for faults with no static rendering in the corpus.
+    """
+    template_source = FAULT_TEMPLATES.get(fault)
+    if template_source is None:
+        return None
+    try:
+        Template(binding, template_source)
+    except PxmlStaticError:
+        return "static"
+    return "undetected"

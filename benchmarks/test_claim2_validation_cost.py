@@ -1,0 +1,102 @@
+"""CLAIM-2 — "the expensive validation at run-time".
+
+The paper says low-level bindings pay a full validation walk per
+document, while V-DOM documents are valid by construction.  Sweep the
+document size and measure each strategy end-to-end:
+
+* ``dom``:        parse → DOM → **validate** → serialize (baseline),
+* ``vdom-build``: build typed tree directly → serialize (no validation),
+* ``vdom-load``:  parse → typed unmarshal (validation fused into build),
+* ``novalidate``: parse → serialize without any checking — the floor.
+
+Expected shape: ``vdom-build`` ≈ ``dom`` (enforcement replaces the
+validation walk, paying DFA costs during construction instead), both
+bounded below by ``novalidate``; the win is not wall-clock but *when*
+errors surface — with construction-time enforcement the validation walk
+can be skipped entirely because it can never fail.
+"""
+
+import pytest
+
+from repro.dom import parse_document, serialize
+from repro.xsd import SchemaValidator
+
+from benchmarks.conftest import build_typed_purchase_order, purchase_order_text
+
+SIZES = (10, 100, 1000)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_dom_parse_validate_serialize(benchmark, po_binding, size):
+    text = purchase_order_text(size)
+    validator = SchemaValidator(po_binding.schema)
+
+    def run():
+        document = parse_document(text)
+        assert validator.validate(document) == []
+        return serialize(document)
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_vdom_build_serialize(benchmark, po_binding, size):
+    def run():
+        typed = build_typed_purchase_order(po_binding, size)
+        return serialize(po_binding.document(typed))
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_vdom_parse_unmarshal(benchmark, po_binding, size):
+    text = purchase_order_text(size)
+
+    def run():
+        document = parse_document(text)
+        return po_binding.from_dom(document.document_element)
+
+    assert benchmark(run).tag_name == "purchaseOrder"
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_floor_parse_serialize(benchmark, size):
+    text = purchase_order_text(size)
+
+    def run():
+        return serialize(parse_document(text))
+
+    assert benchmark(run)
+
+
+def test_claim2_shape(po_binding, capsys):
+    """Sanity on the claim's shape with one-shot timings."""
+    import time
+
+    rows = []
+    for size in SIZES:
+        text = purchase_order_text(size)
+        validator = SchemaValidator(po_binding.schema)
+
+        start = time.perf_counter()
+        document = parse_document(text)
+        parse_cost = time.perf_counter() - start
+
+        start = time.perf_counter()
+        assert validator.validate(document) == []
+        validate_cost = time.perf_counter() - start
+
+        start = time.perf_counter()
+        build_typed_purchase_order(po_binding, size)
+        build_cost = time.perf_counter() - start
+
+        rows.append((size, parse_cost, validate_cost, build_cost))
+    print("\nitems  parse(s)   validate(s)  vdom-build(s)")
+    for size, parse_cost, validate_cost, build_cost in rows:
+        print(
+            f"{size:5d}  {parse_cost:.6f}   {validate_cost:.6f}     "
+            f"{build_cost:.6f}"
+        )
+    # The validation walk grows with document size — the cost V-DOM
+    # construction renders unnecessary.
+    assert rows[-1][2] > rows[0][2]

@@ -1,0 +1,98 @@
+"""CLAIM-4 — preprocessing is static and pays once.
+
+The server-page baseline must validate every rendered page to match
+V-DOM's guarantee; P-XML checks the template once and renders with no
+validation at all.  This experiment renders N pages under both regimes
+and locates the crossover.
+"""
+
+import time
+
+import pytest
+
+from repro.dom import parse_document
+from repro.pxml import Template
+from repro.serverpages import ServerPage
+from repro.xsd import SchemaValidator
+
+from benchmarks.test_fig8_serverpage import CONTEXT, DIRECTORY_PAGE
+
+PXML_OPTION = '<option value="$value$">$label:text$</option>'
+PXML_PAGE = "<p><b>$current:text$</b><br/>$s:select$<br/></p>"
+
+
+def render_pxml(binding, option_template, page_template):
+    factory = binding.factory
+    select = factory.create_select(
+        option_template.render(value=CONTEXT["parentDir"], label=".."),
+        name="directories",
+    )
+    for sub_dir, label in CONTEXT["subDirs"]:
+        select.add(option_template.render(value=sub_dir, label=label))
+    page = page_template.render(current=CONTEXT["currentDir"], s=select)
+    return factory.create_wml(
+        factory.create_card(page, id="dirs", title="Directories")
+    )
+
+
+def render_baseline_with_validation(page, validator):
+    output = page.render(**CONTEXT)
+    document = parse_document(output)
+    assert validator.validate(document) == []
+    return output
+
+
+def test_bench_pxml_render_amortized(benchmark, wml_binding):
+    """Per-render cost after the one-time check (the amortized regime)."""
+    option_template = Template(wml_binding, PXML_OPTION)
+    page_template = Template(wml_binding, PXML_PAGE)
+    result = benchmark(render_pxml, wml_binding, option_template, page_template)
+    assert result.tag_name == "wml"
+
+
+def test_bench_baseline_render_plus_validate(benchmark, wml_binding):
+    """Per-render cost of the checked baseline."""
+    page = ServerPage(DIRECTORY_PAGE)
+    validator = SchemaValidator(wml_binding.schema)
+    output = benchmark(render_baseline_with_validation, page, validator)
+    assert "<select" in output
+
+
+def test_bench_baseline_render_unchecked(benchmark):
+    """Per-render cost of the unchecked baseline (no guarantee at all)."""
+    page = ServerPage(DIRECTORY_PAGE)
+    output = benchmark(page.render, **CONTEXT)
+    assert "<select" in output
+
+
+def test_claim4_crossover(wml_binding, capsys):
+    """Total cost over N renders: find where P-XML's pay-once check wins
+    against render+validate."""
+    validator = SchemaValidator(wml_binding.schema)
+    page = ServerPage(DIRECTORY_PAGE)
+
+    def total_baseline(n):
+        start = time.perf_counter()
+        for __ in range(n):
+            render_baseline_with_validation(page, validator)
+        return time.perf_counter() - start
+
+    def total_pxml(n):
+        start = time.perf_counter()
+        option_template = Template(wml_binding, PXML_OPTION)
+        page_template = Template(wml_binding, PXML_PAGE)
+        for __ in range(n):
+            render_pxml(wml_binding, option_template, page_template)
+        return time.perf_counter() - start
+
+    print("\nN       baseline+validate(s)  pxml-total(s)")
+    crossover = None
+    for n in (1, 10, 100, 500):
+        baseline = total_baseline(n)
+        pxml = total_pxml(n)
+        print(f"{n:6d}  {baseline:.6f}              {pxml:.6f}")
+        if crossover is None and pxml < baseline:
+            crossover = n
+    # Validation costs grow with every render; the compiled template's
+    # fixed check cost amortizes — by N=500 P-XML must be ahead.
+    assert total_pxml(500) < total_baseline(500)

@@ -1,0 +1,79 @@
+"""The DTD→Schema upgrade, measured (Sect. 1's motivation).
+
+Compares the prior-work pipeline ([14]: DTD-derived V-DOM) against the
+paper's schema-derived one on the same language and corpus:
+
+* detection coverage — which faults each binding catches,
+* cost — binding generation and per-document checking.
+
+Expected shape: identical structural coverage and cost, but the DTD
+binding is blind to every value-level fault (patterns, facets, types),
+which is precisely why the paper upgraded to XML Schema.
+"""
+
+from repro.dom import parse_document
+from repro.dtd import DtdValidator, bind_dtd, parse_dtd
+from repro.errors import VdomTypeError
+from repro.schemas import (
+    PURCHASE_ORDER_DOCUMENT,
+    PURCHASE_ORDER_DTD,
+    PURCHASE_ORDER_INVALID_DOCUMENTS,
+    PURCHASE_ORDER_SCHEMA,
+)
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def dtd_binding():
+    return bind_dtd(PURCHASE_ORDER_DTD)
+
+
+def _coverage(binding):
+    caught = set()
+    for fault, text in PURCHASE_ORDER_INVALID_DOCUMENTS.items():
+        try:
+            binding.from_dom(parse_document(text).document_element)
+        except VdomTypeError:
+            caught.add(fault)
+    return caught
+
+
+def test_expressiveness_gap_table(po_binding, dtd_binding, capsys):
+    schema_caught = _coverage(po_binding)
+    dtd_caught = _coverage(dtd_binding)
+    assert schema_caught == set(PURCHASE_ORDER_INVALID_DOCUMENTS)
+    assert dtd_caught < schema_caught
+    gap = sorted(schema_caught - dtd_caught)
+    print("\nfaults missed by the DTD-derived binding:")
+    for fault in gap:
+        print(f"  {fault}")
+    # Exactly the value-level faults DTDs cannot express:
+    assert gap == ["bad-date", "bad-price", "bad-quantity", "bad-sku"]
+
+
+def test_bench_bind_from_dtd(benchmark):
+    binding = benchmark(bind_dtd, PURCHASE_ORDER_DTD)
+    assert "create_purchase_order" in binding.factory_names()
+
+
+def test_bench_bind_from_schema(benchmark):
+    from repro.core import bind
+
+    binding = benchmark(bind, PURCHASE_ORDER_SCHEMA)
+    assert "create_purchase_order" in binding.factory_names()
+
+
+def test_bench_dtd_validate(benchmark):
+    validator = DtdValidator(
+        parse_dtd(PURCHASE_ORDER_DTD, root_name="purchaseOrder")
+    )
+    document = parse_document(PURCHASE_ORDER_DOCUMENT)
+    errors = benchmark(validator.validate, document)
+    assert errors == []
+
+
+def test_bench_dtd_unmarshal(benchmark, dtd_binding):
+    document = parse_document(PURCHASE_ORDER_DOCUMENT)
+    typed = benchmark(dtd_binding.from_dom, document.document_element)
+    assert typed.tag_name == "purchaseOrder"

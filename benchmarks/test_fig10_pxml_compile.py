@@ -1,0 +1,96 @@
+"""FIG10/FIG11 — the P-XML directory page and its compiled form.
+
+Regenerates the Sect. 5 example: the Fig. 10 template compiles into
+Fig. 11-shaped factory calls, and both produce byte-identical pages to
+the Fig. 8 server-page baseline.
+"""
+
+from repro.dom import parse_document, serialize
+from repro.pxml import Template
+from repro.xsd import SchemaValidator
+
+from benchmarks.test_fig8_serverpage import CONTEXT, DIRECTORY_PAGE
+from repro.serverpages import ServerPage
+
+
+def render_directory_page(binding, current_dir, parent_dir, sub_dirs):
+    """The Fig. 10 program, P-XML style."""
+    factory = binding.factory
+    option_template = Template(
+        binding, '<option value="$value$">$label:text$</option>'
+    )
+    select = factory.create_select(
+        option_template.render(value=parent_dir, label=".."),
+        name="directories",
+    )
+    for sub_dir, label in sub_dirs:
+        select.add(option_template.render(value=sub_dir, label=label))
+    page_template = Template(
+        binding, "<p><b>$current:text$</b><br/>$s:select$<br/></p>"
+    )
+    page = page_template.render(current=current_dir, s=select)
+    return factory.create_wml(
+        factory.create_card(page, id="dirs", title="Directories")
+    )
+
+
+def test_fig10_output_matches_fig8_baseline(wml_binding):
+    """P-XML and the server page emit the same page — but P-XML proved
+    validity before running."""
+    typed = render_directory_page(
+        wml_binding,
+        CONTEXT["currentDir"],
+        CONTEXT["parentDir"],
+        CONTEXT["subDirs"],
+    )
+    baseline = ServerPage(DIRECTORY_PAGE).render(**CONTEXT)
+    assert serialize(typed) == baseline
+
+
+def test_fig11_generated_code_shape(wml_binding):
+    template = Template(
+        wml_binding, "<p><b>$current:text$</b><br/>$s:select$<br/></p>"
+    )
+    source = template.generated_source
+    assert "factory.create_p(" in source
+    assert "factory.create_b(" in source
+    assert source.count("create_p_type_cc1_group_br") == 2 or (
+        source.count("create_br") == 2
+    )
+
+
+def test_fig10_output_validates(wml_binding):
+    typed = render_directory_page(wml_binding, "/x", "/", [("/x/a", "a")])
+    document = parse_document(serialize(wml_binding.document(typed)))
+    assert SchemaValidator(wml_binding.schema).validate(document) == []
+
+
+def test_bench_template_check_and_compile(benchmark, wml_binding):
+    """The pay-once cost: parse + static check + compile."""
+    source = "<p><b>$current:text$</b><br/>$s:select$<br/></p>"
+    template = benchmark(Template, wml_binding, source)
+    assert template.hole_names == ["current", "s"]
+
+
+def test_bench_template_render(benchmark, wml_binding):
+    """The per-render cost after compilation."""
+    factory = wml_binding.factory
+    template = Template(
+        wml_binding, "<p><b>$current:text$</b><br/>$s:select$<br/></p>"
+    )
+    select = factory.create_select(
+        factory.create_option("..", value="/ws"), name="dirs"
+    )
+    page = benchmark(template.render, current="/ws/media", s=select)
+    assert page.tag_name == "p"
+
+
+def test_bench_full_directory_page(benchmark, wml_binding):
+    typed = benchmark(
+        render_directory_page,
+        wml_binding,
+        CONTEXT["currentDir"],
+        CONTEXT["parentDir"],
+        CONTEXT["subDirs"],
+    )
+    assert serialize(typed).count("<option") == 3

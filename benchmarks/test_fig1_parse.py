@@ -1,0 +1,43 @@
+"""FIG1 — the purchase order document: parse, serialize, validate.
+
+Regenerates the paper's Fig. 1 artifact (the document round-trips
+byte-stably) and measures the substrate costs every later experiment
+builds on.
+"""
+
+from repro.dom import parse_document, serialize
+from repro.xsd import SchemaValidator
+from repro.schemas import PURCHASE_ORDER_DOCUMENT
+
+
+def test_fig1_roundtrip_artifact():
+    """The Fig. 1 document parses and reserializes stably."""
+    document = parse_document(PURCHASE_ORDER_DOCUMENT)
+    once = serialize(document)
+    assert serialize(parse_document(once)) == once
+    assert document.document_element.tag_name == "purchaseOrder"
+    items = document.get_elements_by_tag_name("item")
+    assert len(items) == 2
+
+
+def test_bench_parse_fig1(benchmark):
+    result = benchmark(parse_document, PURCHASE_ORDER_DOCUMENT)
+    assert result.document_element is not None
+
+
+def test_bench_parse_medium(benchmark, po_text_medium):
+    result = benchmark(parse_document, po_text_medium)
+    assert len(result.get_elements_by_tag_name("item")) == 100
+
+
+def test_bench_serialize_medium(benchmark, po_text_medium):
+    document = parse_document(po_text_medium)
+    text = benchmark(serialize, document)
+    assert text.startswith("<purchaseOrder")
+
+
+def test_bench_validate_fig1(benchmark, po_binding):
+    validator = SchemaValidator(po_binding.schema)
+    document = parse_document(PURCHASE_ORDER_DOCUMENT)
+    errors = benchmark(validator.validate, document)
+    assert errors == []

@@ -1,0 +1,57 @@
+"""FIG2/3 — the purchase order schema: component compilation costs.
+
+The paper's pipeline pays schema processing once, at generation time;
+this experiment measures that pay-once cost for each stage (parse,
+normalize, generate interfaces, materialize classes).
+"""
+
+from repro.xsd import parse_schema
+from repro.core import bind, generate_interfaces, normalize
+from repro.schemas import PURCHASE_ORDER_SCHEMA, WML_SCHEMA, XHTML_SUBSET_SCHEMA
+
+
+def test_fig2_schema_artifact():
+    schema = parse_schema(PURCHASE_ORDER_SCHEMA)
+    assert set(schema.elements) == {"purchaseOrder", "comment"}
+    assert set(schema.types) == {
+        "PurchaseOrderType", "USAddress", "Items", "SKU"
+    }
+
+
+def test_bench_parse_schema(benchmark):
+    schema = benchmark(parse_schema, PURCHASE_ORDER_SCHEMA)
+    assert "PurchaseOrderType" in schema.types
+
+
+def test_bench_normalize(benchmark):
+    def run():
+        schema = parse_schema(PURCHASE_ORDER_SCHEMA)
+        return normalize(schema)
+
+    result = benchmark(run)
+    assert result.generated_type_names
+
+
+def test_bench_generate_interfaces(benchmark):
+    def run():
+        schema = parse_schema(PURCHASE_ORDER_SCHEMA)
+        normalize(schema)
+        return generate_interfaces(schema)
+
+    model = benchmark(run)
+    assert "purchaseOrderElement" in model
+
+
+def test_bench_full_binding(benchmark):
+    binding = benchmark(bind, PURCHASE_ORDER_SCHEMA)
+    assert "create_purchase_order" in binding.factory_names()
+
+
+def test_bench_full_binding_wml(benchmark):
+    binding = benchmark(bind, WML_SCHEMA)
+    assert "create_card" in binding.factory_names()
+
+
+def test_bench_full_binding_xhtml(benchmark):
+    binding = benchmark(bind, XHTML_SUBSET_SCHEMA)
+    assert "create_html" in binding.factory_names()

@@ -1,0 +1,55 @@
+"""FIG4 — building the purchase-order fragment with the generic DOM.
+
+The untyped construction path: nothing stops an invalid tree, and the
+cost of finding out is a separate validation walk (measured in CLAIM-2).
+"""
+
+from repro.dom import Document, serialize
+
+
+def build_fig4_fragment():
+    """The Fig. 4 tree: purchaseOrder with its four children."""
+    document = Document()
+    root = document.create_element("purchaseOrder")
+    root.set_attribute("orderDate", "1999-10-20")
+    document.append_child(root)
+    for name, fields in (
+        ("shipTo", ("Alice Smith", "123 Maple Street", "Mill Valley", "CA", "90952")),
+        ("billTo", ("Robert Smith", "8 Oak Avenue", "Old Town", "PA", "95819")),
+    ):
+        address = document.create_element(name)
+        address.set_attribute("country", "US")
+        for tag, value in zip(("name", "street", "city", "state", "zip"), fields):
+            child = document.create_element(tag)
+            child.append_child(document.create_text_node(value))
+            address.append_child(child)
+        root.append_child(address)
+    comment = document.create_element("comment")
+    comment.append_child(
+        document.create_text_node("Hurry, my lawn is going wild")
+    )
+    root.append_child(comment)
+    items = document.create_element("items")
+    root.append_child(items)
+    return document
+
+
+def test_fig4_artifact():
+    document = build_fig4_fragment()
+    root = document.document_element
+    assert [c.tag_name for c in root.child_elements()] == [
+        "shipTo", "billTo", "comment", "items",
+    ]
+
+
+def test_fig4_dom_accepts_invalid_trees():
+    """The Fig. 4 disadvantage: an invalid tree builds without protest."""
+    document = build_fig4_fragment()
+    root = document.document_element
+    root.append_child(document.create_element("notInTheSchema"))
+    assert "notInTheSchema" in serialize(document)
+
+
+def test_bench_dom_build_fragment(benchmark):
+    document = benchmark(build_fig4_fragment)
+    assert document.document_element is not None

@@ -1,0 +1,43 @@
+"""FIG5/FIG6 — interface generation under both choice strategies.
+
+Regenerates the union-type interface of Fig. 5 and the inheritance
+interface (with merged naming) of Fig. 6, and measures generation cost.
+"""
+
+from repro.xsd import parse_schema
+from repro.core import generate_interfaces, normalize, render_idl
+from repro.core.generate import ChoiceStrategy
+from repro.schemas.variants import PURCHASE_ORDER_CHOICE_SCHEMA
+
+
+def _idl(strategy):
+    schema = parse_schema(PURCHASE_ORDER_CHOICE_SCHEMA)
+    normalize(schema)
+    return render_idl(generate_interfaces(schema, strategy))
+
+
+def test_fig5_union_artifact():
+    idl = _idl(ChoiceStrategy.UNION)
+    assert "typedef union PurchaseOrderTypeCC1Group" in idl
+    assert "case singAddr: singAddrElement singAddr;" in idl
+    assert "case twoAddr: twoAddrElement twoAddr;" in idl
+
+
+def test_fig6_inheritance_artifact():
+    idl = _idl(ChoiceStrategy.INHERITANCE)
+    assert "abstract interface PurchaseOrderTypeCC1Group" in idl
+    assert "interface singAddrElement: PurchaseOrderTypeCC1Group" in idl
+    assert "interface twoAddrElement: PurchaseOrderTypeCC1Group" in idl
+    assert (
+        "attribute PurchaseOrderTypeCC1Group PurchaseOrderTypeCC1;" in idl
+    )
+
+
+def test_bench_generate_idl_inheritance(benchmark):
+    idl = benchmark(_idl, ChoiceStrategy.INHERITANCE)
+    assert "PurchaseOrderTypeCC1Group" in idl
+
+
+def test_bench_generate_idl_union(benchmark):
+    idl = benchmark(_idl, ChoiceStrategy.UNION)
+    assert "typedef union" in idl

@@ -1,0 +1,73 @@
+"""FIG7 — building the same fragment through V-DOM.
+
+The typed counterpart of FIG4: construction costs more per node (the
+content DFA runs at every constructor), but the result is valid by
+construction — CLAIM-2 shows where that trade pays for itself.
+"""
+
+import pytest
+
+from repro.dom import serialize
+from repro.errors import VdomTypeError
+from repro.xsd import SchemaValidator
+
+from benchmarks.test_fig4_dom_build import build_fig4_fragment
+from benchmarks.conftest import build_typed_purchase_order
+
+
+def build_fig7_fragment(binding):
+    factory = binding.factory
+    return factory.create_purchase_order(
+        factory.create_ship_to(
+            factory.create_name("Alice Smith"),
+            factory.create_street("123 Maple Street"),
+            factory.create_city("Mill Valley"),
+            factory.create_state("CA"),
+            factory.create_zip("90952"),
+        ),
+        factory.create_bill_to(
+            factory.create_name("Robert Smith"),
+            factory.create_street("8 Oak Avenue"),
+            factory.create_city("Old Town"),
+            factory.create_state("PA"),
+            factory.create_zip("95819"),
+        ),
+        factory.create_comment("Hurry, my lawn is going wild"),
+        factory.create_items(),
+        order_date="1999-10-20",
+    )
+
+
+def test_fig7_artifact_matches_fig4_output(po_binding):
+    """Typed and untyped construction produce the same document text."""
+    typed = build_fig7_fragment(po_binding)
+    untyped = build_fig4_fragment()
+    assert serialize(po_binding.document(typed)) == serialize(untyped)
+
+
+def test_fig7_invalid_tree_is_unrepresentable(po_binding):
+    """The Fig. 7 point: the invalid variant of FIG4 cannot be built."""
+    typed = build_fig7_fragment(po_binding)
+    with pytest.raises(VdomTypeError):
+        typed.add(po_binding.factory.create_comment("second comment"))
+
+
+def test_fig7_output_validates_without_a_validator_pass(po_binding):
+    typed = build_fig7_fragment(po_binding)
+    validator = SchemaValidator(po_binding.schema)
+    assert validator.validate(po_binding.document(typed)) == []
+
+
+def test_bench_vdom_build_fragment(benchmark, po_binding):
+    element = benchmark(build_fig7_fragment, po_binding)
+    assert element.tag_name == "purchaseOrder"
+
+
+def test_bench_vdom_build_100_items(benchmark, po_binding):
+    element = benchmark(build_typed_purchase_order, po_binding, 100)
+    assert len(element.items.item_list) == 100
+
+
+def test_bench_vdom_vs_dom_overhead(benchmark, po_binding):
+    """Construction overhead of enforcement, same fragment as FIG4."""
+    benchmark(build_fig7_fragment, po_binding)

@@ -1,0 +1,70 @@
+"""FIG8 — the Java-Server-Page-style baseline on the directory page.
+
+Regenerates the Sect. 5 scenario with the string-template engine and
+measures its render cost; the companion "wrong server page" variant
+shows the engine accepting a page that emits broken markup.
+"""
+
+import pytest
+
+from repro.dom import parse_document
+from repro.errors import XmlSyntaxError
+from repro.serverpages import ServerPage
+from repro.xsd import SchemaValidator
+
+DIRECTORY_PAGE = (
+    '<wml><card id="dirs" title="Directories"><p>'
+    "<b><%= currentDir %></b><br/>"
+    '<select name="directories">'
+    '<option value="<%= parentDir %>">..</option>'
+    "<% for subDir, label in subDirs: %>"
+    '<option value="<%= subDir %>"><%= label %></option>'
+    "<% end %>"
+    "</select><br/>"
+    "</p></card></wml>"
+)
+
+#: Fig. 8 variant with the paper's '<TITLE>' mistake baked in.
+WRONG_PAGE = DIRECTORY_PAGE.replace("</select>", "<TITLE></select>")
+
+CONTEXT = {
+    "currentDir": "/workspace/media",
+    "parentDir": "/workspace",
+    "subDirs": [
+        ("/workspace/media/audio", "audio"),
+        ("/workspace/media/video", "video"),
+    ],
+}
+
+
+def test_fig8_artifact_renders_valid_wml(wml_binding):
+    output = ServerPage(DIRECTORY_PAGE).render(**CONTEXT)
+    document = parse_document(output)
+    assert SchemaValidator(wml_binding.schema).validate(document) == []
+    assert output.count("<option") == 3
+
+
+def test_fig8_wrong_page_accepted_by_engine():
+    """The paper's point: the engine cannot tell the page is wrong."""
+    output = ServerPage(WRONG_PAGE).render(**CONTEXT)
+    with pytest.raises(XmlSyntaxError):
+        parse_document(output)
+
+
+def test_bench_serverpage_compile(benchmark):
+    page = benchmark(ServerPage, DIRECTORY_PAGE)
+    assert page.render(**CONTEXT)
+
+
+def test_bench_serverpage_render(benchmark):
+    page = ServerPage(DIRECTORY_PAGE)
+    output = benchmark(page.render, **CONTEXT)
+    assert "<select" in output
+
+
+def test_bench_serverpage_render_many_options(benchmark):
+    page = ServerPage(DIRECTORY_PAGE)
+    context = dict(CONTEXT)
+    context["subDirs"] = [(f"/d/{i}", f"d{i}") for i in range(200)]
+    output = benchmark(page.render, **context)
+    assert output.count("<option") == 201

@@ -1,0 +1,77 @@
+"""FIG9 — the validation pipeline: preprocessor generator → preprocessor
+→ V-DOM program.
+
+Measures each stage of the paper's tooling: specializing the
+preprocessor to a schema (binding generation), preprocessing a module
+(static checking + code substitution), and running the result.
+"""
+
+from repro.core import bind
+from repro.pxml import preprocess_module
+from repro.pxml.preprocessor import make_preprocessor
+from repro.schemas import WML_SCHEMA
+
+PROGRAM = '''
+def option_row(full, label):
+    return pxml('<option value="$full$">$label:text$</option>')
+
+def page(current, select):
+    return pxml("<p><b>$current:text$</b><br/>$select:select$<br/></p>")
+
+def empty_select():
+    return pxml('<select name="directories"><option>..</option></select>')
+'''
+
+
+def test_fig9_pipeline_artifact(wml_binding):
+    preprocessor = make_preprocessor(wml_binding)
+    preamble = (
+        "from repro.core import bind\n"
+        "from repro.schemas import WML_SCHEMA\n"
+        "binding = bind(WML_SCHEMA)\n"
+        "factory = binding.factory\n"
+    )
+    result = preprocessor(preamble + PROGRAM)
+    assert result.replaced == 3
+    assert "factory.create_option(" in result.source
+    namespace: dict = {}
+    exec(compile(result.source, "<fig9>", "exec"), namespace)
+    option = namespace["option_row"]("/a", "a")
+    assert option.get_attribute("value") == "/a"
+
+
+def test_bench_preprocessor_generation(benchmark):
+    """Stage 1: the preprocessor generator (schema → binding)."""
+    binding = benchmark(bind, WML_SCHEMA)
+    assert binding.schema is not None
+
+
+def test_bench_preprocessing(benchmark, wml_binding):
+    """Stage 2: statically check + rewrite the module."""
+    preamble = (
+        "binding = None\nfactory = None\n"
+    )
+    result = benchmark(preprocess_module, preamble + PROGRAM, wml_binding)
+    assert result.replaced == 3
+
+
+def test_bench_preprocessed_program_run(benchmark, wml_binding):
+    """Stage 3: run the generated V-DOM program."""
+    preamble = (
+        "from repro.core import bind\n"
+        "from repro.schemas import WML_SCHEMA\n"
+        "binding = bind(WML_SCHEMA)\n"
+        "factory = binding.factory\n"
+    )
+    result = preprocess_module(preamble + PROGRAM, wml_binding)
+    namespace: dict = {}
+    exec(compile(result.source, "<fig9-run>", "exec"), namespace)
+
+    def run():
+        select = namespace["empty_select"]()
+        for index in range(20):
+            select.add(namespace["option_row"](f"/d/{index}", f"d{index}"))
+        return namespace["page"]("/workspace", select)
+
+    page = benchmark(run)
+    assert len(page.child_elements()) == 4  # b, br, select, br

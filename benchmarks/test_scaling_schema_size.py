@@ -1,0 +1,74 @@
+"""Scaling — binding generation cost vs schema size.
+
+The paper's pipeline pays schema processing once per language; a
+production user cares how that pay-once cost grows with schema size.
+Synthetic schemas with N complex types (each a small sequence with an
+attribute, chained by reference) are generated and bound.
+"""
+
+import pytest
+
+from repro.core import bind
+
+
+def synthetic_schema(type_count: int) -> str:
+    """N independent complex types, one global element each, plus a
+    root type whose choice references every element (star shape —
+    reference *breadth* scales, reference *depth* stays flat, like
+    real-world schemas)."""
+    parts = ['<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">']
+    for index in range(type_count):
+        parts.append(
+            f'<xsd:complexType name="T{index}"><xsd:sequence>'
+            f'<xsd:element name="label{index}" type="xsd:string"/>'
+            f'<xsd:element name="count{index}" type="xsd:int"'
+            ' minOccurs="0"/>'
+            "</xsd:sequence>"
+            f'<xsd:attribute name="id{index}" type="xsd:ID"/>'
+            "</xsd:complexType>"
+        )
+        parts.append(f'<xsd:element name="e{index}" type="T{index}"/>')
+    refs = "".join(
+        f'<xsd:element ref="e{index}"/>' for index in range(type_count)
+    )
+    parts.append(
+        '<xsd:complexType name="Root"><xsd:sequence>'
+        f'<xsd:choice minOccurs="0" maxOccurs="unbounded">{refs}</xsd:choice>'
+        "</xsd:sequence></xsd:complexType>"
+        '<xsd:element name="root" type="Root"/>'
+    )
+    parts.append("</xsd:schema>")
+    return "".join(parts)
+
+
+SIZES = (10, 50, 200)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_bind_scaling(benchmark, size):
+    text = synthetic_schema(size)
+    binding = benchmark(bind, text)
+    assert len(binding.factory_names()) >= size
+
+
+def test_scaling_is_roughly_linear():
+    """Generation cost per type must not blow up with schema size."""
+    import time
+
+    costs = {}
+    for size in SIZES:
+        text = synthetic_schema(size)
+        start = time.perf_counter()
+        bind(text)
+        costs[size] = time.perf_counter() - start
+    per_type_small = costs[SIZES[0]] / SIZES[0]
+    per_type_large = costs[SIZES[-1]] / SIZES[-1]
+    # Allow generous constant-factor noise but catch quadratic blowup.
+    assert per_type_large < per_type_small * 10
+
+
+def test_large_binding_functional():
+    binding = bind(synthetic_schema(100))
+    factory = binding.factory
+    leaf = factory.create_e99(getattr(factory, "create_label99")("x"))
+    assert leaf.tag_name == "e99"

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""A small web-shop backend built on the typed purchase-order binding.
+
+This is the "XML generators … for example generators for XML documents
+serving as views of data bases" scenario from the paper's introduction:
+orders live in a (toy) database, get rendered to XML views for partners,
+and incoming XML orders are ingested — all through the typed layer, so
+neither direction can produce or silently accept invalid documents.
+
+Run:  python examples/purchase_order_webshop.py
+"""
+
+import datetime
+import decimal
+from dataclasses import dataclass
+
+from repro import bind, parse_document, serialize
+from repro.errors import VdomTypeError
+from repro.query import Query
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+
+
+@dataclass
+class CartLine:
+    sku: str
+    product: str
+    quantity: int
+    unit_price: decimal.Decimal
+
+
+@dataclass
+class Customer:
+    name: str
+    street: str
+    city: str
+    state: str
+    zip_code: str
+
+
+CATALOG = {
+    "872-AA": ("Lawnmower", decimal.Decimal("148.95")),
+    "926-AA": ("Baby Monitor", decimal.Decimal("39.98")),
+    "455-BX": ("Garden Hose", decimal.Decimal("12.50")),
+}
+
+
+class WebShop:
+    """The database-backed generator of purchase-order views."""
+
+    def __init__(self):
+        self._binding = bind(PURCHASE_ORDER_SCHEMA)
+        self._orders: dict[int, str] = {}  # order id -> serialized XML
+        self._next_id = 1
+        # Compile the partner-facing queries once; they are checked
+        # against the schema here, not when some request hits them.
+        self._sku_query = Query(
+            self._binding, "purchaseOrder", "items/item"
+        )
+
+    # -- outbound: database rows → XML views ------------------------------
+
+    def place_order(
+        self, customer: Customer, billing: Customer, cart: list[CartLine]
+    ) -> int:
+        f = self._binding.factory
+        items = f.create_items(
+            *[
+                f.create_item(
+                    f.create_product_name(line.product),
+                    f.create_quantity(line.quantity),
+                    f.create_us_price(str(line.unit_price)),
+                    part_num=line.sku,
+                )
+                for line in cart
+            ]
+        )
+        order = f.create_purchase_order(
+            self._address(f.create_ship_to, customer),
+            self._address(f.create_bill_to, billing),
+            items,
+            order_date=datetime.date(1999, 10, 20),
+        )
+        order_id = self._next_id
+        self._next_id += 1
+        # No validation before persisting: the tree is valid or it
+        # would not exist.
+        self._orders[order_id] = serialize(self._binding.document(order))
+        return order_id
+
+    def _address(self, factory_method, who: Customer):
+        f = self._binding.factory
+        return factory_method(
+            f.create_name(who.name),
+            f.create_street(who.street),
+            f.create_city(who.city),
+            f.create_state(who.state),
+            f.create_zip(who.zip_code),
+        )
+
+    def order_view(self, order_id: int) -> str:
+        return self._orders[order_id]
+
+    # -- inbound: partner XML → typed objects → business logic --------------
+
+    def ingest(self, xml_text: str) -> dict:
+        """Accept a partner's purchase order; typed or rejected."""
+        document = parse_document(xml_text)
+        typed = self._binding.from_dom(document.document_element)
+        total = decimal.Decimal(0)
+        lines = []
+        for item in typed.items.item_list:
+            quantity = item.quantity.value
+            price = item.us_price.value
+            total += quantity * price
+            lines.append((item.part_num, quantity, price))
+        return {
+            "ship_to": typed.ship_to.name.content,
+            "lines": lines,
+            "total": total,
+        }
+
+
+def main() -> None:
+    shop = WebShop()
+    alice = Customer(
+        "Alice Smith", "123 Maple Street", "Mill Valley", "CA", "90952"
+    )
+    robert = Customer("Robert Smith", "8 Oak Avenue", "Old Town", "PA", "95819")
+
+    cart = [
+        CartLine("872-AA", CATALOG["872-AA"][0], 1, CATALOG["872-AA"][1]),
+        CartLine("455-BX", CATALOG["455-BX"][0], 3, CATALOG["455-BX"][1]),
+    ]
+
+    order_id = shop.place_order(alice, robert, cart)
+    print(f"order {order_id} stored; XML view:\n")
+    print(shop.order_view(order_id)[:300], "...\n")
+
+    summary = shop.ingest(shop.order_view(order_id))
+    print("ingested our own view back:", summary, "\n")
+
+    # A partner sends a corrupt order: quantity out of range.
+    corrupt = shop.order_view(order_id).replace(
+        "<quantity>3</quantity>", "<quantity>30000</quantity>"
+    )
+    try:
+        shop.ingest(corrupt)
+    except VdomTypeError as error:
+        print(f"corrupt partner order rejected at ingestion: {error}")
+
+    # And one with a structural problem: items before billTo.
+    swapped = shop.order_view(order_id).replace(
+        "<billTo", "<placeholder", 1
+    )
+    try:
+        shop.ingest(swapped)
+    except Exception as error:
+        print(f"structurally broken order rejected: {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Quickstart: the purchase order language, end to end.
+
+Covers the core loop of the paper:
+
+1. bind the schema (generate typed classes),
+2. build a document through the typed factory — valid by construction,
+3. see invalid constructions rejected *at the point of the mistake*,
+4. serialize without any validation pass,
+5. read a document back into typed objects (unmarshalling = validation).
+
+Run:  python examples/quickstart.py
+"""
+
+import datetime
+
+from repro import bind, parse_document, serialize, validate
+from repro.errors import VdomTypeError
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+
+
+def main() -> None:
+    # 1. The "preprocessor generator" step: one call, all classes.
+    binding = bind(PURCHASE_ORDER_SCHEMA)
+    f = binding.factory
+    print(f"bound schema: {binding}\n")
+
+    # 2. Build the paper's Fig. 1 document through typed constructors.
+    order = f.create_purchase_order(
+        f.create_ship_to(
+            f.create_name("Alice Smith"),
+            f.create_street("123 Maple Street"),
+            f.create_city("Mill Valley"),
+            f.create_state("CA"),
+            f.create_zip("90952"),
+        ),
+        f.create_bill_to(
+            f.create_name("Robert Smith"),
+            f.create_street("8 Oak Avenue"),
+            f.create_city("Old Town"),
+            f.create_state("PA"),
+            f.create_zip("95819"),
+        ),
+        f.create_comment("Hurry, my lawn is going wild"),
+        f.create_items(
+            f.create_item(
+                f.create_product_name("Lawnmower"),
+                f.create_quantity(1),
+                f.create_us_price("148.95"),
+                f.create_comment("Confirm this is electric"),
+                part_num="872-AA",
+            ),
+            f.create_item(
+                f.create_product_name("Baby Monitor"),
+                f.create_quantity(1),
+                f.create_us_price("39.98"),
+                f.create_ship_date(datetime.date(1999, 5, 21)),
+                part_num="926-AA",
+            ),
+        ),
+        order_date=datetime.date(1999, 10, 20),
+    )
+
+    # Typed access: attributes come back as Python values.
+    print("order date:", order.order_date, type(order.order_date).__name__)
+    for item in order.items.item_list:
+        print(
+            f"  {item.part_num}: {item.product_name.content!r} "
+            f"x{item.quantity.value} @ {item.us_price.value}"
+        )
+
+    # 3. Invalid constructions are rejected where they happen.
+    for label, attempt in [
+        ("quantity over the facet bound", lambda: f.create_quantity(100)),
+        ("bad SKU pattern", lambda: f.create_item(
+            f.create_product_name("x"),
+            f.create_quantity(1),
+            f.create_us_price("1.0"),
+            part_num="WRONG",
+        )),
+        ("wrong child order", lambda: f.create_ship_to(
+            f.create_street("street first?"),
+            f.create_name("name second?"),
+            f.create_city("c"), f.create_state("s"), f.create_zip("1"),
+        )),
+    ]:
+        try:
+            attempt()
+        except VdomTypeError as error:
+            print(f"rejected ({label}): {error}")
+
+    # 4. Serialize — no validation run needed; it cannot be invalid.
+    document = binding.document(order)
+    text = serialize(document, pretty=True)
+    print("\nserialized document:\n" + text[:400] + "  ...\n")
+
+    # Independent confirmation with the runtime validator:
+    assert validate(parse_document(text), binding.schema) == []
+    print("runtime validator agrees: 0 errors (as it always must)")
+
+    # 5. Unmarshal an incoming document into typed objects.
+    incoming = parse_document(text)
+    typed = binding.from_dom(incoming.document_element)
+    total = sum(
+        item.us_price.value * item.quantity.value
+        for item in typed.items.item_list
+    )
+    print(f"order total computed from typed values: ${total}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""The paper's Section 5 scenario: a WML directory page for a media
+archive, three ways.
+
+* Figure 8  — the Java-Server-Page-style string template (baseline),
+  including the "wrong server page" variant that the engine happily
+  accepts and that only breaks when a client parses the output;
+* Figure 10 — the same page as P-XML templates, statically checked;
+* Figure 11 — the generated factory-call code the preprocessor emits.
+
+Run:  python examples/wml_directory.py
+"""
+
+from repro import Template, bind, parse_document, serialize, validate
+from repro.errors import PxmlStaticError, XmlSyntaxError
+from repro.serverpages import ServerPage
+from repro.schemas import WML_SCHEMA
+
+
+class MediaArchive:
+    """Stand-in for the paper's media archive object ``mdmo``."""
+
+    TREE = {
+        "/workspace/media": ["audio", "video", "images"],
+        "/workspace/media/audio": ["lectures", "interviews"],
+    }
+
+    def __init__(self, path: str):
+        self._path = path
+
+    def get_full_path(self) -> str:
+        return self._path
+
+    def get_childs(self) -> list[str]:
+        return self.TREE.get(self._path, [])
+
+    def parent(self) -> str:
+        head = self._path.rsplit("/", 1)[0]
+        return head or "/workspace"
+
+
+FIG8_PAGE = (
+    '<wml><card id="dirs" title="Directories"><p>'
+    "<b><%= currentDir %></b><br/>"
+    '<select name="directories">'
+    '<option value="<%= parentDir %>">..</option>'
+    "<% for subDir in subDirs: %>"
+    '<option value="<%= currentDir + \'/\' + subDir %>"><%= subDir %></option>'
+    "<% end %>"
+    "</select><br/>"
+    "</p></card></wml>"
+)
+
+
+def fig8_baseline(archive: MediaArchive) -> str:
+    """Fig. 8: string templating. Output is *hoped* to be valid WML."""
+    return ServerPage(FIG8_PAGE).render(
+        currentDir=archive.get_full_path(),
+        parentDir=archive.parent(),
+        subDirs=archive.get_childs(),
+    )
+
+
+def fig8_wrong(archive: MediaArchive) -> str:
+    """The paper's point: this broken page is accepted just the same."""
+    broken = FIG8_PAGE.replace("</select>", "<TITLE></select>")
+    return ServerPage(broken).render(
+        currentDir=archive.get_full_path(),
+        parentDir=archive.parent(),
+        subDirs=archive.get_childs(),
+    )
+
+
+def fig10_pxml(binding, archive: MediaArchive):
+    """Fig. 10: the P-XML program. Every constructor is pre-checked."""
+    factory = binding.factory
+    option = Template(binding, '<option value="$d$">$label:text$</option>')
+    select = factory.create_select(
+        option.render(d=archive.parent(), label=".."),
+        name="directories",
+    )
+    current = archive.get_full_path()
+    for sub_dir in archive.get_childs():
+        select.add(option.render(d=f"{current}/{sub_dir}", label=sub_dir))
+    page = Template(
+        binding, "<p><b>$currentDir:text$</b><br/>$s:select$<br/></p>"
+    )
+    body = page.render(currentDir=current, s=select)
+    return factory.create_wml(
+        factory.create_card(body, id="dirs", title="Directories")
+    )
+
+
+def main() -> None:
+    binding = bind(WML_SCHEMA)
+    archive = MediaArchive("/workspace/media")
+
+    print("=== Fig. 8: server-page baseline ===")
+    output = fig8_baseline(archive)
+    print(output)
+    errors = validate(parse_document(output), binding.schema)
+    print(f"post-hoc validation errors: {len(errors)} (had to check!)\n")
+
+    print("=== Fig. 8, wrong variant: accepted by the engine ===")
+    broken = fig8_wrong(archive)
+    print(broken[:120] + "...")
+    try:
+        parse_document(broken)
+    except XmlSyntaxError as error:
+        print(f"a client parsing this page would explode: {error}\n")
+
+    print("=== Fig. 10: P-XML (statically checked) ===")
+    typed = fig10_pxml(binding, archive)
+    print(serialize(typed))
+    print("no validation call anywhere: the page cannot be invalid\n")
+
+    print("=== the same mistake, P-XML: rejected before running ===")
+    try:
+        Template(binding, "<select><TITLE>oops</TITLE></select>")
+    except PxmlStaticError as error:
+        print(f"static error: {error}\n")
+
+    print("=== Fig. 11: what the page template compiles to ===")
+    template = Template(
+        binding, "<p><b>$currentDir:text$</b><br/>$s:select$<br/></p>"
+    )
+    print(template.generated_source)
+
+
+if __name__ == "__main__":
+    main()

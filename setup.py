@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandbox's setuptools predates integrated ``bdist_wheel`` and has no
+``wheel`` package, so PEP 517 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` via
+fallback) work offline.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""repro — V-DOM and P-XML over XML Schema, reproduced in Python.
+
+A from-scratch reproduction of Kempa & Linnemann, *XML-Based Applications
+Using XML Schema* (EDBT 2002 Workshops): generate one typed class per
+element declared in an XML Schema, so that programs can only ever build
+schema-valid documents — no post-hoc validation runs needed — plus P-XML,
+an XML-literal template layer whose constructors are checked statically
+against the schema.
+
+Quickstart::
+
+    from repro import bind, Template
+    from repro.schemas import PURCHASE_ORDER_SCHEMA
+
+    binding = bind(PURCHASE_ORDER_SCHEMA)
+    f = binding.factory
+    po = f.create_purchase_order(
+        f.create_ship_to(f.create_name("Alice Smith"), ...),
+        ...,
+        order_date="1999-10-20",
+    )                      # construction-time validity enforcement
+
+    template = Template(binding, "<shipTo country='US'>$n$...</shipTo>")
+    ship_to = template.render(n=f.create_name("Alice"))  # checked statically
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduction of every figure and claim of the paper.
+"""
+
+from repro.errors import (
+    DtdError,
+    DtdValidationError,
+    PxmlError,
+    PxmlStaticError,
+    PxmlSyntaxError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SimpleTypeError,
+    UnsupportedFeatureError,
+    ValidationError,
+    VdomTypeError,
+    XmlSyntaxError,
+)
+from repro.dom import parse_document, serialize
+from repro.dtd import parse_dtd, validate_against_dtd
+from repro.xsd import SchemaValidator, parse_schema, validate
+from repro.core import (
+    Binding,
+    ChoiceStrategy,
+    TypedElement,
+    bind,
+    generate_interfaces,
+    generate_python_module,
+    normalize,
+    render_idl,
+)
+from repro.pxml import Template, preprocess_module
+from repro.query import Query, select
+from repro.serverpages import ServerPage, render_page
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Binding",
+    "ChoiceStrategy",
+    "DtdError",
+    "DtdValidationError",
+    "PxmlError",
+    "PxmlStaticError",
+    "PxmlSyntaxError",
+    "Query",
+    "QueryError",
+    "ReproError",
+    "SchemaError",
+    "SchemaValidator",
+    "ServerPage",
+    "SimpleTypeError",
+    "Template",
+    "TypedElement",
+    "UnsupportedFeatureError",
+    "ValidationError",
+    "VdomTypeError",
+    "XmlSyntaxError",
+    "__version__",
+    "bind",
+    "generate_interfaces",
+    "generate_python_module",
+    "normalize",
+    "parse_document",
+    "parse_dtd",
+    "parse_schema",
+    "preprocess_module",
+    "render_idl",
+    "render_page",
+    "select",
+    "serialize",
+    "validate",
+    "validate_against_dtd",
+]

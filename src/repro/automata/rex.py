@@ -1,0 +1,208 @@
+"""Regular expressions over symbol objects, with occurrence bounds.
+
+The grammar is the one shared by DTD content models and XML Schema
+particles::
+
+    R ::= empty | epsilon | symbol | R R ... | R "|" R "|" ... | R{min,max}
+
+``Repetition`` carries schema-style ``minOccurs``/``maxOccurs`` bounds
+(``UNBOUNDED`` for ``*``-like behaviour).  Before automaton construction,
+:meth:`Regex.expanded` rewrites bounded repetitions into sequences of
+copies — the classical reduction that keeps the Glushkov construction
+applicable; a position budget guards against pathological bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ReproError
+
+#: Sentinel for an unbounded ``maxOccurs``.
+UNBOUNDED: int = -1
+
+
+class RegexTooLargeError(ReproError):
+    """Expanding occurrence bounds would exceed the position budget."""
+
+
+class Regex:
+    """Base class of the regex AST."""
+
+    def nullable(self) -> bool:
+        """Can this expression match the empty word?"""
+        raise NotImplementedError
+
+    def count_positions(self) -> int:
+        """Number of symbol positions after expansion."""
+        raise NotImplementedError
+
+    def expanded(self) -> Regex:
+        """Rewrite bounded repetitions; result uses only {0|1|n, UNBOUNDED}."""
+        raise NotImplementedError
+
+    # Convenience combinators keep call sites readable.
+    def star(self) -> Regex:
+        return Repetition(self, 0, UNBOUNDED)
+
+    def plus(self) -> Regex:
+        return Repetition(self, 1, UNBOUNDED)
+
+    def optional(self) -> Regex:
+        return Repetition(self, 0, 1)
+
+
+class Empty(Regex):
+    """The empty *language*: matches nothing at all."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def count_positions(self) -> int:
+        return 0
+
+    def expanded(self) -> Regex:
+        return self
+
+    def __repr__(self) -> str:
+        return "Empty()"
+
+
+class Epsilon(Regex):
+    """Matches exactly the empty word."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def count_positions(self) -> int:
+        return 0
+
+    def expanded(self) -> Regex:
+        return self
+
+    def __repr__(self) -> str:
+        return "Epsilon()"
+
+
+class Symbol(Regex):
+    """A terminal occurrence of *payload* (any hashable or not — identity
+    is positional, the payload is just carried along)."""
+
+    def __init__(self, payload: Any):
+        self.payload = payload
+
+    def nullable(self) -> bool:
+        return False
+
+    def count_positions(self) -> int:
+        return 1
+
+    def expanded(self) -> Regex:
+        # Each expansion site needs a *fresh* position, so copy.
+        return Symbol(self.payload)
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.payload!r})"
+
+
+class Sequence(Regex):
+    """Concatenation of parts, in order."""
+
+    def __init__(self, parts: list[Regex]):
+        self.parts = list(parts)
+
+    def nullable(self) -> bool:
+        return all(part.nullable() for part in self.parts)
+
+    def count_positions(self) -> int:
+        return sum(part.count_positions() for part in self.parts)
+
+    def expanded(self) -> Regex:
+        return Sequence([part.expanded() for part in self.parts])
+
+    def __repr__(self) -> str:
+        return f"Sequence({self.parts!r})"
+
+
+class Alternation(Regex):
+    """Choice between alternatives."""
+
+    def __init__(self, alternatives: list[Regex]):
+        self.alternatives = list(alternatives)
+
+    def nullable(self) -> bool:
+        return any(alt.nullable() for alt in self.alternatives)
+
+    def count_positions(self) -> int:
+        return sum(alt.count_positions() for alt in self.alternatives)
+
+    def expanded(self) -> Regex:
+        return Alternation([alt.expanded() for alt in self.alternatives])
+
+    def __repr__(self) -> str:
+        return f"Alternation({self.alternatives!r})"
+
+
+class Repetition(Regex):
+    """``child`` repeated between ``min_occurs`` and ``max_occurs`` times."""
+
+    def __init__(self, child: Regex, min_occurs: int, max_occurs: int):
+        if min_occurs < 0:
+            raise ValueError("min_occurs must be >= 0")
+        if max_occurs != UNBOUNDED and max_occurs < min_occurs:
+            raise ValueError("max_occurs must be >= min_occurs or UNBOUNDED")
+        self.child = child
+        self.min_occurs = min_occurs
+        self.max_occurs = max_occurs
+
+    def nullable(self) -> bool:
+        return self.min_occurs == 0 or self.child.nullable()
+
+    def count_positions(self) -> int:
+        per_copy = self.child.count_positions()
+        if self.max_occurs == UNBOUNDED:
+            return per_copy * max(self.min_occurs, 1)
+        return per_copy * self.max_occurs
+
+    def expanded(self) -> Regex:
+        """Unroll bounds into copies.
+
+        ``R{m,n}``     → ``R₁ … R_m  R?₁ … R?_{n-m}``
+        ``R{m,∞}``     → ``R₁ … R_{m-1}  R₊`` (Kleene-plus on the last copy)
+        ``R{0,∞}``     → ``R*``; ``R{0,1}`` stays an optional copy.
+        """
+        child = self.child
+        if self.max_occurs == UNBOUNDED:
+            if self.min_occurs <= 1:
+                return Repetition(child.expanded(), self.min_occurs, UNBOUNDED)
+            required = [child.expanded() for _ in range(self.min_occurs - 1)]
+            return Sequence(required + [Repetition(child.expanded(), 1, UNBOUNDED)])
+        if (self.min_occurs, self.max_occurs) in ((0, 1), (1, 1)):
+            if self.min_occurs == 1:
+                return child.expanded()
+            return Repetition(child.expanded(), 0, 1)
+        required = [child.expanded() for _ in range(self.min_occurs)]
+        optional = [
+            Repetition(child.expanded(), 0, 1)
+            for _ in range(self.max_occurs - self.min_occurs)
+        ]
+        return Sequence(required + optional)
+
+    def __repr__(self) -> str:
+        bound = "unbounded" if self.max_occurs == UNBOUNDED else self.max_occurs
+        return f"Repetition({self.child!r}, {self.min_occurs}, {bound})"
+
+
+def check_budget(regex: Regex, budget: int = 4096) -> None:
+    """Raise when expansion would produce more than *budget* positions.
+
+    Schema authors occasionally write ``maxOccurs="10000"``; unrolling that
+    is the textbook construction's weak spot, so the library refuses past a
+    budget rather than silently consuming memory.
+    """
+    count = regex.count_positions()
+    if count > budget:
+        raise RegexTooLargeError(
+            f"content model expands to {count} positions "
+            f"(budget {budget}); lower maxOccurs or raise the budget"
+        )

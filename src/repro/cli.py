@@ -1,0 +1,105 @@
+"""Command-line interface: ``vdom-generate``.
+
+Subcommands mirror the paper's tooling:
+
+* ``idl <schema.xsd>``        — print generated V-DOM interfaces (Fig. 6),
+* ``python <schema.xsd>``     — print the generated Python binding module,
+* ``validate <schema> <doc>`` — runtime-validate a document (the baseline),
+* ``preprocess <schema> <m>`` — run the P-XML preprocessor on a module
+  (Fig. 9), printing the rewritten source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.dom import parse_document
+from repro.xsd import SchemaValidator, parse_schema
+from repro.core import bind, generate_interfaces, normalize, render_idl
+from repro.core.generate import ChoiceStrategy
+from repro.core.pygen import generate_python_module
+from repro.pxml import preprocess_module
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="vdom-generate",
+        description="V-DOM / P-XML tooling (Kempa & Linnemann, EDBT 2002)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    idl = commands.add_parser("idl", help="print generated IDL interfaces")
+    idl.add_argument("schema")
+    idl.add_argument(
+        "--unions",
+        action="store_true",
+        help="use the Fig. 5 union strategy instead of inheritance",
+    )
+
+    python_command = commands.add_parser(
+        "python", help="print the generated Python binding module"
+    )
+    python_command.add_argument("schema")
+
+    validate_command = commands.add_parser(
+        "validate", help="validate a document against a schema (runtime path)"
+    )
+    validate_command.add_argument("schema")
+    validate_command.add_argument("document")
+
+    preprocess_command = commands.add_parser(
+        "preprocess", help="statically check and rewrite a P-XML module"
+    )
+    preprocess_command.add_argument("schema")
+    preprocess_command.add_argument("module")
+
+    arguments = parser.parse_args(argv)
+    try:
+        return _dispatch(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(arguments: argparse.Namespace) -> int:
+    if arguments.command == "idl":
+        schema = parse_schema(_read(arguments.schema))
+        normalize(schema)
+        strategy = (
+            ChoiceStrategy.UNION if arguments.unions
+            else ChoiceStrategy.INHERITANCE
+        )
+        print(render_idl(generate_interfaces(schema, strategy)), end="")
+        return 0
+    if arguments.command == "python":
+        print(generate_python_module(_read(arguments.schema)), end="")
+        return 0
+    if arguments.command == "validate":
+        schema = parse_schema(_read(arguments.schema))
+        document = parse_document(_read(arguments.document))
+        errors = SchemaValidator(schema).validate(document)
+        for error in errors:
+            print(error)
+        print(f"{len(errors)} error(s)")
+        return 0 if not errors else 1
+    if arguments.command == "preprocess":
+        binding = bind(_read(arguments.schema))
+        result = preprocess_module(_read(arguments.module), binding)
+        print(result.source, end="")
+        print(
+            f"# {result.replaced} constructor(s) replaced",
+            file=sys.stderr,
+        )
+        return 0
+    raise AssertionError(f"unknown command {arguments.command}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""V-DOM — the paper's primary contribution.
+
+The pipeline implemented here is the one of Sect. 3:
+
+1. :mod:`repro.core.normalize` brings a schema into the paper's *normal
+   form* (named types, named groups, no anonymous nesting), using the
+   naming schemes of :mod:`repro.core.naming` (synthesized / inherited /
+   merged / explicit).
+2. :mod:`repro.core.generate` applies the eight transformation rules to
+   produce a language-independent *interface model*
+   (:mod:`repro.core.model`).
+3. :mod:`repro.core.idl` renders the interface model as OMG-IDL text —
+   the notation of the paper's Figures 5/6 and Appendix A.
+4. :mod:`repro.core.vdom` materializes the interface model as live
+   Python classes extending :class:`repro.dom.Element`; construction and
+   mutation enforce the content model, so every tree that exists is
+   valid ("the validity of all generated structures is guaranteed
+   without any test runs").
+5. :mod:`repro.core.pygen` emits a standalone generated Python module
+   for a schema (the artifact a user checks into their project).
+"""
+
+from repro.core.naming import (
+    ExplicitFirstNaming,
+    InheritedNaming,
+    MergedNaming,
+    NamingScheme,
+    SynthesizedNaming,
+)
+from repro.core.normalize import NormalizationResult, normalize
+from repro.core.model import Field, FieldKind, Interface, InterfaceKind, InterfaceModel, TypeRef
+from repro.core.generate import ChoiceStrategy, generate_interfaces
+from repro.core.idl import render_idl
+from repro.core.vdom import Binding, TypedElement, bind
+from repro.core.pygen import generate_python_module
+
+__all__ = [
+    "Binding",
+    "ChoiceStrategy",
+    "ExplicitFirstNaming",
+    "Field",
+    "FieldKind",
+    "InheritedNaming",
+    "Interface",
+    "InterfaceKind",
+    "InterfaceModel",
+    "MergedNaming",
+    "NamingScheme",
+    "NormalizationResult",
+    "SynthesizedNaming",
+    "TypeRef",
+    "TypedElement",
+    "bind",
+    "generate_interfaces",
+    "generate_python_module",
+    "normalize",
+    "render_idl",
+]

@@ -1,0 +1,121 @@
+"""Render an interface model as OMG-IDL-flavoured text.
+
+This reproduces the notation of the paper's Figures 5 and 6 and
+Appendix A ("Analogous to Dom we note the interface in IDL stressing the
+independence of a programming language").  Locally declared element
+interfaces are printed nested inside their owning type interface, lists
+use the parametric ``list<T>`` notation of the paper's footnote 3, and
+the Fig. 5 union strategy prints ``typedef union ... switch`` blocks.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import (
+    Field,
+    FieldKind,
+    Interface,
+    InterfaceKind,
+    InterfaceModel,
+)
+
+
+def render_idl(model: InterfaceModel, indent: str = "  ") -> str:
+    """Render every top-level interface of *model*."""
+    pieces: list[str] = []
+    order = (
+        InterfaceKind.ELEMENT,
+        InterfaceKind.TYPE,
+        InterfaceKind.GROUP,
+        InterfaceKind.SIMPLE,
+    )
+    for kind in order:
+        for interface in model.by_kind(kind):
+            if interface.nested_in is not None:
+                continue
+            pieces.append(render_interface(model, interface, indent))
+            pieces.append("")
+    return "\n".join(pieces).rstrip() + "\n"
+
+
+def render_interface(
+    model: InterfaceModel,
+    interface: Interface,
+    indent: str = "  ",
+    depth: int = 0,
+) -> str:
+    """Render one interface (with its nested interfaces)."""
+    pad = indent * depth
+    if interface.union is not None:
+        return _render_union(model, interface, indent, depth)
+    header = _header(model, interface)
+    lines = [f"{pad}{header} {{"]
+    for nested in model.nested_interfaces(interface.key):
+        lines.append(render_interface(model, nested, indent, depth + 1))
+    if model.nested_interfaces(interface.key) and interface.fields:
+        lines.append("")
+    if interface.mixed:
+        lines.append(f"{pad}{indent}// mixed content: text freely interleaved")
+    for field in interface.fields:
+        lines.append(f"{pad}{indent}{_render_field(field)}")
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def _header(model: InterfaceModel, interface: Interface) -> str:
+    keyword = "abstract interface" if interface.abstract else "interface"
+    supers: list[str] = []
+    for base_key in interface.extends:
+        supers.append(model[base_key].name)
+    if interface.base_primitive is not None:
+        supers.append(str(interface.base_primitive))
+    if supers:
+        return f"{keyword} {interface.name}: {', '.join(supers)}"
+    return f"{keyword} {interface.name}"
+
+
+def _render_field(field: Field) -> str:
+    type_name = str(field.type)
+    comment = ""
+    if field.kind is FieldKind.ATTRIBUTE:
+        qualifiers: list[str] = []
+        if field.required:
+            qualifiers.append("required")
+        if field.fixed is not None:
+            qualifiers.append(f'fixed="{field.fixed}"')
+        if field.default is not None:
+            qualifiers.append(f'default="{field.default}"')
+        if qualifiers:
+            comment = f"  // {', '.join(qualifiers)}"
+    elif field.optional:
+        comment = "  // optional"
+    elif field.kind is FieldKind.LIST:
+        bound = "unbounded" if field.max_occurs == -1 else field.max_occurs
+        comment = f"  // occurs {field.min_occurs}..{bound}"
+    return f"attribute {type_name} {field.name};{comment}"
+
+
+def _render_union(
+    model: InterfaceModel,
+    interface: Interface,
+    indent: str,
+    depth: int,
+) -> str:
+    """Fig. 5 shape: a discriminated union for a choice group."""
+    pad = indent * depth
+    assert interface.union is not None
+    cases = ",".join(alternative.case_name for alternative in interface.union)
+    discriminator = interface.name.replace("Group", "ST")
+    lines = [
+        f"{pad}typedef union {interface.name}",
+        f"{pad}switch (enum {discriminator}({cases})){{",
+    ]
+    for alternative in interface.union:
+        target = model[alternative.interface_key]
+        lines.append(
+            f"{pad}{indent}case {alternative.case_name}: "
+            f"{target.name} {alternative.case_name};"
+        )
+    lines.append(f"{pad}}}")
+    for nested in model.nested_interfaces(interface.key):
+        lines.append(render_interface(model, nested, indent, depth))
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""The language-independent interface model V-DOM generates.
+
+This is the intermediate representation between the normalized schema and
+the two renderers: the IDL printer (reproducing the paper's figures) and
+the Python class materializer.  It mirrors the paper's vocabulary: an
+*interface* per element declaration, type definition, and model group;
+*attributes* (here: fields) for sequence members, choice slots, list
+slots, XML attributes, and simple content.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.xsd.components import ElementDeclaration, Schema, TypeDefinition
+
+
+class InterfaceKind(enum.Enum):
+    """What schema component an interface reflects."""
+
+    ELEMENT = "element"  # rule 1: element declarations
+    TYPE = "type"  # rule 2: type definitions
+    GROUP = "group"  # rule 3: group definitions
+    SIMPLE = "simple"  # rule 8: named simple types (e.g. SKU)
+
+
+class FieldKind(enum.Enum):
+    """What a field holds."""
+
+    CONTENT = "content"  # the single content attribute of an element
+    CHILD = "child"  # rule 4: one sequence member
+    LIST = "list"  # rule 5: a repeated member (generated list)
+    CHOICE = "choice"  # rule 6: a choice-group slot
+    GROUP = "group"  # a named sequence-group slot
+    ATTRIBUTE = "attribute"  # rule 7: an XML attribute
+    SIMPLE_CONTENT = "simple-content"  # text value of simpleContent types
+    MIXED_TEXT = "mixed-text"  # marker for mixed content
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A reference to an interface or a primitive, possibly a list.
+
+    ``primitive`` means a host-language type (rule 8): ``string``,
+    ``decimal``, ``date`` ... rendered as IDL primitives / Python types.
+    """
+
+    name: str
+    primitive: bool = False
+    item: TypeRef | None = None  # set for list<item>
+
+    @staticmethod
+    def list_of(item: TypeRef) -> TypeRef:
+        return TypeRef("list", primitive=False, item=item)
+
+    def __str__(self) -> str:
+        if self.item is not None:
+            return f"list<{self.item}>"
+        return self.name
+
+
+@dataclass
+class Field:
+    """One attribute of an interface."""
+
+    name: str
+    type: TypeRef
+    kind: FieldKind
+    optional: bool = False
+    xml_name: str | None = None  # element/attribute name in markup
+    min_occurs: int = 1
+    max_occurs: int = 1  # -1 = unbounded
+    required: bool = False  # attributes only
+    fixed: str | None = None
+    default: str | None = None
+    #: registry key of the target interface (None for primitives)
+    target_key: str | None = None
+    #: runtime hook (not rendered): the simple type of attribute /
+    #: simple-content fields, for typed value access
+    simple_type: object | None = None
+    doc: str = ""
+
+
+@dataclass
+class UnionAlternative:
+    """One case of a Fig. 5-style union group."""
+
+    case_name: str
+    interface_key: str
+    type: TypeRef
+
+
+@dataclass
+class Interface:
+    """One generated interface."""
+
+    key: str  # unique registry key (may be owner-qualified)
+    name: str  # short rendered name (as in the paper's figures)
+    kind: InterfaceKind
+    extends: list[str] = dataclass_field(default_factory=list)  # registry keys
+    abstract: bool = False
+    fields: list[Field] = dataclass_field(default_factory=list)
+    #: owner type's registry key for locally declared (nested) interfaces
+    nested_in: str | None = None
+    #: Fig. 5 union alternatives (set only under ChoiceStrategy.UNION)
+    union: list[UnionAlternative] | None = None
+    mixed: bool = False
+    doc: str = ""
+    #: for SIMPLE interfaces: the primitive the type restricts
+    base_primitive: TypeRef | None = None
+    #: runtime hooks (not rendered): the schema components behind this
+    declaration: ElementDeclaration | None = None
+    type_definition: TypeDefinition | None = None
+    #: further declarations this interface also serves (local elements
+    #: deduplicated by name + type, e.g. WML's <br> in several groups)
+    extra_declarations: list[ElementDeclaration] = dataclass_field(
+        default_factory=list
+    )
+
+    def field(self, name: str) -> Field:
+        for candidate in self.fields:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"interface '{self.name}' has no field '{name}'")
+
+    def __repr__(self) -> str:
+        return f"Interface({self.key!r}, {self.kind.value})"
+
+
+class InterfaceModel:
+    """All interfaces generated for one schema, in creation order."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self.interfaces: dict[str, Interface] = {}
+
+    def add(self, interface: Interface) -> Interface:
+        if interface.key in self.interfaces:
+            raise KeyError(f"duplicate interface key '{interface.key}'")
+        self.interfaces[interface.key] = interface
+        return interface
+
+    def __getitem__(self, key: str) -> Interface:
+        return self.interfaces[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.interfaces
+
+    def __iter__(self):
+        return iter(self.interfaces.values())
+
+    def __len__(self) -> int:
+        return len(self.interfaces)
+
+    def by_kind(self, kind: InterfaceKind) -> list[Interface]:
+        return [i for i in self.interfaces.values() if i.kind is kind]
+
+    def element_interface(self, element_name: str) -> Interface:
+        """The interface of a *global* element declaration."""
+        for interface in self.interfaces.values():
+            if (
+                interface.kind is InterfaceKind.ELEMENT
+                and interface.nested_in is None
+                and interface.declaration is not None
+                and interface.declaration.name == element_name
+            ):
+                return interface
+        raise KeyError(f"no interface for global element '{element_name}'")
+
+    def nested_interfaces(self, owner_key: str) -> list[Interface]:
+        return [
+            interface
+            for interface in self.interfaces.values()
+            if interface.nested_in == owner_key
+        ]

@@ -1,0 +1,174 @@
+"""Naming schemes for anonymous group expressions (paper, Sect. 3).
+
+When a complex type nests anonymous groups, the generated interfaces need
+names.  The paper analyses three options and their behaviour under schema
+evolution:
+
+* **synthesized naming** — the name is built from the nested
+  subexpressions: the choice ``singAddr | twoAddr`` becomes
+  ``singAddrORtwoAddr``.  Adding an alternative *renames* the group
+  (``singAddrORtwoAddrORmultAddr``), breaking every use site.
+* **inherited naming** — the name is built from the *defining context*:
+  the first particle of ``PurchaseOrderType``'s content is
+  ``PurchaseOrderTypeCC1``, its children ``PurchaseOrderTypeCC1C1`` …
+  Adding a choice alternative keeps all names stable; but extending a
+  *sequence* silently reuses the old name for different content, which
+  is wrong in the other direction.
+* **merged naming** (the paper's resolution) — inherited naming for
+  choice groups, synthesized naming for sequence groups and list
+  expressions.
+* **explicit naming** — a named ``<xsd:group>`` definition always wins;
+  the paper recommends it for sequences extended in the middle.
+
+Each scheme is a strategy object consumed by
+:func:`repro.core.normalize.normalize`.
+"""
+
+from __future__ import annotations
+
+from repro.xsd.components import (
+    Compositor,
+    ElementDeclaration,
+    GroupReference,
+    ModelGroup,
+    Particle,
+)
+
+
+class NamingScheme:
+    """Strategy interface: name one anonymous group expression.
+
+    ``context_name`` is the name of the enclosing construct (the complex
+    type for the outermost group, the parent group otherwise) and
+    ``child_index`` the 1-based position of the group in its parent —
+    enough to implement both directions.
+    """
+
+    name = "abstract"
+
+    def group_name(
+        self,
+        group: ModelGroup,
+        context_name: str,
+        child_index: int,
+    ) -> str:
+        raise NotImplementedError
+
+
+def particle_label(particle: Particle) -> str:
+    """The label a particle contributes to a synthesized name."""
+    term = particle.term
+    if isinstance(term, ElementDeclaration):
+        label = term.name
+    elif isinstance(term, GroupReference):
+        label = term.ref
+    else:
+        label = term.name or "group"
+    if particle.is_list():
+        return label + "List"
+    return label
+
+
+class SynthesizedNaming(NamingScheme):
+    """Name from the child expressions: ``singAddrORtwoAddr``."""
+
+    name = "synthesized"
+
+    #: connector per compositor; the paper prints the choice case.
+    _CONNECTORS = {
+        Compositor.CHOICE: "OR",
+        Compositor.SEQUENCE: "AND",
+        Compositor.ALL: "AND",
+    }
+
+    def group_name(
+        self,
+        group: ModelGroup,
+        context_name: str,
+        child_index: int,
+    ) -> str:
+        connector = self._CONNECTORS[group.compositor]
+        labels = [particle_label(particle) for particle in group.particles]
+        if not labels:
+            return f"{context_name}Empty{child_index}"
+        return connector.join(labels)
+
+
+class InheritedNaming(NamingScheme):
+    """Name from the defining context: ``PurchaseOrderTypeCC1``.
+
+    The outermost group of complex type ``T`` is named ``TC``; the i-th
+    child group of a group named ``N`` is ``NCi`` — the recursion given
+    in the paper ("the entire expression is named PurchaseOrderTypeC,
+    the first element … PurchaseOrderTypeCC1, … recursively the singAddr
+    … PurchaseOrderTypeCC1C1").
+    """
+
+    name = "inherited"
+
+    def group_name(
+        self,
+        group: ModelGroup,
+        context_name: str,
+        child_index: int,
+    ) -> str:
+        return f"{context_name}C{child_index}"
+
+
+class MergedNaming(NamingScheme):
+    """The paper's merged scheme: inherited for choices, synthesized for
+    sequences and list expressions."""
+
+    name = "merged"
+
+    def __init__(self) -> None:
+        self._synthesized = SynthesizedNaming()
+        self._inherited = InheritedNaming()
+
+    def group_name(
+        self,
+        group: ModelGroup,
+        context_name: str,
+        child_index: int,
+    ) -> str:
+        if group.compositor is Compositor.CHOICE:
+            return self._inherited.group_name(group, context_name, child_index)
+        return self._synthesized.group_name(group, context_name, child_index)
+
+
+class ExplicitFirstNaming(NamingScheme):
+    """Explicit names win; fall back to another scheme (default merged).
+
+    Explicitness is carried by ``ModelGroup.name`` — set when the schema
+    author used a named ``<xsd:group>`` definition, the case the paper
+    recommends for evolution-proof sequences.
+    """
+
+    name = "explicit-first"
+
+    def __init__(self, fallback: NamingScheme | None = None):
+        self._fallback = fallback or MergedNaming()
+
+    def group_name(
+        self,
+        group: ModelGroup,
+        context_name: str,
+        child_index: int,
+    ) -> str:
+        if group.name:
+            return group.name
+        return self._fallback.group_name(group, context_name, child_index)
+
+
+def type_name_for_element(element_name: str, context_name: str | None) -> str:
+    """Generated name for an element's anonymous type (normal-form rule 2).
+
+    ``item`` inside ``Items`` becomes ``ItemsItemType`` when a bare
+    ``ItemType`` would be ambiguous; the context prefix is resolved by the
+    normalizer, which passes ``context_name=None`` when the short form is
+    free.
+    """
+    capitalized = element_name[:1].upper() + element_name[1:]
+    if context_name:
+        return f"{context_name}{capitalized}Type"
+    return f"{capitalized}Type"

@@ -1,0 +1,204 @@
+"""Schema normal form (paper, Sect. 3).
+
+The paper defines three normal-form rules before interface generation:
+
+1. *Element declarations* are in normal form if they have a **named type**
+   as content model.
+2. *Complex type definitions* are in normal form if they have **no nested
+   group expressions**; unnamed types are converted to named types.
+3. Every unnamed nested group expression becomes a separate **named group
+   definition**.
+
+``normalize`` applies the rules in place (the schema object is owned by
+the caller) and reports every generated name, so tests — and the
+naming-stability experiment (CLAIM-3) — can inspect exactly which names a
+schema evolution step changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GenerationError
+from repro.xsd.components import (
+    ComplexType,
+    ElementDeclaration,
+    GroupDefinition,
+    GroupReference,
+    ModelGroup,
+    Particle,
+    Schema,
+)
+from repro.xsd.simple import SimpleType
+from repro.core.naming import (
+    ExplicitFirstNaming,
+    NamingScheme,
+    type_name_for_element,
+)
+
+
+@dataclass
+class NormalizationResult:
+    """The normalized schema plus a record of what was named."""
+
+    schema: Schema
+    #: anonymous type -> generated name, keyed by the element that owned it
+    generated_type_names: dict[str, str] = field(default_factory=dict)
+    #: generated group names in creation order
+    generated_group_names: list[str] = field(default_factory=list)
+
+    def all_names(self) -> set[str]:
+        return set(self.generated_type_names.values()) | set(
+            self.generated_group_names
+        )
+
+
+def normalize(
+    schema: Schema, naming: NamingScheme | None = None
+) -> NormalizationResult:
+    """Bring *schema* into the paper's normal form."""
+    return _Normalizer(schema, naming or ExplicitFirstNaming()).run()
+
+
+class _Normalizer:
+    def __init__(self, schema: Schema, naming: NamingScheme):
+        self._schema = schema
+        self._naming = naming
+        self._result = NormalizationResult(schema)
+        self._visited_types: set[int] = set()
+
+    def run(self) -> NormalizationResult:
+        # Named types first (stable iteration: sorted for determinism).
+        for name in sorted(self._schema.types):
+            definition = self._schema.types[name]
+            if isinstance(definition, ComplexType):
+                self._normalize_complex_type(definition)
+        for name in sorted(self._schema.groups):
+            group_definition = self._schema.groups[name]
+            self._normalize_group_body(
+                group_definition.model_group, group_definition.name
+            )
+        for name in sorted(self._schema.elements):
+            self._normalize_element(self._schema.elements[name], context=None)
+        return self._result
+
+    # -- rule 1: elements get named types ---------------------------------------
+
+    def _normalize_element(
+        self, declaration: ElementDeclaration, context: str | None
+    ) -> None:
+        definition = declaration.type_definition
+        if definition is None:
+            raise GenerationError(
+                f"element '{declaration.name}' has no resolved type"
+            )
+        named = getattr(definition, "name", None)
+        if named:
+            return
+        type_name = self._allocate_type_name(declaration.name, context)
+        definition.name = type_name
+        self._schema.types[type_name] = definition
+        self._result.generated_type_names[declaration.name] = type_name
+        declaration.type_name = type_name
+        if isinstance(definition, ComplexType):
+            self._normalize_complex_type(definition)
+
+    def _allocate_type_name(
+        self, element_name: str, context: str | None
+    ) -> str:
+        short = type_name_for_element(element_name, None)
+        if short not in self._schema.types:
+            return short
+        qualified = type_name_for_element(element_name, context or "X")
+        candidate = qualified
+        counter = 2
+        while candidate in self._schema.types:
+            candidate = f"{qualified}{counter}"
+            counter += 1
+        return candidate
+
+    # -- rules 2 and 3: no anonymous nested groups ---------------------------------
+
+    def _normalize_complex_type(self, complex_type: ComplexType) -> None:
+        if id(complex_type) in self._visited_types:
+            return
+        self._visited_types.add(id(complex_type))
+        if complex_type.content is None:
+            return
+        context = complex_type.name or "Anonymous"
+        particle = complex_type.content
+        term = particle.term
+        if isinstance(term, ModelGroup):
+            # The outermost group stays inline (the paper's normal-form
+            # example keeps the top sequence); only nested groups are
+            # extracted.  Its inherited-context name is '<Type>C'.
+            self._extract_nested_groups(term, context + "C")
+        elif isinstance(term, ElementDeclaration):
+            self._normalize_element(term, context)
+        elif isinstance(term, GroupReference):
+            pass  # already named
+
+    def _normalize_group_body(self, group: ModelGroup, group_name: str) -> None:
+        self._extract_nested_groups(group, group_name)
+
+    def _extract_nested_groups(self, group: ModelGroup, context_name: str) -> None:
+        for index, particle in enumerate(group.particles, start=1):
+            term = particle.term
+            if isinstance(term, ElementDeclaration):
+                self._normalize_element(term, context_name)
+            elif isinstance(term, ModelGroup):
+                # Recurse first (with the positional path as context, the
+                # way the paper's inherited recursion is defined) so child
+                # names exist before a synthesized parent name is computed
+                # from them.
+                self._extract_nested_groups(term, f"{context_name}C{index}")
+                name = self._naming.group_name(term, context_name, index)
+                final_name = self._unique_group_name(name)
+                term.name = final_name
+                definition = GroupDefinition(final_name, term)
+                self._schema.groups[final_name] = definition
+                particle.term = GroupReference(final_name, definition)
+                self._result.generated_group_names.append(final_name)
+            elif isinstance(term, GroupReference):
+                pass  # already a named definition
+
+    def _unique_group_name(self, name: str) -> str:
+        if name not in self._schema.groups:
+            return name
+        counter = 2
+        while f"{name}{counter}" in self._schema.groups:
+            counter += 1
+        return f"{name}{counter}"
+
+
+def is_normal_form(schema: Schema) -> bool:
+    """Check the three normal-form rules (used by tests and generators)."""
+
+    def group_is_flat(group: ModelGroup) -> bool:
+        for particle in group.particles:
+            term = particle.term
+            if isinstance(term, ModelGroup):
+                return False
+            if isinstance(term, ElementDeclaration):
+                named = getattr(term.type_definition, "name", None)
+                if not named:
+                    return False
+        return True
+
+    for definition in schema.types.values():
+        if isinstance(definition, ComplexType) and definition.content is not None:
+            term = definition.content.term
+            if isinstance(term, ModelGroup) and not group_is_flat(term):
+                return False
+            if isinstance(term, ElementDeclaration):
+                if not getattr(term.type_definition, "name", None):
+                    return False
+    for group_definition in schema.groups.values():
+        if not group_is_flat(group_definition.model_group):
+            return False
+    for declaration in schema.elements.values():
+        definition = declaration.type_definition
+        if definition is not None and not getattr(definition, "name", None):
+            if isinstance(definition, (ComplexType, SimpleType)):
+                return False
+    return True

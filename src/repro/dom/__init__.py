@@ -1,0 +1,41 @@
+"""DOM substrate: a from-scratch DOM-Level-1-core style object model.
+
+This is the *generic* object model the paper's Sect. 2 describes: every
+element is an instance of the one unspecific :class:`Element` class, so
+nothing stops a program from building an invalid document.  The V-DOM
+layer (:mod:`repro.core`) subclasses these nodes with schema-generated
+typed classes; the runtime validator (:mod:`repro.xsd.validator`) checks
+finished generic trees — the late, expensive path the paper criticizes.
+"""
+
+from repro.dom.node import Node, NodeList, NodeType
+from repro.dom.charnodes import CDATASection, CharacterData, Comment, Text
+from repro.dom.attr import Attr, NamedNodeMap
+from repro.dom.element import Element
+from repro.dom.document import (
+    Document,
+    DocumentFragment,
+    DocumentType,
+    ProcessingInstructionNode,
+)
+from repro.dom.builder import parse_document
+from repro.dom.serialize import serialize
+
+__all__ = [
+    "Attr",
+    "CDATASection",
+    "CharacterData",
+    "Comment",
+    "Document",
+    "DocumentFragment",
+    "DocumentType",
+    "Element",
+    "NamedNodeMap",
+    "Node",
+    "NodeList",
+    "NodeType",
+    "ProcessingInstructionNode",
+    "Text",
+    "parse_document",
+    "serialize",
+]

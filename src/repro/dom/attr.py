@@ -1,0 +1,114 @@
+"""Attribute nodes and the NamedNodeMap that holds them."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.errors import DomError, XmlError
+from repro.xml.chars import is_name
+from repro.dom.node import Node, NodeType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dom.document import Document
+    from repro.dom.element import Element
+
+
+class Attr(Node):
+    """An attribute; per DOM it is a node but never a tree child."""
+
+    def __init__(
+        self, name: str, value: str = "", owner_document: Document | None = None
+    ):
+        if not is_name(name):
+            raise XmlError(f"'{name}' is not a legal attribute name")
+        super().__init__(owner_document)
+        self._name = name
+        self.value = str(value)
+        self._owner_element: Element | None = None
+
+    @property
+    def node_type(self) -> NodeType:
+        return NodeType.ATTRIBUTE
+
+    @property
+    def node_name(self) -> str:
+        return self._name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def node_value(self) -> str:
+        return self.value
+
+    @property
+    def owner_element(self) -> Element | None:
+        return self._owner_element
+
+    def _clone_shallow(self) -> Attr:
+        return Attr(self._name, self.value, self._owner_document)
+
+    def __repr__(self) -> str:
+        return f"<Attr {self._name}={self.value!r}>"
+
+
+class NamedNodeMap:
+    """Ordered name→:class:`Attr` mapping attached to one element."""
+
+    def __init__(self, owner: Element):
+        self._owner = owner
+        self._attrs: dict[str, Attr] = {}
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __iter__(self) -> Iterator[Attr]:
+        return iter(list(self._attrs.values()))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._attrs
+
+    def item(self, index: int) -> Attr | None:
+        values = list(self._attrs.values())
+        if 0 <= index < len(values):
+            return values[index]
+        return None
+
+    def get_named_item(self, name: str) -> Attr | None:
+        return self._attrs.get(name)
+
+    def set_named_item(self, attr: Attr) -> Attr | None:
+        """Attach *attr*, returning any attribute it displaced."""
+        if attr._owner_element is not None and attr._owner_element is not self._owner:
+            raise DomError("attribute is already in use by another element")
+        if (
+            attr.owner_document is not None
+            and self._owner.owner_document is not None
+            and attr.owner_document is not self._owner.owner_document
+        ):
+            raise DomError("attribute belongs to a different document")
+        previous = self._attrs.get(attr.name)
+        if previous is not None:
+            previous._owner_element = None
+        attr._owner_element = self._owner
+        self._attrs[attr.name] = attr
+        return previous
+
+    def remove_named_item(self, name: str) -> Attr:
+        try:
+            attr = self._attrs.pop(name)
+        except KeyError:
+            raise DomError(f"no attribute named '{name}'")
+        attr._owner_element = None
+        return attr
+
+    def names(self) -> list[str]:
+        return list(self._attrs)
+
+    def items(self) -> list[tuple[str, str]]:
+        return [(attr.name, attr.value) for attr in self._attrs.values()]
+
+    def __repr__(self) -> str:
+        return f"NamedNodeMap({self.items()!r})"

@@ -1,0 +1,110 @@
+"""Serialize DOM trees back to markup text."""
+
+from __future__ import annotations
+
+from repro.errors import DomError
+from repro.xml import serializer as markup
+from repro.dom.charnodes import CDATASection, Comment, Text
+from repro.dom.document import (
+    Document,
+    DocumentFragment,
+    DocumentType,
+    ProcessingInstructionNode,
+)
+from repro.dom.element import Element
+from repro.dom.node import Node
+
+
+def serialize(
+    node: Node,
+    pretty: bool = False,
+    indent: str = "  ",
+    xml_declaration: bool = False,
+) -> str:
+    """Render *node* (usually a document or element) as markup text."""
+    pieces: list[str] = []
+    if xml_declaration:
+        pieces.append(markup.xml_declaration())
+        if not pretty:
+            pieces.append("\n")
+    policy = markup.IndentPolicy(indent) if pretty else None
+    _write(node, pieces, policy, depth=0)
+    text = "".join(pieces)
+    if pretty and text.startswith("\n"):
+        text = text[1:]
+    return text
+
+
+def _write(
+    node: Node,
+    pieces: list[str],
+    policy: markup.IndentPolicy | None,
+    depth: int,
+) -> None:
+    if isinstance(node, Document) or isinstance(node, DocumentFragment):
+        for child in node.child_nodes:
+            _write(child, pieces, policy, depth)
+        return
+    if isinstance(node, Element):
+        _write_element(node, pieces, policy, depth)
+        return
+    if isinstance(node, CDATASection):
+        pieces.append(markup.cdata_section(node.data))
+        return
+    if isinstance(node, Text):
+        pieces.append(markup.text(node.data))
+        return
+    if isinstance(node, Comment):
+        if policy is not None:
+            pieces.append(policy.prefix(depth))
+        pieces.append(markup.comment(node.data))
+        return
+    if isinstance(node, ProcessingInstructionNode):
+        if policy is not None:
+            pieces.append(policy.prefix(depth))
+        pieces.append(markup.processing_instruction(node.target, node.data))
+        return
+    if isinstance(node, DocumentType):
+        pieces.append(_doctype_string(node))
+        if policy is None:
+            pieces.append("\n")
+        return
+    raise DomError(f"cannot serialize node of type {type(node).__name__}")
+
+
+def _write_element(
+    element: Element,
+    pieces: list[str],
+    policy: markup.IndentPolicy | None,
+    depth: int,
+) -> None:
+    attrs = element.attributes.items()
+    children = list(element.child_nodes)
+    if not children:
+        if policy is not None:
+            pieces.append(policy.prefix(depth))
+        pieces.append(markup.start_tag(element.tag_name, attrs, self_closing=True))
+        return
+    mixed = any(isinstance(child, Text) for child in children)
+    indent_children = policy is not None and not (mixed and policy.preserve_mixed)
+    if policy is not None:
+        pieces.append(policy.prefix(depth))
+    pieces.append(markup.start_tag(element.tag_name, attrs))
+    child_policy = policy if indent_children else None
+    for child in children:
+        _write(child, pieces, child_policy, depth + 1)
+    if indent_children and policy is not None:
+        pieces.append(policy.prefix(depth))
+    pieces.append(markup.end_tag(element.tag_name))
+
+
+def _doctype_string(doctype: DocumentType) -> str:
+    pieces = [f"<!DOCTYPE {doctype.name}"]
+    if doctype.public_id is not None:
+        pieces.append(f' PUBLIC "{doctype.public_id}" "{doctype.system_id or ""}"')
+    elif doctype.system_id is not None:
+        pieces.append(f' SYSTEM "{doctype.system_id}"')
+    if doctype.internal_subset:
+        pieces.append(f" [{doctype.internal_subset}]")
+    pieces.append(">")
+    return "".join(pieces)

@@ -1,0 +1,41 @@
+"""DTD substrate — the language-description mechanism the paper outgrew.
+
+The authors' earlier system [14] generated V-DOM interfaces from DTDs;
+XML Schema replaced DTDs because "the capabilities of describing the
+document structure on the basis of regular expressions is rather limited"
+(Sect. 1).  This package implements that baseline: a DTD parser and a
+validator, so the reproduction can compare the DTD-based and the
+schema-based pipelines.
+"""
+
+from repro.dtd.model import (
+    AttDefault,
+    AttType,
+    AttributeDefinition,
+    ContentKind,
+    ContentModel,
+    Dtd,
+    ElementDeclaration,
+    ParticleKind,
+    DtdParticle,
+)
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validator import DtdValidator, validate_against_dtd
+from repro.dtd.convert import bind_dtd, dtd_to_schema
+
+__all__ = [
+    "bind_dtd",
+    "dtd_to_schema",
+    "AttDefault",
+    "AttType",
+    "AttributeDefinition",
+    "ContentKind",
+    "ContentModel",
+    "Dtd",
+    "DtdParticle",
+    "DtdValidator",
+    "ElementDeclaration",
+    "ParticleKind",
+    "parse_dtd",
+    "validate_against_dtd",
+]

@@ -1,0 +1,241 @@
+"""DTD → schema-component conversion: the prior-work V-DOM pipeline.
+
+The authors' earlier system ([13], [14]) generated V-DOM interfaces
+from DTDs; this module reproduces that path by converting a parsed DTD
+into the same component model the XML Schema parser produces, so the
+entire downstream pipeline — normalization, interface generation, class
+materialization, P-XML — works unchanged on DTD-described languages.
+
+The conversion also makes the paper's *motivation* measurable: DTD
+content models survive the trip, but everything DTDs cannot say (the
+SKU pattern, the quantity bound, typed dates/decimals) degrades to
+``CDATA``-ish string types, so a DTD-derived binding accepts documents
+the schema-derived binding rejects — exactly the expressiveness gap
+Sect. 1 cites for moving to XML Schema.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GenerationError
+from repro.automata.rex import UNBOUNDED
+from repro.xsd.components import (
+    ANY_TYPE,
+    AttributeDeclaration,
+    AttributeUse,
+    ComplexType,
+    Compositor,
+    ElementDeclaration,
+    ModelGroup,
+    Particle,
+    Schema,
+)
+from repro.xsd.simple import BUILTIN_TYPES, SimpleType, restrict
+from repro.dtd.model import (
+    AttDefault,
+    AttType,
+    AttributeDefinition,
+    ContentKind,
+    Dtd,
+    DtdParticle,
+    ParticleKind,
+)
+
+_OCCURS = {
+    "": (1, 1),
+    "?": (0, 1),
+    "*": (0, UNBOUNDED),
+    "+": (1, UNBOUNDED),
+}
+
+#: DTD attribute types → built-in simple types.
+_ATTRIBUTE_TYPES = {
+    AttType.CDATA: "string",
+    AttType.ID: "ID",
+    AttType.IDREF: "IDREF",
+    AttType.IDREFS: "IDREFS",
+    AttType.ENTITY: "ENTITY",
+    AttType.ENTITIES: "ENTITIES",
+    AttType.NMTOKEN: "NMTOKEN",
+    AttType.NMTOKENS: "NMTOKENS",
+}
+
+
+def dtd_to_schema(dtd: Dtd) -> Schema:
+    """Convert a parsed DTD into a resolved component-model schema.
+
+    Every DTD element type becomes a global element declaration with a
+    named complex type ``<Name>Type`` (capitalized, collision-suffixed),
+    because DTD element types are global by construction.
+    """
+    schema = Schema()
+    type_names: dict[str, str] = {}
+    for name in dtd.elements:
+        type_names[name] = _allocate_type_name(name, set(type_names.values()))
+
+    # Pass 1: declare every element with an empty type shell so content
+    # models can reference forward/recursively.
+    declarations: dict[str, ElementDeclaration] = {}
+    for name in dtd.elements:
+        complex_type = ComplexType(name=type_names[name])
+        schema.types[type_names[name]] = complex_type
+        declaration = ElementDeclaration(
+            name,
+            type_name=type_names[name],
+            type_definition=complex_type,
+            is_global=True,
+        )
+        declarations[name] = declaration
+        schema.elements[name] = declaration
+
+    # Pass 2: fill content models and attributes.
+    for name, element_declaration in dtd.elements.items():
+        complex_type = schema.types[type_names[name]]
+        assert isinstance(complex_type, ComplexType)
+        _fill_content(
+            complex_type, element_declaration.content, declarations, name
+        )
+        for attribute in dtd.attribute_definitions(name).values():
+            use = _convert_attribute(attribute, name)
+            if use is not None:
+                complex_type.attribute_uses[use.name] = use
+    return schema
+
+
+def _allocate_type_name(element_name: str, taken: set[str]) -> str:
+    base = element_name[:1].upper() + element_name[1:] + "Type"
+    candidate = base
+    counter = 2
+    while candidate in taken:
+        candidate = f"{base}{counter}"
+        counter += 1
+    return candidate
+
+
+def _fill_content(
+    complex_type: ComplexType,
+    content,
+    declarations: dict[str, ElementDeclaration],
+    owner: str,
+) -> None:
+    kind = content.kind
+    if kind is ContentKind.EMPTY:
+        complex_type.content = Particle(ModelGroup(Compositor.SEQUENCE, []))
+        return
+    if kind is ContentKind.ANY:
+        # ANY allows any declared element in any order, mixed with text.
+        complex_type.mixed = True
+        alternatives = [
+            Particle(declaration)
+            for declaration in declarations.values()
+        ]
+        group = ModelGroup(Compositor.CHOICE, alternatives)
+        complex_type.content = Particle(group, 0, UNBOUNDED)
+        return
+    if kind is ContentKind.MIXED:
+        complex_type.mixed = True
+        if not content.mixed_names:
+            # (#PCDATA): text only — simple string content in XSD terms.
+            complex_type.mixed = False
+            complex_type.simple_content = BUILTIN_TYPES["string"]
+            return
+        alternatives = [
+            Particle(_lookup(declarations, name, owner))
+            for name in sorted(content.mixed_names)
+        ]
+        group = ModelGroup(Compositor.CHOICE, alternatives)
+        complex_type.content = Particle(group, 0, UNBOUNDED)
+        return
+    assert content.particle is not None
+    complex_type.content = _convert_particle(
+        content.particle, declarations, owner
+    )
+
+
+def _convert_particle(
+    particle: DtdParticle,
+    declarations: dict[str, ElementDeclaration],
+    owner: str,
+) -> Particle:
+    min_occurs, max_occurs = _OCCURS[particle.occurrence]
+    if particle.kind is ParticleKind.NAME:
+        assert particle.name is not None
+        return Particle(
+            _lookup(declarations, particle.name, owner), min_occurs, max_occurs
+        )
+    compositor = (
+        Compositor.SEQUENCE
+        if particle.kind is ParticleKind.SEQUENCE
+        else Compositor.CHOICE
+    )
+    group = ModelGroup(
+        compositor,
+        [
+            _convert_particle(child, declarations, owner)
+            for child in particle.children
+        ],
+    )
+    return Particle(group, min_occurs, max_occurs)
+
+
+def _lookup(
+    declarations: dict[str, ElementDeclaration], name: str, owner: str
+) -> ElementDeclaration:
+    declaration = declarations.get(name)
+    if declaration is None:
+        raise GenerationError(
+            f"content model of '{owner}' references undeclared element "
+            f"'{name}'"
+        )
+    return declaration
+
+
+def _convert_attribute(
+    definition: AttributeDefinition, owner: str
+) -> AttributeUse | None:
+    if definition.att_type in _ATTRIBUTE_TYPES:
+        simple_type: SimpleType = BUILTIN_TYPES[
+            _ATTRIBUTE_TYPES[definition.att_type]
+        ]
+    elif definition.att_type in (AttType.ENUMERATION, AttType.NOTATION):
+        simple_type = restrict(
+            BUILTIN_TYPES["NMTOKEN"],
+            None,
+            enumeration=definition.enumeration,
+        )
+    else:  # pragma: no cover - enum is exhaustive
+        raise GenerationError(
+            f"unmapped DTD attribute type {definition.att_type}"
+        )
+    declaration = AttributeDeclaration(
+        definition.name, type_definition=simple_type
+    )
+    default = None
+    fixed = None
+    if definition.default_kind is AttDefault.FIXED:
+        fixed = definition.default_value
+    elif definition.default_kind is AttDefault.DEFAULT:
+        default = definition.default_value
+    return AttributeUse(
+        declaration,
+        required=definition.default_kind is AttDefault.REQUIRED,
+        default=default,
+        fixed=fixed,
+    )
+
+
+def bind_dtd(dtd_or_text, root_name: str | None = None, **bind_arguments):
+    """One call from DTD text to a live V-DOM binding (the [14] pipeline).
+
+    ``bind_dtd(PURCHASE_ORDER_DTD)`` gives the typed classes the
+    authors' earlier DTD-based system would have generated.
+    """
+    from repro.core.vdom import bind
+    from repro.dtd.parser import parse_dtd
+
+    dtd = (
+        parse_dtd(dtd_or_text, root_name)
+        if isinstance(dtd_or_text, str)
+        else dtd_or_text
+    )
+    schema = dtd_to_schema(dtd)
+    return bind(schema, **bind_arguments)

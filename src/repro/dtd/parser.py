@@ -1,0 +1,346 @@
+"""Parser for DTD text (internal subset or stand-alone DTD file).
+
+Supports ELEMENT, ATTLIST, ENTITY (general and parameter, internal
+values only — no external fetching), and NOTATION declarations; parameter
+entities are expanded textually before declaration parsing, as XML 1.0
+prescribes for the internal subset.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DtdError, Location, XmlSyntaxError
+from repro.xml.reader import Reader
+from repro.dtd.model import (
+    AttDefault,
+    AttType,
+    AttributeDefinition,
+    ContentKind,
+    ContentModel,
+    Dtd,
+    DtdParticle,
+    ElementDeclaration,
+    ParticleKind,
+)
+
+_MAX_PE_DEPTH = 16
+
+
+def parse_dtd(text: str, root_name: str | None = None, source: str | None = None) -> Dtd:
+    """Parse *text* (the content of a DTD) into a :class:`Dtd`."""
+    return _DtdParser(text, root_name, source).parse()
+
+
+class _DtdParser:
+    def __init__(self, text: str, root_name: str | None, source: str | None):
+        self._source = source
+        self._root_name = root_name
+        self._parameter_entities: dict[str, str] = {}
+        self._text = text
+
+    def parse(self) -> Dtd:
+        dtd = Dtd(root_name=self._root_name)
+        self._collect_parameter_entities(self._text)
+        expanded = self._expand_parameter_entities(self._text, depth=0)
+        reader = Reader(expanded, self._source)
+        while True:
+            reader.skip_space()
+            if reader.at_end():
+                break
+            if reader.looking_at("<!--"):
+                reader.advance(4)
+                reader.read_until("-->", "comment in DTD")
+            elif reader.looking_at("<?"):
+                reader.advance(2)
+                reader.read_until("?>", "processing instruction in DTD")
+            elif reader.looking_at("<!ELEMENT"):
+                declaration = self._parse_element_decl(reader)
+                # First declaration wins; duplicates are an error per XML 1.0.
+                if declaration.name in dtd.elements:
+                    raise DtdError(
+                        f"element type '{declaration.name}' declared twice",
+                        reader.location(),
+                    )
+                dtd.elements[declaration.name] = declaration
+            elif reader.looking_at("<!ATTLIST"):
+                element_name, definitions = self._parse_attlist(reader)
+                slot = dtd.attributes.setdefault(element_name, {})
+                for definition in definitions:
+                    # First declaration binds (XML 1.0 3.3).
+                    slot.setdefault(definition.name, definition)
+            elif reader.looking_at("<!ENTITY"):
+                self._parse_entity(reader, dtd)
+            elif reader.looking_at("<!NOTATION"):
+                reader.advance(len("<!NOTATION"))
+                reader.read_until(">", "notation declaration")
+            else:
+                raise DtdError(
+                    f"unexpected content in DTD: {reader.peek(20)!r}",
+                    reader.location(),
+                )
+        return dtd
+
+    # -- parameter entities ---------------------------------------------------
+
+    def _collect_parameter_entities(self, text: str) -> None:
+        reader = Reader(text, self._source)
+        while not reader.at_end():
+            if reader.looking_at("<!--"):
+                reader.advance(4)
+                reader.read_until("-->", "comment in DTD")
+            elif reader.looking_at("<!ENTITY"):
+                mark = reader.offset
+                reader.advance(len("<!ENTITY"))
+                reader.require_space("after '<!ENTITY'")
+                if not reader.looking_at("%"):
+                    reader.read_until(">", "entity declaration")
+                    continue
+                reader.advance(1)
+                reader.require_space("after '%' in a parameter entity")
+                name = reader.read_name("as a parameter entity name")
+                reader.require_space("after the parameter entity name")
+                if reader.looking_at("SYSTEM") or reader.looking_at("PUBLIC"):
+                    reader.read_until(">", "external parameter entity")
+                    continue
+                value = reader.read_quoted("as a parameter entity value")
+                reader.skip_space()
+                reader.expect(">", "to close the parameter entity")
+                self._parameter_entities.setdefault(name, value)
+                del mark
+            elif reader.looking_at("'") or reader.looking_at('"'):
+                quote = reader.advance(1)
+                reader.read_until(quote, "literal in DTD")
+            else:
+                reader.advance(1)
+
+    def _expand_parameter_entities(self, text: str, depth: int) -> str:
+        if depth > _MAX_PE_DEPTH:
+            raise DtdError("parameter entities nested too deeply (recursive?)")
+        if "%" not in text:
+            return text
+        pieces: list[str] = []
+        index = 0
+        while True:
+            percent = text.find("%", index)
+            if percent < 0:
+                pieces.append(text[index:])
+                return "".join(pieces)
+            semi = text.find(";", percent + 1)
+            candidate = text[percent + 1 : semi] if semi > 0 else ""
+            if semi < 0 or not candidate or not candidate.isidentifier():
+                # A bare '%' (e.g. inside an entity value); keep literally.
+                pieces.append(text[index : percent + 1])
+                index = percent + 1
+                continue
+            pieces.append(text[index:percent])
+            if candidate not in self._parameter_entities:
+                raise DtdError(f"undeclared parameter entity '%{candidate};'")
+            replacement = self._parameter_entities[candidate]
+            pieces.append(
+                self._expand_parameter_entities(f" {replacement} ", depth + 1)
+            )
+            index = semi + 1
+
+    # -- ELEMENT --------------------------------------------------------------
+
+    def _parse_element_decl(self, reader: Reader) -> ElementDeclaration:
+        reader.expect("<!ELEMENT", "to open an element declaration")
+        reader.require_space("after '<!ELEMENT'")
+        name = reader.read_name("as an element type name")
+        reader.require_space("after the element type name")
+        content = self._parse_content_spec(reader)
+        reader.skip_space()
+        reader.expect(">", "to close the element declaration")
+        return ElementDeclaration(name, content)
+
+    def _parse_content_spec(self, reader: Reader) -> ContentModel:
+        if reader.looking_at("EMPTY"):
+            reader.advance(len("EMPTY"))
+            return ContentModel(ContentKind.EMPTY)
+        if reader.looking_at("ANY"):
+            reader.advance(len("ANY"))
+            return ContentModel(ContentKind.ANY)
+        if not reader.looking_at("("):
+            raise DtdError("expected a content model", reader.location())
+        # Look ahead for #PCDATA to distinguish mixed from children.
+        mark = reader.offset
+        reader.advance(1)
+        reader.skip_space()
+        if reader.looking_at("#PCDATA"):
+            return self._parse_mixed(reader)
+        # Rewind: easiest way is to re-create particle parse from the mark.
+        reader.offset = mark
+        # Column bookkeeping is off after a manual rewind, but only for the
+        # duration of this declaration; recompute conservatively.
+        particle = self._parse_particle(reader)
+        return ContentModel(ContentKind.CHILDREN, particle=particle)
+
+    def _parse_mixed(self, reader: Reader) -> ContentModel:
+        reader.expect("#PCDATA", "in mixed content")
+        names: list[str] = []
+        while True:
+            reader.skip_space()
+            if reader.looking_at(")"):
+                reader.advance(1)
+                break
+            reader.expect("|", "between mixed content names")
+            reader.skip_space()
+            names.append(reader.read_name("in mixed content"))
+        if names:
+            reader.expect("*", "after mixed content with element names")
+        elif reader.looking_at("*"):
+            reader.advance(1)
+        if len(names) != len(set(names)):
+            raise DtdError("duplicate name in mixed content", reader.location())
+        return ContentModel(ContentKind.MIXED, mixed_names=frozenset(names))
+
+    def _parse_particle(self, reader: Reader) -> DtdParticle:
+        reader.skip_space()
+        if reader.looking_at("("):
+            reader.advance(1)
+            children = [self._parse_particle(reader)]
+            reader.skip_space()
+            connector: str | None = None
+            while not reader.looking_at(")"):
+                if reader.looking_at("|") or reader.looking_at(","):
+                    symbol = reader.advance(1)
+                    if connector is None:
+                        connector = symbol
+                    elif connector != symbol:
+                        raise DtdError(
+                            "',' and '|' may not be mixed in one group",
+                            reader.location(),
+                        )
+                    children.append(self._parse_particle(reader))
+                    reader.skip_space()
+                else:
+                    raise DtdError(
+                        f"expected ',', '|' or ')' in content model, found "
+                        f"{reader.peek()!r}",
+                        reader.location(),
+                    )
+            reader.advance(1)
+            kind = (
+                ParticleKind.CHOICE if connector == "|" else ParticleKind.SEQUENCE
+            )
+            particle = DtdParticle(kind, children=children)
+        else:
+            particle = DtdParticle(
+                ParticleKind.NAME, name=reader.read_name("in a content model")
+            )
+        if reader.peek() in ("?", "*", "+"):
+            particle.occurrence = reader.advance(1)
+        return particle
+
+    # -- ATTLIST ----------------------------------------------------------------
+
+    def _parse_attlist(
+        self, reader: Reader
+    ) -> tuple[str, list[AttributeDefinition]]:
+        reader.expect("<!ATTLIST", "to open an attribute-list declaration")
+        reader.require_space("after '<!ATTLIST'")
+        element_name = reader.read_name("as the attribute list's element type")
+        definitions: list[AttributeDefinition] = []
+        while True:
+            reader.skip_space()
+            if reader.looking_at(">"):
+                reader.advance(1)
+                return element_name, definitions
+            definitions.append(self._parse_attribute_definition(reader))
+
+    def _parse_attribute_definition(self, reader: Reader) -> AttributeDefinition:
+        name = reader.read_name("as an attribute name")
+        reader.require_space("after the attribute name")
+        att_type, enumeration = self._parse_attribute_type(reader)
+        reader.require_space("before the attribute default")
+        default_kind, default_value = self._parse_default(reader)
+        if (
+            att_type is AttType.ENUMERATION
+            and default_value is not None
+            and default_value not in enumeration
+        ):
+            raise DtdError(
+                f"default '{default_value}' of attribute '{name}' is not "
+                "among its enumerated values",
+                reader.location(),
+            )
+        return AttributeDefinition(
+            name, att_type, default_kind, default_value, enumeration
+        )
+
+    def _parse_attribute_type(
+        self, reader: Reader
+    ) -> tuple[AttType, tuple[str, ...]]:
+        for token, att_type in (
+            ("CDATA", AttType.CDATA),
+            ("IDREFS", AttType.IDREFS),
+            ("IDREF", AttType.IDREF),
+            ("ID", AttType.ID),
+            ("ENTITIES", AttType.ENTITIES),
+            ("ENTITY", AttType.ENTITY),
+            ("NMTOKENS", AttType.NMTOKENS),
+            ("NMTOKEN", AttType.NMTOKEN),
+        ):
+            if reader.looking_at(token):
+                reader.advance(len(token))
+                return att_type, ()
+        if reader.looking_at("NOTATION"):
+            reader.advance(len("NOTATION"))
+            reader.require_space("after 'NOTATION'")
+            values = self._parse_name_group(reader)
+            return AttType.NOTATION, values
+        if reader.looking_at("("):
+            return AttType.ENUMERATION, self._parse_name_group(reader)
+        raise DtdError(
+            f"expected an attribute type, found {reader.peek(10)!r}",
+            reader.location(),
+        )
+
+    def _parse_name_group(self, reader: Reader) -> tuple[str, ...]:
+        reader.expect("(", "to open a value group")
+        values: list[str] = []
+        while True:
+            reader.skip_space()
+            values.append(reader.read_name("in a value group"))
+            reader.skip_space()
+            if reader.looking_at(")"):
+                reader.advance(1)
+                return tuple(values)
+            reader.expect("|", "between group values")
+
+    def _parse_default(self, reader: Reader) -> tuple[AttDefault, str | None]:
+        if reader.looking_at("#REQUIRED"):
+            reader.advance(len("#REQUIRED"))
+            return AttDefault.REQUIRED, None
+        if reader.looking_at("#IMPLIED"):
+            reader.advance(len("#IMPLIED"))
+            return AttDefault.IMPLIED, None
+        if reader.looking_at("#FIXED"):
+            reader.advance(len("#FIXED"))
+            reader.require_space("after '#FIXED'")
+            return AttDefault.FIXED, reader.read_quoted("as the fixed value")
+        try:
+            return AttDefault.DEFAULT, reader.read_quoted("as the default value")
+        except XmlSyntaxError as error:
+            raise DtdError(str(error.message), error.location)
+
+    # -- ENTITY ----------------------------------------------------------------
+
+    def _parse_entity(self, reader: Reader, dtd: Dtd) -> None:
+        reader.expect("<!ENTITY", "to open an entity declaration")
+        reader.require_space("after '<!ENTITY'")
+        if reader.looking_at("%"):
+            # Parameter entities were collected in the first pass.
+            reader.read_until(">", "parameter entity declaration")
+            return
+        name = reader.read_name("as an entity name")
+        reader.require_space("after the entity name")
+        if reader.looking_at("SYSTEM") or reader.looking_at("PUBLIC"):
+            reader.read_until(">", "external entity declaration")
+            return
+        value = reader.read_quoted("as an entity value")
+        reader.skip_space()
+        if reader.looking_at("NDATA"):
+            reader.read_until(">", "unparsed entity declaration")
+            return
+        reader.expect(">", "to close the entity declaration")
+        dtd.entities.setdefault(name, value)

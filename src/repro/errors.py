@@ -1,0 +1,158 @@
+"""Exception hierarchy for the whole library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  The hierarchy mirrors the
+paper's stages:
+
+* parse-time problems with the *document text* (:class:`XmlSyntaxError`),
+* problems with the *language description* itself — a broken DTD or XML
+  Schema (:class:`DtdError`, :class:`SchemaError`),
+* instance *validity* failures found by the runtime validator, i.e. the
+  DOM baseline path the paper criticizes (:class:`ValidationError`),
+* typed-construction failures raised by generated V-DOM classes at object
+  creation time (:class:`VdomTypeError`),
+* static failures reported by the P-XML preprocessor before the program
+  runs (:class:`PxmlStaticError`), which is where the paper moves the
+  whole class of validity errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """A position in a source text (1-based line/column, 0-based offset)."""
+
+    line: int = 1
+    column: int = 1
+    offset: int = 0
+    source: str | None = None
+
+    def __str__(self) -> str:
+        prefix = f"{self.source}:" if self.source else ""
+        return f"{prefix}{self.line}:{self.column}"
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class LocatedError(ReproError):
+    """An error tied to a position in some source text.
+
+    *location* points into the text being processed; *path* is a slash
+    path into the instance document (``/purchaseOrder/items/item[0]``)
+    when the error concerns a tree rather than raw text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        location: Location | None = None,
+        path: str | None = None,
+    ):
+        self.message = message
+        self.location = location
+        self.path = path
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        text = self.message
+        if self.location is not None:
+            text = f"{self.location}: {text}"
+        if self.path:
+            text = f"{text} (at {self.path})"
+        return text
+
+
+class XmlError(LocatedError):
+    """Any problem with XML document text."""
+
+
+class XmlSyntaxError(XmlError):
+    """The text is not well-formed XML (XML 1.0 fatal error)."""
+
+
+class DomError(ReproError):
+    """Illegal operation on the DOM tree (wrong child type, wrong doc...)."""
+
+
+class HierarchyRequestError(DomError):
+    """Node insertion that would violate the document tree shape."""
+
+
+class DtdError(LocatedError):
+    """The DTD text itself is malformed."""
+
+
+class DtdValidationError(LocatedError):
+    """A document violates its DTD (the prior-work baseline check)."""
+
+
+class SchemaError(LocatedError):
+    """The XML Schema document is broken or inconsistent."""
+
+
+class UnsupportedFeatureError(SchemaError):
+    """A schema feature the paper explicitly does not handle.
+
+    Identity constraints and wildcards fall here (paper, Sect. 3).
+    """
+
+
+class ValidationError(LocatedError):
+    """An instance document is invalid against its schema.
+
+    This is the *runtime* failure mode of the generic-DOM approach: it can
+    only surface after the document has been fully built.
+    """
+
+
+class SimpleTypeError(ValidationError):
+    """A literal does not belong to a simple type's lexical/value space."""
+
+
+class VdomError(ReproError):
+    """Base for errors from generated V-DOM bindings."""
+
+
+class VdomTypeError(VdomError):
+    """A typed constructor or setter was given a value of the wrong type.
+
+    Raised *at construction time* — the Python analogue of the paper's
+    compile-time rejection: the invalid document never comes into being.
+    """
+
+
+class VdomStateError(VdomError):
+    """A typed tree was asked for content it does not (yet) have."""
+
+
+class GenerationError(ReproError):
+    """The interface/code generator could not map a schema construct."""
+
+
+class PxmlError(LocatedError):
+    """Base for P-XML template errors."""
+
+
+class PxmlSyntaxError(PxmlError):
+    """The template text is not a syntactically correct XML constructor."""
+
+
+class PxmlStaticError(PxmlError):
+    """The template is well-formed but schema-invalid.
+
+    This is the error class the paper's preprocessor reports *statically*,
+    without running the generator program (Fig. 9).
+    """
+
+
+class ServerPageError(LocatedError):
+    """Errors from the JSP-like baseline template engine."""
+
+
+class QueryError(LocatedError):
+    """Errors from the typed query extension (paper Sect. 8)."""

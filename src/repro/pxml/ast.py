@@ -1,0 +1,82 @@
+"""AST for P-XML constructors: XML fragments with parameter holes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import Location
+
+
+@dataclass
+class Hole:
+    """``$name$`` or ``$name:annotation$``.
+
+    The annotation names what the variable holds: ``text`` for character
+    data, an element name, or a choice-group name.  Unannotated holes are
+    inferred by the checker from their position when unambiguous — the
+    Python stand-in for the paper's reliance on host-language variable
+    declarations.
+    """
+
+    name: str
+    annotation: str | None = None
+    location: Location = field(default_factory=Location)
+
+    def __str__(self) -> str:
+        if self.annotation:
+            return f"${self.name}:{self.annotation}$"
+        return f"${self.name}$"
+
+
+@dataclass
+class TemplateText:
+    """Literal character data between holes/elements."""
+
+    data: str
+    cdata: bool = False
+    location: Location = field(default_factory=Location)
+
+
+#: A part of an attribute value: literal text or a hole.
+AttrPart = str | Hole
+
+
+@dataclass
+class TemplateAttribute:
+    """One attribute; its value is a sequence of literals and holes."""
+
+    name: str
+    parts: list[AttrPart]
+    location: Location = field(default_factory=Location)
+
+    def is_static(self) -> bool:
+        return all(isinstance(part, str) for part in self.parts)
+
+    def static_value(self) -> str:
+        assert self.is_static()
+        return "".join(part for part in self.parts if isinstance(part, str))
+
+
+@dataclass
+class TemplateElement:
+    """An element constructor node."""
+
+    name: str
+    attributes: list[TemplateAttribute] = field(default_factory=list)
+    children: list["TemplateNode"] = field(default_factory=list)
+    location: Location = field(default_factory=Location)
+
+    def holes(self) -> list[Hole]:
+        """Every hole in this subtree, document order."""
+        found: list[Hole] = []
+        for attribute in self.attributes:
+            found.extend(p for p in attribute.parts if isinstance(p, Hole))
+        for child in self.children:
+            if isinstance(child, Hole):
+                found.append(child)
+            elif isinstance(child, TemplateElement):
+                found.extend(child.holes())
+        return found
+
+
+TemplateNode = TemplateElement | TemplateText | Hole

@@ -1,0 +1,72 @@
+"""The public P-XML entry point: parse + check once, render many."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.vdom import Binding, TypedElement
+from repro.pxml.checker import CheckedTemplate, check_template
+from repro.pxml.compiler import compile_template
+from repro.pxml.parser import parse_template
+from repro.pxml.runtime import render_interpreted
+
+
+class Template:
+    """A statically validated XML constructor.
+
+    ::
+
+        template = Template(binding, '''
+            <shipTo country="US">
+              <name>$n$</name>
+              <street>123 Maple Street</street>
+              ...
+            </shipTo>''')
+        ship_to = template.render(n="Alice Smith")
+
+    Checking happens in ``__init__`` — the paper's "compile time".  A
+    ``Template`` that exists can only render schema-valid fragments.
+    """
+
+    def __init__(
+        self,
+        binding: Binding,
+        source: str,
+        param_types: dict[str, Any] | None = None,
+        compiled: bool = True,
+    ):
+        self.binding = binding
+        self.source = source
+        self.ast = parse_template(source)
+        self.checked: CheckedTemplate = check_template(
+            binding, self.ast, param_types
+        )
+        self._render: Callable[..., TypedElement] | None = None
+        self.generated_source: str | None = None
+        if compiled:
+            self.generated_source, self._render = compile_template(self.checked)
+
+    @property
+    def hole_names(self) -> list[str]:
+        return self.checked.hole_names()
+
+    def render(self, **values: Any) -> TypedElement:
+        """Instantiate the template; returns a typed (valid) element."""
+        if self._render is not None:
+            return self._render(self.binding.factory, **values)
+        return render_interpreted(self.checked, **values)
+
+    def render_document(self, **values: Any):
+        """Render and wrap in a document (root must be global)."""
+        return self.binding.document(self.render(**values))
+
+    def __repr__(self) -> str:
+        mode = "compiled" if self._render is not None else "interpreted"
+        return (
+            f"Template(<{self.ast.name}>, holes={self.hole_names}, {mode})"
+        )
+
+
+def template_for(binding: Binding, source: str, **kwargs: Any) -> Template:
+    """Convenience: ``template_for(binding, "<a>...</a>")``."""
+    return Template(binding, source, **kwargs)

@@ -1,0 +1,15 @@
+"""Typed path queries over V-DOM trees (the paper's Sect. 8 outlook).
+
+The paper closes by planning "extensions to … XQuery in such a way that a
+query which is applied to appropriate VDOM-objects can be guaranteed to
+result only in documents which are valid".  This package implements the
+selection core of that idea: a path query is *compiled against the
+schema* — a step that no instance could ever match is rejected before any
+document is touched, and the static result type of the query is known —
+then applied to typed trees, yielding typed (valid) elements.
+"""
+
+from repro.query.path import Query, select
+from repro.query.transform import TypedTransform, transform
+
+__all__ = ["Query", "TypedTransform", "select", "transform"]

@@ -1,0 +1,264 @@
+"""Schema-typed path queries.
+
+Grammar (an XPath-flavoured subset)::
+
+    path      ::= step ('/' step)*
+    step      ::= name | '*' | name predicate*
+    predicate ::= '[' digits ']'                 positional (1-based)
+                | '[@' name '=' "'" text "'" ']'  attribute equality
+                | '[' name '=' "'" text "'" ']'   child-text equality
+
+Compilation walks the schema in parallel with the path: at each step the
+set of element declarations that could be current is advanced through
+the content models; an impossible step raises
+:class:`~repro.errors.QueryError` *at compile time*, and
+``Query.result_classes`` exposes the statically known result type(s) —
+the "typed query language" the paper sketches.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.xsd.components import (
+    ANY_TYPE,
+    ComplexType,
+    ElementDeclaration,
+    GroupReference,
+    ModelGroup,
+    Particle,
+)
+from repro.core.vdom import Binding, TypedElement
+
+_PREDICATE_RE = re.compile(
+    r"\[(?:(?P<index>\d+)"
+    r"|@(?P<attr>[\w.-]+)=\'(?P<attr_value>[^\']*)\'"
+    r"|(?P<child>[\w.-]+)=\'(?P<child_value>[^\']*)\')\]"
+)
+
+
+@dataclass
+class Predicate:
+    kind: str  # 'index' | 'attr' | 'child'
+    name: str | None = None
+    value: str | None = None
+    index: int | None = None
+
+    def matches(self, element: TypedElement, position: int) -> bool:
+        if self.kind == "index":
+            return position == self.index
+        if self.kind == "attr":
+            assert self.name is not None
+            return (
+                element.has_attribute(self.name)
+                and element.get_attribute(self.name) == self.value
+            )
+        assert self.name is not None
+        for child in element.child_elements():
+            if child.tag_name == self.name and child.text_content == self.value:
+                return True
+        return False
+
+
+@dataclass
+class Step:
+    name: str  # '*' = any
+    predicates: list[Predicate] = field(default_factory=list)
+
+
+class Query:
+    """A compiled, schema-typed path query."""
+
+    def __init__(self, binding: Binding, root_element: str, path: str):
+        self.binding = binding
+        self.path = path
+        self.steps = _parse_path(path)
+        root_declaration = binding.schema.elements.get(root_element)
+        if root_declaration is None:
+            raise QueryError(
+                f"'{root_element}' is not a global element of the schema"
+            )
+        self.root_element = root_element
+        #: statically derived: the declarations a result can have
+        self.result_declarations = self._type_check(root_declaration)
+
+    @property
+    def result_classes(self) -> tuple[type, ...]:
+        """Generated classes the query can yield (static result type)."""
+        classes = []
+        for declaration in self.result_declarations:
+            cls = self.binding.class_by_declaration.get(id(declaration))
+            if cls is not None:
+                classes.append(cls)
+        return tuple(classes)
+
+    # -- static typing ------------------------------------------------------------
+
+    def _type_check(
+        self, root: ElementDeclaration
+    ) -> tuple[ElementDeclaration, ...]:
+        current: set[int] = {id(root)}
+        declarations: dict[int, ElementDeclaration] = {id(root): root}
+        for step in self.steps:
+            next_declarations: dict[int, ElementDeclaration] = {}
+            for key in current:
+                declaration = declarations[key]
+                for child in self._child_declarations(declaration):
+                    if step.name in ("*", child.name):
+                        next_declarations[id(child)] = child
+            if not next_declarations:
+                raise QueryError(
+                    f"step '{step.name}' of '{self.path}' matches nothing: "
+                    f"the schema allows no such child there"
+                )
+            self._check_predicates(step, next_declarations.values())
+            declarations = next_declarations
+            current = set(next_declarations)
+        return tuple(declarations.values())
+
+    def _check_predicates(self, step: Step, declarations) -> None:
+        for predicate in step.predicates:
+            if predicate.kind == "attr":
+                assert predicate.name is not None
+                known = False
+                for declaration in declarations:
+                    type_definition = declaration.resolved_type()
+                    if isinstance(type_definition, ComplexType) and (
+                        predicate.name
+                        in type_definition.effective_attribute_uses()
+                    ):
+                        known = True
+                if not known:
+                    raise QueryError(
+                        f"predicate [@{predicate.name}=...] of '{self.path}' "
+                        "tests an attribute the schema never declares there"
+                    )
+            elif predicate.kind == "child":
+                assert predicate.name is not None
+                known = any(
+                    predicate.name
+                    in {c.name for c in self._child_declarations(d)}
+                    for d in declarations
+                )
+                if not known:
+                    raise QueryError(
+                        f"predicate [{predicate.name}=...] of '{self.path}' "
+                        "tests a child the schema never declares there"
+                    )
+
+    def _child_declarations(
+        self, declaration: ElementDeclaration
+    ) -> list[ElementDeclaration]:
+        type_definition = declaration.resolved_type()
+        if not isinstance(type_definition, ComplexType):
+            return []
+        if type_definition is ANY_TYPE:
+            return list(self.binding.schema.elements.values())
+        content = type_definition.effective_content()
+        if content is None:
+            return []
+        found: list[ElementDeclaration] = []
+        self._collect(content, found)
+        expanded: list[ElementDeclaration] = []
+        for child in found:
+            canonical = (
+                self.binding.schema.elements.get(child.name, child)
+                if child.is_global
+                else child
+            )
+            expanded.extend(
+                self.binding.schema.substitution_alternatives(canonical)
+            )
+        return expanded
+
+    def _collect(
+        self, particle: Particle, sink: list[ElementDeclaration]
+    ) -> None:
+        term = particle.term
+        if isinstance(term, ElementDeclaration):
+            sink.append(term)
+        elif isinstance(term, GroupReference):
+            self._collect(Particle(term.resolved()), sink)
+        elif isinstance(term, ModelGroup):
+            for child in term.particles:
+                self._collect(child, sink)
+
+    # -- application ------------------------------------------------------------------
+
+    def apply(self, element: TypedElement) -> list[TypedElement]:
+        """Run the query; *element* must be the root the query was
+        compiled for."""
+        if element.tag_name != self.root_element:
+            raise QueryError(
+                f"query was compiled for <{self.root_element}>, applied "
+                f"to <{element.tag_name}>"
+            )
+        current: list[TypedElement] = [element]
+        for step in self.steps:
+            matched: list[TypedElement] = []
+            for node in current:
+                position = 0
+                for child in node.child_elements():
+                    if step.name not in ("*", child.tag_name):
+                        continue
+                    position += 1
+                    if all(
+                        predicate.matches(child, position)  # type: ignore[arg-type]
+                        for predicate in step.predicates
+                    ) and isinstance(child, TypedElement):
+                        matched.append(child)
+            current = matched
+        return current
+
+    def __repr__(self) -> str:
+        names = ", ".join(cls.__name__ for cls in self.result_classes)
+        return f"Query({self.path!r} -> [{names}])"
+
+
+def select(
+    element: TypedElement, path: str
+) -> list[TypedElement]:
+    """Compile-and-run convenience over a typed element."""
+    binding = type(element)._BINDING
+    query = Query(binding, element.tag_name, path)
+    return query.apply(element)
+
+
+def _parse_path(path: str) -> list[Step]:
+    if not path or path.startswith("/"):
+        raise QueryError(f"path '{path}' must be relative (start with a step)")
+    steps: list[Step] = []
+    for raw in path.split("/"):
+        if not raw:
+            raise QueryError(f"empty step in path '{path}'")
+        match = re.match(r"(?P<name>\*|[\w.-]+)", raw)
+        if not match:
+            raise QueryError(f"bad step '{raw}' in path '{path}'")
+        step = Step(match.group("name"))
+        rest = raw[match.end() :]
+        while rest:
+            predicate_match = _PREDICATE_RE.match(rest)
+            if not predicate_match:
+                raise QueryError(f"bad predicate '{rest}' in path '{path}'")
+            groups = predicate_match.groupdict()
+            if groups["index"]:
+                step.predicates.append(
+                    Predicate("index", index=int(groups["index"]))
+                )
+            elif groups["attr"]:
+                step.predicates.append(
+                    Predicate("attr", name=groups["attr"], value=groups["attr_value"])
+                )
+            else:
+                step.predicates.append(
+                    Predicate(
+                        "child",
+                        name=groups["child"],
+                        value=groups["child_value"],
+                    )
+                )
+            rest = rest[predicate_match.end() :]
+        steps.append(step)
+    return steps

@@ -1,0 +1,114 @@
+"""Typed query-to-document transforms (the full Sect. 8 vision).
+
+The paper's outlook: "a query which is applied to appropriate
+VDOM-objects can be guaranteed to result only in documents which are
+valid according to an underlying Xml schema."  A
+:class:`TypedTransform` wires a compiled :class:`~repro.query.Query`
+into a P-XML :class:`~repro.pxml.Template` hole — and checks **at
+definition time** that the query's statically known result type is
+acceptable for that hole.  A transform that constructs is a proof:
+whatever it produces, over whatever input document, is valid.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import QueryError
+from repro.core.vdom import Binding, TypedElement
+from repro.pxml.checker import HoleSpec
+from repro.pxml.template import Template
+from repro.query.path import Query
+
+
+class TypedTransform:
+    """Render a template once per query result, statically type-checked.
+
+    ::
+
+        transform = TypedTransform(
+            binding_out=wml_binding,
+            query=Query(po_binding, "purchaseOrder", "items/item/productName"),
+            template="<option value='x'>$hit:text$</option>",
+            hole="hit",
+            extract=lambda element: element.text_content,
+        )
+        options = transform.apply(purchase_order)   # list of valid <option>s
+
+    For element holes (``extract`` omitted), the query's result classes
+    must all be acceptable for the hole — checked here, not when some
+    document flows through.
+    """
+
+    def __init__(
+        self,
+        binding_out: Binding,
+        query: Query,
+        template: Template | str,
+        hole: str,
+        extract=None,
+    ):
+        self.query = query
+        self.template = (
+            template
+            if isinstance(template, Template)
+            else Template(binding_out, template)
+        )
+        self.hole = hole
+        self.extract = extract
+        spec = self.template.checked.holes.get(hole)
+        if spec is None:
+            raise QueryError(
+                f"template has no hole named '{hole}' "
+                f"(holes: {', '.join(self.template.hole_names) or 'none'})"
+            )
+        self._check_compatibility(spec)
+
+    def _check_compatibility(self, spec: HoleSpec) -> None:
+        if spec.kind == "text":
+            if self.extract is None:
+                # Text holes receive element text content by default.
+                self.extract = lambda element: element.text_content
+            return
+        if self.extract is not None:
+            raise QueryError(
+                "an element hole cannot take an extract function; the "
+                "query results are inserted directly"
+            )
+        result_classes = self.query.result_classes
+        if not result_classes:
+            raise QueryError(
+                "the query's result type has no generated classes; "
+                "it cannot feed an element hole"
+            )
+        for result_class in result_classes:
+            if not issubclass(result_class, spec.classes):
+                allowed = ", ".join(cls.__name__ for cls in spec.classes)
+                raise QueryError(
+                    f"query can yield {result_class.__name__}, but hole "
+                    f"'{self.hole}' only accepts {allowed} — the transform "
+                    "could emit an invalid document, rejected statically"
+                )
+
+    def apply(
+        self, root: TypedElement, **other_holes: Any
+    ) -> list[TypedElement]:
+        """Run the query on *root*, render one fragment per hit."""
+        results = []
+        for hit in self.query.apply(root):
+            value = self.extract(hit) if self.extract is not None else hit
+            results.append(
+                self.template.render(**{self.hole: value, **other_holes})
+            )
+        return results
+
+
+def transform(
+    binding_out: Binding,
+    query: Query,
+    template: str,
+    hole: str,
+    extract=None,
+) -> TypedTransform:
+    """Convenience constructor mirroring :class:`TypedTransform`."""
+    return TypedTransform(binding_out, query, template, hole, extract)

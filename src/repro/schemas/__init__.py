@@ -1,0 +1,50 @@
+"""Bundled schema and document sources used throughout the reproduction.
+
+Everything here is transcribed from the paper (or built to exercise the
+exact constructs its sections discuss):
+
+* :data:`PURCHASE_ORDER_SCHEMA` / :data:`PURCHASE_ORDER_DOCUMENT` —
+  Figures 2–3 and Figure 1,
+* :data:`PURCHASE_ORDER_CHOICE_SCHEMA` — the Sect. 3 variant whose
+  ``PurchaseOrderType`` starts with a ``singAddr | twoAddr`` choice,
+* :data:`PURCHASE_ORDER_CHOICE3_SCHEMA` — the same after the evolution
+  step that adds the ``multAddr`` alternative,
+* :data:`ADDRESS_EXTENSION_SCHEMA` — the ``Address``/``USAddress`` type
+  extension example,
+* :data:`SUBSTITUTION_GROUP_SCHEMA` — the ``shipComment`` /
+  ``customerComment`` substitution-group example,
+* :data:`WML_SCHEMA` — a WML 1.3 subset covering the Sect. 5 example,
+* :data:`PURCHASE_ORDER_DTD` — a DTD rendering of the purchase order
+  language for the prior-work baseline.
+"""
+
+from repro.schemas.purchase_order import (
+    PURCHASE_ORDER_DOCUMENT,
+    PURCHASE_ORDER_DTD,
+    PURCHASE_ORDER_INVALID_DOCUMENTS,
+    PURCHASE_ORDER_SCHEMA,
+)
+from repro.schemas.variants import (
+    ADDRESS_EXTENSION_SCHEMA,
+    NAMED_GROUP_SCHEMA,
+    PURCHASE_ORDER_CHOICE3_SCHEMA,
+    PURCHASE_ORDER_CHOICE_SCHEMA,
+    SUBSTITUTION_GROUP_SCHEMA,
+)
+from repro.schemas.wml import WML_DIRECTORY_DOCUMENT, WML_SCHEMA
+from repro.schemas.xhtml import XHTML_SUBSET_SCHEMA
+
+__all__ = [
+    "ADDRESS_EXTENSION_SCHEMA",
+    "NAMED_GROUP_SCHEMA",
+    "PURCHASE_ORDER_CHOICE3_SCHEMA",
+    "PURCHASE_ORDER_CHOICE_SCHEMA",
+    "PURCHASE_ORDER_DOCUMENT",
+    "PURCHASE_ORDER_DTD",
+    "PURCHASE_ORDER_INVALID_DOCUMENTS",
+    "PURCHASE_ORDER_SCHEMA",
+    "SUBSTITUTION_GROUP_SCHEMA",
+    "WML_DIRECTORY_DOCUMENT",
+    "WML_SCHEMA",
+    "XHTML_SUBSET_SCHEMA",
+]

@@ -1,0 +1,163 @@
+"""The purchase order language of the paper's Figures 1-3."""
+
+#: Figure 1 — the purchase order instance document.
+PURCHASE_ORDER_DOCUMENT = """\
+<purchaseOrder orderDate="1999-10-20">
+  <shipTo country="US">
+    <name>Alice Smith</name>
+    <street>123 Maple Street</street>
+    <city>Mill Valley</city>
+    <state>CA</state>
+    <zip>90952</zip>
+  </shipTo>
+  <billTo country="US">
+    <name>Robert Smith</name>
+    <street>8 Oak Avenue</street>
+    <city>Old Town</city>
+    <state>PA</state>
+    <zip>95819</zip>
+  </billTo>
+  <comment>Hurry, my lawn is going wild</comment>
+  <items>
+    <item partNum="872-AA">
+      <productName>Lawnmower</productName>
+      <quantity>1</quantity>
+      <USPrice>148.95</USPrice>
+      <comment>Confirm this is electric</comment>
+    </item>
+    <item partNum="926-AA">
+      <productName>Baby Monitor</productName>
+      <quantity>1</quantity>
+      <USPrice>39.98</USPrice>
+      <shipDate>1999-05-21</shipDate>
+    </item>
+  </items>
+</purchaseOrder>
+"""
+
+#: Figures 2 and 3 — the purchase order schema (XML Schema Primer).
+PURCHASE_ORDER_SCHEMA = """\
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+
+  <xsd:annotation>
+    <xsd:documentation xml:lang="en">
+      Purchase order schema for Example.com.
+      Copyright 2000 Example.com. All rights reserved.
+    </xsd:documentation>
+  </xsd:annotation>
+
+  <xsd:element name="purchaseOrder" type="PurchaseOrderType"/>
+
+  <xsd:element name="comment" type="xsd:string"/>
+
+  <xsd:complexType name="PurchaseOrderType">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"/>
+      <xsd:element ref="comment" minOccurs="0"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+    <xsd:attribute name="orderDate" type="xsd:date"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+    </xsd:sequence>
+    <xsd:attribute name="country" type="xsd:NMTOKEN" fixed="US"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" minOccurs="0" maxOccurs="unbounded">
+        <xsd:complexType>
+          <xsd:sequence>
+            <xsd:element name="productName" type="xsd:string"/>
+            <xsd:element name="quantity">
+              <xsd:simpleType>
+                <xsd:restriction base="xsd:positiveInteger">
+                  <xsd:maxExclusive value="100"/>
+                </xsd:restriction>
+              </xsd:simpleType>
+            </xsd:element>
+            <xsd:element name="USPrice" type="xsd:decimal"/>
+            <xsd:element ref="comment" minOccurs="0"/>
+            <xsd:element name="shipDate" type="xsd:date" minOccurs="0"/>
+          </xsd:sequence>
+          <xsd:attribute name="partNum" type="SKU" use="required"/>
+        </xsd:complexType>
+      </xsd:element>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:simpleType name="SKU">
+    <xsd:restriction base="xsd:string">
+      <xsd:pattern value="\\d{3}-[A-Z]{2}"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+
+</xsd:schema>
+"""
+
+#: Schema-violating variants of Figure 1 with the reason each is invalid.
+#: Used by the CLAIM-1 error-detection study.
+PURCHASE_ORDER_INVALID_DOCUMENTS: dict[str, str] = {
+    "wrong-element-order": PURCHASE_ORDER_DOCUMENT.replace(
+        "  <comment>Hurry, my lawn is going wild</comment>\n  <items>",
+        "  <items>",
+    ).replace(
+        "</items>\n",
+        "</items>\n  <comment>Hurry, my lawn is going wild</comment>\n",
+    ),
+    "bad-quantity": PURCHASE_ORDER_DOCUMENT.replace(
+        "<quantity>1</quantity>", "<quantity>100</quantity>", 1
+    ),
+    "bad-sku": PURCHASE_ORDER_DOCUMENT.replace("872-AA", "87-AA"),
+    "bad-date": PURCHASE_ORDER_DOCUMENT.replace("1999-10-20", "late autumn"),
+    "missing-required-attribute": PURCHASE_ORDER_DOCUMENT.replace(
+        ' partNum="872-AA"', ""
+    ),
+    "wrong-country": PURCHASE_ORDER_DOCUMENT.replace(
+        '<shipTo country="US">', '<shipTo country="DE">'
+    ),
+    "undeclared-element": PURCHASE_ORDER_DOCUMENT.replace(
+        "<productName>Lawnmower</productName>",
+        "<productName>Lawnmower</productName><color>red</color>",
+    ),
+    "missing-child": PURCHASE_ORDER_DOCUMENT.replace(
+        "    <city>Mill Valley</city>\n", "", 1
+    ),
+    "text-in-element-content": PURCHASE_ORDER_DOCUMENT.replace(
+        "<items>", "<items>loose text", 1
+    ),
+    "bad-price": PURCHASE_ORDER_DOCUMENT.replace("148.95", "expensive"),
+}
+
+#: The same language as a DTD — the prior-work baseline ([14]).  DTDs
+#: cannot express the SKU pattern, the quantity bound, or the date type;
+#: the benchmarks quantify that expressiveness gap.
+PURCHASE_ORDER_DTD = """\
+<!ELEMENT purchaseOrder (shipTo, billTo, comment?, items)>
+<!ATTLIST purchaseOrder orderDate CDATA #IMPLIED>
+<!ELEMENT shipTo (name, street, city, state, zip)>
+<!ATTLIST shipTo country NMTOKEN #FIXED "US">
+<!ELEMENT billTo (name, street, city, state, zip)>
+<!ATTLIST billTo country NMTOKEN #FIXED "US">
+<!ELEMENT comment (#PCDATA)>
+<!ELEMENT items (item*)>
+<!ELEMENT item (productName, quantity, USPrice, comment?, shipDate?)>
+<!ATTLIST item partNum CDATA #REQUIRED>
+<!ELEMENT productName (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT USPrice (#PCDATA)>
+<!ELEMENT shipDate (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT state (#PCDATA)>
+<!ELEMENT zip (#PCDATA)>
+"""

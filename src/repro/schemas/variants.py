@@ -1,0 +1,179 @@
+"""Schema variants transcribed from the paper's Section 3 discussion."""
+
+#: The PurchaseOrderType variant whose first component is a choice group
+#: (``singAddr | twoAddr``) — the example driving the naming-scheme
+#: discussion and Figures 5/6.
+PURCHASE_ORDER_CHOICE_SCHEMA = """\
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="PurchaseOrderType"/>
+  <xsd:element name="comment" type="xsd:string"/>
+
+  <xsd:complexType name="PurchaseOrderType">
+    <xsd:sequence>
+      <xsd:choice>
+        <xsd:element name="singAddr" type="USAddress"/>
+        <xsd:element name="twoAddr" type="twoAddress"/>
+      </xsd:choice>
+      <xsd:element ref="comment" minOccurs="0"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+    <xsd:attribute name="orderDate" type="xsd:date"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+    </xsd:sequence>
+    <xsd:attribute name="country" type="xsd:NMTOKEN" fixed="US"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="twoAddress">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" minOccurs="0" maxOccurs="unbounded">
+        <xsd:complexType>
+          <xsd:sequence>
+            <xsd:element name="productName" type="xsd:string"/>
+            <xsd:element name="USPrice" type="xsd:decimal"/>
+          </xsd:sequence>
+          <xsd:attribute name="partNum" type="xsd:string" use="required"/>
+        </xsd:complexType>
+      </xsd:element>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+#: The evolution step of Sect. 3: a third alternative ``multAddr`` is
+#: added to the choice group.  Under *synthesized* naming this renames
+#: the group; under *inherited* naming all existing names survive.
+PURCHASE_ORDER_CHOICE3_SCHEMA = PURCHASE_ORDER_CHOICE_SCHEMA.replace(
+    '<xsd:element name="twoAddr" type="twoAddress"/>',
+    '<xsd:element name="twoAddr" type="twoAddress"/>\n'
+    '        <xsd:element name="multAddr" type="multAddress"/>',
+).replace(
+    '  <xsd:complexType name="twoAddress">',
+    """\
+  <xsd:complexType name="multAddress">
+    <xsd:sequence>
+      <xsd:element name="addr" type="USAddress" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="twoAddress">""",
+)
+
+#: The Sect. 3 "explicit naming" example: the address choice is pulled
+#: into a named group definition ``AddressGroup``.
+NAMED_GROUP_SCHEMA = """\
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="PurchaseOrderType"/>
+  <xsd:element name="comment" type="xsd:string"/>
+
+  <xsd:group name="AddressGroup">
+    <xsd:choice>
+      <xsd:element name="singAddr" type="USAddress"/>
+      <xsd:element name="twoAddr" type="twoAddress"/>
+    </xsd:choice>
+  </xsd:group>
+
+  <xsd:complexType name="PurchaseOrderType">
+    <xsd:sequence>
+      <xsd:group ref="AddressGroup"/>
+      <xsd:element ref="comment" minOccurs="0"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="twoAddress">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="xsd:string" minOccurs="0"
+                   maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+#: The Address/USAddress type-extension example of Sect. 3 ("Xml Schema
+#: introduces type extension for complex types ... reflected by
+#: inheritance in V-DOM").
+ADDRESS_EXTENSION_SCHEMA = """\
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="addressBook" type="AddressBook"/>
+
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="USAddress">
+    <xsd:complexContent>
+      <xsd:extension base="Address">
+        <xsd:sequence>
+          <xsd:element name="state" type="xsd:string"/>
+          <xsd:element name="zip" type="xsd:string"/>
+        </xsd:sequence>
+      </xsd:extension>
+    </xsd:complexContent>
+  </xsd:complexType>
+
+  <xsd:complexType name="AddressBook">
+    <xsd:sequence>
+      <xsd:element name="entry" type="Address" minOccurs="0"
+                   maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+#: The substitution-group example of Sect. 3: shipComment and
+#: customerComment substitute for comment.
+SUBSTITUTION_GROUP_SCHEMA = """\
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="notes" type="Notes"/>
+  <xsd:element name="comment" type="xsd:string"/>
+  <xsd:element name="shipComment" type="xsd:string"
+               substitutionGroup="comment"/>
+  <xsd:element name="customerComment" type="xsd:string"
+               substitutionGroup="comment"/>
+
+  <xsd:complexType name="Notes">
+    <xsd:sequence>
+      <xsd:element ref="comment" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+#: An abstract-head variant: only substitution-group members may appear.
+ABSTRACT_HEAD_SCHEMA = SUBSTITUTION_GROUP_SCHEMA.replace(
+    '<xsd:element name="comment" type="xsd:string"/>',
+    '<xsd:element name="comment" type="xsd:string" abstract="true"/>',
+)

@@ -1,0 +1,100 @@
+"""A WML 1.3 subset schema covering the paper's Section 5 example.
+
+The Fig. 8/10 page builds ``<p>``, ``<select>``, ``<option>``, ``<b>``
+and ``<br>`` elements inside a ``<card>``; the subset models exactly the
+content models those elements have in WML 1.3, expressed as an XML
+Schema (WML itself ships as a DTD; the re-expression is the same move
+the paper makes for HTML→XHTML).
+"""
+
+WML_SCHEMA = """\
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="wml" type="WmlType"/>
+
+  <xsd:complexType name="WmlType">
+    <xsd:sequence>
+      <xsd:element name="card" type="CardType" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="CardType">
+    <xsd:sequence>
+      <xsd:element name="p" type="PType" minOccurs="0"
+                   maxOccurs="unbounded"/>
+    </xsd:sequence>
+    <xsd:attribute name="id" type="xsd:NMTOKEN"/>
+    <xsd:attribute name="title" type="xsd:string"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="PType" mixed="true">
+    <xsd:sequence>
+      <xsd:choice minOccurs="0" maxOccurs="unbounded">
+        <xsd:element name="b" type="EmphType"/>
+        <xsd:element name="em" type="EmphType"/>
+        <xsd:element name="br" type="EmptyType"/>
+        <xsd:element name="select" type="SelectType"/>
+        <xsd:element name="a" type="AnchorType"/>
+      </xsd:choice>
+    </xsd:sequence>
+    <xsd:attribute name="align" type="AlignType"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="EmphType" mixed="true">
+    <xsd:sequence>
+      <xsd:choice minOccurs="0" maxOccurs="unbounded">
+        <xsd:element name="br" type="EmptyType"/>
+      </xsd:choice>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="EmptyType">
+    <xsd:sequence/>
+  </xsd:complexType>
+
+  <xsd:complexType name="SelectType">
+    <xsd:sequence>
+      <xsd:element name="option" type="OptionType" maxOccurs="unbounded"/>
+    </xsd:sequence>
+    <xsd:attribute name="name" type="xsd:NMTOKEN"/>
+    <xsd:attribute name="multiple" type="xsd:boolean"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="OptionType" mixed="true">
+    <xsd:sequence/>
+    <xsd:attribute name="value" type="xsd:string"/>
+    <xsd:attribute name="onpick" type="xsd:anyURI"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="AnchorType" mixed="true">
+    <xsd:sequence/>
+    <xsd:attribute name="href" type="xsd:anyURI" use="required"/>
+  </xsd:complexType>
+
+  <xsd:simpleType name="AlignType">
+    <xsd:restriction base="xsd:string">
+      <xsd:enumeration value="left"/>
+      <xsd:enumeration value="center"/>
+      <xsd:enumeration value="right"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+</xsd:schema>
+"""
+
+#: The page the Fig. 8 server page / Fig. 10 P-XML program produces for a
+#: small directory listing (one card, one select).
+WML_DIRECTORY_DOCUMENT = """\
+<wml>
+  <card id="dirs" title="Directories">
+    <p>
+      <b>/workspace/media</b>
+      <br/>
+      <select name="directories">
+        <option value="/workspace">..</option>
+        <option value="/workspace/media/audio">audio</option>
+        <option value="/workspace/media/video">video</option>
+      </select>
+      <br/>
+    </p>
+  </card>
+</wml>
+"""

@@ -1,0 +1,85 @@
+"""A small XHTML 1.0 subset schema.
+
+HTML "is redefined as a special XML application" (the paper's Sect. 1
+citing XHTML 1.0), which is what makes HTML generators a special class of
+XML generators.  This subset covers the title/head/body shape of the
+paper's Java-Server-Page example and enough inline/block structure for
+the server-page baseline comparison.
+"""
+
+XHTML_SUBSET_SCHEMA = """\
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="html" type="HtmlType"/>
+
+  <xsd:complexType name="HtmlType">
+    <xsd:sequence>
+      <xsd:element name="head" type="HeadType"/>
+      <xsd:element name="body" type="BodyType"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="HeadType">
+    <xsd:sequence>
+      <xsd:element name="title" type="xsd:string"/>
+      <xsd:element name="meta" type="MetaType" minOccurs="0"
+                   maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="MetaType">
+    <xsd:sequence/>
+    <xsd:attribute name="name" type="xsd:NMTOKEN"/>
+    <xsd:attribute name="content" type="xsd:string"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="BodyType">
+    <xsd:sequence>
+      <xsd:choice minOccurs="0" maxOccurs="unbounded">
+        <xsd:element name="h1" type="InlineType"/>
+        <xsd:element name="h2" type="InlineType"/>
+        <xsd:element name="p" type="InlineType"/>
+        <xsd:element name="ul" type="ListType"/>
+        <xsd:element name="table" type="TableType"/>
+      </xsd:choice>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="InlineType" mixed="true">
+    <xsd:sequence>
+      <xsd:choice minOccurs="0" maxOccurs="unbounded">
+        <xsd:element name="b" type="InlineType"/>
+        <xsd:element name="i" type="InlineType"/>
+        <xsd:element name="a" type="LinkType"/>
+        <xsd:element name="br" type="EmptyType"/>
+      </xsd:choice>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="LinkType" mixed="true">
+    <xsd:sequence/>
+    <xsd:attribute name="href" type="xsd:anyURI" use="required"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="EmptyType">
+    <xsd:sequence/>
+  </xsd:complexType>
+
+  <xsd:complexType name="ListType">
+    <xsd:sequence>
+      <xsd:element name="li" type="InlineType" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="TableType">
+    <xsd:sequence>
+      <xsd:element name="tr" type="RowType" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="RowType">
+    <xsd:sequence>
+      <xsd:element name="td" type="InlineType" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"""

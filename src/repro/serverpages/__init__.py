@@ -1,0 +1,14 @@
+"""A Java-Server-Pages-like template engine — the paper's *negative*
+baseline (Sect. 1, Fig. 8).
+
+Pages mix literal markup with ``<% ... %>`` scriptlets and ``<%= ... %>``
+expressions.  The engine happily renders anything: "changing the program
+… still results in a correct Java Server Page in the sense that the
+Server Page processor and the … compiler accept the program although the
+program does not generate correct Html."  The benchmarks run invalid
+pages through it to show errors surface only at post-hoc validation.
+"""
+
+from repro.serverpages.engine import ServerPage, render_page
+
+__all__ = ["ServerPage", "render_page"]

@@ -1,0 +1,118 @@
+"""The server-page engine: compile ``<% %>`` pages to Python, render.
+
+Syntax (the JSP subset the paper's Fig. 8 uses):
+
+* ``<% statement(s) %>``   — control flow; block nesting is handled by
+  the translator (``<% for x in xs: %>`` ... ``<% end %>``),
+* ``<%= expression %>``    — expression spliced into the output,
+* ``<%-- comment --%>``    — dropped,
+* everything else          — copied verbatim (no escaping, no checking:
+  that *is* the baseline's flaw).
+
+``ServerPage(source).render(**context)`` returns a string.  Nothing
+validates it — exactly as the paper describes, the output may be
+arbitrarily broken markup and no tool complains until a validator (or a
+browser) sees it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ServerPageError
+
+
+class ServerPage:
+    """A compiled server page."""
+
+    def __init__(self, source: str, name: str = "<page>"):
+        self.source = source
+        self.name = name
+        self._code = self._translate(source)
+
+    # -- translation ----------------------------------------------------------
+
+    def _translate(self, source: str):
+        lines: list[str] = []
+        indent = 0
+
+        def emit(statement: str) -> None:
+            lines.append("    " * indent + statement)
+
+        index = 0
+        while index < len(source):
+            open_tag = source.find("<%", index)
+            if open_tag < 0:
+                self._emit_literal(emit, source[index:])
+                break
+            if open_tag > index:
+                self._emit_literal(emit, source[index:open_tag])
+            close_tag = source.find("%>", open_tag + 2)
+            if close_tag < 0:
+                raise ServerPageError(
+                    f"unterminated '<%' in server page {self.name}"
+                )
+            body = source[open_tag + 2 : close_tag]
+            index = close_tag + 2
+            if body.startswith("--"):
+                continue  # comment
+            if body.startswith("="):
+                expression = body[1:].strip()
+                emit(f"__out__.append(str({expression}))")
+                continue
+            statement = body.strip()
+            if statement == "end":
+                indent -= 1
+                if indent < 0:
+                    raise ServerPageError(
+                        f"unbalanced '<% end %>' in server page {self.name}"
+                    )
+                continue
+            if statement.startswith(("elif ", "else", "except", "finally")):
+                indent -= 1
+                if indent < 0:
+                    raise ServerPageError(
+                        f"'{statement}' without an open block in {self.name}"
+                    )
+                emit(statement if statement.endswith(":") else statement + ":")
+                indent += 1
+                emit("pass")
+                continue
+            if statement.endswith(":"):
+                emit(statement)
+                indent += 1
+                emit("pass")
+                continue
+            emit(statement)
+        if indent != 0:
+            raise ServerPageError(
+                f"unclosed block in server page {self.name} "
+                f"(missing '<% end %>')"
+            )
+        text = "\n".join(lines) or "pass"
+        try:
+            return compile(text, self.name, "exec")
+        except SyntaxError as error:
+            raise ServerPageError(
+                f"server page {self.name} does not compile: {error}"
+            )
+
+    @staticmethod
+    def _emit_literal(emit, literal: str) -> None:
+        if literal:
+            emit(f"__out__.append({literal!r})")
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, **context: Any) -> str:
+        """Render with *context* names visible to scriptlets by bare name."""
+        output: list[str] = []
+        namespace: dict[str, Any] = dict(context)
+        namespace["__out__"] = output
+        exec(self._code, namespace)
+        return "".join(output)
+
+
+def render_page(source: str, **context: Any) -> str:
+    """One-shot convenience."""
+    return ServerPage(source).render(**context)

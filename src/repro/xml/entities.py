@@ -1,0 +1,115 @@
+"""Predefined entities, character references, and output escaping."""
+
+from __future__ import annotations
+
+from repro.errors import Location, XmlSyntaxError
+from repro.xml.chars import is_name, is_xml_char
+
+#: The five predefined general entities of XML 1.0 (production 66 context).
+PREDEFINED_ENTITIES: dict[str, str] = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_TEXT_ESCAPES = str.maketrans(
+    {
+        "&": "&amp;",
+        "<": "&lt;",
+        ">": "&gt;",
+        "\r": "&#13;",
+    }
+)
+
+_ATTR_ESCAPES = str.maketrans(
+    {
+        "&": "&amp;",
+        "<": "&lt;",
+        ">": "&gt;",
+        '"': "&quot;",
+        "\t": "&#9;",
+        "\n": "&#10;",
+        "\r": "&#13;",
+    }
+)
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    return text.translate(_TEXT_ESCAPES)
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return text.translate(_ATTR_ESCAPES)
+
+
+def decode_char_reference(body: str, location: Location | None = None) -> str:
+    """Decode the body of a character reference (``#38`` or ``#x26``)."""
+    digits = body[1:]
+    try:
+        if digits.startswith(("x", "X")):
+            codepoint = int(digits[1:], 16)
+        else:
+            codepoint = int(digits, 10)
+    except ValueError:
+        raise XmlSyntaxError(f"malformed character reference '&{body};'", location)
+    try:
+        char = chr(codepoint)
+    except (ValueError, OverflowError):
+        raise XmlSyntaxError(
+            f"character reference '&{body};' is outside Unicode", location
+        )
+    if not is_xml_char(char):
+        raise XmlSyntaxError(
+            f"character reference '&{body};' is not a legal XML character", location
+        )
+    return char
+
+
+def resolve_reference(
+    body: str,
+    entities: dict[str, str] | None = None,
+    location: Location | None = None,
+) -> str:
+    """Resolve a ``&body;`` reference to its replacement text.
+
+    *entities* supplies general entities declared in an internal DTD subset;
+    the five predefined entities are always available.
+    """
+    if body.startswith("#"):
+        return decode_char_reference(body, location)
+    if body in PREDEFINED_ENTITIES:
+        return PREDEFINED_ENTITIES[body]
+    if entities and body in entities:
+        return entities[body]
+    if not is_name(body):
+        raise XmlSyntaxError(f"malformed entity reference '&{body};'", location)
+    raise XmlSyntaxError(f"reference to undeclared entity '&{body};'", location)
+
+
+def unescape(text: str, entities: dict[str, str] | None = None) -> str:
+    """Replace all entity and character references in *text*.
+
+    This is the inverse of :func:`escape_text` for round-tripping already
+    well-formed content; the full parser performs the same resolution with
+    position tracking.
+    """
+    if "&" not in text:
+        return text
+    pieces: list[str] = []
+    index = 0
+    while True:
+        amp = text.find("&", index)
+        if amp < 0:
+            pieces.append(text[index:])
+            break
+        pieces.append(text[index:amp])
+        semi = text.find(";", amp + 1)
+        if semi < 0:
+            raise XmlSyntaxError("unterminated reference (missing ';')")
+        pieces.append(resolve_reference(text[amp + 1 : semi], entities))
+        index = semi + 1
+    return "".join(pieces)

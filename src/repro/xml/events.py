@@ -1,0 +1,97 @@
+"""Event types produced by the pull parser.
+
+The parser reports a flat stream of these events; the DOM builder, the DTD
+validator, and the streaming schema validator all consume the same stream,
+which keeps the three "bindings" of the paper comparable: they differ only
+in what they build from identical parse events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import Location
+
+
+@dataclass(frozen=True)
+class XmlDeclaration:
+    """``<?xml version=... encoding=... standalone=...?>``"""
+
+    version: str = "1.0"
+    encoding: str | None = None
+    standalone: bool | None = None
+    location: Location = field(default_factory=Location, compare=False)
+
+
+@dataclass(frozen=True)
+class DoctypeDecl:
+    """``<!DOCTYPE name ...>`` with the raw internal subset, if any."""
+
+    name: str
+    public_id: str | None = None
+    system_id: str | None = None
+    internal_subset: str | None = None
+    location: Location = field(default_factory=Location, compare=False)
+
+
+@dataclass(frozen=True)
+class StartElement:
+    """A start tag (or the start half of an empty-element tag)."""
+
+    name: str
+    attributes: tuple[tuple[str, str], ...] = ()
+    #: True when the tag was written ``<name/>``.
+    self_closing: bool = False
+    location: Location = field(default_factory=Location, compare=False)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Return the value of attribute *name*, or *default*."""
+        for key, value in self.attributes:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class EndElement:
+    """An end tag (synthesized for empty-element tags)."""
+
+    name: str
+    location: Location = field(default_factory=Location, compare=False)
+
+
+@dataclass(frozen=True)
+class Characters:
+    """Character data; ``cdata`` marks text from a CDATA section."""
+
+    data: str
+    cdata: bool = False
+    location: Location = field(default_factory=Location, compare=False)
+
+
+@dataclass(frozen=True)
+class Comment:
+    """``<!-- data -->``"""
+
+    data: str
+    location: Location = field(default_factory=Location, compare=False)
+
+
+@dataclass(frozen=True)
+class ProcessingInstruction:
+    """``<?target data?>``"""
+
+    target: str
+    data: str
+    location: Location = field(default_factory=Location, compare=False)
+
+
+Event = (
+    XmlDeclaration
+    | DoctypeDecl
+    | StartElement
+    | EndElement
+    | Characters
+    | Comment
+    | ProcessingInstruction
+)

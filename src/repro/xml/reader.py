@@ -1,0 +1,101 @@
+"""A position-tracking cursor over source text.
+
+Shared by the XML parser, the DTD parser, and the P-XML template parser so
+every error in the stack carries an exact line/column.
+"""
+
+from __future__ import annotations
+
+from repro.errors import Location, XmlSyntaxError
+from repro.xml.chars import is_name_char, is_name_start_char, is_space
+
+
+class Reader:
+    """Sequential reader with line/column bookkeeping."""
+
+    def __init__(self, text: str, source: str | None = None):
+        self._text = text
+        self._length = len(text)
+        self._source = source
+        self.offset = 0
+        self.line = 1
+        self.column = 1
+
+    @property
+    def text(self) -> str:
+        return self._text
+
+    def location(self) -> Location:
+        """The location of the *next* character to be read."""
+        return Location(self.line, self.column, self.offset, self._source)
+
+    def at_end(self) -> bool:
+        return self.offset >= self._length
+
+    def peek(self, count: int = 1) -> str:
+        """Return up to *count* characters without consuming them."""
+        return self._text[self.offset : self.offset + count]
+
+    def looking_at(self, literal: str) -> bool:
+        return self._text.startswith(literal, self.offset)
+
+    def advance(self, count: int = 1) -> str:
+        """Consume and return *count* characters (fewer at end of input)."""
+        chunk = self._text[self.offset : self.offset + count]
+        for char in chunk:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.offset += len(chunk)
+        return chunk
+
+    def expect(self, literal: str, context: str) -> None:
+        """Consume *literal* or raise a syntax error mentioning *context*."""
+        if not self.looking_at(literal):
+            found = self.peek(len(literal)) or "end of input"
+            raise XmlSyntaxError(
+                f"expected '{literal}' {context}, found '{found}'", self.location()
+            )
+        self.advance(len(literal))
+
+    def skip_space(self) -> bool:
+        """Consume a run of white space; return whether any was consumed."""
+        start = self.offset
+        while not self.at_end() and is_space(self._text[self.offset]):
+            self.advance(1)
+        return self.offset > start
+
+    def require_space(self, context: str) -> None:
+        if not self.skip_space():
+            raise XmlSyntaxError(f"expected white space {context}", self.location())
+
+    def read_name(self, context: str = "") -> str:
+        """Consume an XML Name."""
+        if self.at_end() or not is_name_start_char(self._text[self.offset]):
+            what = f" {context}" if context else ""
+            raise XmlSyntaxError(f"expected a name{what}", self.location())
+        start = self.offset
+        while not self.at_end() and is_name_char(self._text[self.offset]):
+            self.advance(1)
+        return self._text[start : self.offset]
+
+    def read_until(self, terminator: str, context: str) -> str:
+        """Consume text up to *terminator*, consuming the terminator too."""
+        end = self._text.find(terminator, self.offset)
+        if end < 0:
+            raise XmlSyntaxError(
+                f"unterminated {context} (missing '{terminator}')", self.location()
+            )
+        chunk = self._text[self.offset : end]
+        self.advance(len(chunk) + len(terminator))
+        return chunk
+
+    def read_quoted(self, context: str) -> str:
+        """Consume a single- or double-quoted literal, returning its body."""
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise XmlSyntaxError(f"expected quoted literal {context}", self.location())
+        self.advance(1)
+        return self.read_until(quote, context)

@@ -1,0 +1,90 @@
+"""Low-level markup writing helpers shared by DOM and V-DOM serializers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import XmlError
+from repro.xml.chars import is_name
+from repro.xml.entities import escape_attribute, escape_text
+
+
+def attribute_string(attributes: Iterable[tuple[str, str]]) -> str:
+    """Render ``name="value"`` pairs, escaped, with a leading space each."""
+    pieces: list[str] = []
+    for name, value in attributes:
+        if not is_name(name):
+            raise XmlError(f"'{name}' is not a legal attribute name")
+        pieces.append(f' {name}="{escape_attribute(value)}"')
+    return "".join(pieces)
+
+
+def start_tag(
+    name: str,
+    attributes: Iterable[tuple[str, str]] = (),
+    self_closing: bool = False,
+) -> str:
+    """Render a start (or empty-element) tag."""
+    if not is_name(name):
+        raise XmlError(f"'{name}' is not a legal element name")
+    closer = "/>" if self_closing else ">"
+    return f"<{name}{attribute_string(attributes)}{closer}"
+
+
+def end_tag(name: str) -> str:
+    """Render an end tag."""
+    return f"</{name}>"
+
+
+def comment(data: str) -> str:
+    """Render a comment; rejects bodies a parser could not round-trip."""
+    if "--" in data:
+        raise XmlError("comment data may not contain '--'")
+    if data.endswith("-"):
+        raise XmlError("comment data may not end with '-'")
+    return f"<!--{data}-->"
+
+
+def processing_instruction(target: str, data: str = "") -> str:
+    """Render a processing instruction."""
+    if not is_name(target) or target.lower() == "xml":
+        raise XmlError(f"'{target}' is not a legal processing instruction target")
+    if "?>" in data:
+        raise XmlError("processing instruction data may not contain '?>'")
+    if data:
+        return f"<?{target} {data}?>"
+    return f"<?{target}?>"
+
+
+def cdata_section(data: str) -> str:
+    """Render a CDATA section, splitting any embedded ']]>'."""
+    safe = data.replace("]]>", "]]]]><![CDATA[>")
+    return f"<![CDATA[{safe}]]>"
+
+
+def text(data: str) -> str:
+    """Render character data (alias of :func:`escape_text`)."""
+    return escape_text(data)
+
+
+def xml_declaration(version: str = "1.0", encoding: str | None = "UTF-8") -> str:
+    """Render an XML declaration."""
+    if encoding:
+        return f'<?xml version="{version}" encoding="{encoding}"?>'
+    return f'<?xml version="{version}"?>'
+
+
+class IndentPolicy:
+    """Pretty-printing configuration for tree serializers.
+
+    ``indent`` is the per-level unit; ``preserve_mixed`` keeps element
+    content verbatim whenever an element mixes text and child elements, so
+    pretty-printing never changes the document's significant content.
+    """
+
+    def __init__(self, indent: str = "  ", preserve_mixed: bool = True):
+        self.indent = indent
+        self.preserve_mixed = preserve_mixed
+
+    def prefix(self, depth: int) -> str:
+        return "\n" + self.indent * depth

@@ -1,0 +1,59 @@
+"""XML Schema substrate: datatypes, structures, parsing, validation.
+
+Implements the parts of XML Schema (the paper's reference [24]) that the
+paper's transformation consumes:
+
+* the built-in simple types and facet-based restriction, list, union
+  (:mod:`repro.xsd.simple`, :mod:`repro.xsd.facets`,
+  :mod:`repro.xsd.values`, :mod:`repro.xsd.regex`),
+* complex types with sequence/choice/all groups, occurrence constraints,
+  attribute uses, extension and restriction derivation, abstractness,
+  substitution groups, named model groups
+  (:mod:`repro.xsd.components`),
+* a schema-document parser (:mod:`repro.xsd.schema_parser`),
+* a runtime instance validator (:mod:`repro.xsd.validator`) — the
+  "expensive validation at run-time" of low-level bindings that V-DOM
+  renders unnecessary.
+
+Identity constraints and wildcards are intentionally not handled, exactly
+as the paper states in Sect. 3.
+"""
+
+from repro.xsd.simple import BUILTIN_TYPES, SimpleType, Variety, builtin_type
+from repro.xsd.components import (
+    AttributeDeclaration,
+    AttributeUse,
+    ComplexType,
+    Compositor,
+    ContentType,
+    ElementDeclaration,
+    GroupDefinition,
+    ModelGroup,
+    Particle,
+    Schema,
+)
+from repro.xsd.schema_parser import parse_schema, parse_schema_document
+from repro.xsd.validator import SchemaValidator, validate
+from repro.xsd.stream import StreamingValidator
+
+__all__ = [
+    "AttributeDeclaration",
+    "AttributeUse",
+    "BUILTIN_TYPES",
+    "ComplexType",
+    "Compositor",
+    "ContentType",
+    "ElementDeclaration",
+    "GroupDefinition",
+    "ModelGroup",
+    "Particle",
+    "Schema",
+    "SchemaValidator",
+    "SimpleType",
+    "StreamingValidator",
+    "Variety",
+    "builtin_type",
+    "parse_schema",
+    "parse_schema_document",
+    "validate",
+]

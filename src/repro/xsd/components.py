@@ -1,0 +1,391 @@
+"""Schema components: elements, particles, model groups, complex types.
+
+The component model follows XML Schema Part 1 structures, trimmed to the
+feature set the paper handles (no wildcards, no identity constraints;
+``all`` groups treated like sequences, as the paper states in Sect. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import SchemaError
+from repro.automata import (
+    Alternation,
+    Dfa,
+    Epsilon,
+    Regex,
+    Repetition,
+    Sequence,
+    Symbol,
+    build_dfa,
+)
+from repro.automata.rex import UNBOUNDED
+from repro.xsd.simple import SimpleType
+
+TypeDefinition = Union[SimpleType, "ComplexType"]
+
+
+class Compositor(enum.Enum):
+    """Model-group compositors."""
+
+    SEQUENCE = "sequence"
+    CHOICE = "choice"
+    ALL = "all"
+
+
+class ContentType(enum.Enum):
+    """Complex-type content categories."""
+
+    EMPTY = "empty"
+    SIMPLE = "simple"
+    ELEMENT_ONLY = "element-only"
+    MIXED = "mixed"
+
+
+class DerivationMethod(enum.Enum):
+    """How a complex type is derived from its base."""
+
+    NONE = "none"
+    EXTENSION = "extension"
+    RESTRICTION = "restriction"
+
+
+@dataclass
+class ElementDeclaration:
+    """``<xsd:element>`` — global or local.
+
+    ``type_definition`` is filled in during schema resolution; until then
+    ``type_name`` carries the (possibly prefixed) reference.
+    """
+
+    name: str
+    type_name: str | None = None
+    type_definition: TypeDefinition | None = None
+    is_global: bool = False
+    abstract: bool = False
+    substitution_group: str | None = None
+    default: str | None = None
+    fixed: str | None = None
+
+    def resolved_type(self) -> TypeDefinition:
+        if self.type_definition is None:
+            raise SchemaError(
+                f"element '{self.name}' has no resolved type "
+                f"(reference '{self.type_name}')"
+            )
+        return self.type_definition
+
+    def __repr__(self) -> str:
+        return f"ElementDeclaration({self.name!r})"
+
+
+@dataclass
+class ModelGroup:
+    """A sequence/choice/all group of particles."""
+
+    compositor: Compositor
+    particles: list[Particle] = field(default_factory=list)
+    #: set for named group definitions and by V-DOM normalization
+    name: str | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelGroup({self.compositor.value}, "
+            f"{len(self.particles)} particles, name={self.name!r})"
+        )
+
+
+@dataclass
+class GroupReference:
+    """``<xsd:group ref="..."/>`` before/after resolution."""
+
+    ref: str
+    definition: GroupDefinition | None = None
+
+    def resolved(self) -> ModelGroup:
+        if self.definition is None:
+            raise SchemaError(f"unresolved group reference '{self.ref}'")
+        return self.definition.model_group
+
+
+Term = Union[ElementDeclaration, ModelGroup, GroupReference]
+
+
+@dataclass
+class Particle:
+    """A term with occurrence bounds."""
+
+    term: Term
+    min_occurs: int = 1
+    max_occurs: int = 1  # UNBOUNDED (-1) for 'unbounded'
+
+    def occurs_once(self) -> bool:
+        return self.min_occurs == 1 and self.max_occurs == 1
+
+    def is_optional(self) -> bool:
+        return self.min_occurs == 0
+
+    def is_list(self) -> bool:
+        """The paper's "list expression": maxOccurs > 1 (or unbounded)."""
+        return self.max_occurs == UNBOUNDED or self.max_occurs > 1
+
+    def __repr__(self) -> str:
+        bound = "unbounded" if self.max_occurs == UNBOUNDED else self.max_occurs
+        return f"Particle({self.term!r}, {self.min_occurs}..{bound})"
+
+
+@dataclass
+class GroupDefinition:
+    """``<xsd:group name="...">`` — the paper's *explicit naming* hook."""
+
+    name: str
+    model_group: ModelGroup
+
+
+@dataclass
+class AttributeDeclaration:
+    """``<xsd:attribute>``"""
+
+    name: str
+    type_name: str | None = None
+    type_definition: SimpleType | None = None
+
+    def resolved_type(self) -> SimpleType:
+        if self.type_definition is None:
+            raise SchemaError(
+                f"attribute '{self.name}' has no resolved type "
+                f"(reference '{self.type_name}')"
+            )
+        return self.type_definition
+
+
+@dataclass
+class AttributeUse:
+    """An attribute declaration plus its per-type use constraints."""
+
+    declaration: AttributeDeclaration
+    required: bool = False
+    default: str | None = None
+    fixed: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.declaration.name
+
+
+@dataclass
+class ComplexType:
+    """``<xsd:complexType>``"""
+
+    name: str | None = None
+    base_name: str | None = None
+    base: TypeDefinition | None = None
+    derivation: DerivationMethod = DerivationMethod.NONE
+    abstract: bool = False
+    mixed: bool = False
+    content: Particle | None = None
+    #: for simpleContent: the simple type of the text value
+    simple_content: SimpleType | None = None
+    attribute_uses: dict[str, AttributeUse] = field(default_factory=dict)
+    #: unresolved attribute-group references
+    attribute_group_refs: list[str] = field(default_factory=list)
+
+    @property
+    def content_type(self) -> ContentType:
+        if self.simple_content is not None:
+            return ContentType.SIMPLE
+        if self.content is None or not _has_elements(self.content):
+            return ContentType.MIXED if self.mixed else ContentType.EMPTY
+        return ContentType.MIXED if self.mixed else ContentType.ELEMENT_ONLY
+
+    def effective_content(self) -> Particle | None:
+        """Content particle including inherited base content (extension).
+
+        For an extension the spec prescribes a sequence of the base's
+        content followed by the extension's own particle; restriction
+        replaces the base content outright.
+        """
+        if self.derivation is not DerivationMethod.EXTENSION:
+            return self.content
+        base = self.base
+        base_content = (
+            base.effective_content() if isinstance(base, ComplexType) else None
+        )
+        if base_content is None:
+            return self.content
+        if self.content is None:
+            return base_content
+        combined = ModelGroup(
+            Compositor.SEQUENCE, [base_content, self.content]
+        )
+        return Particle(combined)
+
+    def effective_attribute_uses(self) -> dict[str, AttributeUse]:
+        """Attribute uses including those inherited from the base chain."""
+        merged: dict[str, AttributeUse] = {}
+        if isinstance(self.base, ComplexType):
+            merged.update(self.base.effective_attribute_uses())
+        merged.update(self.attribute_uses)
+        return merged
+
+    def is_derived_from(self, other: ComplexType) -> bool:
+        current: TypeDefinition | None = self
+        while isinstance(current, ComplexType):
+            if current is other or (
+                other.name is not None and current.name == other.name
+            ):
+                return True
+            current = current.base
+        return False
+
+    def __repr__(self) -> str:
+        return f"ComplexType({self.name!r}, {self.content_type.value})"
+
+
+def _has_elements(particle: Particle) -> bool:
+    term = particle.term
+    if isinstance(term, ElementDeclaration):
+        return True
+    if isinstance(term, GroupReference):
+        return _has_elements(Particle(term.resolved()))
+    return any(_has_elements(child) for child in term.particles)
+
+
+#: The ur-type: anything goes.  Used as the default base.
+ANY_TYPE = ComplexType(name="anyType", mixed=True)
+
+
+class Schema:
+    """A resolved schema: global components plus automaton caching."""
+
+    def __init__(self, target_namespace: str | None = None):
+        self.target_namespace = target_namespace
+        self.elements: dict[str, ElementDeclaration] = {}
+        self.types: dict[str, TypeDefinition] = {}
+        self.groups: dict[str, GroupDefinition] = {}
+        self.attribute_groups: dict[str, list[AttributeUse]] = {}
+        #: head element name -> members (transitively closed at resolution)
+        self.substitution_members: dict[str, list[ElementDeclaration]] = {}
+        self._dfa_cache: dict[int, Dfa] = {}
+
+    # -- lookups ---------------------------------------------------------------
+
+    def element(self, name: str) -> ElementDeclaration:
+        try:
+            return self.elements[name]
+        except KeyError:
+            raise SchemaError(f"no global element '{name}' in the schema")
+
+    def type_definition(self, name: str) -> TypeDefinition:
+        try:
+            return self.types[name]
+        except KeyError:
+            raise SchemaError(f"no type definition '{name}' in the schema")
+
+    def group(self, name: str) -> GroupDefinition:
+        try:
+            return self.groups[name]
+        except KeyError:
+            raise SchemaError(f"no model group '{name}' in the schema")
+
+    def substitution_alternatives(
+        self, declaration: ElementDeclaration
+    ) -> list[ElementDeclaration]:
+        """Elements usable where *declaration* is expected.
+
+        The head itself (unless abstract) plus every member of its
+        substitution group, transitively.
+        """
+        alternatives: list[ElementDeclaration] = []
+        if not declaration.abstract:
+            alternatives.append(declaration)
+        alternatives.extend(self.substitution_members.get(declaration.name, ()))
+        return alternatives
+
+    # -- content automata ------------------------------------------------------------
+
+    def particle_to_regex(self, particle: Particle) -> Regex:
+        """Translate a particle tree to the automaton regex AST.
+
+        Element terminals carry the :class:`ElementDeclaration` as their
+        payload; substitution-group members become alternations, which is
+        how "elements can be substituted for other elements" reaches the
+        matcher.
+        """
+        term = particle.term
+        if isinstance(term, ElementDeclaration):
+            alternatives = self.substitution_alternatives(
+                self.elements.get(term.name, term)
+                if term.is_global
+                else term
+            )
+            if not alternatives:
+                base: Regex = Symbol(term)
+            elif len(alternatives) == 1:
+                base = Symbol(alternatives[0])
+            else:
+                base = Alternation([Symbol(alt) for alt in alternatives])
+        elif isinstance(term, GroupReference):
+            return self.particle_to_regex(
+                Particle(term.resolved(), particle.min_occurs, particle.max_occurs)
+            )
+        else:
+            parts = [self.particle_to_regex(child) for child in term.particles]
+            if not parts:
+                base = Epsilon()
+            elif term.compositor is Compositor.CHOICE:
+                base = Alternation(parts)
+            else:
+                # ALL is treated like SEQUENCE, exactly as the paper does.
+                base = Sequence(parts)
+        if particle.occurs_once():
+            return base
+        return Repetition(base, particle.min_occurs, particle.max_occurs)
+
+    def check_unique_particle_attribution(self) -> list[SchemaError]:
+        """Check every named complex type against the UPA constraint.
+
+        XML Schema requires deterministic content models (Unique
+        Particle Attribution); the validator here tolerates ambiguity
+        via subset construction, so the check is advisory — run it to
+        know whether a schema is portable to stricter processors.
+        """
+        from repro.automata.glushkov import NondeterminismError
+
+        violations: list[SchemaError] = []
+        for name, definition in self.types.items():
+            if not isinstance(definition, ComplexType):
+                continue
+            content = definition.effective_content()
+            if content is None:
+                continue
+            try:
+                build_dfa(
+                    self.particle_to_regex(content),
+                    key=lambda declaration: declaration.name,
+                    require_deterministic=True,
+                )
+            except NondeterminismError as error:
+                violations.append(
+                    SchemaError(
+                        f"type '{name}' violates Unique Particle "
+                        f"Attribution: {error}"
+                    )
+                )
+        return violations
+
+    def content_dfa(self, complex_type: ComplexType) -> Dfa:
+        """DFA for *complex_type*'s effective element content (cached)."""
+        cache_key = id(complex_type)
+        if cache_key not in self._dfa_cache:
+            content = complex_type.effective_content()
+            regex: Regex = (
+                self.particle_to_regex(content) if content is not None else Epsilon()
+            )
+            self._dfa_cache[cache_key] = build_dfa(
+                regex, key=lambda declaration: declaration.name
+            )
+        return self._dfa_cache[cache_key]

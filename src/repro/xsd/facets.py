@@ -1,0 +1,291 @@
+"""Constraining facets for simple type restriction.
+
+Each facet validates a (literal, value) pair; a :class:`FacetSet` is the
+merged, inheritance-resolved collection attached to one simple type.
+Fixed-facet and restriction-consistency rules are enforced when a derived
+type is built (:mod:`repro.xsd.simple`).
+"""
+
+from __future__ import annotations
+
+import decimal
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SchemaError, SimpleTypeError
+from repro.xsd.regex import compile_pattern
+
+
+class WhiteSpace:
+    """The three whiteSpace normalization modes."""
+
+    PRESERVE = "preserve"
+    REPLACE = "replace"
+    COLLAPSE = "collapse"
+
+    ORDER = {PRESERVE: 0, REPLACE: 1, COLLAPSE: 2}
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One ``xsd:pattern`` facet value."""
+
+    source: str
+
+    def matches(self, literal: str) -> bool:
+        return compile_pattern(self.source).fullmatch(literal) is not None
+
+
+def _value_length(value: Any) -> int:
+    """Facet 'length' counts characters, list items, or bytes."""
+    return len(value)
+
+
+@dataclass
+class FacetSet:
+    """The effective facets of one simple type (base facets merged in)."""
+
+    white_space: str = WhiteSpace.PRESERVE
+    length: int | None = None
+    min_length: int | None = None
+    max_length: int | None = None
+    #: patterns from *different* derivation steps must all match;
+    #: patterns within one step are alternatives.  We keep one entry per
+    #: derivation step, each a tuple of alternatives.
+    patterns: tuple[tuple[Pattern, ...], ...] = ()
+    #: enumeration: parsed values allowed (None = unconstrained)
+    enumeration: tuple[Any, ...] | None = None
+    min_inclusive: Any = None
+    max_inclusive: Any = None
+    min_exclusive: Any = None
+    max_exclusive: Any = None
+    total_digits: int | None = None
+    fraction_digits: int | None = None
+    #: facet names fixed="true" in some ancestor (cannot be changed below)
+    fixed: frozenset[str] = frozenset()
+
+    # -- validation -------------------------------------------------------------
+
+    def check_lexical(self, literal: str) -> None:
+        """Pattern facets apply to the (normalized) literal."""
+        for alternatives in self.patterns:
+            if not any(pattern.matches(literal) for pattern in alternatives):
+                sources = " | ".join(p.source for p in alternatives)
+                raise SimpleTypeError(
+                    f"'{literal}' does not match pattern '{sources}'"
+                )
+
+    def check_value(self, value: Any, literal: str) -> None:
+        """Value-space facets apply to the parsed value."""
+        if self.length is not None and _value_length(value) != self.length:
+            raise SimpleTypeError(
+                f"'{literal}' has length {_value_length(value)}, "
+                f"facet requires exactly {self.length}"
+            )
+        if self.min_length is not None and _value_length(value) < self.min_length:
+            raise SimpleTypeError(
+                f"'{literal}' is shorter than minLength {self.min_length}"
+            )
+        if self.max_length is not None and _value_length(value) > self.max_length:
+            raise SimpleTypeError(
+                f"'{literal}' is longer than maxLength {self.max_length}"
+            )
+        self._check_bounds(value, literal)
+        self._check_digits(value, literal)
+        if self.enumeration is not None and not self._in_enumeration(value):
+            allowed = ", ".join(repr(item) for item in self.enumeration)
+            raise SimpleTypeError(
+                f"'{literal}' is not among the enumerated values: {allowed}"
+            )
+
+    def _in_enumeration(self, value: Any) -> bool:
+        assert self.enumeration is not None
+        for allowed in self.enumeration:
+            if type(allowed) is type(value) or isinstance(value, type(allowed)):
+                if allowed == value:
+                    return True
+            elif allowed == value:
+                return True
+        return False
+
+    def _check_bounds(self, value: Any, literal: str) -> None:
+        try:
+            if self.min_inclusive is not None and value < self.min_inclusive:
+                raise SimpleTypeError(
+                    f"'{literal}' is below minInclusive {self.min_inclusive}"
+                )
+            if self.max_inclusive is not None and value > self.max_inclusive:
+                raise SimpleTypeError(
+                    f"'{literal}' is above maxInclusive {self.max_inclusive}"
+                )
+            if self.min_exclusive is not None and value <= self.min_exclusive:
+                raise SimpleTypeError(
+                    f"'{literal}' is not above minExclusive {self.min_exclusive}"
+                )
+            if self.max_exclusive is not None and value >= self.max_exclusive:
+                raise SimpleTypeError(
+                    f"'{literal}' is not below maxExclusive {self.max_exclusive}"
+                )
+        except TypeError:
+            raise SchemaError(
+                f"range facet value is not comparable with '{literal}'"
+            )
+
+    def _check_digits(self, value: Any, literal: str) -> None:
+        if self.total_digits is None and self.fraction_digits is None:
+            return
+        as_decimal = (
+            value
+            if isinstance(value, decimal.Decimal)
+            else decimal.Decimal(value)
+            if isinstance(value, int)
+            else None
+        )
+        if as_decimal is None:
+            return
+        sign, digits, exponent = as_decimal.normalize().as_tuple()
+        del sign
+        if not isinstance(exponent, int):  # NaN/Inf tuples
+            return
+        fraction = max(0, -exponent)
+        total = max(len(digits), fraction)
+        if self.total_digits is not None and total > self.total_digits:
+            raise SimpleTypeError(
+                f"'{literal}' has {total} digits, totalDigits allows "
+                f"{self.total_digits}"
+            )
+        if self.fraction_digits is not None and fraction > self.fraction_digits:
+            raise SimpleTypeError(
+                f"'{literal}' has {fraction} fraction digits, "
+                f"fractionDigits allows {self.fraction_digits}"
+            )
+
+    # -- derivation -------------------------------------------------------------
+
+    def derive(
+        self,
+        *,
+        parse: Callable[[str], Any],
+        white_space: str | None = None,
+        length: int | None = None,
+        min_length: int | None = None,
+        max_length: int | None = None,
+        patterns: tuple[str, ...] = (),
+        enumeration: tuple[str, ...] | None = None,
+        min_inclusive: str | None = None,
+        max_inclusive: str | None = None,
+        min_exclusive: str | None = None,
+        max_exclusive: str | None = None,
+        total_digits: int | None = None,
+        fraction_digits: int | None = None,
+        fixed_names: frozenset[str] = frozenset(),
+    ) -> FacetSet:
+        """Return the facet set of a restriction step over this one.
+
+        Raw facet literals are parsed with *parse* (the base type's own
+        parser) so range and enumeration facets live in the value space.
+        """
+        def pick(name: str, new: Any, old: Any) -> Any:
+            if new is None:
+                return old
+            if name in self.fixed and new != old:
+                raise SchemaError(
+                    f"facet '{name}' is fixed in the base type and cannot "
+                    "be changed"
+                )
+            return new
+
+        if white_space is not None:
+            if WhiteSpace.ORDER[white_space] < WhiteSpace.ORDER[self.white_space]:
+                raise SchemaError(
+                    f"whiteSpace cannot weaken from '{self.white_space}' "
+                    f"to '{white_space}'"
+                )
+
+        new_patterns = self.patterns
+        if patterns:
+            new_patterns = new_patterns + (
+                tuple(Pattern(source) for source in patterns),
+            )
+
+        new_enumeration = self.enumeration
+        if enumeration is not None:
+            parsed_enum = tuple(parse(literal) for literal in enumeration)
+            new_enumeration = parsed_enum
+
+        def parse_bound(literal: str | None) -> Any:
+            return parse(literal) if literal is not None else None
+
+        derived = FacetSet(
+            white_space=pick("whiteSpace", white_space, self.white_space),
+            length=pick("length", length, self.length),
+            min_length=pick("minLength", min_length, self.min_length),
+            max_length=pick("maxLength", max_length, self.max_length),
+            patterns=new_patterns,
+            enumeration=new_enumeration,
+            min_inclusive=pick(
+                "minInclusive", parse_bound(min_inclusive), self.min_inclusive
+            ),
+            max_inclusive=pick(
+                "maxInclusive", parse_bound(max_inclusive), self.max_inclusive
+            ),
+            min_exclusive=pick(
+                "minExclusive", parse_bound(min_exclusive), self.min_exclusive
+            ),
+            max_exclusive=pick(
+                "maxExclusive", parse_bound(max_exclusive), self.max_exclusive
+            ),
+            total_digits=pick("totalDigits", total_digits, self.total_digits),
+            fraction_digits=pick(
+                "fractionDigits", fraction_digits, self.fraction_digits
+            ),
+            fixed=self.fixed | fixed_names,
+        )
+        derived._check_consistency()
+        return derived
+
+    def _check_consistency(self) -> None:
+        if (
+            self.length is not None
+            and self.min_length is not None
+            and self.length < self.min_length
+        ):
+            raise SchemaError("length is smaller than minLength")
+        if (
+            self.length is not None
+            and self.max_length is not None
+            and self.length > self.max_length
+        ):
+            raise SchemaError("length is larger than maxLength")
+        if (
+            self.min_length is not None
+            and self.max_length is not None
+            and self.min_length > self.max_length
+        ):
+            raise SchemaError("minLength is larger than maxLength")
+        if (
+            self.total_digits is not None
+            and self.fraction_digits is not None
+            and self.fraction_digits > self.total_digits
+        ):
+            raise SchemaError("fractionDigits exceeds totalDigits")
+        try:
+            if (
+                self.min_inclusive is not None
+                and self.max_inclusive is not None
+                and self.min_inclusive > self.max_inclusive
+            ):
+                raise SchemaError("minInclusive is above maxInclusive")
+            if (
+                self.min_exclusive is not None
+                and self.max_exclusive is not None
+                and self.min_exclusive >= self.max_exclusive
+            ):
+                raise SchemaError("minExclusive is not below maxExclusive")
+        except TypeError:
+            raise SchemaError("range facets of incomparable types")
+        if self.min_inclusive is not None and self.min_exclusive is not None:
+            raise SchemaError("minInclusive and minExclusive are both present")
+        if self.max_inclusive is not None and self.max_exclusive is not None:
+            raise SchemaError("maxInclusive and maxExclusive are both present")

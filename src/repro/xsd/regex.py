@@ -1,0 +1,292 @@
+"""Translate XML Schema regular expressions to Python :mod:`re` patterns.
+
+The XSD dialect (XML Schema Part 2, Appendix F) differs from Python's:
+
+* patterns are implicitly anchored at both ends,
+* ``^`` and ``$`` are ordinary characters,
+* ``.`` matches everything except newline and carriage return,
+* ``\\i``/``\\c`` match XML name-start / name characters,
+* character classes support *subtraction*: ``[a-z-[aeiou]]``.
+
+The translator is a recursive-descent parser over the XSD grammar that
+emits an equivalent Python pattern; :func:`compile_pattern` returns a
+compiled regex whose ``fullmatch`` decides facet satisfaction.  Unicode
+property escapes (``\\p{...}``) are not supported and raise
+:class:`~repro.errors.UnsupportedFeatureError`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SchemaError, UnsupportedFeatureError
+from repro.xml.chars import name_char_class, name_start_class, re_escape_char
+
+_PY_METACHARS = set(".^$*+?{}[]()|\\")
+
+_SINGLE_ESCAPES = {
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+    "\\": "\\",
+    "|": "|",
+    ".": ".",
+    "-": "-",
+    "^": "^",
+    "$": "$",
+    "?": "?",
+    "*": "*",
+    "+": "+",
+    "{": "{",
+    "}": "}",
+    "(": "(",
+    ")": ")",
+    "[": "[",
+    "]": "]",
+}
+
+#: Class escapes usable both standalone and inside classes.  Values are
+#: (inline pattern, class body).
+_CLASS_ESCAPES: dict[str, tuple[str, str | None]] = {
+    "s": (r"[ \t\n\r]", r" \t\n\r"),
+    "S": (r"[^ \t\n\r]", None),
+    "d": (r"\d", r"0-9"),
+    "D": (r"\D", None),
+    "w": (r"[^\s!-/:-@\[-`{-~]", None),
+    "W": (r"[\s!-/:-@\[-`{-~]", None),
+}
+
+
+class _Translator:
+    def __init__(self, pattern: str):
+        self._pattern = pattern
+        self._index = 0
+        self._i_class = name_start_class()
+        self._c_class = name_char_class()
+
+    # -- cursor helpers -------------------------------------------------------
+
+    def _at_end(self) -> bool:
+        return self._index >= len(self._pattern)
+
+    def _peek(self) -> str:
+        return self._pattern[self._index] if not self._at_end() else ""
+
+    def _next(self) -> str:
+        char = self._peek()
+        if not char:
+            raise SchemaError(
+                f"unexpected end of pattern '{self._pattern}'"
+            )
+        self._index += 1
+        return char
+
+    def _error(self, message: str) -> SchemaError:
+        return SchemaError(
+            f"bad pattern '{self._pattern}' at offset {self._index}: {message}"
+        )
+
+    # -- grammar ----------------------------------------------------------------
+
+    def translate(self) -> str:
+        result = self._regexp()
+        if not self._at_end():
+            raise self._error(f"unbalanced '{self._peek()}'")
+        return result
+
+    def _regexp(self) -> str:
+        branches = [self._branch()]
+        while self._peek() == "|":
+            self._next()
+            branches.append(self._branch())
+        if len(branches) == 1:
+            return branches[0]
+        return "(?:" + "|".join(branches) + ")"
+
+    def _branch(self) -> str:
+        pieces: list[str] = []
+        while not self._at_end() and self._peek() not in "|)":
+            pieces.append(self._piece())
+        return "".join(pieces)
+
+    def _piece(self) -> str:
+        atom = self._atom()
+        char = self._peek()
+        if char and char in "?*+":
+            self._next()
+            return atom + char
+        if char == "{":
+            return atom + self._quantity()
+        return atom
+
+    def _quantity(self) -> str:
+        start = self._index
+        self._next()  # consume '{'
+        body: list[str] = []
+        while self._peek() != "}":
+            if self._at_end():
+                raise self._error("unterminated quantifier")
+            body.append(self._next())
+        self._next()  # consume '}'
+        text = "".join(body)
+        if not re.fullmatch(r"\d+(,(\d+)?)?", text):
+            raise SchemaError(
+                f"bad quantifier '{{{text}}}' in pattern "
+                f"'{self._pattern}' at offset {start}"
+            )
+        low, __, high = text.partition(",")
+        if high and int(low) > int(high):
+            raise SchemaError(
+                f"reversed quantifier '{{{text}}}' in pattern "
+                f"'{self._pattern}' at offset {start}"
+            )
+        return "{" + text + "}"
+
+    def _atom(self) -> str:
+        char = self._peek()
+        if char == "(":
+            self._next()
+            inner = self._regexp()
+            if self._peek() != ")":
+                raise self._error("unbalanced '('")
+            self._next()
+            return "(?:" + inner + ")"
+        if char == "[":
+            return self._char_class()
+        if char == "\\":
+            return self._escape(in_class=False)
+        if char == ".":
+            self._next()
+            return r"[^\n\r]"
+        if char and char in "?*+{}":
+            raise self._error(f"dangling quantifier '{char}'")
+        if char == "]":
+            raise self._error("unbalanced ']'")
+        if not char:
+            raise self._error("unexpected end of pattern")
+        self._next()
+        if char in _PY_METACHARS:
+            return "\\" + char
+        return re.escape(char)
+
+    # -- escapes ------------------------------------------------------------------
+
+    def _escape(self, in_class: bool) -> str:
+        self._next()  # consume backslash
+        char = self._next()
+        if char in _SINGLE_ESCAPES:
+            literal = _SINGLE_ESCAPES[char]
+            if in_class:
+                return re_escape_char(literal) if len(literal) == 1 else literal
+            return re.escape(literal)
+        if char in _CLASS_ESCAPES:
+            inline, class_body = _CLASS_ESCAPES[char]
+            if in_class:
+                if class_body is None:
+                    raise UnsupportedFeatureError(
+                        f"negative class escape '\\{char}' inside a character "
+                        f"class is not supported (pattern '{self._pattern}')"
+                    )
+                return class_body
+            return inline
+        if char == "i":
+            return self._i_class if in_class else f"[{self._i_class}]"
+        if char == "I":
+            if in_class:
+                raise UnsupportedFeatureError(
+                    "'\\I' inside a character class is not supported"
+                )
+            return f"[^{self._i_class}]"
+        if char == "c":
+            return self._c_class if in_class else f"[{self._c_class}]"
+        if char == "C":
+            if in_class:
+                raise UnsupportedFeatureError(
+                    "'\\C' inside a character class is not supported"
+                )
+            return f"[^{self._c_class}]"
+        if char in "pP":
+            raise UnsupportedFeatureError(
+                f"unicode property escape '\\{char}{{...}}' is not supported"
+            )
+        raise self._error(f"unknown escape '\\{char}'")
+
+    # -- character classes ------------------------------------------------------------
+
+    def _char_class(self) -> str:
+        self._next()  # consume '['
+        negated = False
+        if self._peek() == "^":
+            negated = True
+            self._next()
+        body_parts: list[str] = []
+        subtrahend: str | None = None
+        first = True
+        while True:
+            char = self._peek()
+            if not char:
+                raise self._error("unterminated character class")
+            if char == "]" and not first:
+                self._next()
+                break
+            if char == "-" and self._pattern[self._index : self._index + 2] == "-[":
+                # Class subtraction: the rest is '-[...]' then ']'.
+                self._next()
+                subtrahend = self._char_class()
+                if self._peek() != "]":
+                    raise self._error("expected ']' after class subtraction")
+                self._next()
+                break
+            body_parts.append(self._class_range())
+            first = False
+        if not body_parts:
+            raise self._error("empty character class")
+        body = "".join(body_parts)
+        base = f"[^{body}]" if negated else f"[{body}]"
+        if subtrahend is not None:
+            return f"(?:(?!{subtrahend}){base})"
+        return base
+
+    def _class_range(self) -> str:
+        lower = self._class_char()
+        if (
+            self._peek() == "-"
+            and self._pattern[self._index : self._index + 2] != "-["
+            and self._pattern[self._index + 1 : self._index + 2] != "]"
+        ):
+            self._next()
+            upper = self._class_char()
+            if len(lower) != 1 or len(upper) != 1:
+                raise self._error("class escapes cannot bound a range")
+            if ord(lower) > ord(upper):
+                raise self._error(f"reversed range {lower}-{upper}")
+            return f"{re_escape_char(lower)}-{re_escape_char(upper)}"
+        if len(lower) == 1:
+            return re_escape_char(lower)
+        return lower  # an expanded class-escape body
+
+    def _class_char(self) -> str:
+        char = self._peek()
+        if char == "\\":
+            return self._escape(in_class=True)
+        if char in "[]":
+            raise self._error(f"'{char}' must be escaped inside a class")
+        self._next()
+        return char
+
+
+def translate_pattern(pattern: str) -> str:
+    """Return the Python-:mod:`re` equivalent of an XSD *pattern*."""
+    return _Translator(pattern).translate()
+
+
+def compile_pattern(pattern: str) -> re.Pattern[str]:
+    """Compile an XSD pattern; match with ``.fullmatch`` (XSD anchoring)."""
+    translated = translate_pattern(pattern)
+    try:
+        return re.compile(translated)
+    except re.error as error:  # pragma: no cover - translator should prevent
+        raise SchemaError(
+            f"pattern '{pattern}' translated to invalid regex "
+            f"'{translated}': {error}"
+        )

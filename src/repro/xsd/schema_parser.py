@@ -1,0 +1,799 @@
+"""Parse XML Schema documents into the component model.
+
+The parser walks a DOM built by :mod:`repro.dom` in two phases: first it
+indexes the global definitions (elements, types, groups, attribute
+groups), then it resolves references on demand with cycle detection, so
+forward references — ubiquitous in real schemas, including the paper's
+purchase order schema — just work.
+
+Supported surface: element, complexType (complexContent/simpleContent
+with extension/restriction), simpleType (restriction/list/union with all
+standard facets), group, attributeGroup, attribute, annotation (skipped),
+abstract elements/types, substitutionGroup.  Wildcards, identity
+constraints, import/include/redefine raise
+:class:`~repro.errors.UnsupportedFeatureError` — matching the feature
+boundary the paper draws in Sect. 3.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError, UnsupportedFeatureError
+from repro.xml.qname import XSD_NAMESPACE
+from repro.dom import Element, parse_document
+from repro.automata.rex import UNBOUNDED
+from repro.xsd.components import (
+    AttributeDeclaration,
+    AttributeUse,
+    ANY_TYPE,
+    ComplexType,
+    Compositor,
+    DerivationMethod,
+    ElementDeclaration,
+    GroupDefinition,
+    GroupReference,
+    ModelGroup,
+    Particle,
+    Schema,
+    TypeDefinition,
+)
+from repro.xsd.simple import (
+    BUILTIN_TYPES,
+    SimpleType,
+    list_of,
+    restrict,
+    union_of,
+)
+
+_UNSUPPORTED = {
+    "any": "wildcards (xsd:any)",
+    "anyAttribute": "attribute wildcards (xsd:anyAttribute)",
+    "key": "identity constraints (xsd:key)",
+    "keyref": "identity constraints (xsd:keyref)",
+    "unique": "identity constraints (xsd:unique)",
+    "import": "schema composition (xsd:import)",
+    "include": "schema composition (xsd:include)",
+    "redefine": "schema composition (xsd:redefine)",
+}
+
+_FACET_NAMES = {
+    "length",
+    "minLength",
+    "maxLength",
+    "pattern",
+    "enumeration",
+    "whiteSpace",
+    "minInclusive",
+    "maxInclusive",
+    "minExclusive",
+    "maxExclusive",
+    "totalDigits",
+    "fractionDigits",
+}
+
+
+def parse_schema(text: str, source: str | None = None) -> Schema:
+    """Parse schema-document *text* into a resolved :class:`Schema`."""
+    document = parse_document(text, source)
+    root = document.document_element
+    if root is None:
+        raise SchemaError("schema document has no root element")
+    return parse_schema_document(root)
+
+
+def parse_schema_document(root: Element) -> Schema:
+    """Parse a DOM whose root is ``<xsd:schema>``."""
+    return _SchemaParser(root).parse()
+
+
+class _SchemaParser:
+    def __init__(self, root: Element):
+        self._root = root
+        self._xsd_prefixes: set[str] = set()
+        self._default_is_xsd = False
+        self._scan_namespace_bindings(root)
+        local = self._local_name(root)
+        if local != "schema":
+            raise SchemaError(
+                f"root element is <{root.tag_name}>, expected an xsd:schema"
+            )
+        self._schema = Schema(
+            target_namespace=root.get_attribute("targetNamespace") or None
+        )
+        # Global definition indexes (DOM nodes until resolved).
+        self._type_nodes: dict[str, Element] = {}
+        self._group_nodes: dict[str, Element] = {}
+        self._attribute_group_nodes: dict[str, Element] = {}
+        self._element_nodes: dict[str, Element] = {}
+        self._resolving: set[str] = set()
+        #: (particle, ref) patches for <element ref="..."/>
+        self._element_ref_patches: list[tuple[Particle, str]] = []
+
+    # -- namespace handling -----------------------------------------------------
+
+    def _scan_namespace_bindings(self, root: Element) -> None:
+        """Find prefixes bound to the XSD namespace on the root element.
+
+        Nested re-bindings are rare in schema documents and unsupported;
+        they would silently change element identities, so we fail fast if
+        we meet one below the root.
+        """
+        for name, value in root.attributes.items():
+            if name == "xmlns" and value == XSD_NAMESPACE:
+                self._default_is_xsd = True
+            elif name.startswith("xmlns:") and value == XSD_NAMESPACE:
+                self._xsd_prefixes.add(name[len("xmlns:") :])
+        if not self._xsd_prefixes and not self._default_is_xsd:
+            # Tolerate schemas written without namespace declarations
+            # (common in teaching material, incl. the paper's snippets).
+            self._default_is_xsd = True
+            self._xsd_prefixes.update({"xsd", "xs"})
+
+    def _local_name(self, element: Element) -> str | None:
+        """Local name if *element* is an XSD-namespace element else None."""
+        prefix, colon, local = element.tag_name.partition(":")
+        if not colon:
+            return element.tag_name if self._default_is_xsd else None
+        if prefix in self._xsd_prefixes:
+            return local
+        if prefix.startswith("xmlns"):
+            return None
+        for name, value in element.attributes.items():
+            if name == f"xmlns:{prefix}" and value == XSD_NAMESPACE:
+                return local
+        return None
+
+    def _split_reference(self, reference: str) -> tuple[bool, str]:
+        """Return (is_builtin_namespace, local_name) for a QName reference."""
+        prefix, colon, local = reference.partition(":")
+        if not colon:
+            # Unprefixed: builtin if the default namespace is XSD *and*
+            # there is no local definition shadowing it.
+            return False, reference
+        return prefix in self._xsd_prefixes, local
+
+    # -- child iteration ----------------------------------------------------------
+
+    def _xsd_children(self, element: Element) -> list[tuple[str, Element]]:
+        children: list[tuple[str, Element]] = []
+        for child in element.child_elements():
+            local = self._local_name(child)
+            if local is None:
+                raise SchemaError(
+                    f"foreign element <{child.tag_name}> inside the schema"
+                )
+            if local in _UNSUPPORTED:
+                raise UnsupportedFeatureError(
+                    f"{_UNSUPPORTED[local]} are not supported "
+                    "(the paper's V-DOM does not handle them)"
+                )
+            if local in ("annotation", "notation"):
+                continue
+            children.append((local, child))
+        return children
+
+    # -- top level -------------------------------------------------------------------
+
+    def parse(self) -> Schema:
+        for local, child in self._xsd_children(self._root):
+            name = child.get_attribute("name")
+            if local in ("complexType", "simpleType"):
+                self._require_name(name, local)
+                if name in self._type_nodes or name in BUILTIN_TYPES:
+                    raise SchemaError(f"duplicate type definition '{name}'")
+                self._type_nodes[name] = child
+            elif local == "element":
+                self._require_name(name, local)
+                if name in self._element_nodes:
+                    raise SchemaError(f"duplicate global element '{name}'")
+                self._element_nodes[name] = child
+            elif local == "group":
+                self._require_name(name, local)
+                if name in self._group_nodes:
+                    raise SchemaError(f"duplicate group definition '{name}'")
+                self._group_nodes[name] = child
+            elif local == "attributeGroup":
+                self._require_name(name, local)
+                if name in self._attribute_group_nodes:
+                    raise SchemaError(f"duplicate attribute group '{name}'")
+                self._attribute_group_nodes[name] = child
+            elif local == "attribute":
+                raise UnsupportedFeatureError(
+                    "global attribute declarations are not supported"
+                )
+            else:
+                raise SchemaError(f"unexpected top-level xsd:{local}")
+
+        for name in self._type_nodes:
+            self._resolve_type(name)
+        for name in self._group_nodes:
+            self._resolve_group(name)
+        for name in self._element_nodes:
+            self._resolve_global_element(name)
+        self._patch_element_references()
+        self._close_substitution_groups()
+        return self._schema
+
+    @staticmethod
+    def _require_name(name: str, what: str) -> None:
+        if not name:
+            raise SchemaError(f"top-level xsd:{what} needs a 'name' attribute")
+
+    # -- reference resolution -------------------------------------------------------
+
+    def _resolve_type_reference(self, reference: str) -> TypeDefinition:
+        is_builtin_ns, local = self._split_reference(reference)
+        if is_builtin_ns:
+            if local == "anyType":
+                return ANY_TYPE
+            if local in BUILTIN_TYPES:
+                return BUILTIN_TYPES[local]
+            raise SchemaError(f"unknown built-in type '{reference}'")
+        if local in self._schema.types:
+            return self._schema.types[local]
+        if local in self._type_nodes:
+            return self._resolve_type(local)
+        # Fall back to built-ins for unprefixed references in schemas
+        # whose default namespace is XSD.
+        if local in BUILTIN_TYPES:
+            return BUILTIN_TYPES[local]
+        if local == "anyType":
+            return ANY_TYPE
+        raise SchemaError(f"reference to undefined type '{reference}'")
+
+    def _resolve_simple_type_reference(self, reference: str) -> SimpleType:
+        resolved = self._resolve_type_reference(reference)
+        if not isinstance(resolved, SimpleType):
+            raise SchemaError(f"'{reference}' is not a simple type")
+        return resolved
+
+    def _resolve_type(self, name: str) -> TypeDefinition:
+        if name in self._schema.types:
+            return self._schema.types[name]
+        if name in self._resolving:
+            raise SchemaError(f"circular type definition involving '{name}'")
+        self._resolving.add(name)
+        try:
+            node = self._type_nodes[name]
+            local = self._local_name(node)
+            if local == "simpleType":
+                definition: TypeDefinition = self._parse_simple_type(node, name)
+                self._schema.types[name] = definition
+            else:
+                # Register the shell first so recursive content models
+                # (a Tree containing Tree children) resolve to it.
+                shell = self._complex_type_shell(node, name)
+                self._schema.types[name] = shell
+                self._fill_complex_type(node, shell)
+                definition = shell
+            return definition
+        finally:
+            self._resolving.discard(name)
+
+    def _resolve_group(self, name: str) -> GroupDefinition:
+        if name in self._schema.groups:
+            return self._schema.groups[name]
+        if name in self._resolving:
+            raise SchemaError(f"circular group definition involving '{name}'")
+        self._resolving.add(name)
+        try:
+            node = self._group_nodes.get(name)
+            if node is None:
+                raise SchemaError(f"reference to undefined group '{name}'")
+            children = self._xsd_children(node)
+            if len(children) != 1 or children[0][0] not in (
+                "sequence",
+                "choice",
+                "all",
+            ):
+                raise SchemaError(
+                    f"group '{name}' must contain exactly one model group"
+                )
+            model_group = self._parse_model_group(children[0][1], children[0][0])
+            model_group.name = name
+            definition = GroupDefinition(name, model_group)
+            self._schema.groups[name] = definition
+            return definition
+        finally:
+            self._resolving.discard(name)
+
+    def _resolve_attribute_group(self, name: str) -> list[AttributeUse]:
+        if name in self._schema.attribute_groups:
+            return self._schema.attribute_groups[name]
+        if name in self._resolving:
+            raise SchemaError(
+                f"circular attribute group definition involving '{name}'"
+            )
+        self._resolving.add(name)
+        try:
+            node = self._attribute_group_nodes.get(name)
+            if node is None:
+                raise SchemaError(f"reference to undefined attribute group '{name}'")
+            uses: list[AttributeUse] = []
+            for local, child in self._xsd_children(node):
+                if local == "attribute":
+                    use = self._parse_attribute_use(child)
+                    if use is not None:
+                        uses.append(use)
+                elif local == "attributeGroup":
+                    reference = child.get_attribute("ref")
+                    __, ref_local = self._split_reference(reference)
+                    uses.extend(self._resolve_attribute_group(ref_local))
+                else:
+                    raise SchemaError(
+                        f"unexpected xsd:{local} in attribute group '{name}'"
+                    )
+            self._schema.attribute_groups[name] = uses
+            return uses
+        finally:
+            self._resolving.discard(name)
+
+    def _resolve_global_element(self, name: str) -> ElementDeclaration:
+        if name in self._schema.elements:
+            return self._schema.elements[name]
+        node = self._element_nodes[name]
+        declaration = self._parse_element_declaration(node, is_global=True)
+        self._schema.elements[name] = declaration
+        return declaration
+
+    def _patch_element_references(self) -> None:
+        for particle, reference in self._element_ref_patches:
+            __, local = self._split_reference(reference)
+            if local not in self._element_nodes:
+                raise SchemaError(
+                    f"element reference '{reference}' has no global declaration"
+                )
+            particle.term = self._resolve_global_element(local)
+
+    def _close_substitution_groups(self) -> None:
+        """Build the transitive member lists for every head element."""
+        direct: dict[str, list[ElementDeclaration]] = {}
+        for declaration in self._schema.elements.values():
+            head = declaration.substitution_group
+            if head is None:
+                continue
+            if head not in self._schema.elements:
+                raise SchemaError(
+                    f"substitutionGroup head '{head}' of element "
+                    f"'{declaration.name}' is not a global element"
+                )
+            direct.setdefault(head, []).append(declaration)
+
+        def members(head: str, seen: frozenset[str]) -> list[ElementDeclaration]:
+            if head in seen:
+                raise SchemaError(
+                    f"circular substitution group through '{head}'"
+                )
+            result: list[ElementDeclaration] = []
+            for member in direct.get(head, ()):
+                result.append(member)
+                result.extend(members(member.name, seen | {head}))
+            return result
+
+        for head in direct:
+            self._schema.substitution_members[head] = members(head, frozenset())
+
+    # -- element declarations ------------------------------------------------------
+
+    def _parse_element_declaration(
+        self, node: Element, is_global: bool
+    ) -> ElementDeclaration:
+        name = node.get_attribute("name")
+        if not name:
+            raise SchemaError("element declaration needs a 'name'")
+        declaration = ElementDeclaration(
+            name,
+            type_name=node.get_attribute("type") or None,
+            is_global=is_global,
+            abstract=node.get_attribute("abstract") == "true",
+            substitution_group=node.get_attribute("substitutionGroup") or None,
+            default=node.get_attribute("default") or None,
+            fixed=node.get_attribute("fixed") or None,
+        )
+        if declaration.substitution_group and not is_global:
+            raise SchemaError(
+                f"local element '{name}' may not join a substitution group"
+            )
+        inline_children = self._xsd_children(node)
+        inline_type = [
+            (local, child)
+            for local, child in inline_children
+            if local in ("complexType", "simpleType")
+        ]
+        if declaration.type_name and inline_type:
+            raise SchemaError(
+                f"element '{name}' has both a type attribute and an inline type"
+            )
+        if declaration.type_name:
+            declaration.type_definition = self._resolve_type_reference(
+                declaration.type_name
+            )
+        elif inline_type:
+            local, child = inline_type[0]
+            if local == "simpleType":
+                declaration.type_definition = self._parse_simple_type(child, None)
+            else:
+                declaration.type_definition = self._parse_complex_type(child, None)
+        elif declaration.substitution_group:
+            # Per spec the type defaults to the head's type.
+            __, head_local = self._split_reference(declaration.substitution_group)
+            head = self._resolve_global_element(head_local)
+            declaration.type_definition = head.resolved_type()
+        else:
+            declaration.type_definition = ANY_TYPE
+        return declaration
+
+    def _parse_content_particle(self, node: Element, local: str) -> Particle:
+        """A particle inside a model group: element / group ref / nested group."""
+        min_occurs, max_occurs = self._parse_occurs(node)
+        if local == "element":
+            reference = node.get_attribute("ref")
+            if reference:
+                placeholder = ElementDeclaration(
+                    self._split_reference(reference)[1], is_global=True
+                )
+                particle = Particle(placeholder, min_occurs, max_occurs)
+                self._element_ref_patches.append((particle, reference))
+                return particle
+            declaration = self._parse_element_declaration(node, is_global=False)
+            return Particle(declaration, min_occurs, max_occurs)
+        if local == "group":
+            reference = node.get_attribute("ref")
+            if not reference:
+                raise SchemaError("nested xsd:group must use ref=")
+            __, ref_local = self._split_reference(reference)
+            definition = self._resolve_group(ref_local)
+            return Particle(
+                GroupReference(ref_local, definition), min_occurs, max_occurs
+            )
+        model_group = self._parse_model_group(node, local)
+        return Particle(model_group, min_occurs, max_occurs)
+
+    def _parse_model_group(self, node: Element, local: str) -> ModelGroup:
+        compositor = Compositor(local)
+        group = ModelGroup(compositor)
+        for child_local, child in self._xsd_children(node):
+            if child_local not in ("element", "sequence", "choice", "all", "group"):
+                raise SchemaError(
+                    f"unexpected xsd:{child_local} inside xsd:{local}"
+                )
+            if compositor is Compositor.ALL and child_local != "element":
+                raise SchemaError("xsd:all may contain only element particles")
+            group.particles.append(
+                self._parse_content_particle(child, child_local)
+            )
+        return group
+
+    @staticmethod
+    def _parse_occurs(node: Element) -> tuple[int, int]:
+        raw_min = node.get_attribute("minOccurs") or "1"
+        raw_max = node.get_attribute("maxOccurs") or "1"
+        try:
+            min_occurs = int(raw_min)
+        except ValueError:
+            raise SchemaError(f"bad minOccurs '{raw_min}'")
+        if raw_max == "unbounded":
+            max_occurs = UNBOUNDED
+        else:
+            try:
+                max_occurs = int(raw_max)
+            except ValueError:
+                raise SchemaError(f"bad maxOccurs '{raw_max}'")
+            if max_occurs < min_occurs:
+                raise SchemaError(
+                    f"maxOccurs {max_occurs} is below minOccurs {min_occurs}"
+                )
+        if min_occurs < 0:
+            raise SchemaError("minOccurs may not be negative")
+        return min_occurs, max_occurs
+
+    # -- complex types -----------------------------------------------------------------
+
+    def _complex_type_shell(self, node: Element, name: str | None) -> ComplexType:
+        return ComplexType(
+            name=name,
+            abstract=node.get_attribute("abstract") == "true",
+            mixed=node.get_attribute("mixed") == "true",
+        )
+
+    def _parse_complex_type(self, node: Element, name: str | None) -> ComplexType:
+        complex_type = self._complex_type_shell(node, name)
+        self._fill_complex_type(node, complex_type)
+        return complex_type
+
+    def _fill_complex_type(self, node: Element, complex_type: ComplexType) -> None:
+        children = self._xsd_children(node)
+        content_children = [
+            (local, child)
+            for local, child in children
+            if local in ("sequence", "choice", "all", "group")
+        ]
+        wrapper = [
+            (local, child)
+            for local, child in children
+            if local in ("simpleContent", "complexContent")
+        ]
+        if wrapper and content_children:
+            raise SchemaError(
+                "complexType cannot mix simpleContent/complexContent with "
+                "a direct model group"
+            )
+        if wrapper:
+            local, child = wrapper[0]
+            if local == "simpleContent":
+                self._parse_simple_content(child, complex_type)
+            else:
+                self._parse_complex_content(child, complex_type)
+        else:
+            if len(content_children) > 1:
+                raise SchemaError("complexType has more than one model group")
+            if content_children:
+                local, child = content_children[0]
+                complex_type.content = self._parse_content_particle(child, local)
+            self._parse_attribute_uses(children, complex_type)
+
+    def _parse_attribute_uses(
+        self,
+        children: list[tuple[str, Element]],
+        complex_type: ComplexType,
+    ) -> None:
+        for local, child in children:
+            if local == "attribute":
+                use = self._parse_attribute_use(child)
+                if use is not None:
+                    if use.name in complex_type.attribute_uses:
+                        raise SchemaError(
+                            f"duplicate attribute '{use.name}' on complex type "
+                            f"'{complex_type.name}'"
+                        )
+                    complex_type.attribute_uses[use.name] = use
+            elif local == "attributeGroup":
+                reference = child.get_attribute("ref")
+                if not reference:
+                    raise SchemaError("nested xsd:attributeGroup must use ref=")
+                __, ref_local = self._split_reference(reference)
+                for use in self._resolve_attribute_group(ref_local):
+                    complex_type.attribute_uses[use.name] = use
+
+    def _parse_attribute_use(self, node: Element) -> AttributeUse | None:
+        name = node.get_attribute("name")
+        if not name:
+            raise SchemaError("attribute declaration needs a 'name'")
+        use_kind = node.get_attribute("use") or "optional"
+        if use_kind == "prohibited":
+            return None
+        declaration = AttributeDeclaration(
+            name, type_name=node.get_attribute("type") or None
+        )
+        inline = [
+            child
+            for local, child in self._xsd_children(node)
+            if local == "simpleType"
+        ]
+        if declaration.type_name and inline:
+            raise SchemaError(
+                f"attribute '{name}' has both a type attribute and an inline type"
+            )
+        if declaration.type_name:
+            declaration.type_definition = self._resolve_simple_type_reference(
+                declaration.type_name
+            )
+        elif inline:
+            declaration.type_definition = self._parse_simple_type(inline[0], None)
+        else:
+            declaration.type_definition = BUILTIN_TYPES["anySimpleType"]
+        default = node.get_attribute("default") or None
+        fixed = node.get_attribute("fixed") or None
+        if default and fixed:
+            raise SchemaError(
+                f"attribute '{name}' has both a default and a fixed value"
+            )
+        if use_kind == "required" and default:
+            raise SchemaError(
+                f"required attribute '{name}' may not carry a default"
+            )
+        for kind, constant in (("default", default), ("fixed", fixed)):
+            if constant is not None:
+                try:
+                    declaration.resolved_type().validate(constant)
+                except Exception as error:
+                    raise SchemaError(
+                        f"{kind} value {constant!r} of attribute '{name}' "
+                        f"does not satisfy its type: {error}"
+                    )
+        return AttributeUse(
+            declaration,
+            required=use_kind == "required",
+            default=default,
+            fixed=fixed,
+        )
+
+    def _parse_simple_content(self, node: Element, complex_type: ComplexType) -> None:
+        children = self._xsd_children(node)
+        if len(children) != 1 or children[0][0] not in ("extension", "restriction"):
+            raise SchemaError(
+                "simpleContent must contain one extension or restriction"
+            )
+        local, child = children[0]
+        base_reference = child.get_attribute("base")
+        if not base_reference:
+            raise SchemaError(f"simpleContent {local} needs a 'base'")
+        base = self._resolve_type_reference(base_reference)
+        complex_type.base_name = base_reference
+        complex_type.derivation = (
+            DerivationMethod.EXTENSION
+            if local == "extension"
+            else DerivationMethod.RESTRICTION
+        )
+        if isinstance(base, SimpleType):
+            complex_type.base = base
+            simple_base = base
+        elif isinstance(base, ComplexType) and base.simple_content is not None:
+            complex_type.base = base
+            simple_base = base.simple_content
+        else:
+            raise SchemaError(
+                f"simpleContent base '{base_reference}' has no simple content"
+            )
+        grand_children = self._xsd_children(child)
+        facet_nodes = [
+            (grand_local, grand)
+            for grand_local, grand in grand_children
+            if grand_local in _FACET_NAMES
+        ]
+        if local == "restriction" and facet_nodes:
+            simple_base = self._apply_facets(simple_base, facet_nodes, None)
+        complex_type.simple_content = simple_base
+        self._parse_attribute_uses(grand_children, complex_type)
+
+    def _parse_complex_content(self, node: Element, complex_type: ComplexType) -> None:
+        if node.get_attribute("mixed") == "true":
+            complex_type.mixed = True
+        children = self._xsd_children(node)
+        if len(children) != 1 or children[0][0] not in ("extension", "restriction"):
+            raise SchemaError(
+                "complexContent must contain one extension or restriction"
+            )
+        local, child = children[0]
+        base_reference = child.get_attribute("base")
+        if not base_reference:
+            raise SchemaError(f"complexContent {local} needs a 'base'")
+        base = self._resolve_type_reference(base_reference)
+        if not isinstance(base, ComplexType):
+            raise SchemaError(
+                f"complexContent base '{base_reference}' is not a complex type"
+            )
+        complex_type.base_name = base_reference
+        complex_type.base = base
+        complex_type.derivation = (
+            DerivationMethod.EXTENSION
+            if local == "extension"
+            else DerivationMethod.RESTRICTION
+        )
+        grand_children = self._xsd_children(child)
+        content_children = [
+            (grand_local, grand)
+            for grand_local, grand in grand_children
+            if grand_local in ("sequence", "choice", "all", "group")
+        ]
+        if len(content_children) > 1:
+            raise SchemaError("derivation has more than one model group")
+        if content_children:
+            grand_local, grand = content_children[0]
+            complex_type.content = self._parse_content_particle(grand, grand_local)
+        self._parse_attribute_uses(grand_children, complex_type)
+
+    # -- simple types --------------------------------------------------------------------
+
+    def _parse_simple_type(self, node: Element, name: str | None) -> SimpleType:
+        children = self._xsd_children(node)
+        if len(children) != 1:
+            raise SchemaError(
+                "simpleType must contain exactly one restriction/list/union"
+            )
+        local, child = children[0]
+        if local == "restriction":
+            return self._parse_simple_restriction(child, name)
+        if local == "list":
+            return self._parse_simple_list(child, name)
+        if local == "union":
+            return self._parse_simple_union(child, name)
+        raise SchemaError(f"unexpected xsd:{local} inside simpleType")
+
+    def _parse_simple_restriction(
+        self, node: Element, name: str | None
+    ) -> SimpleType:
+        base_reference = node.get_attribute("base")
+        children = self._xsd_children(node)
+        inline_base = [child for local, child in children if local == "simpleType"]
+        if base_reference and inline_base:
+            raise SchemaError(
+                "restriction has both a base attribute and an inline base"
+            )
+        if base_reference:
+            base = self._resolve_simple_type_reference(base_reference)
+        elif inline_base:
+            base = self._parse_simple_type(inline_base[0], None)
+        else:
+            raise SchemaError("restriction needs a base type")
+        facet_nodes = [
+            (local, child) for local, child in children if local in _FACET_NAMES
+        ]
+        return self._apply_facets(base, facet_nodes, name)
+
+    def _apply_facets(
+        self,
+        base: SimpleType,
+        facet_nodes: list[tuple[str, Element]],
+        name: str | None,
+    ) -> SimpleType:
+        facet_arguments: dict[str, object] = {}
+        patterns: list[str] = []
+        enumeration: list[str] = []
+        fixed_names: set[str] = set()
+
+        def scalar(key: str, value: str, convert=lambda v: v) -> None:
+            if key in facet_arguments:
+                raise SchemaError(f"facet '{key}' given twice")
+            facet_arguments[key] = convert(value)
+
+        for local, child in facet_nodes:
+            value = child.get_attribute("value")
+            if child.get_attribute("fixed") == "true":
+                fixed_names.add(local)
+            if local == "pattern":
+                patterns.append(value)
+            elif local == "enumeration":
+                enumeration.append(value)
+            elif local == "whiteSpace":
+                scalar("white_space", value)
+            elif local in ("length", "minLength", "maxLength",
+                           "totalDigits", "fractionDigits"):
+                snake = {
+                    "length": "length",
+                    "minLength": "min_length",
+                    "maxLength": "max_length",
+                    "totalDigits": "total_digits",
+                    "fractionDigits": "fraction_digits",
+                }[local]
+                scalar(snake, value, int)
+            else:
+                snake = {
+                    "minInclusive": "min_inclusive",
+                    "maxInclusive": "max_inclusive",
+                    "minExclusive": "min_exclusive",
+                    "maxExclusive": "max_exclusive",
+                }[local]
+                scalar(snake, value)
+        if patterns:
+            facet_arguments["patterns"] = tuple(patterns)
+        if enumeration:
+            facet_arguments["enumeration"] = tuple(enumeration)
+        if fixed_names:
+            facet_arguments["fixed_names"] = frozenset(fixed_names)
+        return restrict(base, name, **facet_arguments)
+
+    def _parse_simple_list(self, node: Element, name: str | None) -> SimpleType:
+        item_reference = node.get_attribute("itemType")
+        children = self._xsd_children(node)
+        inline = [child for local, child in children if local == "simpleType"]
+        if item_reference and inline:
+            raise SchemaError("list has both itemType and an inline item type")
+        if item_reference:
+            item_type = self._resolve_simple_type_reference(item_reference)
+        elif inline:
+            item_type = self._parse_simple_type(inline[0], None)
+        else:
+            raise SchemaError("list needs an item type")
+        return list_of(item_type, name)
+
+    def _parse_simple_union(self, node: Element, name: str | None) -> SimpleType:
+        members: list[SimpleType] = []
+        member_references = node.get_attribute("memberTypes").split()
+        for reference in member_references:
+            members.append(self._resolve_simple_type_reference(reference))
+        for local, child in self._xsd_children(node):
+            if local == "simpleType":
+                members.append(self._parse_simple_type(child, None))
+        if not members:
+            raise SchemaError("union needs at least one member type")
+        return union_of(tuple(members), name)

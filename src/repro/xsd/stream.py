@@ -1,0 +1,386 @@
+"""Streaming schema validation over parser events.
+
+Validates a document straight off the pull parser's event stream — no
+DOM is built, memory stays proportional to element depth rather than
+document size.  Functionally equivalent to
+:class:`repro.xsd.validator.SchemaValidator` on the supported feature
+set (the benchmarks assert agreement); it is the validation mode a
+server would use for *incoming* documents before unmarshalling, and an
+ablation partner for the DOM-based walk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import SimpleTypeError, ValidationError
+from repro.xml.events import (
+    Characters,
+    EndElement,
+    Event,
+    StartElement,
+)
+from repro.xml.parser import PullParser
+from repro.xsd.components import (
+    ANY_TYPE,
+    ComplexType,
+    ContentType,
+    ElementDeclaration,
+    Schema,
+)
+from repro.xsd.simple import SimpleType
+
+
+class _Frame:
+    """Validation state for one open element."""
+
+    __slots__ = (
+        "declaration",
+        "type_definition",
+        "matcher",
+        "content_type",
+        "text",
+        "path",
+        "skip",
+    )
+
+    def __init__(self, declaration, type_definition, matcher, content_type, path, skip):
+        self.declaration = declaration
+        self.type_definition = type_definition
+        self.matcher = matcher
+        self.content_type = content_type
+        self.text: list[str] = []
+        self.path = path
+        self.skip = skip  # inside anyType: accept everything below
+
+
+class StreamingValidator:
+    """Validate event streams against one schema."""
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+
+    # -- entry points ---------------------------------------------------------
+
+    def validate_text(self, text: str) -> list[ValidationError]:
+        """Parse and validate in one streaming pass."""
+        return self.validate_events(PullParser(text))
+
+    def validate_events(self, events: Iterable[Event]) -> list[ValidationError]:
+        errors: list[ValidationError] = []
+        stack: list[_Frame] = []
+        for event in events:
+            if isinstance(event, StartElement):
+                self._start(event, stack, errors)
+            elif isinstance(event, EndElement):
+                self._end(stack, errors)
+            elif isinstance(event, Characters):
+                self._characters(event, stack, errors)
+            # comments / PIs / doctype / declarations are transparent
+        return errors
+
+    def is_valid(self, text: str) -> bool:
+        return not self.validate_text(text)
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _start(
+        self,
+        event: StartElement,
+        stack: list[_Frame],
+        errors: list[ValidationError],
+    ) -> None:
+        if not stack:
+            declaration = self._schema.elements.get(event.name)
+            if declaration is None:
+                errors.append(
+                    ValidationError(
+                        f"root element <{event.name}> is not a global "
+                        "element of the schema",
+                        event.location,
+                    )
+                )
+                stack.append(
+                    _Frame(None, ANY_TYPE, None, None, f"/{event.name}", True)
+                )
+                return
+            if declaration.abstract:
+                errors.append(
+                    ValidationError(
+                        f"element '{event.name}' is abstract",
+                        event.location,
+                    )
+                )
+            self._push(event, declaration, f"/{event.name}", stack, errors)
+            return
+        parent = stack[-1]
+        path = f"{parent.path}/{event.name}"
+        if parent.skip:
+            stack.append(_Frame(None, ANY_TYPE, None, None, path, True))
+            return
+        if parent.matcher is None:
+            # Parent has empty or simple content: no child allowed.
+            errors.append(
+                ValidationError(
+                    f"<{event.name}> is not allowed inside "
+                    f"<{_name_of(parent)}>",
+                    event.location,
+                    path=parent.path,
+                )
+            )
+            stack.append(_Frame(None, ANY_TYPE, None, None, path, True))
+            return
+        matched = parent.matcher.step(event.name)
+        if matched is None:
+            expected = ", ".join(
+                f"<{key}>" for key in parent.matcher.expected()
+            ) or "no further elements"
+            errors.append(
+                ValidationError(
+                    f"<{event.name}> is not allowed here inside "
+                    f"<{_name_of(parent)}>; expected {expected}",
+                    event.location,
+                    path=parent.path,
+                )
+            )
+            stack.append(_Frame(None, ANY_TYPE, None, None, path, True))
+            return
+        assert isinstance(matched, ElementDeclaration)
+        self._push(event, matched, path, stack, errors)
+
+    def _push(
+        self,
+        event: StartElement,
+        declaration: ElementDeclaration,
+        path: str,
+        stack: list[_Frame],
+        errors: list[ValidationError],
+    ) -> None:
+        type_definition = declaration.resolved_type()
+        override = event.get("xsi:type")
+        if override is not None:
+            local = override.rpartition(":")[2]
+            candidate = self._schema.types.get(local)
+            if candidate is None:
+                errors.append(
+                    ValidationError(
+                        f"xsi:type names unknown type '{override}'",
+                        event.location,
+                        path=path,
+                    )
+                )
+            elif not _derives_from(candidate, type_definition):
+                errors.append(
+                    ValidationError(
+                        f"xsi:type '{override}' is not derived from the "
+                        "declared type",
+                        event.location,
+                        path=path,
+                    )
+                )
+            else:
+                type_definition = candidate
+        matcher = None
+        content_type = None
+        skip = False
+        if isinstance(type_definition, ComplexType):
+            if type_definition is ANY_TYPE:
+                skip = True
+            else:
+                if type_definition.abstract:
+                    errors.append(
+                        ValidationError(
+                            f"type '{type_definition.name}' of element "
+                            f"'{declaration.name}' is abstract",
+                            event.location,
+                            path=path,
+                        )
+                    )
+                content_type = type_definition.content_type
+                if content_type in (
+                    ContentType.ELEMENT_ONLY,
+                    ContentType.MIXED,
+                ):
+                    matcher = self._schema.content_dfa(
+                        type_definition
+                    ).matcher()
+                self._check_attributes(
+                    event, type_definition, path, errors
+                )
+        else:
+            if event.attributes and any(
+                not name.startswith("xmlns") and not name.startswith("xsi:")
+                for name, __ in event.attributes
+            ):
+                errors.append(
+                    ValidationError(
+                        f"element <{event.name}> of simple type may not "
+                        "carry attributes",
+                        event.location,
+                        path=path,
+                    )
+                )
+        stack.append(
+            _Frame(declaration, type_definition, matcher, content_type, path, skip)
+        )
+
+    def _characters(
+        self,
+        event: Characters,
+        stack: list[_Frame],
+        errors: list[ValidationError],
+    ) -> None:
+        if not stack:
+            return
+        frame = stack[-1]
+        if frame.skip:
+            return
+        if (
+            frame.content_type in (ContentType.ELEMENT_ONLY, ContentType.EMPTY)
+            and event.data.strip()
+        ):
+            kind = (
+                "element-only content"
+                if frame.content_type is ContentType.ELEMENT_ONLY
+                else "empty content"
+            )
+            errors.append(
+                ValidationError(
+                    f"<{_name_of(frame)}> has {kind} but contains text",
+                    event.location,
+                    path=frame.path,
+                )
+            )
+            return
+        frame.text.append(event.data)
+
+    def _end(
+        self, stack: list[_Frame], errors: list[ValidationError]
+    ) -> None:
+        frame = stack.pop()
+        if frame.skip:
+            return
+        if frame.matcher is not None and not frame.matcher.at_accepting_state():
+            expected = ", ".join(
+                f"<{key}>" for key in frame.matcher.expected()
+            )
+            errors.append(
+                ValidationError(
+                    f"content of <{_name_of(frame)}> ends too early; "
+                    f"expected {expected}",
+                    path=frame.path,
+                )
+            )
+        text = "".join(frame.text)
+        type_definition = frame.type_definition
+        if isinstance(type_definition, SimpleType):
+            self._check_simple(text, type_definition, frame, errors)
+        elif (
+            isinstance(type_definition, ComplexType)
+            and type_definition.content_type is ContentType.SIMPLE
+        ):
+            assert type_definition.simple_content is not None
+            self._check_simple(
+                text, type_definition.simple_content, frame, errors
+            )
+        if (
+            frame.declaration is not None
+            and frame.declaration.fixed is not None
+            and text != frame.declaration.fixed
+        ):
+            errors.append(
+                ValidationError(
+                    f"element '{frame.declaration.name}' must have the "
+                    f"fixed value {frame.declaration.fixed!r}",
+                    path=frame.path,
+                )
+            )
+
+    def _check_simple(
+        self,
+        text: str,
+        simple_type: SimpleType,
+        frame: _Frame,
+        errors: list[ValidationError],
+    ) -> None:
+        try:
+            simple_type.parse(text)
+        except SimpleTypeError as error:
+            errors.append(
+                ValidationError(
+                    f"content of <{_name_of(frame)}>: {error.message}",
+                    path=frame.path,
+                )
+            )
+
+    def _check_attributes(
+        self,
+        event: StartElement,
+        complex_type: ComplexType,
+        path: str,
+        errors: list[ValidationError],
+    ) -> None:
+        uses = complex_type.effective_attribute_uses()
+        seen: set[str] = set()
+        for name, value in event.attributes:
+            if name.startswith("xmlns") or name.startswith("xsi:"):
+                continue
+            seen.add(name)
+            use = uses.get(name)
+            if use is None:
+                errors.append(
+                    ValidationError(
+                        f"attribute '{name}' is not declared on "
+                        f"<{event.name}>",
+                        event.location,
+                        path=path,
+                    )
+                )
+                continue
+            if use.fixed is not None and value != use.fixed:
+                errors.append(
+                    ValidationError(
+                        f"attribute '{name}' must have the fixed value "
+                        f"{use.fixed!r}, found {value!r}",
+                        event.location,
+                        path=path,
+                    )
+                )
+                continue
+            try:
+                use.declaration.resolved_type().parse(value)
+            except SimpleTypeError as error:
+                errors.append(
+                    ValidationError(
+                        f"attribute '{name}' of <{event.name}>: "
+                        f"{error.message}",
+                        event.location,
+                        path=path,
+                    )
+                )
+        for name, use in uses.items():
+            if use.required and name not in seen:
+                errors.append(
+                    ValidationError(
+                        f"required attribute '{name}' missing on "
+                        f"<{event.name}>",
+                        event.location,
+                        path=path,
+                    )
+                )
+
+
+def _name_of(frame: _Frame) -> str:
+    if frame.declaration is not None:
+        return frame.declaration.name
+    return frame.path.rsplit("/", 1)[-1]
+
+
+def _derives_from(candidate, declared) -> bool:
+    if declared is ANY_TYPE:
+        return True
+    if isinstance(candidate, ComplexType) and isinstance(declared, ComplexType):
+        return candidate.is_derived_from(declared)
+    if isinstance(candidate, SimpleType) and isinstance(declared, SimpleType):
+        return candidate.is_derived_from(declared)
+    return False

@@ -1,0 +1,372 @@
+"""Runtime validation of DOM trees against a schema.
+
+This is the *baseline* path of the paper's comparison: a generic DOM tree
+is built first, then walked and checked — "invalid documents usually
+cannot be detected until runtime requiring extensive testing" (Sect. 2).
+V-DOM makes this walk unnecessary for generated documents; the benchmarks
+measure exactly the cost this module represents.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimpleTypeError, ValidationError
+from repro.dom.charnodes import Text
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.xsd.components import (
+    ANY_TYPE,
+    ComplexType,
+    ContentType,
+    ElementDeclaration,
+    Schema,
+    TypeDefinition,
+)
+from repro.xsd.simple import SimpleType
+
+
+class SchemaValidator:
+    """Validate documents or elements against one :class:`Schema`."""
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+
+    # -- entry points --------------------------------------------------------
+
+    def validate(self, document: Document) -> list[ValidationError]:
+        """Validate a whole document; returns all violations found."""
+        root = document.document_element
+        if root is None:
+            return [ValidationError("document has no root element")]
+        declaration = self._schema.elements.get(root.tag_name)
+        if declaration is None:
+            return [
+                ValidationError(
+                    f"root element <{root.tag_name}> is not a global element "
+                    "of the schema"
+                )
+            ]
+        return self.validate_element(root, declaration)
+
+    def validate_element(
+        self, element: Element, declaration: ElementDeclaration
+    ) -> list[ValidationError]:
+        """Validate *element* against a specific declaration."""
+        errors: list[ValidationError] = []
+        if declaration.abstract:
+            errors.append(
+                ValidationError(
+                    f"element '{declaration.name}' is abstract; only members "
+                    "of its substitution group may appear",
+                    path="/" + element.tag_name,
+                )
+            )
+        self._check_element(element, declaration, "/" + element.tag_name, errors)
+        return errors
+
+    def assert_valid(self, document: Document) -> None:
+        errors = self.validate(document)
+        if errors:
+            raise errors[0]
+
+    def is_valid(self, document: Document) -> bool:
+        return not self.validate(document)
+
+    # -- element dispatch ------------------------------------------------------
+
+    def _check_element(
+        self,
+        element: Element,
+        declaration: ElementDeclaration,
+        path: str,
+        errors: list[ValidationError],
+    ) -> None:
+        type_definition = declaration.resolved_type()
+        override = _xsi_type_override(element)
+        if override is not None:
+            type_definition = self._resolve_xsi_type(
+                override, type_definition, path, errors
+            )
+        if isinstance(type_definition, ComplexType) and type_definition.abstract:
+            errors.append(
+                ValidationError(
+                    f"type '{type_definition.name}' of element "
+                    f"'{declaration.name}' is abstract",
+                    path=path,
+                )
+            )
+        if declaration.fixed is not None:
+            text = element.text_content
+            if text != declaration.fixed:
+                errors.append(
+                    ValidationError(
+                        f"element '{declaration.name}' must have the fixed "
+                        f"value {declaration.fixed!r}, found {text!r}",
+                        path=path,
+                    )
+                )
+        if isinstance(type_definition, SimpleType):
+            self._check_simple_element(element, type_definition, path, errors)
+            return
+        self._check_complex_element(element, type_definition, path, errors)
+
+    def _resolve_xsi_type(
+        self,
+        type_name: str,
+        declared: TypeDefinition,
+        path: str,
+        errors: list[ValidationError],
+    ) -> TypeDefinition:
+        """``xsi:type`` substitutes a *derived* type for the declared one
+        — the instance-document face of "type extension … reflected by
+        inheritance" (paper Sect. 3)."""
+        local = type_name.rpartition(":")[2]
+        candidate = self._schema.types.get(local)
+        if candidate is None:
+            errors.append(
+                ValidationError(
+                    f"xsi:type names unknown type '{type_name}'", path=path
+                )
+            )
+            return declared
+        compatible = (
+            declared is ANY_TYPE
+            or (
+                isinstance(candidate, ComplexType)
+                and isinstance(declared, ComplexType)
+                and candidate.is_derived_from(declared)
+            )
+            or (
+                isinstance(candidate, SimpleType)
+                and isinstance(declared, SimpleType)
+                and candidate.is_derived_from(declared)
+            )
+        )
+        if not compatible:
+            declared_name = getattr(declared, "name", None) or "<anonymous>"
+            errors.append(
+                ValidationError(
+                    f"xsi:type '{type_name}' is not derived from the "
+                    f"declared type '{declared_name}'",
+                    path=path,
+                )
+            )
+            return declared
+        if isinstance(candidate, ComplexType) and candidate.abstract:
+            errors.append(
+                ValidationError(
+                    f"xsi:type names the abstract type '{type_name}'",
+                    path=path,
+                )
+            )
+        return candidate
+
+    def _check_simple_element(
+        self,
+        element: Element,
+        simple_type: SimpleType,
+        path: str,
+        errors: list[ValidationError],
+    ) -> None:
+        if element.child_elements():
+            errors.append(
+                ValidationError(
+                    f"element <{element.tag_name}> has simple type "
+                    f"'{simple_type.name}' but contains child elements",
+                    path=path,
+                )
+            )
+            return
+        plain_attributes = [
+            name
+            for name, __ in element.attributes.items()
+            if not name.startswith("xmlns") and not name.startswith("xsi:")
+        ]
+        if plain_attributes:
+            errors.append(
+                ValidationError(
+                    f"element <{element.tag_name}> of simple type may not "
+                    f"carry attributes ({', '.join(plain_attributes)})",
+                    path=path,
+                )
+            )
+        try:
+            simple_type.parse(element.text_content)
+        except SimpleTypeError as error:
+            errors.append(
+                ValidationError(
+                    f"content of <{element.tag_name}>: {error.message}",
+                    path=path,
+                )
+            )
+
+    # -- complex types ---------------------------------------------------------------
+
+    def _check_complex_element(
+        self,
+        element: Element,
+        complex_type: ComplexType,
+        path: str,
+        errors: list[ValidationError],
+    ) -> None:
+        if complex_type is ANY_TYPE:
+            return  # the ur-type accepts anything
+        self._check_attributes(element, complex_type, path, errors)
+        content_type = complex_type.content_type
+        child_elements = element.child_elements()
+        has_text = any(
+            isinstance(node, Text) and node.data.strip()
+            for node in element.iter_children()
+        )
+        if content_type is ContentType.EMPTY:
+            if child_elements or has_text:
+                errors.append(
+                    ValidationError(
+                        f"element <{element.tag_name}> must be empty",
+                        path=path,
+                    )
+                )
+            return
+        if content_type is ContentType.SIMPLE:
+            if child_elements:
+                errors.append(
+                    ValidationError(
+                        f"element <{element.tag_name}> has simple content but "
+                        "contains child elements",
+                        path=path,
+                    )
+                )
+                return
+            assert complex_type.simple_content is not None
+            try:
+                complex_type.simple_content.parse(element.text_content)
+            except SimpleTypeError as error:
+                errors.append(
+                    ValidationError(
+                        f"content of <{element.tag_name}>: {error.message}",
+                        path=path,
+                    )
+                )
+            return
+        if content_type is ContentType.ELEMENT_ONLY and has_text:
+            errors.append(
+                ValidationError(
+                    f"element <{element.tag_name}> has element-only content "
+                    "but contains text",
+                    path=path,
+                )
+            )
+        self._check_children(element, complex_type, child_elements, path, errors)
+
+    def _check_children(
+        self,
+        element: Element,
+        complex_type: ComplexType,
+        child_elements: list[Element],
+        path: str,
+        errors: list[ValidationError],
+    ) -> None:
+        dfa = self._schema.content_dfa(complex_type)
+        matcher = dfa.matcher()
+        for index, child in enumerate(child_elements):
+            matched = matcher.step(child.tag_name)
+            if matched is None:
+                expected = ", ".join(
+                    f"<{key}>" for key in matcher.expected()
+                ) or "no further elements"
+                errors.append(
+                    ValidationError(
+                        f"child {index + 1} of <{element.tag_name}> is "
+                        f"<{child.tag_name}>; expected {expected}",
+                        path=path,
+                    )
+                )
+                return
+            child_path = f"{path}/{child.tag_name}[{index}]"
+            assert isinstance(matched, ElementDeclaration)
+            self._check_element(child, matched, child_path, errors)
+        if not matcher.at_accepting_state():
+            expected = ", ".join(f"<{key}>" for key in matcher.expected())
+            errors.append(
+                ValidationError(
+                    f"content of <{element.tag_name}> ends too early; "
+                    f"expected {expected}",
+                    path=path,
+                )
+            )
+
+    # -- attributes -------------------------------------------------------------------
+
+    def _check_attributes(
+        self,
+        element: Element,
+        complex_type: ComplexType,
+        path: str,
+        errors: list[ValidationError],
+    ) -> None:
+        uses = complex_type.effective_attribute_uses()
+        for name, value in element.attributes.items():
+            if name.startswith("xmlns") or name.startswith("xsi:"):
+                continue  # namespace/xsi machinery, not schema attributes
+            use = uses.get(name)
+            if use is None:
+                errors.append(
+                    ValidationError(
+                        f"attribute '{name}' is not declared on "
+                        f"<{element.tag_name}>",
+                        path=path,
+                    )
+                )
+                continue
+            if use.fixed is not None and value != use.fixed:
+                errors.append(
+                    ValidationError(
+                        f"attribute '{name}' must have the fixed value "
+                        f"{use.fixed!r}, found {value!r}",
+                        path=path,
+                    )
+                )
+                continue
+            try:
+                use.declaration.resolved_type().parse(value)
+            except SimpleTypeError as error:
+                errors.append(
+                    ValidationError(
+                        f"attribute '{name}' of <{element.tag_name}>: "
+                        f"{error.message}",
+                        path=path,
+                    )
+                )
+        for name, use in uses.items():
+            if use.required and not element.has_attribute(name):
+                errors.append(
+                    ValidationError(
+                        f"required attribute '{name}' missing on "
+                        f"<{element.tag_name}>",
+                        path=path,
+                    )
+                )
+
+
+def _xsi_type_override(element: Element) -> str | None:
+    """The value of ``xsi:type`` on *element*, if present.
+
+    Prefix resolution is simplified to the conventional ``xsi:`` prefix
+    (full namespace machinery is overkill for the feature set here).
+    """
+    if element.has_attribute("xsi:type"):
+        return element.get_attribute("xsi:type")
+    return None
+
+
+def validate(
+    document: Document, schema: Schema
+) -> list[ValidationError]:
+    """One-shot validation convenience."""
+    return SchemaValidator(schema).validate(document)
+
+
+def type_of_element(
+    schema: Schema, element_name: str
+) -> TypeDefinition:
+    """The resolved type of a global element (helper for tooling)."""
+    return schema.element(element_name).resolved_type()

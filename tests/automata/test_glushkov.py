@@ -1,0 +1,164 @@
+"""Glushkov DFA construction and matching."""
+
+import pytest
+
+from repro.automata import (
+    Alternation,
+    Empty,
+    Epsilon,
+    NondeterminismError,
+    Repetition,
+    Sequence,
+    Symbol,
+    build_dfa,
+)
+
+
+def dfa_for(regex, **kwargs):
+    return build_dfa(regex, **kwargs)
+
+
+class TestAcceptance:
+    def test_epsilon_accepts_only_empty(self):
+        dfa = dfa_for(Epsilon())
+        assert dfa.accepts([])
+        assert not dfa.accepts(["a"])
+
+    def test_empty_language_accepts_nothing(self):
+        dfa = dfa_for(Empty())
+        assert not dfa.accepts([])
+        assert not dfa.accepts(["a"])
+
+    def test_single_symbol(self):
+        dfa = dfa_for(Symbol("a"))
+        assert dfa.accepts(["a"])
+        assert not dfa.accepts([])
+        assert not dfa.accepts(["a", "a"])
+
+    def test_sequence(self):
+        dfa = dfa_for(Sequence([Symbol("a"), Symbol("b")]))
+        assert dfa.accepts(["a", "b"])
+        assert not dfa.accepts(["a"])
+        assert not dfa.accepts(["b", "a"])
+
+    def test_alternation(self):
+        dfa = dfa_for(Alternation([Symbol("a"), Symbol("b")]))
+        assert dfa.accepts(["a"])
+        assert dfa.accepts(["b"])
+        assert not dfa.accepts(["a", "b"])
+
+    def test_star(self):
+        dfa = dfa_for(Symbol("a").star())
+        for count in range(4):
+            assert dfa.accepts(["a"] * count)
+        assert not dfa.accepts(["b"])
+
+    def test_plus(self):
+        dfa = dfa_for(Symbol("a").plus())
+        assert not dfa.accepts([])
+        assert dfa.accepts(["a"])
+        assert dfa.accepts(["a", "a", "a"])
+
+    def test_bounded_repetition(self):
+        dfa = dfa_for(Repetition(Symbol("a"), 2, 3))
+        assert not dfa.accepts(["a"])
+        assert dfa.accepts(["a", "a"])
+        assert dfa.accepts(["a", "a", "a"])
+        assert not dfa.accepts(["a", "a", "a", "a"])
+
+    def test_purchase_order_shape(self):
+        # shipTo billTo comment? items — the Fig. 2 content model.
+        regex = Sequence(
+            [
+                Symbol("shipTo"),
+                Symbol("billTo"),
+                Symbol("comment").optional(),
+                Symbol("items"),
+            ]
+        )
+        dfa = dfa_for(regex)
+        assert dfa.accepts(["shipTo", "billTo", "comment", "items"])
+        assert dfa.accepts(["shipTo", "billTo", "items"])
+        assert not dfa.accepts(["billTo", "shipTo", "items"])
+        assert not dfa.accepts(["shipTo", "billTo", "comment"])
+
+    def test_nested_choice_star(self):
+        # (a | b c)* d
+        regex = Sequence(
+            [
+                Alternation(
+                    [Symbol("a"), Sequence([Symbol("b"), Symbol("c")])]
+                ).star(),
+                Symbol("d"),
+            ]
+        )
+        dfa = dfa_for(regex)
+        assert dfa.accepts(["d"])
+        assert dfa.accepts(["a", "d"])
+        assert dfa.accepts(["b", "c", "a", "d"])
+        assert not dfa.accepts(["b", "d"])
+
+
+class TestMatcher:
+    def test_stepwise_matching_with_payloads(self):
+        class Declaration:
+            def __init__(self, name):
+                self.name = name
+
+        a, b = Declaration("a"), Declaration("b")
+        dfa = build_dfa(
+            Sequence([Symbol(a), Symbol(b).star()]),
+            key=lambda declaration: declaration.name,
+        )
+        matcher = dfa.matcher()
+        assert matcher.step("a") is a
+        assert matcher.step("b") is b
+        assert matcher.step("b") is b
+        assert matcher.at_accepting_state()
+
+    def test_failed_step_preserves_state(self):
+        dfa = build_dfa(Sequence([Symbol("a"), Symbol("b")]))
+        matcher = dfa.matcher()
+        matcher.step("a")
+        assert matcher.step("z") is None
+        assert matcher.expected() == ["b"]
+        assert matcher.step("b") == "b"
+
+    def test_reset(self):
+        dfa = build_dfa(Symbol("a"))
+        matcher = dfa.matcher()
+        matcher.step("a")
+        matcher.reset()
+        assert matcher.step("a") == "a"
+
+
+class TestDeterminismCheck:
+    def test_ambiguous_choice_detected(self):
+        # (a b?) | (a c): after 'a' two particles compete.
+        regex = Alternation(
+            [
+                Sequence([Symbol("a"), Symbol("b").optional()]),
+                Sequence([Symbol("a"), Symbol("c")]),
+            ]
+        )
+        with pytest.raises(NondeterminismError):
+            build_dfa(regex, require_deterministic=True)
+
+    def test_deterministic_model_accepted(self):
+        regex = Sequence(
+            [Symbol("a"), Alternation([Symbol("b"), Symbol("c")]).optional()]
+        )
+        build_dfa(regex, require_deterministic=True)
+
+    def test_classic_nondeterministic_star(self):
+        # (a? a) is ambiguous on its first 'a'.
+        regex = Sequence([Symbol("a").optional(), Symbol("a")])
+        with pytest.raises(NondeterminismError):
+            build_dfa(regex, require_deterministic=True)
+
+    def test_without_flag_ambiguity_is_resolved(self):
+        regex = Sequence([Symbol("a").optional(), Symbol("a")])
+        dfa = build_dfa(regex)
+        assert dfa.accepts(["a"])
+        assert dfa.accepts(["a", "a"])
+        assert not dfa.accepts([])

@@ -1,0 +1,87 @@
+"""Property-based tests: the Glushkov DFA agrees with Python's re."""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import (
+    Alternation,
+    Epsilon,
+    Regex,
+    Repetition,
+    Sequence,
+    Symbol,
+    UNBOUNDED,
+    build_dfa,
+)
+
+_ALPHABET = "ab"
+
+
+def _to_python_pattern(regex: Regex) -> str:
+    if isinstance(regex, Epsilon):
+        return ""
+    if isinstance(regex, Symbol):
+        return regex.payload
+    if isinstance(regex, Sequence):
+        return "".join(f"(?:{_to_python_pattern(p)})" for p in regex.parts)
+    if isinstance(regex, Alternation):
+        inner = "|".join(
+            f"(?:{_to_python_pattern(a)})" for a in regex.alternatives
+        )
+        return f"(?:{inner})"
+    assert isinstance(regex, Repetition)
+    child = f"(?:{_to_python_pattern(regex.child)})"
+    if regex.max_occurs == UNBOUNDED:
+        return f"{child}{{{regex.min_occurs},}}"
+    return f"{child}{{{regex.min_occurs},{regex.max_occurs}}}"
+
+
+def _regexes(depth: int):
+    if depth == 0:
+        return st.sampled_from(list(_ALPHABET)).map(Symbol)
+    sub = _regexes(depth - 1)
+    return st.one_of(
+        st.sampled_from(list(_ALPHABET)).map(Symbol),
+        st.lists(sub, min_size=1, max_size=3).map(Sequence),
+        st.lists(sub, min_size=1, max_size=3).map(Alternation),
+        st.tuples(sub, st.integers(0, 2), st.integers(0, 3)).map(
+            lambda t: Repetition(t[0], t[1], max(t[1], t[2]))
+        ),
+        st.tuples(sub, st.integers(0, 2)).map(
+            lambda t: Repetition(t[0], t[1], UNBOUNDED)
+        ),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    regex=_regexes(2),
+    word=st.text(alphabet=_ALPHABET, max_size=8),
+)
+def test_dfa_agrees_with_re(regex, word):
+    """For every random regex and word, DFA acceptance == re.fullmatch."""
+    dfa = build_dfa(regex, position_budget=100_000)
+    pattern = re.compile(_to_python_pattern(regex))
+    expected = pattern.fullmatch(word) is not None
+    assert dfa.accepts(list(word)) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(regex=_regexes(2))
+def test_nullability_matches_empty_word_acceptance(regex):
+    dfa = build_dfa(regex, position_budget=100_000)
+    assert dfa.accepts([]) == regex.nullable()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    regex=_regexes(1),
+    word=st.text(alphabet=_ALPHABET, max_size=6),
+)
+def test_matcher_equals_batch_accepts(regex, word):
+    dfa = build_dfa(regex, position_budget=100_000)
+    matcher = dfa.matcher()
+    stepped_ok = all(matcher.step(char) is not None for char in word)
+    batch = dfa.accepts(list(word))
+    assert batch == (stepped_ok and matcher.at_accepting_state())

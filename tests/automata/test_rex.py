@@ -1,0 +1,73 @@
+"""Regex AST: nullability, expansion, position budget."""
+
+import pytest
+
+from repro.automata import (
+    Alternation,
+    Empty,
+    Epsilon,
+    Repetition,
+    Sequence,
+    Symbol,
+    UNBOUNDED,
+)
+from repro.automata.rex import RegexTooLargeError, check_budget
+
+
+class TestNullable:
+    def test_epsilon_nullable(self):
+        assert Epsilon().nullable()
+
+    def test_empty_not_nullable(self):
+        assert not Empty().nullable()
+
+    def test_symbol_not_nullable(self):
+        assert not Symbol("a").nullable()
+
+    def test_sequence_nullable_iff_all(self):
+        assert Sequence([Epsilon(), Symbol("a").optional()]).nullable()
+        assert not Sequence([Symbol("a"), Epsilon()]).nullable()
+
+    def test_alternation_nullable_iff_any(self):
+        assert Alternation([Symbol("a"), Epsilon()]).nullable()
+        assert not Alternation([Symbol("a"), Symbol("b")]).nullable()
+
+    def test_repetition_with_zero_min(self):
+        assert Symbol("a").star().nullable()
+        assert Symbol("a").optional().nullable()
+        assert not Symbol("a").plus().nullable()
+
+
+class TestExpansion:
+    def test_bounded_repeat_expands_to_copies(self):
+        regex = Repetition(Symbol("a"), 2, 4)
+        assert regex.count_positions() == 4
+        expanded = regex.expanded()
+        assert expanded.count_positions() == 4
+
+    def test_min_unbounded_keeps_plus(self):
+        regex = Repetition(Symbol("a"), 3, UNBOUNDED)
+        expanded = regex.expanded()
+        assert expanded.count_positions() == 3
+
+    def test_fresh_positions_per_copy(self):
+        symbol = Symbol("a")
+        expanded = Repetition(symbol, 2, 2).expanded()
+        positions = expanded.parts  # type: ignore[attr-defined]
+        assert positions[0] is not positions[1]
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Repetition(Symbol("a"), -1, 2)
+        with pytest.raises(ValueError):
+            Repetition(Symbol("a"), 3, 2)
+
+
+class TestBudget:
+    def test_within_budget_passes(self):
+        check_budget(Repetition(Symbol("a"), 0, 100).expanded(), budget=200)
+
+    def test_over_budget_raises(self):
+        regex = Repetition(Symbol("a"), 0, 5000).expanded()
+        with pytest.raises(RegexTooLargeError):
+            check_budget(regex, budget=4096)

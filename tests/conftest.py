@@ -1,0 +1,91 @@
+"""Shared fixtures: parsed schemas and bindings, built once per session."""
+
+import pytest
+
+from repro.core import bind
+from repro.xsd import parse_schema
+from repro.schemas import (
+    PURCHASE_ORDER_DTD,
+    PURCHASE_ORDER_SCHEMA,
+    WML_SCHEMA,
+)
+from repro.schemas.variants import (
+    ADDRESS_EXTENSION_SCHEMA,
+    PURCHASE_ORDER_CHOICE_SCHEMA,
+    SUBSTITUTION_GROUP_SCHEMA,
+)
+
+
+@pytest.fixture(scope="session")
+def po_schema():
+    return parse_schema(PURCHASE_ORDER_SCHEMA)
+
+
+@pytest.fixture(scope="session")
+def po_binding():
+    return bind(PURCHASE_ORDER_SCHEMA)
+
+
+@pytest.fixture(scope="session")
+def wml_binding():
+    return bind(WML_SCHEMA)
+
+
+@pytest.fixture(scope="session")
+def choice_binding():
+    return bind(PURCHASE_ORDER_CHOICE_SCHEMA)
+
+
+@pytest.fixture(scope="session")
+def subst_binding():
+    return bind(SUBSTITUTION_GROUP_SCHEMA)
+
+
+@pytest.fixture(scope="session")
+def extension_binding():
+    return bind(ADDRESS_EXTENSION_SCHEMA)
+
+
+@pytest.fixture
+def po_factory(po_binding):
+    return po_binding.factory
+
+
+@pytest.fixture
+def full_po(po_factory):
+    """A complete, valid purchase order element (Fig. 1 shape)."""
+    f = po_factory
+    return f.create_purchase_order(
+        f.create_ship_to(
+            f.create_name("Alice Smith"),
+            f.create_street("123 Maple Street"),
+            f.create_city("Mill Valley"),
+            f.create_state("CA"),
+            f.create_zip("90952"),
+        ),
+        f.create_bill_to(
+            f.create_name("Robert Smith"),
+            f.create_street("8 Oak Avenue"),
+            f.create_city("Old Town"),
+            f.create_state("PA"),
+            f.create_zip("95819"),
+        ),
+        f.create_comment("Hurry, my lawn is going wild"),
+        f.create_items(
+            f.create_item(
+                f.create_product_name("Lawnmower"),
+                f.create_quantity(1),
+                f.create_us_price("148.95"),
+                f.create_comment("Confirm this is electric"),
+                part_num="872-AA",
+            ),
+            f.create_item(
+                f.create_product_name("Baby Monitor"),
+                f.create_quantity(1),
+                f.create_us_price("39.98"),
+                f.create_ship_date("1999-05-21"),
+                part_num="926-AA",
+            ),
+        ),
+        order_date="1999-10-20",
+    )

@@ -1,0 +1,164 @@
+"""The eight transformation rules → interface model."""
+
+import pytest
+
+from repro.xsd import parse_schema
+from repro.core.generate import ChoiceStrategy, generate_interfaces
+from repro.core.model import FieldKind, InterfaceKind
+from repro.core.normalize import normalize
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+from repro.schemas.variants import (
+    ADDRESS_EXTENSION_SCHEMA,
+    PURCHASE_ORDER_CHOICE_SCHEMA,
+    SUBSTITUTION_GROUP_SCHEMA,
+)
+
+
+@pytest.fixture(scope="module")
+def po_model():
+    schema = parse_schema(PURCHASE_ORDER_SCHEMA)
+    normalize(schema)
+    return generate_interfaces(schema)
+
+
+class TestRule1Elements(object):
+    def test_global_elements_become_interfaces(self, po_model):
+        interface = po_model["purchaseOrderElement"]
+        assert interface.kind is InterfaceKind.ELEMENT
+        content = interface.field("content")
+        assert content.kind is FieldKind.CONTENT
+        assert content.type.name == "PurchaseOrderTypeType"
+
+    def test_simple_typed_element_content_is_primitive(self, po_model):
+        comment = po_model["commentElement"]
+        assert comment.field("content").type.primitive
+        assert comment.field("content").type.name == "string"
+
+    def test_local_elements_nested_in_owner(self, po_model):
+        ship_to = po_model["PurchaseOrderTypeType.shipToElement"]
+        assert ship_to.nested_in == "PurchaseOrderTypeType"
+        assert ship_to.field("content").type.name == "USAddressType"
+
+
+class TestRule2Types:
+    def test_named_types_become_interfaces(self, po_model):
+        assert "PurchaseOrderTypeType" in po_model
+        assert "USAddressType" in po_model
+        assert "ItemsType" in po_model
+
+    def test_rule4_sequence_members_become_fields(self, po_model):
+        interface = po_model["PurchaseOrderTypeType"]
+        names = [f.name for f in interface.fields]
+        assert names == ["shipTo", "billTo", "comment", "items", "orderDate"]
+
+    def test_optional_member_flagged(self, po_model):
+        comment = po_model["PurchaseOrderTypeType"].field("comment")
+        assert comment.optional
+        assert comment.kind is FieldKind.CHILD
+
+    def test_ref_member_points_at_global_interface(self, po_model):
+        comment = po_model["PurchaseOrderTypeType"].field("comment")
+        assert comment.target_key == "commentElement"
+
+
+class TestRule5Lists:
+    def test_repeated_element_becomes_list_field(self, po_model):
+        items = po_model["ItemsType"]
+        field = items.field("itemList")
+        assert field.kind is FieldKind.LIST
+        assert str(field.type) == "list<itemElement>"
+        assert field.min_occurs == 0
+        assert field.max_occurs == -1
+
+
+class TestRule6Choice:
+    @pytest.fixture(scope="class")
+    def choice_model(self):
+        schema = parse_schema(PURCHASE_ORDER_CHOICE_SCHEMA)
+        normalize(schema)
+        return generate_interfaces(schema)
+
+    def test_choice_becomes_abstract_group_interface(self, choice_model):
+        group = choice_model["PurchaseOrderTypeCC1Group"]
+        assert group.kind is InterfaceKind.GROUP
+        assert group.abstract
+
+    def test_alternatives_inherit_from_group(self, choice_model):
+        sing = choice_model["PurchaseOrderTypeCC1Group.singAddrElement"]
+        assert "PurchaseOrderTypeCC1Group" in sing.extends
+
+    def test_type_field_references_group(self, choice_model):
+        interface = choice_model["PurchaseOrderTypeType"]
+        field = interface.field("PurchaseOrderTypeCC1")
+        assert field.kind is FieldKind.CHOICE
+        assert field.type.name == "PurchaseOrderTypeCC1Group"
+
+    def test_union_strategy_produces_fig5_shape(self):
+        schema = parse_schema(PURCHASE_ORDER_CHOICE_SCHEMA)
+        normalize(schema)
+        model = generate_interfaces(schema, ChoiceStrategy.UNION)
+        group = model["PurchaseOrderTypeCC1Group"]
+        assert group.union is not None
+        assert [alt.case_name for alt in group.union] == [
+            "singAddr", "twoAddr"
+        ]
+        assert not group.abstract
+        sing = model["PurchaseOrderTypeCC1Group.singAddrElement"]
+        assert "PurchaseOrderTypeCC1Group" not in sing.extends
+
+
+class TestRule7Attributes:
+    def test_attribute_fields(self, po_model):
+        order_date = po_model["PurchaseOrderTypeType"].field("orderDate")
+        assert order_date.kind is FieldKind.ATTRIBUTE
+        assert order_date.type.name == "Date"
+
+    def test_fixed_and_required_flags(self, po_model):
+        country = po_model["USAddressType"].field("country")
+        assert country.fixed == "US"
+        part_num = po_model["ItemTypeType"].field("partNum")
+        assert part_num.required
+        assert part_num.type.name == "SKU"
+
+
+class TestRule8SimpleTypes:
+    def test_named_simple_type_interface(self, po_model):
+        sku = po_model["SKU"]
+        assert sku.kind is InterfaceKind.SIMPLE
+        assert sku.base_primitive is not None
+        assert sku.base_primitive.name == "string"
+
+    def test_generated_anonymous_simple_type(self, po_model):
+        quantity = po_model["QuantityType"]
+        assert quantity.kind is InterfaceKind.SIMPLE
+        assert quantity.base_primitive.name == "positiveInteger"
+
+
+class TestDerivationMappings:
+    def test_extension_maps_to_inheritance(self):
+        schema = parse_schema(ADDRESS_EXTENSION_SCHEMA)
+        normalize(schema)
+        model = generate_interfaces(schema)
+        us_address = model["USAddressType"]
+        assert "AddressType" in us_address.extends
+        own_fields = [f.name for f in us_address.fields]
+        assert own_fields == ["state", "zip"]  # only the extension's own
+
+    def test_substitution_group_maps_to_inheritance(self):
+        schema = parse_schema(SUBSTITUTION_GROUP_SCHEMA)
+        normalize(schema)
+        model = generate_interfaces(schema)
+        ship = model["shipCommentElement"]
+        assert "commentElement" in ship.extends
+
+    def test_abstract_element_interface(self):
+        schema = parse_schema(
+            SUBSTITUTION_GROUP_SCHEMA.replace(
+                '<xsd:element name="comment" type="xsd:string"/>',
+                '<xsd:element name="comment" type="xsd:string"'
+                ' abstract="true"/>',
+            )
+        )
+        normalize(schema)
+        model = generate_interfaces(schema)
+        assert model["commentElement"].abstract

@@ -1,0 +1,104 @@
+"""IDL rendering: Figures 5, 6 and Appendix A."""
+
+import pytest
+
+from repro.xsd import parse_schema
+from repro.core.generate import ChoiceStrategy, generate_interfaces
+from repro.core.idl import render_idl
+from repro.core.normalize import normalize
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+from repro.schemas.variants import PURCHASE_ORDER_CHOICE_SCHEMA
+
+
+def idl_for(schema_text, strategy=ChoiceStrategy.INHERITANCE):
+    schema = parse_schema(schema_text)
+    normalize(schema)
+    return render_idl(generate_interfaces(schema, strategy))
+
+
+@pytest.fixture(scope="module")
+def appendix_idl():
+    return idl_for(PURCHASE_ORDER_SCHEMA)
+
+
+class TestAppendixA:
+    """APP-A: the printed interfaces match the paper's appendix."""
+
+    def test_element_interfaces_present(self, appendix_idl):
+        assert "interface purchaseOrderElement {" in appendix_idl
+        assert "attribute PurchaseOrderTypeType content;" in appendix_idl
+        assert "interface commentElement {" in appendix_idl
+        assert "attribute string content;" in appendix_idl
+
+    def test_purchase_order_type_fields(self, appendix_idl):
+        assert "attribute shipToElement shipTo;" in appendix_idl
+        assert "attribute billToElement billTo;" in appendix_idl
+        assert "attribute commentElement comment;" in appendix_idl
+        assert "attribute itemsElement items;" in appendix_idl
+        assert "attribute Date orderDate;" in appendix_idl
+
+    def test_us_address_fields(self, appendix_idl):
+        for name in ("name", "street", "city", "state", "zip"):
+            assert f"attribute {name}Element {name};" in appendix_idl
+        assert "attribute NMToken country;" in appendix_idl
+
+    def test_item_list_uses_parametric_list(self, appendix_idl):
+        assert "attribute list<itemElement> itemList;" in appendix_idl
+
+    def test_item_fields(self, appendix_idl):
+        assert "attribute productNameElement productName;" in appendix_idl
+        assert "attribute quantityElement quantity;" in appendix_idl
+        assert "attribute USPriceElement USPrice;" in appendix_idl
+        assert "attribute shipDateElement shipDate;" in appendix_idl
+        assert "attribute SKU partNum;" in appendix_idl
+
+    def test_sku_restricts_string(self, appendix_idl):
+        assert "interface SKU: string" in appendix_idl
+
+    def test_nesting_matches_appendix(self, appendix_idl):
+        """Local element interfaces appear inside their type interface."""
+        type_block = appendix_idl.split("interface USAddressType {")[1]
+        type_block = type_block.split("\n}")[0]
+        assert "interface nameElement {" in type_block
+
+    def test_zip_is_decimal(self, appendix_idl):
+        assert "attribute decimal content;" in appendix_idl
+
+
+class TestFig6Inheritance:
+    def test_group_interface_and_inheritance(self):
+        idl = idl_for(PURCHASE_ORDER_CHOICE_SCHEMA)
+        assert "abstract interface PurchaseOrderTypeCC1Group" in idl
+        assert (
+            "interface singAddrElement: PurchaseOrderTypeCC1Group" in idl
+        )
+        assert (
+            "interface twoAddrElement: PurchaseOrderTypeCC1Group" in idl
+        )
+        assert (
+            "attribute PurchaseOrderTypeCC1Group PurchaseOrderTypeCC1;"
+            in idl
+        )
+
+
+class TestFig5Union:
+    def test_union_typedef_rendered(self):
+        idl = idl_for(PURCHASE_ORDER_CHOICE_SCHEMA, ChoiceStrategy.UNION)
+        assert "typedef union PurchaseOrderTypeCC1Group" in idl
+        assert "switch (enum PurchaseOrderTypeCC1ST(singAddr,twoAddr))" in idl
+        assert "case singAddr: singAddrElement singAddr;" in idl
+        assert "case twoAddr: twoAddrElement twoAddr;" in idl
+
+
+class TestAnnotations:
+    def test_optional_comment_marker(self, appendix_idl):
+        assert "attribute commentElement comment;  // optional" in appendix_idl
+
+    def test_fixed_attribute_marker(self, appendix_idl):
+        assert 'fixed="US"' in appendix_idl
+
+    def test_required_attribute_marker(self, appendix_idl):
+        assert "attribute SKU partNum;  // required" in appendix_idl
+
+    def test_occurrence_comment_on_lists(self, appendix_idl):
+        assert "// occurs 0..unbounded" in appendix_idl

@@ -1,0 +1,88 @@
+"""The interface-model IR container and reference types."""
+
+import pytest
+
+from repro.xsd import parse_schema
+from repro.core.generate import generate_interfaces
+from repro.core.model import (
+    Field,
+    FieldKind,
+    Interface,
+    InterfaceKind,
+    InterfaceModel,
+    TypeRef,
+)
+from repro.core.normalize import normalize
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def model():
+    schema = parse_schema(PURCHASE_ORDER_SCHEMA)
+    normalize(schema)
+    return generate_interfaces(schema)
+
+
+class TestTypeRef:
+    def test_plain_rendering(self):
+        assert str(TypeRef("USAddressType")) == "USAddressType"
+
+    def test_list_rendering(self):
+        assert str(TypeRef.list_of(TypeRef("itemElement"))) == (
+            "list<itemElement>"
+        )
+
+    def test_primitive_flag(self):
+        assert TypeRef("string", primitive=True).primitive
+        assert not TypeRef("SKU").primitive
+
+
+class TestInterfaceModel:
+    def test_registry_access(self, model):
+        assert "purchaseOrderElement" in model
+        assert model["purchaseOrderElement"].kind is InterfaceKind.ELEMENT
+        assert len(model) > 10
+
+    def test_duplicate_keys_rejected(self, model):
+        schema = parse_schema(PURCHASE_ORDER_SCHEMA)
+        fresh = InterfaceModel(schema)
+        fresh.add(Interface(key="x", name="x", kind=InterfaceKind.TYPE))
+        with pytest.raises(KeyError):
+            fresh.add(Interface(key="x", name="x", kind=InterfaceKind.TYPE))
+
+    def test_by_kind_partitions(self, model):
+        total = sum(
+            len(model.by_kind(kind))
+            for kind in (
+                InterfaceKind.ELEMENT,
+                InterfaceKind.TYPE,
+                InterfaceKind.GROUP,
+                InterfaceKind.SIMPLE,
+            )
+        )
+        assert total == len(model)
+
+    def test_element_interface_lookup(self, model):
+        interface = model.element_interface("purchaseOrder")
+        assert interface.key == "purchaseOrderElement"
+        with pytest.raises(KeyError):
+            model.element_interface("ghost")
+
+    def test_nested_interfaces(self, model):
+        nested = model.nested_interfaces("USAddressType")
+        names = {interface.name for interface in nested}
+        assert names == {
+            "nameElement", "streetElement", "cityElement",
+            "stateElement", "zipElement",
+        }
+
+    def test_field_lookup(self, model):
+        interface = model["PurchaseOrderTypeType"]
+        field = interface.field("orderDate")
+        assert field.kind is FieldKind.ATTRIBUTE
+        with pytest.raises(KeyError):
+            interface.field("ghost")
+
+    def test_iteration_order_is_creation_order(self, model):
+        keys = [interface.key for interface in model]
+        assert keys == list(model.interfaces)

@@ -1,0 +1,117 @@
+"""Naming schemes for anonymous groups (paper Sect. 3)."""
+
+import pytest
+
+from repro.xsd.components import (
+    Compositor,
+    ElementDeclaration,
+    ModelGroup,
+    Particle,
+)
+from repro.automata.rex import UNBOUNDED
+from repro.core.naming import (
+    ExplicitFirstNaming,
+    InheritedNaming,
+    MergedNaming,
+    SynthesizedNaming,
+    particle_label,
+    type_name_for_element,
+)
+
+
+def choice_of(*names):
+    return ModelGroup(
+        Compositor.CHOICE,
+        [Particle(ElementDeclaration(name)) for name in names],
+    )
+
+
+def sequence_of(*names):
+    return ModelGroup(
+        Compositor.SEQUENCE,
+        [Particle(ElementDeclaration(name)) for name in names],
+    )
+
+
+class TestSynthesizedNaming:
+    def test_choice_uses_or(self):
+        """The paper's example: singAddr | twoAddr → singAddrORtwoAddr."""
+        scheme = SynthesizedNaming()
+        group = choice_of("singAddr", "twoAddr")
+        assert scheme.group_name(group, "PurchaseOrderTypeC", 1) == (
+            "singAddrORtwoAddr"
+        )
+
+    def test_adding_alternative_changes_the_name(self):
+        """The instability the paper criticizes."""
+        scheme = SynthesizedNaming()
+        before = scheme.group_name(choice_of("singAddr", "twoAddr"), "X", 1)
+        after = scheme.group_name(
+            choice_of("singAddr", "twoAddr", "multAddr"), "X", 1
+        )
+        assert before != after
+        assert after == "singAddrORtwoAddrORmultAddr"
+
+    def test_sequence_uses_and(self):
+        scheme = SynthesizedNaming()
+        assert scheme.group_name(sequence_of("a", "b"), "X", 1) == "aANDb"
+
+    def test_list_particles_get_list_suffix(self):
+        particle = Particle(ElementDeclaration("item"), 0, UNBOUNDED)
+        assert particle_label(particle) == "itemList"
+
+
+class TestInheritedNaming:
+    def test_positional_names(self):
+        """PurchaseOrderTypeC's first child is PurchaseOrderTypeCC1."""
+        scheme = InheritedNaming()
+        group = choice_of("singAddr", "twoAddr")
+        assert scheme.group_name(group, "PurchaseOrderTypeC", 1) == (
+            "PurchaseOrderTypeCC1"
+        )
+
+    def test_stable_under_alternative_addition(self):
+        """The property the paper adopts inherited naming for."""
+        scheme = InheritedNaming()
+        before = scheme.group_name(choice_of("a", "b"), "TC", 1)
+        after = scheme.group_name(choice_of("a", "b", "c"), "TC", 1)
+        assert before == after
+
+    def test_depends_on_position(self):
+        scheme = InheritedNaming()
+        group = choice_of("a", "b")
+        assert scheme.group_name(group, "TC", 1) != scheme.group_name(
+            group, "TC", 2
+        )
+
+
+class TestMergedNaming:
+    def test_choice_gets_inherited_name(self):
+        scheme = MergedNaming()
+        assert scheme.group_name(
+            choice_of("singAddr", "twoAddr"), "PurchaseOrderTypeC", 1
+        ) == "PurchaseOrderTypeCC1"
+
+    def test_sequence_gets_synthesized_name(self):
+        scheme = MergedNaming()
+        assert scheme.group_name(sequence_of("a", "b"), "TC", 2) == "aANDb"
+
+
+class TestExplicitFirstNaming:
+    def test_explicit_name_wins(self):
+        scheme = ExplicitFirstNaming()
+        group = choice_of("a", "b")
+        group.name = "AddressGroup"
+        assert scheme.group_name(group, "TC", 1) == "AddressGroup"
+
+    def test_fallback_to_merged(self):
+        scheme = ExplicitFirstNaming()
+        assert scheme.group_name(choice_of("a", "b"), "TC", 1) == "TCC1"
+
+
+class TestTypeNames:
+    def test_short_form(self):
+        assert type_name_for_element("item", None) == "ItemType"
+
+    def test_qualified_form(self):
+        assert type_name_for_element("item", "Items") == "ItemsItemType"

@@ -1,0 +1,103 @@
+"""Schema normal form (paper Sect. 3, rules 1-3)."""
+
+import pytest
+
+from repro.xsd import parse_schema
+from repro.core.naming import InheritedNaming, SynthesizedNaming
+from repro.core.normalize import is_normal_form, normalize
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+from repro.schemas.variants import (
+    NAMED_GROUP_SCHEMA,
+    PURCHASE_ORDER_CHOICE3_SCHEMA,
+    PURCHASE_ORDER_CHOICE_SCHEMA,
+)
+
+
+class TestNormalForm:
+    def test_purchase_order_schema_normalizes(self):
+        schema = parse_schema(PURCHASE_ORDER_SCHEMA)
+        assert not is_normal_form(schema)  # anonymous item type
+        normalize(schema)
+        assert is_normal_form(schema)
+
+    def test_anonymous_types_get_names(self):
+        schema = parse_schema(PURCHASE_ORDER_SCHEMA)
+        result = normalize(schema)
+        assert result.generated_type_names == {
+            "item": "ItemType",
+            "quantity": "QuantityType",
+        }
+        assert "ItemType" in schema.types
+        assert "QuantityType" in schema.types
+
+    def test_element_declarations_point_at_named_types(self):
+        schema = parse_schema(PURCHASE_ORDER_SCHEMA)
+        normalize(schema)
+        items = schema.types["Items"].content.term
+        item = items.particles[0].term
+        assert item.type_definition.name == "ItemType"
+
+    def test_nested_choice_becomes_named_group(self):
+        schema = parse_schema(PURCHASE_ORDER_CHOICE_SCHEMA)
+        result = normalize(schema)
+        assert result.generated_group_names == ["PurchaseOrderTypeCC1"]
+        group = schema.groups["PurchaseOrderTypeCC1"]
+        assert [p.term.name for p in group.model_group.particles] == [
+            "singAddr",
+            "twoAddr",
+        ]
+
+    def test_normalization_is_idempotent(self):
+        schema = parse_schema(PURCHASE_ORDER_CHOICE_SCHEMA)
+        normalize(schema)
+        second = normalize(schema)
+        assert second.generated_group_names == []
+        assert is_normal_form(schema)
+
+    def test_explicit_group_untouched(self):
+        schema = parse_schema(NAMED_GROUP_SCHEMA)
+        result = normalize(schema)
+        assert "AddressGroup" in schema.groups
+        assert result.generated_group_names == []
+
+    def test_validation_unaffected_by_normalization(self):
+        from repro.dom import parse_document
+        from repro.xsd import validate
+        from repro.schemas import PURCHASE_ORDER_DOCUMENT
+
+        schema = parse_schema(PURCHASE_ORDER_SCHEMA)
+        normalize(schema)
+        assert validate(parse_document(PURCHASE_ORDER_DOCUMENT), schema) == []
+
+
+class TestNamingStability:
+    """CLAIM-3: which generated names survive the evolution step."""
+
+    def _group_names(self, schema_text, naming):
+        schema = parse_schema(schema_text)
+        return set(normalize(schema, naming).generated_group_names)
+
+    def test_inherited_names_survive_choice_extension(self):
+        before = self._group_names(
+            PURCHASE_ORDER_CHOICE_SCHEMA, InheritedNaming()
+        )
+        after = self._group_names(
+            PURCHASE_ORDER_CHOICE3_SCHEMA, InheritedNaming()
+        )
+        assert before == after == {"PurchaseOrderTypeCC1"}
+
+    def test_synthesized_names_break_on_choice_extension(self):
+        before = self._group_names(
+            PURCHASE_ORDER_CHOICE_SCHEMA, SynthesizedNaming()
+        )
+        after = self._group_names(
+            PURCHASE_ORDER_CHOICE3_SCHEMA, SynthesizedNaming()
+        )
+        assert before == {"singAddrORtwoAddr"}
+        assert after == {"singAddrORtwoAddrORmultAddr"}
+        assert not before & after
+
+    def test_merged_default_behaves_like_inherited_for_choice(self):
+        before = self._group_names(PURCHASE_ORDER_CHOICE_SCHEMA, None)
+        after = self._group_names(PURCHASE_ORDER_CHOICE3_SCHEMA, None)
+        assert before == after

@@ -1,0 +1,88 @@
+"""Generated Python binding modules."""
+
+import pytest
+
+from repro.core.pygen import generate_python_module, load_generated_module
+from repro.errors import VdomTypeError
+from repro.schemas import PURCHASE_ORDER_SCHEMA, WML_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def po_module():
+    source = generate_python_module(PURCHASE_ORDER_SCHEMA, "PO binding")
+    return source, load_generated_module(source, "po_generated")
+
+
+class TestGeneratedModule:
+    def test_module_is_valid_python(self, po_module):
+        source, __ = po_module
+        compile(source, "<generated>", "exec")
+
+    def test_title_and_api_summary_in_docstring(self, po_module):
+        source, module = po_module
+        assert source.startswith('"""PO binding')
+        assert "class PurchaseOrderElement(TypedElement):" in source
+        assert ".part_num  # attribute: SKU" in source
+        assert ".value  # QuantityType" in source
+
+    def test_schema_source_embedded(self, po_module):
+        __, module = po_module
+        assert "purchaseOrder" in module.SCHEMA_SOURCE
+
+    def test_exported_classes_work(self, po_module):
+        __, module = po_module
+        comment = module.CommentElement("hello")
+        assert comment.content == "hello"
+        assert isinstance(comment, module.CommentElement)
+
+    def test_factory_exported(self, po_module):
+        __, module = po_module
+        quantity = module.factory.create_quantity(3)
+        assert quantity.value == 3
+
+    def test_enforcement_survives_generation(self, po_module):
+        __, module = po_module
+        with pytest.raises(VdomTypeError):
+            module.factory.create_quantity(100)
+
+    def test_all_lists_every_export(self, po_module):
+        __, module = po_module
+        for name in module.__all__:
+            assert hasattr(module, name)
+
+    def test_document_helper(self, po_module):
+        __, module = po_module
+        comment = module.CommentElement("x")
+        document = module.document(comment)
+        assert document.document_element is comment
+
+
+class TestFileOutput:
+    def test_write_python_module(self, tmp_path):
+        from repro.core.pygen import write_python_module
+
+        path = tmp_path / "po_binding.py"
+        write_python_module(PURCHASE_ORDER_SCHEMA, str(path), "PO")
+        source = path.read_text()
+        assert source.startswith('"""PO')
+        # The written module is importable as a file.
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location("po_file_binding", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.factory.create_comment("x").content == "x"
+
+
+class TestOtherSchemas:
+    def test_wml_module_generates(self):
+        source = generate_python_module(WML_SCHEMA, "WML binding")
+        module = load_generated_module(source, "wml_generated")
+        option = module.factory.create_option("..", value="/ws")
+        assert option.get_attribute("value") == "/ws"
+
+    def test_parsed_schema_rejected(self):
+        from repro.xsd import parse_schema
+
+        with pytest.raises(TypeError):
+            generate_python_module(parse_schema(PURCHASE_ORDER_SCHEMA))

@@ -1,0 +1,79 @@
+"""CharacterData node operations."""
+
+import pytest
+
+from repro.errors import DomError
+from repro.dom import Document
+
+
+@pytest.fixture
+def doc():
+    return Document()
+
+
+class TestCharacterData:
+    def test_length_and_value(self, doc):
+        text = doc.create_text_node("hello")
+        assert text.length == 5
+        assert text.node_value == "hello"
+
+    def test_substring(self, doc):
+        text = doc.create_text_node("hello world")
+        assert text.substring_data(6, 5) == "world"
+
+    def test_append_insert_delete_replace(self, doc):
+        text = doc.create_text_node("ac")
+        text.insert_data(1, "b")
+        assert text.data == "abc"
+        text.append_data("d")
+        assert text.data == "abcd"
+        text.delete_data(0, 2)
+        assert text.data == "cd"
+        text.replace_data(0, 1, "X")
+        assert text.data == "Xd"
+
+    def test_offset_bounds_checked(self, doc):
+        text = doc.create_text_node("ab")
+        with pytest.raises(DomError):
+            text.insert_data(5, "x")
+        with pytest.raises(DomError):
+            text.substring_data(-1, 2)
+
+
+class TestSplitText:
+    def test_split_inserts_sibling(self, doc):
+        root = doc.create_element("root")
+        text = doc.create_text_node("hello world")
+        root.append_child(text)
+        tail = text.split_text(5)
+        assert text.data == "hello"
+        assert tail.data == " world"
+        assert text.next_sibling is tail
+
+    def test_split_detached_node(self, doc):
+        text = doc.create_text_node("ab")
+        tail = text.split_text(1)
+        assert tail.data == "b"
+        assert tail.parent_node is None
+
+
+class TestCdata:
+    def test_cdata_is_text_subclass(self, doc):
+        cdata = doc.create_cdata_section("raw < data")
+        assert cdata.data == "raw < data"
+        # CDATA participates in text_content like ordinary text
+        root = doc.create_element("root")
+        root.append_child(cdata)
+        assert root.text_content == "raw < data"
+
+
+class TestComment:
+    def test_comment_value(self, doc):
+        comment = doc.create_comment("note")
+        assert comment.node_value == "note"
+
+    def test_comment_not_in_text_content(self, doc):
+        root = doc.create_element("root")
+        root.append_child(doc.create_comment("hidden"))
+        root.append_child(doc.create_text_node("shown"))
+        assert root.text_content == "shown"

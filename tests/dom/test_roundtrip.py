@@ -1,0 +1,78 @@
+"""Parse → DOM → serialize round-trips (FIG1 infrastructure)."""
+
+import pytest
+
+from repro.dom import parse_document, serialize
+from repro.schemas import PURCHASE_ORDER_DOCUMENT
+
+
+class TestRoundTrip:
+    def test_purchase_order_roundtrip_is_stable(self):
+        document = parse_document(PURCHASE_ORDER_DOCUMENT)
+        once = serialize(document)
+        twice = serialize(parse_document(once))
+        assert once == twice
+
+    def test_text_escaping_roundtrip(self):
+        document = parse_document("<a>1 &lt; 2 &amp; 3</a>")
+        rendered = serialize(document)
+        assert rendered == "<a>1 &lt; 2 &amp; 3</a>"
+        assert parse_document(rendered).document_element.text_content == "1 < 2 & 3"
+
+    def test_cdata_preserved(self):
+        document = parse_document("<a><![CDATA[x < y]]></a>")
+        assert "<![CDATA[x < y]]>" in serialize(document)
+
+    def test_empty_element_notation(self):
+        assert serialize(parse_document("<a><b/></a>")) == "<a><b/></a>"
+
+    def test_attributes_roundtrip(self):
+        source = '<a x="1" y="a&amp;b"/>'
+        assert serialize(parse_document(source)) == source
+
+    def test_comments_and_pis_kept(self):
+        source = "<a><!--c--><?pi data?></a>"
+        assert serialize(parse_document(source)) == source
+
+    def test_comments_can_be_dropped(self):
+        document = parse_document("<a><!--c--></a>", keep_comments=False)
+        assert serialize(document) == "<a/>"
+
+    def test_doctype_roundtrip(self):
+        source = '<!DOCTYPE a [<!ELEMENT a EMPTY>]>\n<a/>'
+        rendered = serialize(parse_document(source))
+        assert "<!DOCTYPE a [<!ELEMENT a EMPTY>]>" in rendered
+
+    def test_xml_declaration_emission(self):
+        document = parse_document("<a/>")
+        assert serialize(document, xml_declaration=True).startswith("<?xml")
+
+
+class TestPrettyPrinting:
+    def test_pretty_indents_element_content(self):
+        document = parse_document("<a><b><c/></b></a>")
+        pretty = serialize(document, pretty=True)
+        assert pretty == "<a>\n  <b>\n    <c/>\n  </b>\n</a>"
+
+    def test_pretty_preserves_mixed_content(self):
+        document = parse_document("<p>some <b>bold</b> text</p>")
+        pretty = serialize(document, pretty=True)
+        assert "some <b>bold</b> text" in pretty
+
+    def test_pretty_custom_indent(self):
+        document = parse_document("<a><b/></a>")
+        assert serialize(document, pretty=True, indent="\t") == "<a>\n\t<b/>\n</a>"
+
+    def test_pretty_reparses_equal_structure(self):
+        document = parse_document(PURCHASE_ORDER_DOCUMENT)
+        pretty = serialize(document, pretty=True)
+        reparsed = parse_document(pretty)
+        original_names = [
+            e.tag_name
+            for e in document.get_elements_by_tag_name("*")
+        ]
+        pretty_names = [
+            e.tag_name
+            for e in reparsed.get_elements_by_tag_name("*")
+        ]
+        assert original_names == pretty_names

@@ -1,0 +1,97 @@
+"""Serializer edge cases beyond the round-trip suite."""
+
+import pytest
+
+from repro.errors import DomError
+from repro.dom import Document, parse_document, serialize
+from repro.dom.document import DocumentType
+
+
+@pytest.fixture
+def doc():
+    return Document()
+
+
+class TestNodeKinds:
+    def test_serialize_fragment(self, doc):
+        fragment = doc.create_document_fragment()
+        fragment.append_child(doc.create_element("a"))
+        fragment.append_child(doc.create_element("b"))
+        assert serialize(fragment) == "<a/><b/>"
+
+    def test_serialize_bare_text(self, doc):
+        assert serialize(doc.create_text_node("a<b")) == "a&lt;b"
+
+    def test_serialize_comment(self, doc):
+        assert serialize(doc.create_comment(" note ")) == "<!-- note -->"
+
+    def test_serialize_pi(self, doc):
+        pi = doc.create_processing_instruction("target", "data")
+        assert serialize(pi) == "<?target data?>"
+
+    def test_attr_not_serializable(self, doc):
+        with pytest.raises(DomError):
+            serialize(doc.create_attribute("x", "1"))
+
+    def test_doctype_public(self, doc):
+        doctype = DocumentType("html", "-//W3C//DTD", "http://dtd", None, doc)
+        doc.append_child(doctype)
+        doc.append_child(doc.create_element("html"))
+        rendered = serialize(doc)
+        assert rendered.startswith(
+            '<!DOCTYPE html PUBLIC "-//W3C//DTD" "http://dtd">'
+        )
+
+    def test_doctype_system_only(self, doc):
+        doctype = DocumentType("a", None, "file.dtd", None, doc)
+        doc.append_child(doctype)
+        doc.append_child(doc.create_element("a"))
+        assert '<!DOCTYPE a SYSTEM "file.dtd">' in serialize(doc)
+
+
+class TestPrettyEdges:
+    def test_pretty_comments_indented(self):
+        document = parse_document("<a><!--c--><b/></a>")
+        assert serialize(document, pretty=True) == (
+            "<a>\n  <!--c-->\n  <b/>\n</a>"
+        )
+
+    def test_pretty_pi_indented(self):
+        document = parse_document("<a><?p d?><b/></a>")
+        assert serialize(document, pretty=True) == (
+            "<a>\n  <?p d?>\n  <b/>\n</a>"
+        )
+
+    def test_pretty_root_only(self):
+        document = parse_document("<a/>")
+        assert serialize(document, pretty=True) == "<a/>"
+
+    def test_pretty_with_declaration(self):
+        document = parse_document("<a><b/></a>")
+        rendered = serialize(document, pretty=True, xml_declaration=True)
+        assert rendered.startswith('<?xml version="1.0" encoding="UTF-8"?>')
+        assert "\n<a>" in rendered
+
+    def test_pretty_text_only_element_kept_inline(self):
+        document = parse_document("<a><b>text</b></a>")
+        assert "<b>text</b>" in serialize(document, pretty=True)
+
+
+class TestEscapingEdges:
+    def test_carriage_return_in_text(self, doc):
+        element = doc.create_element("a")
+        element.append_child(doc.create_text_node("x\ry"))
+        assert serialize(element) == "<a>x&#13;y</a>"
+
+    def test_tabs_and_newlines_in_attributes(self, doc):
+        element = doc.create_element("a")
+        element.set_attribute("x", "a\tb\nc")
+        assert serialize(element) == '<a x="a&#9;b&#10;c"/>'
+
+    def test_escaped_attr_roundtrips(self, doc):
+        element = doc.create_element("a")
+        element.set_attribute("x", 'quote " and tab\t!')
+        reparsed = parse_document(serialize(element))
+        assert reparsed.document_element.get_attribute("x") == (
+            'quote " and tab\t!'
+        )

@@ -1,0 +1,161 @@
+"""DTD → schema conversion: the prior-work ([14]) V-DOM pipeline."""
+
+import pytest
+
+from repro.dom import parse_document, serialize
+from repro.dtd import bind_dtd, dtd_to_schema, parse_dtd
+from repro.errors import GenerationError, VdomTypeError
+from repro.xsd import SchemaValidator
+from repro.xsd.components import ComplexType, Compositor, ContentType
+from repro.automata.rex import UNBOUNDED
+from repro.schemas import (
+    PURCHASE_ORDER_DOCUMENT,
+    PURCHASE_ORDER_DTD,
+    PURCHASE_ORDER_INVALID_DOCUMENTS,
+)
+
+
+@pytest.fixture(scope="module")
+def po_dtd_schema():
+    return dtd_to_schema(parse_dtd(PURCHASE_ORDER_DTD))
+
+
+@pytest.fixture(scope="module")
+def po_dtd_binding():
+    return bind_dtd(PURCHASE_ORDER_DTD)
+
+
+class TestConversion:
+    def test_every_element_becomes_global(self, po_dtd_schema):
+        assert set(po_dtd_schema.elements) == {
+            "purchaseOrder", "shipTo", "billTo", "comment", "items",
+            "item", "productName", "quantity", "USPrice", "shipDate",
+            "name", "street", "city", "state", "zip",
+        }
+
+    def test_named_types_allocated(self, po_dtd_schema):
+        assert "PurchaseOrderType" in po_dtd_schema.types
+        assert "ItemType" in po_dtd_schema.types
+
+    def test_sequence_content_with_occurrences(self, po_dtd_schema):
+        po_type = po_dtd_schema.types["PurchaseOrderType"]
+        assert isinstance(po_type, ComplexType)
+        group = po_type.content.term
+        assert group.compositor is Compositor.SEQUENCE
+        names = [p.term.name for p in group.particles]
+        assert names == ["shipTo", "billTo", "comment", "items"]
+        assert group.particles[2].min_occurs == 0  # comment?
+
+    def test_star_maps_to_unbounded(self, po_dtd_schema):
+        items_type = po_dtd_schema.types["ItemsType"]
+        particle = items_type.content.term.particles[0]
+        assert particle.min_occurs == 0
+        assert particle.max_occurs == UNBOUNDED
+
+    def test_pcdata_becomes_string_content(self, po_dtd_schema):
+        comment_type = po_dtd_schema.types["CommentType"]
+        assert comment_type.content_type is ContentType.SIMPLE
+        assert comment_type.simple_content.name == "string"
+
+    def test_fixed_attribute_preserved(self, po_dtd_schema):
+        ship_to = po_dtd_schema.types["ShipToType"]
+        assert ship_to.attribute_uses["country"].fixed == "US"
+
+    def test_required_attribute_preserved(self, po_dtd_schema):
+        item = po_dtd_schema.types["ItemType"]
+        assert item.attribute_uses["partNum"].required
+
+    def test_enumeration_attribute(self):
+        schema = dtd_to_schema(
+            parse_dtd(
+                '<!ELEMENT a EMPTY><!ATTLIST a kind (web|phone) "web">'
+            )
+        )
+        use = schema.types["AType"].attribute_uses["kind"]
+        assert use.default == "web"
+        assert use.declaration.resolved_type().is_valid("phone")
+        assert not use.declaration.resolved_type().is_valid("fax")
+
+    def test_mixed_content(self):
+        schema = dtd_to_schema(
+            parse_dtd("<!ELEMENT p (#PCDATA | b)*><!ELEMENT b (#PCDATA)>")
+        )
+        p_type = schema.types["PType"]
+        assert p_type.content_type is ContentType.MIXED
+
+    def test_any_content(self):
+        schema = dtd_to_schema(
+            parse_dtd("<!ELEMENT a ANY><!ELEMENT b EMPTY>")
+        )
+        a_type = schema.types["AType"]
+        assert a_type.mixed
+        dfa = schema.content_dfa(a_type)
+        assert dfa.accepts(["b", "a", "b"])
+
+    def test_undeclared_reference_rejected(self):
+        with pytest.raises(GenerationError, match="undeclared"):
+            dtd_to_schema(parse_dtd("<!ELEMENT a (ghost)>"))
+
+    def test_converted_schema_validates_fig1(self, po_dtd_schema):
+        document = parse_document(PURCHASE_ORDER_DOCUMENT)
+        assert SchemaValidator(po_dtd_schema).validate(document) == []
+
+
+class TestDtdBinding:
+    def test_binding_round_trips_fig1(self, po_dtd_binding):
+        """Unmarshal → serialize → unmarshal is a fixpoint (modulo the
+        layout whitespace from_dom drops)."""
+        document = parse_document(PURCHASE_ORDER_DOCUMENT)
+        typed = po_dtd_binding.from_dom(document.document_element)
+        once = serialize(typed)
+        again = po_dtd_binding.from_dom(
+            parse_document(once).document_element
+        )
+        assert serialize(again) == once
+        assert typed.items is not None
+        assert [
+            item.product_name.content for item in typed.items.item_list
+        ] == ["Lawnmower", "Baby Monitor"]
+
+    def test_structure_enforced(self, po_dtd_binding):
+        factory = po_dtd_binding.factory
+        with pytest.raises(VdomTypeError):
+            factory.create_purchase_order(factory.create_comment("only"))
+
+    def test_expressiveness_gap(self, po_dtd_binding):
+        """What the DTD pipeline cannot enforce (the paper's motivation
+        for XML Schema): typed values, facets, patterns."""
+        factory = po_dtd_binding.factory
+        # All of these are rejected by the schema-based binding but
+        # sail through the DTD-based one:
+        quantity = factory.create_quantity("not-a-number")
+        assert quantity.content == "not-a-number"
+        item = factory.create_item(
+            factory.create_product_name("x"),
+            factory.create_quantity("1"),
+            factory.create_us_price("expensive"),
+            part_num="ANY OLD STRING",
+        )
+        assert item.get_attribute("partNum") == "ANY OLD STRING"
+
+    def test_gap_measured_on_fault_corpus(self, po_dtd_binding):
+        """The DTD binding catches structural faults, misses value faults."""
+        missed = []
+        for fault, text in PURCHASE_ORDER_INVALID_DOCUMENTS.items():
+            try:
+                po_dtd_binding.from_dom(
+                    parse_document(text).document_element
+                )
+                missed.append(fault)
+            except VdomTypeError:
+                pass
+        assert sorted(missed) == [
+            "bad-date", "bad-price", "bad-quantity", "bad-sku",
+        ]
+
+    def test_dtd_templates_work(self, po_dtd_binding):
+        """P-XML runs unchanged on the DTD-derived binding."""
+        from repro.pxml import Template
+
+        template = Template(po_dtd_binding, "<comment>$c$</comment>")
+        assert template.render(c="hi").content == "hi"

@@ -1,0 +1,118 @@
+"""DTD declaration parsing."""
+
+import pytest
+
+from repro.errors import DtdError
+from repro.dtd import (
+    AttDefault,
+    AttType,
+    ContentKind,
+    parse_dtd,
+)
+
+
+class TestElementDeclarations:
+    def test_empty_content(self):
+        dtd = parse_dtd("<!ELEMENT br EMPTY>")
+        assert dtd.elements["br"].content.kind is ContentKind.EMPTY
+
+    def test_any_content(self):
+        dtd = parse_dtd("<!ELEMENT any ANY>")
+        assert dtd.elements["any"].content.kind is ContentKind.ANY
+
+    def test_pcdata_only(self):
+        dtd = parse_dtd("<!ELEMENT t (#PCDATA)>")
+        content = dtd.elements["t"].content
+        assert content.kind is ContentKind.MIXED
+        assert content.mixed_names == frozenset()
+
+    def test_mixed_with_names(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | b | i)*>")
+        content = dtd.elements["p"].content
+        assert content.mixed_names == frozenset({"b", "i"})
+
+    def test_sequence_model(self):
+        dtd = parse_dtd("<!ELEMENT po (shipTo, billTo?, item+)>")
+        assert str(dtd.elements["po"].content) == "(shipTo, billTo?, item+)"
+
+    def test_choice_model(self):
+        dtd = parse_dtd("<!ELEMENT x (a | b | c)*>")
+        assert str(dtd.elements["x"].content) == "(a | b | c)*"
+
+    def test_nested_groups(self):
+        dtd = parse_dtd("<!ELEMENT x ((a, b) | c)+>")
+        assert str(dtd.elements["x"].content) == "((a, b) | c)+"
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(DtdError):
+            parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a ANY>")
+
+    def test_mixed_connectors_rejected(self):
+        with pytest.raises(DtdError):
+            parse_dtd("<!ELEMENT x (a, b | c)>")
+
+
+class TestAttlistDeclarations:
+    def test_cdata_required(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY><!ATTLIST a x CDATA #REQUIRED>"
+        )
+        definition = dtd.attributes["a"]["x"]
+        assert definition.att_type is AttType.CDATA
+        assert definition.default_kind is AttDefault.REQUIRED
+
+    def test_enumeration_with_default(self):
+        dtd = parse_dtd('<!ATTLIST a kind (web|phone) "web">')
+        definition = dtd.attributes["a"]["kind"]
+        assert definition.att_type is AttType.ENUMERATION
+        assert definition.enumeration == ("web", "phone")
+        assert definition.default_value == "web"
+
+    def test_default_outside_enumeration_rejected(self):
+        with pytest.raises(DtdError):
+            parse_dtd('<!ATTLIST a kind (web|phone) "fax">')
+
+    def test_fixed_value(self):
+        dtd = parse_dtd('<!ATTLIST a country NMTOKEN #FIXED "US">')
+        definition = dtd.attributes["a"]["country"]
+        assert definition.default_kind is AttDefault.FIXED
+        assert definition.default_value == "US"
+
+    def test_id_types(self):
+        dtd = parse_dtd(
+            "<!ATTLIST a i ID #REQUIRED r IDREF #IMPLIED rs IDREFS #IMPLIED>"
+        )
+        assert dtd.attributes["a"]["i"].att_type is AttType.ID
+        assert dtd.attributes["a"]["r"].att_type is AttType.IDREF
+        assert dtd.attributes["a"]["rs"].att_type is AttType.IDREFS
+
+    def test_first_declaration_binds(self):
+        dtd = parse_dtd(
+            '<!ATTLIST a x CDATA "first"><!ATTLIST a x CDATA "second">'
+        )
+        assert dtd.attributes["a"]["x"].default_value == "first"
+
+
+class TestEntities:
+    def test_general_entity(self):
+        dtd = parse_dtd('<!ENTITY co "Example Co">')
+        assert dtd.entities["co"] == "Example Co"
+
+    def test_parameter_entity_expansion(self):
+        dtd = parse_dtd(
+            '<!ENTITY % fields "name, street">'
+            "<!ELEMENT addr (%fields;)>"
+        )
+        assert str(dtd.elements["addr"].content) == "(name, street)"
+
+    def test_undeclared_parameter_entity_rejected(self):
+        with pytest.raises(DtdError):
+            parse_dtd("<!ELEMENT a (%nope;)>")
+
+    def test_external_entity_skipped(self):
+        dtd = parse_dtd('<!ENTITY ext SYSTEM "http://x/file.txt">')
+        assert "ext" not in dtd.entities
+
+    def test_comments_and_pis_ignored(self):
+        dtd = parse_dtd("<!-- c --><?pi d?><!ELEMENT a EMPTY>")
+        assert "a" in dtd.elements

@@ -1,0 +1,149 @@
+"""DTD validation of DOM documents (the prior-work baseline)."""
+
+import pytest
+
+from repro.dom import parse_document
+from repro.dtd import DtdValidator, parse_dtd, validate_against_dtd
+from repro.schemas import PURCHASE_ORDER_DOCUMENT, PURCHASE_ORDER_DTD
+
+
+@pytest.fixture(scope="module")
+def po_dtd():
+    return parse_dtd(PURCHASE_ORDER_DTD, root_name="purchaseOrder")
+
+
+@pytest.fixture(scope="module")
+def po_validator(po_dtd):
+    return DtdValidator(po_dtd)
+
+
+class TestPurchaseOrderDtd:
+    def test_fig1_document_is_dtd_valid(self, po_validator):
+        document = parse_document(PURCHASE_ORDER_DOCUMENT)
+        assert po_validator.validate(document) == []
+
+    def test_wrong_order_detected(self, po_validator):
+        document = parse_document(
+            PURCHASE_ORDER_DOCUMENT.replace(
+                "<comment>Hurry, my lawn is going wild</comment>\n  <items>",
+                "<items>",
+            ).replace(
+                "</items>\n</purchaseOrder>",
+                "</items>\n<comment>late</comment>\n</purchaseOrder>",
+            )
+        )
+        errors = po_validator.validate(document)
+        assert errors
+
+    def test_dtd_cannot_catch_value_errors(self, po_validator):
+        """DTDs have no types: a bad quantity passes (the schema gap)."""
+        document = parse_document(
+            PURCHASE_ORDER_DOCUMENT.replace(
+                "<quantity>1</quantity>", "<quantity>not-a-number</quantity>", 1
+            )
+        )
+        assert po_validator.validate(document) == []
+
+    def test_dtd_cannot_catch_pattern_errors(self, po_validator):
+        document = parse_document(PURCHASE_ORDER_DOCUMENT.replace("872-AA", "bogus"))
+        assert po_validator.validate(document) == []
+
+
+class TestContentModels:
+    def test_missing_required_child(self):
+        dtd = parse_dtd("<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>")
+        errors = validate_against_dtd(parse_document("<a><b/></a>"), dtd)
+        assert any("ends too early" in str(e) for e in errors)
+
+    def test_empty_element_with_content(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        errors = validate_against_dtd(parse_document("<a>text</a>"), dtd)
+        assert any("EMPTY" in str(e) for e in errors)
+
+    def test_text_in_element_content(self):
+        dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b EMPTY>")
+        errors = validate_against_dtd(parse_document("<a>oops<b/></a>"), dtd)
+        assert any("contains text" in str(e) for e in errors)
+
+    def test_undeclared_element(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        errors = validate_against_dtd(parse_document("<b/>"), dtd)
+        assert any("not declared" in str(e) for e in errors)
+
+    def test_root_name_checked(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b EMPTY>", root_name="a")
+        errors = validate_against_dtd(parse_document("<b/>"), dtd)
+        assert any("DOCTYPE declares" in str(e) for e in errors)
+
+    def test_any_content_allows_declared_children(self):
+        dtd = parse_dtd("<!ELEMENT a ANY><!ELEMENT b EMPTY>")
+        assert validate_against_dtd(parse_document("<a><b/><b/>txt</a>"), dtd) == []
+
+    def test_mixed_content(self):
+        dtd = parse_dtd(
+            "<!ELEMENT p (#PCDATA | b)*><!ELEMENT b (#PCDATA)>"
+        )
+        assert validate_against_dtd(
+            parse_document("<p>some <b>bold</b> text</p>"), dtd
+        ) == []
+
+
+class TestAttributes:
+    def test_required_attribute_enforced(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ATTLIST a x CDATA #REQUIRED>")
+        errors = validate_against_dtd(parse_document("<a/>"), dtd)
+        assert any("required attribute" in str(e) for e in errors)
+
+    def test_undeclared_attribute_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        errors = validate_against_dtd(parse_document('<a x="1"/>'), dtd)
+        assert any("not declared" in str(e) for e in errors)
+
+    def test_fixed_value_enforced(self):
+        dtd = parse_dtd(
+            '<!ELEMENT a EMPTY><!ATTLIST a c NMTOKEN #FIXED "US">'
+        )
+        errors = validate_against_dtd(parse_document('<a c="DE"/>'), dtd)
+        assert any("fixed" in str(e) for e in errors)
+
+    def test_enumeration_enforced(self):
+        dtd = parse_dtd(
+            '<!ELEMENT a EMPTY><!ATTLIST a k (x|y) #IMPLIED>'
+        )
+        errors = validate_against_dtd(parse_document('<a k="z"/>'), dtd)
+        assert any("must be one of" in str(e) for e in errors)
+
+    def test_nmtokens_checked(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY><!ATTLIST a k NMTOKENS #IMPLIED>"
+        )
+        assert validate_against_dtd(parse_document('<a k="x y"/>'), dtd) == []
+        errors = validate_against_dtd(parse_document('<a k=" "/>'), dtd)
+        assert errors
+
+
+class TestIdConstraints:
+    DTD = (
+        "<!ELEMENT root (item*)>"
+        "<!ELEMENT item EMPTY>"
+        "<!ATTLIST item id ID #REQUIRED ref IDREF #IMPLIED>"
+    )
+
+    def test_unique_ids_pass(self):
+        dtd = parse_dtd(self.DTD)
+        document = parse_document(
+            '<root><item id="a"/><item id="b" ref="a"/></root>'
+        )
+        assert validate_against_dtd(document, dtd) == []
+
+    def test_duplicate_id_detected(self):
+        dtd = parse_dtd(self.DTD)
+        document = parse_document('<root><item id="a"/><item id="a"/></root>')
+        errors = validate_against_dtd(document, dtd)
+        assert any("duplicate ID" in str(e) for e in errors)
+
+    def test_dangling_idref_detected(self):
+        dtd = parse_dtd(self.DTD)
+        document = parse_document('<root><item id="a" ref="ghost"/></root>')
+        errors = validate_against_dtd(document, dtd)
+        assert any("does not match any ID" in str(e) for e in errors)

@@ -1,0 +1,70 @@
+"""Agreement between the two DTD-era checking paths.
+
+The prior-work story has two implementations here: the classic DTD
+*validator* (walks a finished DOM) and the DTD-derived V-DOM *binding*
+(refuses to construct).  On the shared fault corpus their verdicts must
+coincide — both see exactly the structural faults and both are blind to
+the value-level ones.
+"""
+
+import pytest
+
+from repro.dom import parse_document
+from repro.dtd import DtdValidator, bind_dtd, parse_dtd
+from repro.errors import VdomTypeError
+from repro.schemas import (
+    PURCHASE_ORDER_DOCUMENT,
+    PURCHASE_ORDER_DTD,
+    PURCHASE_ORDER_INVALID_DOCUMENTS,
+)
+
+
+@pytest.fixture(scope="module")
+def dtd_validator():
+    return DtdValidator(parse_dtd(PURCHASE_ORDER_DTD, root_name="purchaseOrder"))
+
+
+@pytest.fixture(scope="module")
+def dtd_binding():
+    return bind_dtd(PURCHASE_ORDER_DTD)
+
+
+def binding_accepts(binding, text: str) -> bool:
+    try:
+        binding.from_dom(parse_document(text).document_element)
+    except VdomTypeError:
+        return False
+    return True
+
+
+class TestAgreement:
+    def test_valid_document_accepted_by_both(self, dtd_validator, dtd_binding):
+        document = parse_document(PURCHASE_ORDER_DOCUMENT)
+        assert dtd_validator.validate(document) == []
+        assert binding_accepts(dtd_binding, PURCHASE_ORDER_DOCUMENT)
+
+    @pytest.mark.parametrize("fault", sorted(PURCHASE_ORDER_INVALID_DOCUMENTS))
+    def test_verdicts_agree_on_corpus(self, dtd_validator, dtd_binding, fault):
+        text = PURCHASE_ORDER_INVALID_DOCUMENTS[fault]
+        validator_rejects = bool(
+            dtd_validator.validate(parse_document(text))
+        )
+        binding_rejects = not binding_accepts(dtd_binding, text)
+        assert validator_rejects == binding_rejects, fault
+
+    def test_both_blind_to_the_same_value_faults(
+        self, dtd_validator, dtd_binding
+    ):
+        blind_validator = {
+            fault
+            for fault, text in PURCHASE_ORDER_INVALID_DOCUMENTS.items()
+            if not dtd_validator.validate(parse_document(text))
+        }
+        blind_binding = {
+            fault
+            for fault, text in PURCHASE_ORDER_INVALID_DOCUMENTS.items()
+            if binding_accepts(dtd_binding, text)
+        }
+        assert blind_validator == blind_binding == {
+            "bad-date", "bad-price", "bad-quantity", "bad-sku",
+        }

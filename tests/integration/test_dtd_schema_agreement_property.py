@@ -1,0 +1,61 @@
+"""Property test: the DTD validator and the DTD→Schema conversion agree.
+
+For random DTD content models and random child sequences, validating a
+document directly against the DTD must give the same verdict as
+validating it against the converted schema — the conversion preserves
+the content-model language exactly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dom import parse_document
+from repro.dtd import DtdValidator, dtd_to_schema, parse_dtd
+from repro.xsd import SchemaValidator
+
+_LEAVES = ("a", "b", "c")
+_OCCURS = ("", "?", "*", "+")
+
+
+@st.composite
+def particle_texts(draw, depth=2):
+    """A random DTD 'children' particle as source text."""
+    occurrence = draw(st.sampled_from(_OCCURS))
+    if depth == 0 or draw(st.booleans()):
+        return draw(st.sampled_from(_LEAVES)) + occurrence
+    connector = draw(st.sampled_from((", ", " | ")))
+    count = draw(st.integers(min_value=1, max_value=3))
+    children = [draw(particle_texts(depth=depth - 1)) for __ in range(count)]
+    return "(" + connector.join(children) + ")" + occurrence
+
+
+def build_dtd_text(particle: str) -> str:
+    leaf_declarations = "".join(
+        f"<!ELEMENT {name} (#PCDATA)>" for name in _LEAVES
+    )
+    return f"<!ELEMENT root ({particle})>{leaf_declarations}"
+
+
+def build_document(children: list[str]) -> str:
+    body = "".join(f"<{name}/>" for name in children)
+    return f"<root>{body}</root>"
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    particle=particle_texts(),
+    children=st.lists(st.sampled_from(_LEAVES), max_size=6),
+)
+def test_dtd_and_converted_schema_agree(particle, children):
+    dtd = parse_dtd(build_dtd_text(particle))
+    document = parse_document(build_document(children))
+    dtd_verdict = not DtdValidator(
+        dtd, require_deterministic=False
+    ).validate(document)
+    schema = dtd_to_schema(dtd)
+    schema_verdict = not SchemaValidator(schema).validate(document)
+    assert dtd_verdict == schema_verdict, (
+        particle,
+        children,
+        dtd_verdict,
+        schema_verdict,
+    )

@@ -1,0 +1,143 @@
+"""CLAIM-1: the error-detection-stage study.
+
+The paper's central qualitative claim: with string templates / generic
+DOM, schema violations surface only at runtime validation (or never);
+with V-DOM they surface at construction; with P-XML at template
+definition — before the program runs at all.  These tests pin the stage
+for each approach on the same set of faults.
+"""
+
+import pytest
+
+from repro import Template, bind, parse_document, serialize, validate
+from repro.errors import PxmlStaticError, VdomTypeError
+from repro.serverpages import render_page
+from repro.schemas import (
+    PURCHASE_ORDER_DOCUMENT,
+    PURCHASE_ORDER_INVALID_DOCUMENTS,
+    PURCHASE_ORDER_SCHEMA,
+)
+
+
+class TestStringTemplateStage:
+    """Baseline 1: server pages — the fault ships silently."""
+
+    def test_fault_passes_generation_and_parsing(self, po_binding):
+        page = PURCHASE_ORDER_INVALID_DOCUMENTS["bad-quantity"].replace(
+            "Lawnmower", "<%= product %>"
+        )
+        output = render_page(page, product="Lawnmower")
+        document = parse_document(output)  # well-formed!
+        # Only schema validation — a separate, optional step — notices:
+        assert validate(document, po_binding.schema)
+
+
+class TestGenericDomStage:
+    """Baseline 2: generic DOM — building succeeds, validation fails."""
+
+    def test_invalid_tree_constructible(self, po_binding):
+        document = parse_document(
+            PURCHASE_ORDER_INVALID_DOCUMENTS["wrong-element-order"]
+        )
+        # The generic DOM happily represents the invalid document...
+        assert document.document_element is not None
+        # ...and only the post-hoc validator reports it.
+        assert validate(document, po_binding.schema)
+
+    def test_dom_allows_arbitrary_mutation(self, po_binding):
+        document = parse_document(PURCHASE_ORDER_DOCUMENT)
+        root = document.document_element
+        root.append_child(document.create_element("bogus"))
+        assert validate(document, po_binding.schema)
+
+
+class TestVdomStage:
+    """V-DOM: the fault is impossible to construct."""
+
+    def test_construction_rejects_fault(self, po_factory):
+        with pytest.raises(VdomTypeError):
+            po_factory.create_quantity(100)
+
+    def test_mutation_rejects_fault(self, po_binding, full_po):
+        with pytest.raises(VdomTypeError):
+            full_po.items.add(po_binding.factory.create_comment("no"))
+
+    def test_no_validation_needed_after_construction(self, po_binding, full_po):
+        """Serializing a V-DOM tree needs no validation pass at all."""
+        document = po_binding.document(full_po)
+        text = serialize(document)
+        assert validate(parse_document(text), po_binding.schema) == []
+
+
+class TestPxmlStage:
+    """P-XML: the fault is reported before any rendering happens."""
+
+    def test_static_rejection_before_run(self, po_binding):
+        with pytest.raises(PxmlStaticError):
+            Template(po_binding, "<quantity>100</quantity>")
+
+    def test_static_rejection_of_structure(self, po_binding):
+        with pytest.raises(PxmlStaticError):
+            Template(
+                po_binding,
+                "<purchaseOrder><billTo><name>n</name><street>s</street>"
+                "<city>c</city><state>st</state><zip>1</zip></billTo>"
+                "</purchaseOrder>",
+            )
+
+
+FAULT_MATRIX = {
+    # fault name -> (caught statically by P-XML?, caught by V-DOM build?)
+    "bad-quantity": (True, True),
+    "bad-sku": (True, True),
+    "wrong-country": (True, True),
+    "missing-child": (True, True),
+    "wrong-element-order": (True, True),
+}
+
+
+class TestDetectionMatrix:
+    """For faults expressible as templates, compare stages directly."""
+
+    TEMPLATES = {
+        "bad-quantity": "<quantity>100</quantity>",
+        "bad-sku": (
+            '<item partNum="87-AA"><productName>x</productName>'
+            "<quantity>1</quantity><USPrice>1.0</USPrice></item>"
+        ),
+        "wrong-country": (
+            '<shipTo country="DE"><name>n</name><street>s</street>'
+            "<city>c</city><state>st</state><zip>1</zip></shipTo>"
+        ),
+        "missing-child": (
+            "<shipTo><name>n</name><street>s</street>"
+            "<state>st</state><zip>1</zip></shipTo>"
+        ),
+        "wrong-element-order": (
+            "<shipTo><street>s</street><name>n</name>"
+            "<city>c</city><state>st</state><zip>1</zip></shipTo>"
+        ),
+    }
+
+    @pytest.mark.parametrize("fault", sorted(FAULT_MATRIX))
+    def test_pxml_catches_statically(self, po_binding, fault):
+        expected_static, __ = FAULT_MATRIX[fault]
+        if expected_static:
+            with pytest.raises(PxmlStaticError):
+                Template(po_binding, self.TEMPLATES[fault])
+
+    @pytest.mark.parametrize("fault", sorted(FAULT_MATRIX))
+    def test_vdom_catches_at_unmarshal(self, po_binding, fault):
+        __, expected_build = FAULT_MATRIX[fault]
+        document = parse_document(PURCHASE_ORDER_INVALID_DOCUMENTS[fault])
+        if expected_build:
+            with pytest.raises(VdomTypeError):
+                po_binding.from_dom(document.document_element)
+
+    @pytest.mark.parametrize(
+        "fault", sorted(PURCHASE_ORDER_INVALID_DOCUMENTS)
+    )
+    def test_runtime_validator_is_the_floor(self, po_binding, fault):
+        """Every fault is at least caught by the runtime validator."""
+        document = parse_document(PURCHASE_ORDER_INVALID_DOCUMENTS[fault])
+        assert validate(document, po_binding.schema)

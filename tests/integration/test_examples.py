@@ -1,0 +1,66 @@
+"""Smoke-run every example script: the documented flows must keep working."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout  # every example narrates what it does
+
+
+def test_expected_examples_present():
+    names = {script.stem for script in EXAMPLES}
+    assert {
+        "quickstart",
+        "wml_directory",
+        "purchase_order_webshop",
+        "schema_evolution",
+        "codegen_tour",
+        "dtd_legacy",
+    } <= names
+
+
+class TestExampleOutputs:
+    """Key claims narrated by the examples hold in their output."""
+
+    def _run(self, name):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / f"{name}.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        return completed.stdout
+
+    def test_quickstart_rejections_narrated(self):
+        output = self._run("quickstart")
+        assert "rejected (quantity over the facet bound)" in output
+        assert "runtime validator agrees: 0 errors" in output
+
+    def test_wml_directory_shows_both_worlds(self):
+        output = self._run("wml_directory")
+        assert "a client parsing this page would explode" in output
+        assert "static error" in output
+        assert "factory.create_p(" in output  # the Fig. 11 code
+
+    def test_dtd_legacy_shows_the_gap(self):
+        output = self._run("dtd_legacy")
+        assert output.count("MISSED") == 4
+        assert "caught       caught" in output

@@ -1,0 +1,144 @@
+"""Stateful property test: the validity invariant survives any mutation
+sequence.
+
+Hypothesis drives random sequences of mutation attempts (legal and
+illegal) against a valid purchase order.  After *every* step — whether
+the operation succeeded or was rejected and rolled back — the tree must
+still satisfy the independent runtime validator.  This is the strongest
+form of the paper's claim: there is no reachable invalid state.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro import bind, validate
+from repro.errors import ReproError
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+
+_BINDING = bind(PURCHASE_ORDER_SCHEMA)
+_FACTORY = _BINDING.factory
+
+_words = st.text(alphabet=string.ascii_letters + " ", min_size=1, max_size=12)
+_skus = st.from_regex(r"[0-9]{3}-[A-Z]{2}", fullmatch=True)
+
+
+def fresh_order():
+    f = _FACTORY
+    return f.create_purchase_order(
+        f.create_ship_to(
+            f.create_name("Alice"), f.create_street("s"),
+            f.create_city("c"), f.create_state("CA"), f.create_zip("1"),
+        ),
+        f.create_bill_to(
+            f.create_name("Bob"), f.create_street("s"),
+            f.create_city("c"), f.create_state("PA"), f.create_zip("2"),
+        ),
+        f.create_comment("initial"),
+        f.create_items(
+            f.create_item(
+                f.create_product_name("Widget"),
+                f.create_quantity(1),
+                f.create_us_price("9.99"),
+                part_num="100-AA",
+            )
+        ),
+        order_date="1999-10-20",
+    )
+
+
+def _operations(draw):
+    """One random mutation attempt; may legitimately raise."""
+    f = _FACTORY
+    choice = draw(
+        st.sampled_from(
+            [
+                "add_item",
+                "add_bad_child",
+                "remove_comment",
+                "remove_ship_to",
+                "set_good_date",
+                "set_bad_date",
+                "set_bad_quantity_attr",
+                "replace_comment",
+                "add_second_comment",
+                "remove_random_item",
+            ]
+        )
+    )
+    return choice
+
+
+@st.composite
+def operation_sequences(draw):
+    return [
+        _operations(draw)
+        for __ in range(draw(st.integers(min_value=1, max_value=12)))
+    ]
+
+
+def apply_operation(order, operation, draw_text, draw_sku):
+    f = _FACTORY
+    if operation == "add_item":
+        order.items.add(
+            f.create_item(
+                f.create_product_name(draw_text),
+                f.create_quantity(2),
+                f.create_us_price("1.00"),
+                part_num=draw_sku,
+            )
+        )
+    elif operation == "add_bad_child":
+        order.items.add(f.create_comment("not an item"))
+    elif operation == "remove_comment":
+        comment = order.comment
+        if comment is not None:
+            order.remove_child(comment)
+    elif operation == "remove_ship_to":
+        order.remove_child(order.ship_to)
+    elif operation == "set_good_date":
+        order.set_attribute("orderDate", "2000-01-01")
+    elif operation == "set_bad_date":
+        order.set_attribute("orderDate", "not-a-date")
+    elif operation == "set_bad_quantity_attr":
+        order.set_attribute("bogusAttribute", "x")
+    elif operation == "replace_comment":
+        comment = order.comment
+        replacement = f.create_comment(draw_text)
+        if comment is not None:
+            order.replace_child(replacement, comment)
+        else:
+            order.insert_before(replacement, order.items)
+    elif operation == "add_second_comment":
+        order.add(f.create_comment("one too many"))
+    elif operation == "remove_random_item":
+        items = order.items.item_list
+        if items:
+            order.items.remove_child(items[-1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    operations=operation_sequences(),
+    text_value=_words,
+    sku=_skus,
+)
+def test_no_mutation_sequence_reaches_an_invalid_state(
+    operations, text_value, sku
+):
+    order = fresh_order()
+    for operation in operations:
+        try:
+            apply_operation(order, operation, text_value, sku)
+        except ReproError:
+            pass  # rejected-and-rolled-back is a legal outcome
+        # THE invariant: the live tree always validates.
+        document_errors = validate(_snapshot(order), _BINDING.schema)
+        assert document_errors == [], (operation, document_errors)
+
+
+def _snapshot(order):
+    """Reparse the serialized tree so validation sees a fresh document."""
+    from repro import parse_document, serialize
+
+    return parse_document(serialize(order))

@@ -1,0 +1,170 @@
+"""End-to-end pipeline tests: the whole Fig. 9 flow and agreement
+between every layer of the stack."""
+
+import pytest
+
+from repro import (
+    Template,
+    bind,
+    generate_python_module,
+    parse_document,
+    parse_schema,
+    preprocess_module,
+    serialize,
+    validate,
+)
+from repro.core.pygen import load_generated_module
+from repro.errors import VdomTypeError
+from repro.xsd import SchemaValidator
+from repro.schemas import (
+    PURCHASE_ORDER_DOCUMENT,
+    PURCHASE_ORDER_INVALID_DOCUMENTS,
+    PURCHASE_ORDER_SCHEMA,
+    WML_SCHEMA,
+)
+
+
+class TestSchemaToDocumentRoundtrip:
+    def test_vdom_output_always_validates(self, po_binding, full_po):
+        """Every tree V-DOM lets exist passes the runtime validator."""
+        document = po_binding.document(full_po)
+        assert validate(document, po_binding.schema) == []
+
+    def test_unmarshal_marshal_identity(self, po_binding):
+        document = parse_document(PURCHASE_ORDER_DOCUMENT)
+        typed = po_binding.from_dom(document.document_element)
+        retyped = po_binding.from_dom(
+            parse_document(
+                serialize(po_binding.document(typed))
+            ).document_element
+        )
+        assert serialize(typed) == serialize(retyped)
+
+    @pytest.mark.parametrize("name", sorted(PURCHASE_ORDER_INVALID_DOCUMENTS))
+    def test_invalid_documents_cannot_be_unmarshalled(self, po_binding, name):
+        document = parse_document(PURCHASE_ORDER_INVALID_DOCUMENTS[name])
+        with pytest.raises(VdomTypeError):
+            po_binding.from_dom(document.document_element)
+
+    def test_typed_values_survive_roundtrip(self, po_binding):
+        document = parse_document(PURCHASE_ORDER_DOCUMENT)
+        typed = po_binding.from_dom(document.document_element)
+        import datetime
+        import decimal
+
+        assert typed.order_date == datetime.date(1999, 10, 20)
+        first_item = typed.items.item_list[0]
+        assert first_item.us_price.value == decimal.Decimal("148.95")
+        assert first_item.quantity.value == 1
+
+
+class TestGeneratedModulePipeline:
+    def test_generated_module_agrees_with_dynamic_binding(self, po_binding):
+        source = generate_python_module(PURCHASE_ORDER_SCHEMA)
+        module = load_generated_module(source, "pipeline_generated")
+        from_module = module.factory.create_comment("same")
+        from_binding = po_binding.factory.create_comment("same")
+        assert serialize(from_module) == serialize(from_binding)
+
+    def test_template_through_generated_module(self):
+        source = generate_python_module(WML_SCHEMA)
+        module = load_generated_module(source, "pipeline_wml")
+        template = Template(
+            module.binding, '<option value="$v$">$t:text$</option>'
+        )
+        option = template.render(v="/x", t="x")
+        assert serialize(option) == '<option value="/x">x</option>'
+
+
+class TestPreprocessedProgramPipeline:
+    PROGRAM = '''
+from repro.core import bind
+from repro.schemas import WML_SCHEMA
+
+binding = bind(WML_SCHEMA)
+factory = binding.factory
+
+def directory_page(current, parent, subdirs):
+    select = pxml(
+        '<select name="directories">'
+        '<option value="$parent$">..</option></select>'
+    )
+    for full, label in subdirs:
+        select.add(pxml('<option value="$full$">$label:text$</option>'))
+    return pxml("<p><b>$current:text$</b><br/>$select:select$<br/></p>")
+'''
+
+    def test_preprocessed_program_runs_and_validates(self, wml_binding):
+        result = preprocess_module(self.PROGRAM, wml_binding)
+        assert result.replaced == 3
+        namespace: dict = {}
+        exec(compile(result.source, "<program>", "exec"), namespace)
+        page = namespace["directory_page"](
+            "/workspace/media", "/workspace", [("/workspace/media/a", "a")]
+        )
+        rendered = serialize(page)
+        assert rendered.count("<option") == 2
+        program_binding = namespace["binding"]
+        wml = program_binding.factory.create_wml(
+            program_binding.factory.create_card(page)
+        )
+        document = parse_document(serialize(program_binding.document(wml)))
+        assert validate(document, program_binding.schema) == []
+
+
+class TestCli:
+    def test_cli_idl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema_path = tmp_path / "po.xsd"
+        schema_path.write_text(PURCHASE_ORDER_SCHEMA)
+        assert main(["idl", str(schema_path)]) == 0
+        output = capsys.readouterr().out
+        assert "interface purchaseOrderElement" in output
+
+    def test_cli_python(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema_path = tmp_path / "po.xsd"
+        schema_path.write_text(PURCHASE_ORDER_SCHEMA)
+        assert main(["python", str(schema_path)]) == 0
+        assert "SCHEMA_SOURCE" in capsys.readouterr().out
+
+    def test_cli_validate_valid(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema_path = tmp_path / "po.xsd"
+        schema_path.write_text(PURCHASE_ORDER_SCHEMA)
+        document_path = tmp_path / "po.xml"
+        document_path.write_text(PURCHASE_ORDER_DOCUMENT)
+        assert main(["validate", str(schema_path), str(document_path)]) == 0
+
+    def test_cli_validate_invalid(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema_path = tmp_path / "po.xsd"
+        schema_path.write_text(PURCHASE_ORDER_SCHEMA)
+        document_path = tmp_path / "po.xml"
+        document_path.write_text(
+            PURCHASE_ORDER_INVALID_DOCUMENTS["bad-quantity"]
+        )
+        assert main(["validate", str(schema_path), str(document_path)]) == 1
+        assert "maxExclusive" in capsys.readouterr().out
+
+    def test_cli_preprocess(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema_path = tmp_path / "po.xsd"
+        schema_path.write_text(PURCHASE_ORDER_SCHEMA)
+        module_path = tmp_path / "app.py"
+        module_path.write_text('c = pxml("<comment>x</comment>")\n')
+        assert main(["preprocess", str(schema_path), str(module_path)]) == 0
+        assert "__pxml_1" in capsys.readouterr().out
+
+    def test_cli_reports_errors(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema_path = tmp_path / "bad.xsd"
+        schema_path.write_text("<not-a-schema/>")
+        assert main(["idl", str(schema_path)]) == 1
+        assert "error" in capsys.readouterr().err

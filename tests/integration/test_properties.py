@@ -1,0 +1,147 @@
+"""Property-based tests on the system invariants.
+
+The headline invariant of the paper: *every tree V-DOM lets exist is
+valid*.  Hypothesis builds random purchase orders through the typed API
+and random mutations of the serialized form; the invariant and its
+converse are checked against the independent runtime validator.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Template, bind, parse_document, serialize, validate
+from repro.core import bind as bind_schema
+from repro.errors import PxmlStaticError, ReproError, VdomTypeError, XmlSyntaxError
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+
+_BINDING = bind(PURCHASE_ORDER_SCHEMA)
+_FACTORY = _BINDING.factory
+
+_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,'-", min_size=1, max_size=20
+)
+_sku = st.from_regex(r"[0-9]{3}-[A-Z]{2}", fullmatch=True)
+_price = st.decimals(
+    min_value=0, max_value=10_000, allow_nan=False, places=2
+)
+_quantity = st.integers(min_value=1, max_value=99)
+
+
+@st.composite
+def addresses(draw):
+    return _FACTORY.create_ship_to(
+        _FACTORY.create_name(draw(_text)),
+        _FACTORY.create_street(draw(_text)),
+        _FACTORY.create_city(draw(_text)),
+        _FACTORY.create_state(draw(_text)),
+        _FACTORY.create_zip(str(draw(st.integers(10000, 99999)))),
+    )
+
+
+@st.composite
+def bill_addresses(draw):
+    return _FACTORY.create_bill_to(
+        _FACTORY.create_name(draw(_text)),
+        _FACTORY.create_street(draw(_text)),
+        _FACTORY.create_city(draw(_text)),
+        _FACTORY.create_state(draw(_text)),
+        _FACTORY.create_zip(str(draw(st.integers(10000, 99999)))),
+    )
+
+
+@st.composite
+def items_elements(draw):
+    count = draw(st.integers(min_value=0, max_value=5))
+    children = []
+    for __ in range(count):
+        children.append(
+            _FACTORY.create_item(
+                _FACTORY.create_product_name(draw(_text)),
+                _FACTORY.create_quantity(draw(_quantity)),
+                _FACTORY.create_us_price(str(draw(_price))),
+                part_num=draw(_sku),
+            )
+        )
+    return _FACTORY.create_items(*children)
+
+
+@st.composite
+def purchase_orders(draw):
+    comment = None
+    if draw(st.booleans()):
+        comment = _FACTORY.create_comment(draw(_text))
+    return _FACTORY.create_purchase_order(
+        draw(addresses()),
+        draw(bill_addresses()),
+        comment,
+        draw(items_elements()),
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(order=purchase_orders())
+def test_every_constructible_tree_is_valid(order):
+    """THE invariant: if V-DOM built it, the validator approves it."""
+    document = _BINDING.document(order)
+    assert validate(document, _BINDING.schema) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(order=purchase_orders())
+def test_serialization_roundtrip_preserves_validity(order):
+    text = serialize(_BINDING.document(order))
+    reparsed = parse_document(text)
+    assert validate(reparsed, _BINDING.schema) == []
+    retyped = _BINDING.from_dom(reparsed.document_element)
+    assert serialize(retyped) == serialize(order)
+
+
+@settings(max_examples=50, deadline=None)
+@given(order=purchase_orders(), data=st.data())
+def test_random_tag_swap_is_never_silently_accepted(order, data):
+    """Swapping two distinct child tags breaks validity — and both the
+    validator and the unmarshaller agree."""
+    text = serialize(_BINDING.document(order))
+    tags = ["shipTo", "billTo", "items", "name", "street", "city"]
+    source = data.draw(st.sampled_from(tags))
+    target = data.draw(st.sampled_from([t for t in tags if t != source]))
+    mutated = (
+        text.replace(f"<{source}", f"<{target}", 1)
+    )
+    try:
+        document = parse_document(mutated)
+    except XmlSyntaxError:
+        return  # mutation broke well-formedness: caught even earlier
+    errors = validate(document, _BINDING.schema)
+    if errors:
+        try:
+            _BINDING.from_dom(document.document_element)
+        except VdomTypeError:
+            return
+        raise AssertionError("validator found errors but from_dom accepted")
+    else:
+        _BINDING.from_dom(document.document_element)
+
+
+@settings(max_examples=30, deadline=None)
+@given(value=st.integers(min_value=-200, max_value=300))
+def test_quantity_boundary_agreement(value):
+    """Construction-time and validation-time boundaries coincide."""
+    in_range = 1 <= value < 100
+    try:
+        element = _FACTORY.create_quantity(value)
+    except VdomTypeError:
+        assert not in_range
+    else:
+        assert in_range
+        assert element.value == value
+
+
+@settings(max_examples=30, deadline=None)
+@given(text_value=_text)
+def test_template_render_matches_direct_construction(text_value):
+    template = Template(_BINDING, "<comment>$c$</comment>")
+    via_template = template.render(c=text_value)
+    direct = _FACTORY.create_comment(text_value)
+    assert serialize(via_template) == serialize(direct)

@@ -1,0 +1,125 @@
+"""The paper's introduction example on the XHTML subset.
+
+Sect. 1 shows a Java Server Page whose ``<TITLE>`` typo "still results
+in a correct Java Server Page … although the program does not generate
+correct Html."  These tests replay that exact story against the XHTML
+subset schema: the server page ships the bug; the P-XML version cannot
+even be written.
+"""
+
+import pytest
+
+from repro import Template, bind, parse_document, serialize, validate
+from repro.errors import PxmlStaticError
+from repro.serverpages import ServerPage
+from repro.schemas import XHTML_SUBSET_SCHEMA
+
+#: The intro's "simple server page" (shape of the paper's first listing).
+SIMPLE_PAGE = (
+    "<html><head><title>A Simple Server Page</title></head>"
+    "<body><h1>Departments</h1><ul>"
+    "<% for dept in departments: %>"
+    '<li><a href="<%= dept_url(dept) %>"><%= dept %></a></li>'
+    "<% end %>"
+    "</ul></body></html>"
+)
+
+#: The intro's "wrong server page": title misplaced into the body.
+WRONG_PAGE = SIMPLE_PAGE.replace(
+    "<h1>Departments</h1>", "<title>A Wrong Server Page</title><h1>Departments</h1>"
+)
+
+CONTEXT = {
+    "departments": ["toys", "books"],
+    "dept_url": lambda dept: f"/shop/{dept}",
+}
+
+
+@pytest.fixture(scope="module")
+def xhtml_binding():
+    return bind(XHTML_SUBSET_SCHEMA)
+
+
+class TestIntroServerPage:
+    def test_simple_page_happens_to_be_valid(self, xhtml_binding):
+        output = ServerPage(SIMPLE_PAGE).render(**CONTEXT)
+        document = parse_document(output)
+        assert validate(document, xhtml_binding.schema) == []
+
+    def test_wrong_page_is_accepted_and_ships_invalid_html(
+        self, xhtml_binding
+    ):
+        """The paper's exact complaint, reproduced."""
+        output = ServerPage(WRONG_PAGE).render(**CONTEXT)
+        document = parse_document(output)  # well-formed
+        errors = validate(document, xhtml_binding.schema)
+        assert errors  # but invalid — found only by this optional step
+        assert any("title" in str(error) for error in errors)
+
+
+class TestIntroPxmlVersion:
+    def test_valid_version_constructs(self, xhtml_binding):
+        factory = xhtml_binding.factory
+        item_template = Template(
+            xhtml_binding, '<li><a href="$url$">$label:text$</a></li>'
+        )
+        ul = factory.create_ul(
+            *[
+                item_template.render(url=f"/shop/{dept}", label=dept)
+                for dept in CONTEXT["departments"]
+            ]
+        )
+        page = factory.create_html(
+            factory.create_head(factory.create_title("A Simple Server Page")),
+            factory.create_body(factory.create_h1("Departments"), ul),
+        )
+        output = serialize(xhtml_binding.document(page))
+        assert validate(parse_document(output), xhtml_binding.schema) == []
+
+    def test_wrong_version_cannot_be_written(self, xhtml_binding):
+        """A title inside body is a static error, not a shipped bug."""
+        with pytest.raises(PxmlStaticError):
+            Template(
+                xhtml_binding,
+                "<body><title>A Wrong Server Page</title>"
+                "<h1>Departments</h1></body>",
+            )
+
+    def test_structural_typo_rejected_statically(self, xhtml_binding):
+        with pytest.raises(PxmlStaticError):
+            Template(
+                xhtml_binding,
+                "<html><body><p>x</p></body>"
+                "<head><title>t</title></head></html>",
+            )
+
+
+class TestXhtmlBindingSurface:
+    def test_tables(self, xhtml_binding):
+        factory = xhtml_binding.factory
+        table = factory.create_table(
+            factory.create_tr(
+                factory.create_td("a"), factory.create_td("b")
+            ),
+        )
+        assert serialize(table) == (
+            "<table><tr><td>a</td><td>b</td></tr></table>"
+        )
+
+    def test_inline_nesting(self, xhtml_binding):
+        factory = xhtml_binding.factory
+        paragraph = factory.create_p(
+            "mixed ",
+            factory.create_b("bold"),
+            " and ",
+            factory.create_i("italic"),
+        )
+        assert serialize(paragraph) == (
+            "<p>mixed <b>bold</b> and <i>italic</i></p>"
+        )
+
+    def test_required_href(self, xhtml_binding):
+        from repro.errors import VdomTypeError
+
+        with pytest.raises(VdomTypeError, match="href"):
+            xhtml_binding.factory.create_a("no link target")

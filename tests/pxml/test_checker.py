@@ -1,0 +1,196 @@
+"""P-XML static checking — the generated preprocessor's front end."""
+
+import pytest
+
+from repro.errors import PxmlStaticError
+from repro.pxml import check_template
+
+SHIP_TO_OK = """\
+<shipTo country="US">
+  <name>Alice Smith</name>
+  <street>123 Maple Street</street>
+  <city>Mill Valley</city>
+  <state>CA</state>
+  <zip>90952</zip>
+</shipTo>"""
+
+
+class TestValidTemplates:
+    def test_constant_fragment(self, po_binding):
+        checked = check_template(po_binding, SHIP_TO_OK)
+        assert checked.holes == {}
+        assert checked.root_class.__name__ == "ShipToElement"
+
+    def test_whitespace_between_elements_ignored(self, po_binding):
+        check_template(
+            po_binding, "<items>\n  \n</items>"
+        )
+
+    def test_element_hole_inferred_from_position(self, po_binding):
+        checked = check_template(
+            po_binding,
+            "<shipTo>$n$<street>s</street><city>c</city>"
+            "<state>st</state><zip>1</zip></shipTo>",
+        )
+        spec = checked.holes["n"]
+        assert spec.kind == "element"
+        assert spec.classes[0].__name__ == "NameElement"
+
+    def test_text_hole_in_simple_content(self, po_binding):
+        checked = check_template(po_binding, "<comment>$c$</comment>")
+        assert checked.holes["c"].kind == "text"
+
+    def test_text_hole_in_attribute(self, po_binding):
+        checked = check_template(
+            po_binding,
+            '<item partNum="$p$"><productName>x</productName>'
+            "<quantity>1</quantity><USPrice>1.0</USPrice></item>",
+        )
+        spec = checked.holes["p"]
+        assert spec.kind == "text"
+        assert spec.simple_type.name == "SKU"
+
+    def test_annotated_element_hole(self, po_binding):
+        checked = check_template(
+            po_binding,
+            "<purchaseOrder>$s:shipTo$<billTo><name>n</name>"
+            "<street>s</street><city>c</city><state>st</state>"
+            "<zip>1</zip></billTo>$i:items$</purchaseOrder>",
+        )
+        assert checked.holes["s"].classes[0].__name__ == "ShipToElement"
+        assert checked.holes["i"].classes[0].__name__ == "ItemsElement"
+
+    def test_param_types_instead_of_annotations(self, po_binding):
+        checked = check_template(
+            po_binding,
+            "<shipTo>$n$<street>s</street><city>c</city>"
+            "<state>st</state><zip>1</zip></shipTo>",
+            param_types={"n": "name"},
+        )
+        assert checked.holes["n"].classes[0].__name__ == "NameElement"
+
+    def test_group_typed_hole(self, wml_binding):
+        checked = check_template(
+            wml_binding,
+            "<p>$x:PTypeCC1Group$</p>",
+        )
+        names = {cls.__name__ for cls in checked.holes["x"].classes}
+        assert "SelectElement" in names
+        assert "AElement" in names
+
+    def test_static_facet_check_on_literal_attribute(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="pattern"):
+            check_template(
+                po_binding,
+                '<item partNum="WRONG"><productName>x</productName>'
+                "<quantity>1</quantity><USPrice>1.0</USPrice></item>",
+            )
+
+    def test_static_simple_content_check(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="positiveInteger|maxExclusive"):
+            check_template(po_binding, "<quantity>200</quantity>")
+
+
+class TestRejectedTemplates:
+    def test_wrong_child_order(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="not allowed here"):
+            check_template(
+                po_binding,
+                "<shipTo><street>s</street><name>n</name><city>c</city>"
+                "<state>st</state><zip>1</zip></shipTo>",
+            )
+
+    def test_incomplete_content(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="incomplete"):
+            check_template(po_binding, "<shipTo><name>n</name></shipTo>")
+
+    def test_unknown_element(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="not declared"):
+            check_template(po_binding, "<bogus/>")
+
+    def test_undeclared_attribute(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="not declared"):
+            check_template(po_binding, '<comment color="red">x</comment>')
+
+    def test_missing_required_attribute(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="required"):
+            check_template(
+                po_binding,
+                "<item><productName>x</productName><quantity>1</quantity>"
+                "<USPrice>1.0</USPrice></item>",
+            )
+
+    def test_fixed_attribute_mismatch(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="fixed"):
+            check_template(
+                po_binding,
+                '<shipTo country="DE"><name>n</name><street>s</street>'
+                "<city>c</city><state>st</state><zip>1</zip></shipTo>",
+            )
+
+    def test_text_in_element_only_content(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="element-only"):
+            check_template(po_binding, "<items>words</items>")
+
+    def test_text_hole_in_element_only_content(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="text hole"):
+            check_template(po_binding, "<items>$x:text$</items>")
+
+    def test_ambiguous_hole_requires_annotation(self, po_binding):
+        # After shipTo/billTo, both comment and items are acceptable.
+        with pytest.raises(PxmlStaticError, match="ambiguous"):
+            check_template(
+                po_binding,
+                "<purchaseOrder>$a:shipTo$$b:billTo$$c$</purchaseOrder>",
+            )
+
+    def test_mixed_content_hole_requires_annotation(self, wml_binding):
+        with pytest.raises(PxmlStaticError, match="annotate"):
+            check_template(wml_binding, "<p>$x$</p>")
+
+    def test_conflicting_hole_reuse(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="conflicting"):
+            check_template(
+                po_binding,
+                "<item partNum='123-AB'><productName>$x:text$</productName>"
+                "<quantity>1</quantity><USPrice>1.0</USPrice>"
+                "$x:comment$</item>",
+            )
+
+    def test_bad_annotation(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="names no element"):
+            check_template(po_binding, "<items>$x:nonsense$</items>")
+
+    def test_annotation_must_be_text_in_simple_content(self, po_binding):
+        with pytest.raises(PxmlStaticError, match="must be text"):
+            check_template(po_binding, "<comment>$x:nonsense$</comment>")
+
+    def test_hole_for_element_of_other_declaration(self, po_binding):
+        # 'name' exists, but not inside items.
+        with pytest.raises(PxmlStaticError):
+            check_template(po_binding, "<items>$n:name$</items>")
+
+
+class TestChoiceWalks:
+    def test_choice_hole_union_states(self, choice_binding):
+        checked = check_template(
+            choice_binding,
+            "<purchaseOrder>$addr:PurchaseOrderTypeCC1Group$"
+            "$i:items$</purchaseOrder>",
+        )
+        names = {cls.__name__ for cls in checked.holes["addr"].classes}
+        assert names == {"SingAddrElement", "TwoAddrElement"}
+
+    def test_concrete_alternative_also_fine(self, choice_binding):
+        check_template(
+            choice_binding,
+            "<purchaseOrder><singAddr><name>n</name><street>s</street>"
+            "<city>c</city><state>st</state><zip>1</zip></singAddr>"
+            "$i:items$</purchaseOrder>",
+        )
+
+    def test_substitution_member_usable_for_ref(self, subst_binding):
+        check_template(
+            subst_binding,
+            "<notes><shipComment>by sea</shipComment></notes>",
+        )

@@ -1,0 +1,110 @@
+"""Shape of the code the template compiler emits (Fig. 11 fidelity)."""
+
+import pytest
+
+from repro.pxml import check_template
+from repro.pxml.compiler import compile_template, compile_template_source
+
+
+def source_for(binding, template, **kwargs):
+    checked = check_template(binding, template)
+    return compile_template_source(checked, **kwargs)
+
+
+class TestFunctionShape:
+    def test_holes_become_keyword_only_parameters(self, po_binding):
+        source = source_for(
+            po_binding,
+            "<item partNum='$sku$'><productName>$p:text$</productName>"
+            "<quantity>1</quantity><USPrice>1.0</USPrice></item>",
+        )
+        assert source.startswith("def render(factory, *, p, sku):")
+
+    def test_no_holes_no_star(self, po_binding):
+        source = source_for(po_binding, "<comment>fixed</comment>")
+        assert source.startswith("def render(factory):")
+
+    def test_custom_function_name(self, po_binding):
+        source = source_for(
+            po_binding, "<comment>x</comment>", function_name="__pxml_7"
+        )
+        assert "def __pxml_7(factory):" in source
+
+    def test_compiles_and_runs(self, po_binding):
+        checked = check_template(po_binding, "<comment>$c$</comment>")
+        source, render = compile_template(checked)
+        element = render(po_binding.factory, c="hello")
+        assert element.content == "hello"
+
+
+class TestEmittedCalls:
+    def test_nested_factory_calls(self, po_binding):
+        source = source_for(
+            po_binding,
+            "<shipTo><name>n</name><street>s</street><city>c</city>"
+            "<state>st</state><zip>1</zip></shipTo>",
+        )
+        assert "factory.create_ship_to(" in source
+        assert "factory.create_name(" in source
+        assert source.count("factory.create_") == 6
+
+    def test_text_holes_lexicalized(self, po_binding):
+        source = source_for(po_binding, "<quantity>$q$</quantity>")
+        assert "_lex(q)" in source
+
+    def test_element_holes_passed_directly(self, po_binding):
+        source = source_for(
+            po_binding,
+            "<shipTo>$n:name$<street>s</street><city>c</city>"
+            "<state>st</state><zip>1</zip></shipTo>",
+        )
+        assert "\n        n,\n" in source
+
+    def test_element_hole_guard_emitted(self, po_binding):
+        source = source_for(
+            po_binding,
+            "<shipTo>$n:name$<street>s</street><city>c</city>"
+            "<state>st</state><zip>1</zip></shipTo>",
+        )
+        assert "_hole_specs['n'].accepts(n)" in source
+
+    def test_spec_prefix_namespacing(self, po_binding):
+        source = source_for(
+            po_binding,
+            "<shipTo>$n:name$<street>s</street><city>c</city>"
+            "<state>st</state><zip>1</zip></shipTo>",
+            function_name="__pxml_3",
+            spec_prefix="__pxml_3.",
+        )
+        assert "_hole_specs['__pxml_3.n'].accepts(n)" in source
+
+    def test_attributes_via_dict_unpack(self, wml_binding):
+        source = source_for(
+            wml_binding, '<option value="/x">label</option>'
+        )
+        assert "**{'value': '/x'}" in source
+
+    def test_attribute_concatenation(self, wml_binding):
+        source = source_for(
+            wml_binding, '<option value="/base/$d$/x">label</option>'
+        )
+        assert "'/base/' + _lex(d) + '/x'" in source
+
+    def test_layout_whitespace_dropped(self, po_binding):
+        source = source_for(
+            po_binding,
+            "<shipTo>\n  <name>n</name>\n  <street>s</street>\n"
+            "  <city>c</city>\n  <state>st</state>\n  <zip>1</zip>\n</shipTo>",
+        )
+        # pure-indentation text between child elements does not become
+        # constructor arguments
+        assert "'\\n  '" not in source
+
+    def test_mixed_content_text_kept(self, wml_binding):
+        source = source_for(wml_binding, "<p>keep <b>this</b> text</p>")
+        assert "'keep '" in source
+        assert "' text'" in source
+
+    def test_empty_element_no_arguments(self, wml_binding):
+        source = source_for(wml_binding, "<p><br/></p>")
+        assert "factory.create_br()" in source

@@ -1,0 +1,116 @@
+"""P-XML constructor parsing."""
+
+import pytest
+
+from repro.errors import PxmlSyntaxError
+from repro.pxml.ast import Hole, TemplateElement, TemplateText
+from repro.pxml.parser import parse_template
+
+
+class TestElements:
+    def test_simple_element(self):
+        root = parse_template("<a>text</a>")
+        assert root.name == "a"
+        assert isinstance(root.children[0], TemplateText)
+        assert root.children[0].data == "text"
+
+    def test_nested_structure(self):
+        root = parse_template("<a><b/><c>x</c></a>")
+        names = [c.name for c in root.children if isinstance(c, TemplateElement)]
+        assert names == ["b", "c"]
+
+    def test_attributes(self):
+        root = parse_template('<a x="1" y="2"/>')
+        assert [a.name for a in root.attributes] == ["x", "y"]
+        assert root.attributes[0].static_value() == "1"
+
+    def test_entities_resolved(self):
+        root = parse_template("<a>1 &lt; 2</a>")
+        assert root.children[0].data == "1 < 2"
+
+    def test_cdata(self):
+        root = parse_template("<a><![CDATA[<raw>]]></a>")
+        assert root.children[0].data == "<raw>"
+        assert root.children[0].cdata
+
+    def test_comments_dropped(self):
+        root = parse_template("<a><!-- note --><b/></a>")
+        assert len(root.children) == 1
+
+    def test_leading_whitespace_ok(self):
+        root = parse_template("\n  <a/>  \n")
+        assert root.name == "a"
+
+
+class TestHoles:
+    def test_content_hole(self):
+        root = parse_template("<a>$x$</a>")
+        hole = root.children[0]
+        assert isinstance(hole, Hole)
+        assert hole.name == "x"
+        assert hole.annotation is None
+
+    def test_annotated_hole(self):
+        root = parse_template("<a>$x:name$</a>")
+        assert root.children[0].annotation == "name"
+
+    def test_text_annotation(self):
+        root = parse_template("<a>$x:text$</a>")
+        assert root.children[0].annotation == "text"
+
+    def test_hole_between_text(self):
+        root = parse_template("<a>pre $x$ post</a>")
+        kinds = [type(c).__name__ for c in root.children]
+        assert kinds == ["TemplateText", "Hole", "TemplateText"]
+
+    def test_attribute_hole(self):
+        root = parse_template('<a href="$u$"/>')
+        parts = root.attributes[0].parts
+        assert isinstance(parts[0], Hole)
+
+    def test_attribute_mixed_parts(self):
+        root = parse_template('<a href="/base/$u$?x=1"/>')
+        parts = root.attributes[0].parts
+        assert parts[0] == "/base/"
+        assert isinstance(parts[1], Hole)
+        assert parts[2] == "?x=1"
+
+    def test_dollar_escape(self):
+        root = parse_template("<a>costs $$5</a>")
+        assert root.children[0].data == "costs $5"
+
+    def test_dollar_escape_in_attribute(self):
+        root = parse_template('<a x="$$5"/>')
+        assert root.attributes[0].static_value() == "$5"
+
+    def test_holes_helper_collects_all(self):
+        root = parse_template('<a x="$h1$"><b>$h2$</b>$h3:text$</a>')
+        assert [h.name for h in root.holes()] == ["h1", "h2", "h3"]
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "no markup",
+            "<a>",
+            "<a></b>",
+            "<a/><b/>",
+            "<a x=1/>",
+            "<a x='1' x='2'/>",
+            "<a>$not an identifier$</a>",
+            "<a>$x:$</a>",
+            "<a>$unterminated</a>",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(PxmlSyntaxError):
+            parse_template(source)
+
+    def test_error_location(self):
+        try:
+            parse_template("<a>\n  <b></c>\n</a>")
+        except PxmlSyntaxError as error:
+            assert error.location.line == 2
+        else:
+            pytest.fail("expected an error")

@@ -1,0 +1,84 @@
+"""Interpreted rendering details (the compiler's reference semantics)."""
+
+import pytest
+
+from repro.dom import serialize
+from repro.errors import PxmlStaticError
+from repro.pxml import check_template
+from repro.pxml.runtime import render_interpreted
+
+
+def checked(binding, source, **kwargs):
+    return check_template(binding, source, **kwargs)
+
+
+class TestInterpretedRendering:
+    def test_constant_template(self, po_binding):
+        template = checked(po_binding, "<comment>fixed</comment>")
+        assert render_interpreted(template).content == "fixed"
+
+    def test_text_and_element_holes(self, po_binding, po_factory):
+        template = checked(
+            po_binding,
+            "<shipTo>$n$<street>$s:text$</street><city>c</city>"
+            "<state>st</state><zip>1</zip></shipTo>",
+        )
+        result = render_interpreted(
+            template, n=po_factory.create_name("N"), s="S"
+        )
+        assert result.name.content == "N"
+        assert result.street.content == "S"
+
+    def test_attribute_hole_composition(self, wml_binding):
+        template = checked(
+            wml_binding, '<option value="pre-$x$-post">t</option>'
+        )
+        option = render_interpreted(template, x="MID")
+        assert option.get_attribute("value") == "pre-MID-post"
+
+    def test_python_values_lexicalized(self, po_binding):
+        template = checked(po_binding, "<quantity>$q$</quantity>")
+        assert render_interpreted(template, q=42).value == 42
+
+    def test_cdata_text_preserved(self, po_binding):
+        template = checked(
+            po_binding, "<comment><![CDATA[a < b]]></comment>"
+        )
+        assert render_interpreted(template).content == "a < b"
+
+    def test_whitespace_layout_dropped(self, po_binding):
+        template = checked(
+            po_binding,
+            "<shipTo>\n  <name>n</name>\n  <street>s</street>\n"
+            "  <city>c</city>\n  <state>st</state>\n  <zip>1</zip>\n"
+            "</shipTo>",
+        )
+        result = render_interpreted(template)
+        assert serialize(result).startswith("<shipTo country=")
+        assert "\n" not in serialize(result)
+
+    def test_mixed_text_kept(self, wml_binding):
+        template = checked(wml_binding, "<p>pre <b>x</b> post</p>")
+        assert serialize(render_interpreted(template)) == (
+            "<p>pre <b>x</b> post</p>"
+        )
+
+    def test_element_hole_type_enforced(self, po_binding, po_factory):
+        template = checked(
+            po_binding,
+            "<shipTo>$n$<street>s</street><city>c</city>"
+            "<state>st</state><zip>1</zip></shipTo>",
+        )
+        with pytest.raises(PxmlStaticError, match="expects an instance"):
+            render_interpreted(template, n=po_factory.create_city("no"))
+
+    def test_group_hole_accepts_all_members(self, wml_binding):
+        factory = wml_binding.factory
+        template = checked(wml_binding, "<p>$x:PTypeCC1Group$</p>")
+        select = factory.create_select(
+            factory.create_option("o"), name="d"
+        )
+        bold = factory.create_b("stark")
+        for value in (select, bold):
+            result = render_interpreted(template, x=value)
+            assert result.child_elements()[0] is value

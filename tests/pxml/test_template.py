@@ -1,0 +1,144 @@
+"""Template rendering: compiled and interpreted, Fig. 10/11 example."""
+
+import pytest
+
+from repro.dom import serialize
+from repro.errors import PxmlStaticError, VdomTypeError
+from repro.pxml import Template
+from repro.pxml.runtime import render_interpreted
+from repro.xsd import SchemaValidator
+
+
+class TestRenderShipTo:
+    TEMPLATE = """\
+<shipTo country="US">
+  $n$
+  <street>123 Maple Street</street>
+  <city>Mill Valey</city>
+  <state>CA</state>
+  <zip>90952</zip>
+</shipTo>"""
+
+    def test_compiled_render(self, po_binding, po_factory):
+        template = Template(po_binding, self.TEMPLATE)
+        element = template.render(n=po_factory.create_name("Alice Smith"))
+        assert element.name.content == "Alice Smith"
+        assert element.get_attribute("country") == "US"
+
+    def test_rendered_fragment_is_schema_valid(self, po_binding, po_factory):
+        template = Template(po_binding, self.TEMPLATE)
+        element = template.render(n=po_factory.create_name("Alice"))
+        declaration = type(element)._DECLARATION
+        validator = SchemaValidator(po_binding.schema)
+        assert validator.validate_element(element, declaration) == []
+
+    def test_interpreted_equals_compiled(self, po_binding, po_factory):
+        template = Template(po_binding, self.TEMPLATE, compiled=True)
+        compiled_out = serialize(
+            template.render(n=po_factory.create_name("Bob"))
+        )
+        interpreted_out = serialize(
+            render_interpreted(
+                template.checked, n=po_factory.create_name("Bob")
+            )
+        )
+        assert compiled_out == interpreted_out
+
+    def test_generated_source_is_fig11_shaped(self, po_binding):
+        template = Template(po_binding, self.TEMPLATE)
+        source = template.generated_source
+        assert "factory.create_ship_to(" in source
+        assert "factory.create_street(" in source
+        assert "'country': 'US'" in source
+
+    def test_wrong_hole_type_rejected_at_render(self, po_binding, po_factory):
+        template = Template(po_binding, self.TEMPLATE)
+        with pytest.raises(PxmlStaticError, match="expects an instance"):
+            template.render(n=po_factory.create_street("wrong"))
+
+    def test_repr_mentions_holes(self, po_binding):
+        template = Template(po_binding, self.TEMPLATE)
+        assert "n" in repr(template)
+
+
+class TestTextHoles:
+    def test_text_hole_value_parsed_by_position_type(self, po_binding):
+        template = Template(po_binding, "<quantity>$q$</quantity>")
+        assert template.render(q=7).value == 7
+        with pytest.raises(VdomTypeError, match="maxExclusive"):
+            template.render(q=100)
+
+    def test_attribute_hole_concatenation(self, wml_binding):
+        template = Template(
+            wml_binding, '<option value="/base/$d$">x</option>'
+        )
+        option = template.render(d="audio")
+        assert option.get_attribute("value") == "/base/audio"
+
+    def test_python_values_lexicalized(self, po_binding):
+        import datetime
+
+        template = Template(po_binding, "<shipDate>$d$</shipDate>")
+        element = template.render(d=datetime.date(1999, 5, 21))
+        assert element.content == "1999-05-21"
+
+
+class TestInterpretedMode:
+    def test_uncompiled_template_renders(self, po_binding, po_factory):
+        template = Template(
+            po_binding, "<comment>$c$</comment>", compiled=False
+        )
+        assert template.generated_source is None
+        assert template.render(c="hello").content == "hello"
+
+    def test_missing_hole_value(self, po_binding):
+        template = Template(
+            po_binding, "<comment>$c$</comment>", compiled=False
+        )
+        with pytest.raises(PxmlStaticError, match="missing values"):
+            template.render()
+
+    def test_unknown_hole_value(self, po_binding):
+        template = Template(
+            po_binding, "<comment>$c$</comment>", compiled=False
+        )
+        with pytest.raises(PxmlStaticError, match="unknown holes"):
+            template.render(c="x", extra="y")
+
+
+class TestWmlFig10:
+    """Sect. 5: the directory page, P-XML version."""
+
+    def test_full_page_pipeline(self, wml_binding):
+        factory = wml_binding.factory
+        option_template = Template(
+            wml_binding, '<option value="$d$">$label:text$</option>'
+        )
+        select = factory.create_select(
+            option_template.render(d="/workspace", label=".."),
+            name="directories",
+        )
+        for sub in ("audio", "video"):
+            select.add(
+                option_template.render(d=f"/workspace/media/{sub}", label=sub)
+            )
+        page_template = Template(
+            wml_binding,
+            "<p><b>$currentDir:text$</b><br/>$s:select$<br/></p>",
+        )
+        page = page_template.render(currentDir="/workspace/media", s=select)
+        rendered = serialize(page)
+        assert rendered.count("<option") == 3
+        assert "<b>/workspace/media</b>" in rendered
+
+    def test_mixed_content_template(self, wml_binding):
+        template = Template(
+            wml_binding, "<p>updated: <b>$when:text$</b> ok</p>"
+        )
+        page = template.render(when="today")
+        assert serialize(page) == "<p>updated: <b>today</b> ok</p>"
+
+    def test_render_document_requires_global_root(self, wml_binding):
+        template = Template(wml_binding, "<p>x</p>")
+        with pytest.raises(VdomTypeError):
+            template.render_document()

@@ -1,0 +1,101 @@
+"""Typed path queries (Sect. 8 extension)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import Query, select
+
+
+class TestSelection:
+    def test_simple_path(self, full_po):
+        names = select(full_po, "items/item/productName")
+        assert [n.content for n in names] == ["Lawnmower", "Baby Monitor"]
+
+    def test_attribute_predicate(self, full_po):
+        items = select(full_po, "items/item[@partNum='872-AA']")
+        assert len(items) == 1
+        assert items[0].product_name.content == "Lawnmower"
+
+    def test_positional_predicate(self, full_po):
+        second = select(full_po, "items/item[2]")
+        assert len(second) == 1
+        assert second[0].product_name.content == "Baby Monitor"
+
+    def test_child_text_predicate(self, full_po):
+        monitors = select(
+            full_po, "items/item[productName='Baby Monitor']/USPrice"
+        )
+        assert [m.content for m in monitors] == ["39.98"]
+
+    def test_wildcard_step(self, full_po):
+        children = select(full_po, "*")
+        assert [c.tag_name for c in children] == [
+            "shipTo", "billTo", "comment", "items",
+        ]
+
+    def test_no_match_returns_empty(self, full_po):
+        assert select(full_po, "items/item[@partNum='000-XX']") == []
+
+    def test_results_are_typed(self, full_po):
+        result = select(full_po, "shipTo/name")[0]
+        assert type(result).__name__ == "NameElement"
+        assert result.content == "Alice Smith"
+
+
+class TestStaticTyping:
+    def test_result_classes_known_statically(self, po_binding):
+        query = Query(po_binding, "purchaseOrder", "items/item/productName")
+        assert [cls.__name__ for cls in query.result_classes] == [
+            "ProductNameElement"
+        ]
+
+    def test_impossible_step_rejected_at_compile_time(self, po_binding):
+        with pytest.raises(QueryError, match="no such child"):
+            Query(po_binding, "purchaseOrder", "items/chapter")
+
+    def test_unknown_attribute_predicate_rejected(self, po_binding):
+        with pytest.raises(QueryError, match="never declares"):
+            Query(po_binding, "purchaseOrder", "items/item[@color='red']")
+
+    def test_unknown_child_predicate_rejected(self, po_binding):
+        with pytest.raises(QueryError, match="never declares"):
+            Query(po_binding, "purchaseOrder", "items/item[weight='1kg']")
+
+    def test_unknown_root_rejected(self, po_binding):
+        with pytest.raises(QueryError):
+            Query(po_binding, "ghost", "a/b")
+
+    def test_wildcard_types_union(self, po_binding):
+        query = Query(po_binding, "purchaseOrder", "*")
+        names = {cls.__name__ for cls in query.result_classes}
+        assert "ShipToElement" in names
+        assert "ItemsElement" in names
+
+    def test_substitution_members_included(self, subst_binding):
+        query = Query(subst_binding, "notes", "comment")
+        declarations = {d.name for d in query.result_declarations}
+        assert declarations == {"comment"}
+        members = Query(subst_binding, "notes", "*")
+        names = {d.name for d in members.result_declarations}
+        assert {"comment", "shipComment", "customerComment"} <= names
+
+
+class TestApplication:
+    def test_query_reuse_over_documents(self, po_binding, full_po):
+        query = Query(po_binding, "purchaseOrder", "shipTo/city")
+        assert [c.content for c in query.apply(full_po)] == ["Mill Valley"]
+
+    def test_wrong_root_element_rejected(self, po_binding, full_po):
+        query = Query(po_binding, "purchaseOrder", "shipTo")
+        comment = po_binding.factory.create_comment("x")
+        with pytest.raises(QueryError, match="compiled for"):
+            query.apply(comment)
+
+
+class TestPathParsing:
+    @pytest.mark.parametrize(
+        "path", ["", "/abs", "a//b", "a[", "a[bad", "a[@x=unquoted]"]
+    )
+    def test_bad_paths_rejected(self, po_binding, path):
+        with pytest.raises(QueryError):
+            Query(po_binding, "purchaseOrder", path)

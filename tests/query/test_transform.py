@@ -1,0 +1,121 @@
+"""Typed query→template transforms (the Sect. 8 guarantee, complete)."""
+
+import pytest
+
+from repro.dom import serialize
+from repro.errors import QueryError
+from repro.query import Query, TypedTransform
+
+
+class TestTextTransforms:
+    def test_po_to_wml_options(self, po_binding, wml_binding, full_po):
+        """Cross-language transform: product names → WML options."""
+        transform = TypedTransform(
+            binding_out=wml_binding,
+            query=Query(
+                po_binding, "purchaseOrder", "items/item/productName"
+            ),
+            template='<option value="p">$name:text$</option>',
+            hole="name",
+        )
+        options = transform.apply(full_po)
+        assert [serialize(option) for option in options] == [
+            '<option value="p">Lawnmower</option>',
+            '<option value="p">Baby Monitor</option>',
+        ]
+
+    def test_custom_extract(self, po_binding, wml_binding, full_po):
+        transform = TypedTransform(
+            binding_out=wml_binding,
+            query=Query(po_binding, "purchaseOrder", "items/item"),
+            template="<option>$sku:text$</option>",
+            hole="sku",
+            extract=lambda item: item.get_attribute("partNum"),
+        )
+        options = transform.apply(full_po)
+        assert [option.content for option in options] == ["872-AA", "926-AA"]
+
+    def test_other_holes_passed_through(self, po_binding, wml_binding, full_po):
+        transform = TypedTransform(
+            binding_out=wml_binding,
+            query=Query(
+                po_binding, "purchaseOrder", "items/item/productName"
+            ),
+            template='<option value="$base$">$name:text$</option>',
+            hole="name",
+        )
+        options = transform.apply(full_po, base="/shop")
+        assert all(
+            option.get_attribute("value") == "/shop" for option in options
+        )
+
+
+class TestElementTransforms:
+    def test_same_binding_element_hole(self, po_binding, full_po):
+        """Query results feed an element hole of the same language."""
+        transform = TypedTransform(
+            binding_out=po_binding,
+            query=Query(po_binding, "purchaseOrder", "items/item/comment"),
+            template="<items><item partNum='000-XX'>"
+            "<productName>copied note</productName>"
+            "<quantity>1</quantity><USPrice>0.0</USPrice>"
+            "$note:comment$</item></items>",
+            hole="note",
+        )
+        fragments = transform.apply(full_po)
+        assert len(fragments) == 1
+        assert "Confirm this is electric" in serialize(fragments[0])
+
+    def test_results_detached_from_source(self, po_binding, full_po):
+        """Inserting a query hit moves the node; the transform output is
+        usable independently (DOM adoption semantics)."""
+        transform = TypedTransform(
+            binding_out=po_binding,
+            query=Query(po_binding, "purchaseOrder", "comment"),
+            template="<items><item partNum='111-AB'>"
+            "<productName>x</productName><quantity>1</quantity>"
+            "<USPrice>1.0</USPrice>$c:comment$</item></items>",
+            hole="c",
+        )
+        fragments = transform.apply(full_po)
+        assert fragments[0].item_list[0].comment is not None
+
+
+class TestStaticRejection:
+    def test_incompatible_element_types_rejected(self, po_binding, full_po):
+        """productName results cannot fill a comment hole — caught at
+        definition time, no document involved."""
+        with pytest.raises(QueryError, match="rejected statically"):
+            TypedTransform(
+                binding_out=po_binding,
+                query=Query(
+                    po_binding, "purchaseOrder", "items/item/productName"
+                ),
+                template="<items><item partNum='000-XX'>"
+                "<productName>x</productName><quantity>1</quantity>"
+                "<USPrice>0.0</USPrice>$note:comment$</item></items>",
+                hole="note",
+            )
+
+    def test_unknown_hole_rejected(self, po_binding, wml_binding):
+        with pytest.raises(QueryError, match="no hole named"):
+            TypedTransform(
+                binding_out=wml_binding,
+                query=Query(
+                    po_binding, "purchaseOrder", "items/item/productName"
+                ),
+                template="<option>x</option>",
+                hole="ghost",
+            )
+
+    def test_extract_on_element_hole_rejected(self, po_binding, full_po):
+        with pytest.raises(QueryError, match="extract"):
+            TypedTransform(
+                binding_out=po_binding,
+                query=Query(po_binding, "purchaseOrder", "comment"),
+                template="<items><item partNum='111-AB'>"
+                "<productName>x</productName><quantity>1</quantity>"
+                "<USPrice>1.0</USPrice>$c:comment$</item></items>",
+                hole="c",
+                extract=lambda element: element,
+            )

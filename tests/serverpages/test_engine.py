@@ -1,0 +1,146 @@
+"""The JSP-like baseline engine — including its signature flaw."""
+
+import pytest
+
+from repro.errors import ServerPageError
+from repro.dom import parse_document
+from repro.errors import XmlSyntaxError
+from repro.serverpages import ServerPage, render_page
+from repro.xsd import SchemaValidator, parse_schema
+from repro.schemas import WML_SCHEMA
+
+
+class TestRendering:
+    def test_static_page(self):
+        assert render_page("<p>hello</p>") == "<p>hello</p>"
+
+    def test_expression(self):
+        assert render_page("<p><%= 1 + 2 %></p>") == "<p>3</p>"
+
+    def test_context_variables(self):
+        assert render_page("<%= who %>!", who="world") == "world!"
+
+    def test_for_loop(self):
+        page = "<ul><% for x in xs: %><li><%= x %></li><% end %></ul>"
+        assert render_page(page, xs=[1, 2]) == "<ul><li>1</li><li>2</li></ul>"
+
+    def test_if_else(self):
+        page = "<% if flag: %>yes<% else: %>no<% end %>"
+        assert render_page(page, flag=True) == "yes"
+        assert render_page(page, flag=False) == "no"
+
+    def test_nested_blocks(self):
+        page = (
+            "<% for x in xs: %><% if x > 1: %><%= x %><% end %><% end %>"
+        )
+        assert render_page(page, xs=[1, 2, 3]) == "23"
+
+    def test_statements(self):
+        page = "<% total = a + b %><%= total %>"
+        assert render_page(page, a=2, b=3) == "5"
+
+    def test_comments_dropped(self):
+        assert render_page("a<%-- hidden --%>b") == "ab"
+
+    def test_page_reuse(self):
+        page = ServerPage("<%= n %>")
+        assert page.render(n=1) == "1"
+        assert page.render(n=2) == "2"
+
+
+class TestBlockConstructs:
+    def test_while_loop(self):
+        page = (
+            "<% n = 3 %><% while n > 0: %><%= n %><% n = n - 1 %><% end %>"
+        )
+        assert render_page(page) == "321"
+
+    def test_elif_chain(self):
+        page = (
+            "<% if x == 1: %>one<% elif x == 2: %>two"
+            "<% else: %>many<% end %>"
+        )
+        assert render_page(page, x=1) == "one"
+        assert render_page(page, x=2) == "two"
+        assert render_page(page, x=9) == "many"
+
+    def test_try_except(self):
+        page = (
+            "<% try: %><%= 1 // d %><% except ZeroDivisionError: %>"
+            "divide by zero<% end %>"
+        )
+        assert render_page(page, d=0) == "divide by zero"
+        assert render_page(page, d=1) == "1"
+
+    def test_nested_loops(self):
+        page = (
+            "<% for r in rows: %><tr><% for c in r: %>"
+            "<td><%= c %></td><% end %></tr><% end %>"
+        )
+        assert render_page(page, rows=[[1, 2], [3]]) == (
+            "<tr><td>1</td><td>2</td></tr><tr><td>3</td></tr>"
+        )
+
+    def test_runtime_name_error_surfaces_at_render(self):
+        page = ServerPage("<%= undefined_name %>")
+        with pytest.raises(NameError):
+            page.render()
+
+
+class TestTranslationErrors:
+    def test_unterminated_scriptlet(self):
+        with pytest.raises(ServerPageError, match="unterminated"):
+            ServerPage("<% for x in xs: ")
+
+    def test_unbalanced_end(self):
+        with pytest.raises(ServerPageError, match="unbalanced"):
+            ServerPage("<% end %>")
+
+    def test_unclosed_block(self):
+        with pytest.raises(ServerPageError, match="unclosed"):
+            ServerPage("<% for x in xs: %>body")
+
+    def test_python_syntax_error_surfaces(self):
+        with pytest.raises(ServerPageError, match="does not compile"):
+            ServerPage("<% def broken( %>")
+
+
+class TestTheBaselineFlaw:
+    """The paper's point: the engine accepts pages that emit invalid
+    markup, and nothing notices until post-hoc validation."""
+
+    WML_PAGE_OK = (
+        "<wml><card><p><select name=\"dirs\">"
+        "<% for d in dirs: %>"
+        "<option value=\"<%= d %>\"><%= d %></option>"
+        "<% end %>"
+        "</select></p></card></wml>"
+    )
+    #: The Fig. 8→"wrong server page" mutation: a stray unclosed tag.
+    WML_PAGE_BROKEN = WML_PAGE_OK.replace("</select>", "<TITLE></select>")
+
+    def test_valid_page_renders_valid_wml(self):
+        output = render_page(self.WML_PAGE_OK, dirs=["a", "b"])
+        schema = parse_schema(WML_SCHEMA)
+        document = parse_document(output)
+        assert SchemaValidator(schema).validate(document) == []
+
+    def test_broken_page_is_accepted_by_the_engine(self):
+        """The engine compiles and renders the broken page happily."""
+        output = render_page(self.WML_PAGE_BROKEN, dirs=["a"])
+        assert "<TITLE>" in output
+
+    def test_breakage_only_surfaces_at_validation_time(self):
+        output = render_page(self.WML_PAGE_BROKEN, dirs=["a"])
+        with pytest.raises(XmlSyntaxError):
+            parse_document(output)  # not even well-formed
+
+    def test_invalid_but_wellformed_output_needs_schema_validation(self):
+        page = self.WML_PAGE_OK.replace(
+            '<select name="dirs">', '<select name="not a token">'
+        )
+        output = render_page(page, dirs=["a"])
+        document = parse_document(output)  # well-formed...
+        schema = parse_schema(WML_SCHEMA)
+        errors = SchemaValidator(schema).validate(document)
+        assert errors  # ...but invalid, found only here

@@ -1,0 +1,97 @@
+"""The exception hierarchy and error formatting."""
+
+import pytest
+
+from repro.errors import (
+    DtdValidationError,
+    Location,
+    LocatedError,
+    PxmlStaticError,
+    PxmlSyntaxError,
+    ReproError,
+    SchemaError,
+    SimpleTypeError,
+    UnsupportedFeatureError,
+    ValidationError,
+    VdomTypeError,
+    XmlSyntaxError,
+)
+
+
+class TestLocation:
+    def test_str_with_source(self):
+        assert str(Location(3, 7, 42, "file.xml")) == "file.xml:3:7"
+
+    def test_str_without_source(self):
+        assert str(Location(3, 7)) == "3:7"
+
+    def test_ordering(self):
+        assert Location(1, 5) < Location(2, 1)
+        assert Location(2, 1) < Location(2, 9)
+
+    def test_defaults(self):
+        location = Location()
+        assert (location.line, location.column, location.offset) == (1, 1, 0)
+
+
+class TestLocatedError:
+    def test_message_only(self):
+        error = XmlSyntaxError("broken")
+        assert str(error) == "broken"
+        assert error.location is None
+
+    def test_with_location(self):
+        error = XmlSyntaxError("broken", Location(2, 3))
+        assert str(error) == "2:3: broken"
+
+    def test_with_path(self):
+        error = ValidationError("bad value", path="/po/items/item[0]")
+        assert str(error) == "bad value (at /po/items/item[0])"
+
+    def test_with_both(self):
+        error = ValidationError("bad", Location(1, 2), path="/a")
+        assert str(error) == "1:2: bad (at /a)"
+
+    def test_attributes_preserved(self):
+        error = DtdValidationError("x", Location(5, 6), path="/p")
+        assert error.message == "x"
+        assert error.location.line == 5
+        assert error.path == "/p"
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            XmlSyntaxError,
+            SchemaError,
+            UnsupportedFeatureError,
+            ValidationError,
+            SimpleTypeError,
+            DtdValidationError,
+            PxmlSyntaxError,
+            PxmlStaticError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_vdom_errors_are_repro_errors(self):
+        assert issubclass(VdomTypeError, ReproError)
+
+    def test_simple_type_error_is_validation_error(self):
+        """Facet violations can be caught as generic validation errors."""
+        assert issubclass(SimpleTypeError, ValidationError)
+
+    def test_unsupported_is_schema_error(self):
+        assert issubclass(UnsupportedFeatureError, SchemaError)
+
+    def test_pxml_static_is_located(self):
+        assert issubclass(PxmlStaticError, LocatedError)
+
+    def test_one_catch_at_the_api_boundary(self):
+        """The documented pattern: catch ReproError once."""
+        from repro import bind
+
+        with pytest.raises(ReproError):
+            bind("<not-a-schema/>")

@@ -1,0 +1,109 @@
+"""XML character classes and name productions."""
+
+import pytest
+
+from repro.xml.chars import (
+    collapse_whitespace,
+    is_name,
+    is_name_char,
+    is_name_start_char,
+    is_ncname,
+    is_nmtoken,
+    is_space,
+    is_xml_char,
+    replace_whitespace,
+)
+
+
+class TestNameStartChar:
+    def test_ascii_letters_start_names(self):
+        assert is_name_start_char("a")
+        assert is_name_start_char("Z")
+        assert is_name_start_char("_")
+        assert is_name_start_char(":")
+
+    def test_digits_do_not_start_names(self):
+        assert not is_name_start_char("0")
+        assert not is_name_start_char("9")
+
+    def test_punctuation_does_not_start_names(self):
+        for char in "-.!@ <>":
+            assert not is_name_start_char(char)
+
+    def test_unicode_letters_start_names(self):
+        assert is_name_start_char("é")
+        assert is_name_start_char("Ω")
+        assert is_name_start_char("中")
+
+
+class TestNameChar:
+    def test_continuation_extras(self):
+        for char in "-.0123456789·":
+            assert is_name_char(char)
+
+    def test_space_is_not_a_name_char(self):
+        assert not is_name_char(" ")
+
+
+class TestName:
+    def test_simple_names(self):
+        assert is_name("purchaseOrder")
+        assert is_name("xsd:element")
+        assert is_name("_private")
+        assert is_name("a-b.c")
+
+    def test_rejects_bad_names(self):
+        assert not is_name("")
+        assert not is_name("1abc")
+        assert not is_name("-abc")
+        assert not is_name("a b")
+
+    def test_ncname_rejects_colon(self):
+        assert is_ncname("local")
+        assert not is_ncname("pre:local")
+
+
+class TestNmtoken:
+    def test_nmtoken_may_start_with_digit(self):
+        assert is_nmtoken("123")
+        assert is_nmtoken("-x")
+
+    def test_empty_is_not_nmtoken(self):
+        assert not is_nmtoken("")
+
+    def test_space_breaks_nmtoken(self):
+        assert not is_nmtoken("a b")
+
+
+class TestCharClasses:
+    def test_control_chars_are_illegal(self):
+        assert not is_xml_char("\x00")
+        assert not is_xml_char("\x0b")
+
+    def test_whitespace_controls_are_legal(self):
+        for char in "\t\n\r":
+            assert is_xml_char(char)
+
+    def test_space_production(self):
+        assert is_space(" ")
+        assert is_space("\t")
+        assert not is_space("x")
+
+    def test_supplementary_plane_is_legal(self):
+        assert is_xml_char("\U0001F600")
+
+    def test_surrogate_gap_is_illegal(self):
+        assert not is_xml_char("\ud800")
+
+
+class TestWhitespaceNormalization:
+    def test_collapse(self):
+        assert collapse_whitespace("  a \t b\n c  ") == "a b c"
+
+    def test_collapse_empty(self):
+        assert collapse_whitespace(" \n\t ") == ""
+
+    def test_replace_keeps_length(self):
+        text = "a\tb\nc\rd"
+        assert replace_whitespace(text) == "a b c d"
+        assert len(replace_whitespace(text)) == len(text)

@@ -1,0 +1,71 @@
+"""Entity resolution and output escaping."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xml.entities import (
+    escape_attribute,
+    escape_text,
+    resolve_reference,
+    unescape,
+)
+
+
+class TestEscaping:
+    def test_text_escapes_markup_characters(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_text_keeps_quotes(self):
+        assert escape_text("'\"") == "'\""
+
+    def test_attribute_escapes_quotes_and_whitespace(self):
+        assert escape_attribute('say "hi"\n') == "say &quot;hi&quot;&#10;"
+
+    def test_escape_unescape_roundtrip(self):
+        original = 'a<b&c>"d\'e'
+        assert unescape(escape_text(original)) == original
+        assert unescape(escape_attribute(original)) == original
+
+
+class TestReferences:
+    def test_predefined_entities(self):
+        for body, expected in (
+            ("lt", "<"), ("gt", ">"), ("amp", "&"), ("apos", "'"), ("quot", '"')
+        ):
+            assert resolve_reference(body) == expected
+
+    def test_decimal_char_reference(self):
+        assert resolve_reference("#65") == "A"
+
+    def test_hex_char_reference(self):
+        assert resolve_reference("#x41") == "A"
+        assert resolve_reference("#x1F600") == "😀"
+
+    def test_declared_entity(self):
+        assert resolve_reference("co", {"co": "Example Co"}) == "Example Co"
+
+    def test_undeclared_entity_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            resolve_reference("nope")
+
+    def test_illegal_char_reference_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            resolve_reference("#0")
+
+    def test_malformed_reference_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            resolve_reference("#xZZ")
+        with pytest.raises(XmlSyntaxError):
+            resolve_reference("1bad")
+
+
+class TestUnescape:
+    def test_mixed_references(self):
+        assert unescape("1 &lt; 2 &#38; 3 &gt; 2") == "1 < 2 & 3 > 2"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            unescape("a &amp b")
+
+    def test_no_references_fast_path(self):
+        assert unescape("plain text") == "plain text"

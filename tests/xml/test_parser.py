@@ -1,0 +1,207 @@
+"""Well-formedness parsing: event stream shape and error detection."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xml import (
+    Characters,
+    Comment,
+    DoctypeDecl,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+    XmlDeclaration,
+    parse_events,
+)
+
+
+def kinds(events):
+    return [type(event).__name__ for event in events]
+
+
+class TestBasicDocuments:
+    def test_single_empty_element(self):
+        events = parse_events("<a/>")
+        assert kinds(events) == ["StartElement", "EndElement"]
+        assert events[0].self_closing
+
+    def test_nested_elements(self):
+        events = parse_events("<a><b><c/></b></a>")
+        names = [e.name for e in events if isinstance(e, StartElement)]
+        assert names == ["a", "b", "c"]
+
+    def test_text_content(self):
+        events = parse_events("<a>hello</a>")
+        text = [e for e in events if isinstance(e, Characters)]
+        assert text[0].data == "hello"
+
+    def test_attributes_in_order(self):
+        events = parse_events('<a x="1" y="2"/>')
+        assert events[0].attributes == (("x", "1"), ("y", "2"))
+
+    def test_attribute_get_helper(self):
+        start = parse_events('<a x="1"/>')[0]
+        assert start.get("x") == "1"
+        assert start.get("missing") is None
+        assert start.get("missing", "d") == "d"
+
+    def test_single_quoted_attributes(self):
+        events = parse_events("<a x='v'/>")
+        assert events[0].get("x") == "v"
+
+    def test_xml_declaration(self):
+        events = parse_events('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert isinstance(events[0], XmlDeclaration)
+        assert events[0].version == "1.0"
+        assert events[0].encoding == "UTF-8"
+
+    def test_standalone_flag(self):
+        events = parse_events('<?xml version="1.0" standalone="yes"?><a/>')
+        assert events[0].standalone is True
+
+    def test_bom_is_skipped(self):
+        events = parse_events("﻿<a/>")
+        assert isinstance(events[0], StartElement)
+
+
+class TestMiscMarkup:
+    def test_comment(self):
+        events = parse_events("<a><!-- note --></a>")
+        comments = [e for e in events if isinstance(e, Comment)]
+        assert comments[0].data == " note "
+
+    def test_processing_instruction(self):
+        events = parse_events('<a><?target some data?></a>')
+        pis = [e for e in events if isinstance(e, ProcessingInstruction)]
+        assert pis[0].target == "target"
+        assert pis[0].data == "some data"
+
+    def test_pi_without_data(self):
+        events = parse_events("<a><?go?></a>")
+        pis = [e for e in events if isinstance(e, ProcessingInstruction)]
+        assert pis[0].data == ""
+
+    def test_cdata_section(self):
+        events = parse_events("<a><![CDATA[a < b & c]]></a>")
+        text = [e for e in events if isinstance(e, Characters)]
+        assert text[0].data == "a < b & c"
+        assert text[0].cdata
+
+    def test_doctype_with_ids(self):
+        events = parse_events(
+            '<!DOCTYPE html PUBLIC "-//W3C//DTD" "http://x/dtd"><html/>'
+        )
+        doctype = events[0]
+        assert isinstance(doctype, DoctypeDecl)
+        assert doctype.name == "html"
+        assert doctype.public_id == "-//W3C//DTD"
+        assert doctype.system_id == "http://x/dtd"
+
+    def test_doctype_internal_subset_captured(self):
+        events = parse_events('<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>')
+        assert events[0].internal_subset == "<!ELEMENT a EMPTY>"
+
+
+class TestEntityHandling:
+    def test_predefined_in_content(self):
+        events = parse_events("<a>&lt;tag&gt; &amp; more</a>")
+        text = [e for e in events if isinstance(e, Characters)]
+        assert text[0].data == "<tag> & more"
+
+    def test_char_refs_in_attributes(self):
+        events = parse_events('<a x="&#65;&#x42;"/>')
+        assert events[0].get("x") == "AB"
+
+    def test_internal_entity_used_in_content(self):
+        events = parse_events(
+            '<!DOCTYPE a [<!ENTITY who "world">]><a>hello &who;</a>'
+        )
+        text = [e for e in events if isinstance(e, Characters)]
+        assert text[0].data == "hello world"
+
+    def test_nested_entity_expansion(self):
+        events = parse_events(
+            '<!DOCTYPE a [<!ENTITY x "1&y;3"><!ENTITY y "2">]><a>&x;</a>'
+        )
+        text = [e for e in events if isinstance(e, Characters)]
+        assert text[0].data == "123"
+
+    def test_recursive_entity_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="recursive|deep"):
+            parse_events('<!DOCTYPE a [<!ENTITY x "&x;">]><a>&x;</a>')
+
+    def test_attribute_value_normalization(self):
+        events = parse_events('<a x="line1\nline2\tend"/>')
+        assert events[0].get("x") == "line1 line2 end"
+
+    def test_char_refs_bypass_attribute_normalization(self):
+        """XML 1.0 §3.3.3: '&#10;' stays a newline in the value."""
+        events = parse_events('<a x="p&#10;q&#9;r"/>')
+        assert events[0].get("x") == "p\nq\tr"
+
+    def test_lt_via_entity_rejected_in_attribute(self):
+        with pytest.raises(XmlSyntaxError, match="'<'"):
+            parse_events(
+                '<!DOCTYPE a [<!ENTITY bad "x<y">]><a v="&bad;"/>'
+            )
+
+    def test_predefined_lt_allowed_in_attribute(self):
+        events = parse_events('<a x="&lt;tag&gt;"/>')
+        assert events[0].get("x") == "<tag>"
+
+    def test_entity_replacement_whitespace_normalized(self):
+        events = parse_events(
+            '<!DOCTYPE a [<!ENTITY ws "p\nq">]><a x="&ws;"/>'
+        )
+        start = [e for e in events if isinstance(e, StartElement)][0]
+        assert start.get("x") == "p q"
+
+
+class TestWellFormednessErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a>",  # missing end tag
+            "<a></b>",  # mismatched end tag
+            "<a/><b/>",  # two roots
+            "plain text",  # no element
+            "",  # empty
+            "<a x='1' x='2'/>",  # duplicate attribute
+            "<a x=1/>",  # unquoted attribute
+            "<a><b></a></b>",  # overlap
+            "<a>&undefined;</a>",  # unknown entity
+            "<a>text ]]> more</a>",  # CDATA-end in content
+            '<a x="a<b"/>',  # '<' in attribute
+            "<1a/>",  # bad name
+            "<a><!-- -- --></a>",  # '--' in comment
+            "<a><?xml bad?></a>",  # reserved PI target
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(XmlSyntaxError):
+            parse_events(text)
+
+    def test_error_carries_location(self):
+        try:
+            parse_events("<a>\n  <b></c>\n</a>")
+        except XmlSyntaxError as error:
+            assert error.location is not None
+            assert error.location.line == 2
+        else:
+            pytest.fail("expected a syntax error")
+
+    def test_doctype_after_root_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_events("<a/><!DOCTYPE a>")
+
+    def test_multiple_doctypes_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_events("<!DOCTYPE a><!DOCTYPE a><a/>")
+
+
+class TestLocations:
+    def test_start_element_location(self):
+        events = parse_events("<a>\n  <b/>\n</a>")
+        b = [e for e in events if isinstance(e, StartElement) and e.name == "b"]
+        assert b[0].location.line == 2
+        assert b[0].location.column == 3

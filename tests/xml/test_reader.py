@@ -1,0 +1,99 @@
+"""The position-tracking reader shared by all parsers."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xml.reader import Reader
+
+
+class TestPositionTracking:
+    def test_initial_location(self):
+        reader = Reader("abc")
+        location = reader.location()
+        assert (location.line, location.column, location.offset) == (1, 1, 0)
+
+    def test_advance_updates_columns(self):
+        reader = Reader("abc")
+        reader.advance(2)
+        assert reader.location().column == 3
+
+    def test_newlines_reset_columns(self):
+        reader = Reader("ab\ncd")
+        reader.advance(4)
+        location = reader.location()
+        assert (location.line, location.column) == (2, 2)
+
+    def test_source_name_in_location(self):
+        reader = Reader("x", source="file.xml")
+        assert str(reader.location()) == "file.xml:1:1"
+
+
+class TestPrimitives:
+    def test_peek_does_not_consume(self):
+        reader = Reader("abc")
+        assert reader.peek() == "a"
+        assert reader.peek(2) == "ab"
+        assert reader.offset == 0
+
+    def test_looking_at(self):
+        reader = Reader("<?xml")
+        assert reader.looking_at("<?")
+        assert not reader.looking_at("<!")
+
+    def test_expect_success_and_failure(self):
+        reader = Reader("<a>")
+        reader.expect("<", "test")
+        with pytest.raises(XmlSyntaxError, match="expected '>'"):
+            reader.expect(">", "test")
+
+    def test_at_end(self):
+        reader = Reader("x")
+        assert not reader.at_end()
+        reader.advance(1)
+        assert reader.at_end()
+
+    def test_advance_past_end_is_safe(self):
+        reader = Reader("x")
+        assert reader.advance(5) == "x"
+        assert reader.at_end()
+
+
+class TestTokens:
+    def test_skip_space(self):
+        reader = Reader("  \t\n x")
+        assert reader.skip_space()
+        assert reader.peek() == "x"
+        assert not reader.skip_space()
+
+    def test_require_space(self):
+        reader = Reader("x")
+        with pytest.raises(XmlSyntaxError, match="white space"):
+            reader.require_space("somewhere")
+
+    def test_read_name(self):
+        reader = Reader("tag-name>")
+        assert reader.read_name() == "tag-name"
+        assert reader.peek() == ">"
+
+    def test_read_name_failure(self):
+        reader = Reader("1x")
+        with pytest.raises(XmlSyntaxError, match="expected a name"):
+            reader.read_name("here")
+
+    def test_read_until(self):
+        reader = Reader("body-->tail")
+        assert reader.read_until("-->", "comment") == "body"
+        assert reader.peek() == "t"
+
+    def test_read_until_missing_terminator(self):
+        reader = Reader("never ends")
+        with pytest.raises(XmlSyntaxError, match="unterminated"):
+            reader.read_until("-->", "comment")
+
+    def test_read_quoted_both_quotes(self):
+        assert Reader("'v'").read_quoted("x") == "v"
+        assert Reader('"v"').read_quoted("x") == "v"
+
+    def test_read_quoted_requires_quote(self):
+        with pytest.raises(XmlSyntaxError, match="quoted"):
+            Reader("v").read_quoted("x")

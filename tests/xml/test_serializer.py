@@ -1,0 +1,71 @@
+"""Low-level markup writers."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.xml.serializer import (
+    attribute_string,
+    cdata_section,
+    comment,
+    end_tag,
+    processing_instruction,
+    start_tag,
+    text,
+    xml_declaration,
+)
+
+
+class TestTags:
+    def test_start_tag(self):
+        assert start_tag("a") == "<a>"
+        assert start_tag("a", [("x", "1")]) == '<a x="1">'
+
+    def test_self_closing(self):
+        assert start_tag("br", self_closing=True) == "<br/>"
+
+    def test_end_tag(self):
+        assert end_tag("a") == "</a>"
+
+    def test_attribute_escaping(self):
+        assert attribute_string([("x", 'a"b<c')]) == ' x="a&quot;b&lt;c"'
+
+    def test_illegal_names_rejected(self):
+        with pytest.raises(XmlError):
+            start_tag("1bad")
+        with pytest.raises(XmlError):
+            attribute_string([("bad name", "v")])
+
+
+class TestMisc:
+    def test_comment(self):
+        assert comment(" hi ") == "<!-- hi -->"
+
+    def test_comment_rejects_double_dash(self):
+        with pytest.raises(XmlError):
+            comment("a--b")
+        with pytest.raises(XmlError):
+            comment("ends with -")
+
+    def test_processing_instruction(self):
+        assert processing_instruction("t", "d") == "<?t d?>"
+        assert processing_instruction("t") == "<?t?>"
+
+    def test_pi_rejects_reserved_target(self):
+        with pytest.raises(XmlError):
+            processing_instruction("xml", "d")
+
+    def test_pi_rejects_terminator_in_data(self):
+        with pytest.raises(XmlError):
+            processing_instruction("t", "a?>b")
+
+    def test_cdata_splitting(self):
+        rendered = cdata_section("a]]>b")
+        assert rendered.startswith("<![CDATA[")
+        assert "]]>b" not in rendered.replace("]]]]><![CDATA[>", "")
+
+    def test_text_escapes(self):
+        assert text("<&>") == "&lt;&amp;&gt;"
+
+    def test_xml_declaration(self):
+        assert xml_declaration() == '<?xml version="1.0" encoding="UTF-8"?>'
+        assert xml_declaration(encoding=None) == '<?xml version="1.0"?>'

@@ -1,0 +1,193 @@
+"""Schema component behaviours (below the parser)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.automata.rex import UNBOUNDED
+from repro.xsd.components import (
+    ANY_TYPE,
+    AttributeDeclaration,
+    AttributeUse,
+    ComplexType,
+    Compositor,
+    ContentType,
+    DerivationMethod,
+    ElementDeclaration,
+    GroupDefinition,
+    GroupReference,
+    ModelGroup,
+    Particle,
+    Schema,
+)
+from repro.xsd.simple import builtin_type
+
+
+def element(name, type_definition=None):
+    return ElementDeclaration(
+        name, type_definition=type_definition or builtin_type("string")
+    )
+
+
+class TestParticle:
+    def test_occurs_once(self):
+        assert Particle(element("a")).occurs_once()
+        assert not Particle(element("a"), 0, 1).occurs_once()
+
+    def test_is_optional(self):
+        assert Particle(element("a"), 0, 1).is_optional()
+        assert not Particle(element("a")).is_optional()
+
+    def test_is_list_definition(self):
+        """The paper's 'list expression': maxOccurs > 1."""
+        assert Particle(element("a"), 0, UNBOUNDED).is_list()
+        assert Particle(element("a"), 1, 2).is_list()
+        assert not Particle(element("a"), 0, 1).is_list()
+
+
+class TestElementDeclaration:
+    def test_resolved_type_guard(self):
+        declaration = ElementDeclaration("a", type_name="Later")
+        with pytest.raises(SchemaError, match="no resolved type"):
+            declaration.resolved_type()
+
+
+class TestGroupReference:
+    def test_unresolved_guard(self):
+        with pytest.raises(SchemaError, match="unresolved"):
+            GroupReference("ghost").resolved()
+
+    def test_resolution(self):
+        group = ModelGroup(Compositor.CHOICE, [Particle(element("a"))])
+        reference = GroupReference("g", GroupDefinition("g", group))
+        assert reference.resolved() is group
+
+
+class TestComplexType:
+    def test_content_type_classification(self):
+        empty = ComplexType(content=Particle(ModelGroup(Compositor.SEQUENCE)))
+        assert empty.content_type is ContentType.EMPTY
+        with_elements = ComplexType(
+            content=Particle(
+                ModelGroup(Compositor.SEQUENCE, [Particle(element("a"))])
+            )
+        )
+        assert with_elements.content_type is ContentType.ELEMENT_ONLY
+        mixed = ComplexType(mixed=True, content=with_elements.content)
+        assert mixed.content_type is ContentType.MIXED
+        simple = ComplexType(simple_content=builtin_type("decimal"))
+        assert simple.content_type is ContentType.SIMPLE
+
+    def test_extension_effective_content_prepends_base(self):
+        base = ComplexType(
+            name="Base",
+            content=Particle(
+                ModelGroup(Compositor.SEQUENCE, [Particle(element("x"))])
+            ),
+        )
+        derived = ComplexType(
+            name="Derived",
+            base=base,
+            derivation=DerivationMethod.EXTENSION,
+            content=Particle(
+                ModelGroup(Compositor.SEQUENCE, [Particle(element("y"))])
+            ),
+        )
+        schema = Schema()
+        dfa = schema.content_dfa(derived)
+        assert dfa.accepts(["x", "y"])
+        assert not dfa.accepts(["y", "x"])
+
+    def test_restriction_effective_content_is_own(self):
+        base = ComplexType(
+            name="Base",
+            content=Particle(
+                ModelGroup(Compositor.SEQUENCE, [Particle(element("x"), 0, 1)])
+            ),
+        )
+        derived = ComplexType(
+            name="Derived",
+            base=base,
+            derivation=DerivationMethod.RESTRICTION,
+            content=Particle(ModelGroup(Compositor.SEQUENCE, [])),
+        )
+        schema = Schema()
+        dfa = schema.content_dfa(derived)
+        assert dfa.accepts([])
+        assert not dfa.accepts(["x"])
+
+    def test_attribute_inheritance(self):
+        base = ComplexType(name="Base")
+        base.attribute_uses["a"] = AttributeUse(
+            AttributeDeclaration("a", type_definition=builtin_type("string"))
+        )
+        derived = ComplexType(
+            name="Derived", base=base, derivation=DerivationMethod.EXTENSION
+        )
+        derived.attribute_uses["b"] = AttributeUse(
+            AttributeDeclaration("b", type_definition=builtin_type("string"))
+        )
+        assert set(derived.effective_attribute_uses()) == {"a", "b"}
+
+    def test_attribute_override_in_derived(self):
+        base = ComplexType(name="Base")
+        base.attribute_uses["a"] = AttributeUse(
+            AttributeDeclaration("a", type_definition=builtin_type("string"))
+        )
+        derived = ComplexType(name="Derived", base=base)
+        stricter = AttributeUse(
+            AttributeDeclaration("a", type_definition=builtin_type("NMTOKEN")),
+            required=True,
+        )
+        derived.attribute_uses["a"] = stricter
+        assert derived.effective_attribute_uses()["a"] is stricter
+
+    def test_is_derived_from(self):
+        base = ComplexType(name="Base")
+        middle = ComplexType(name="Middle", base=base)
+        leaf = ComplexType(name="Leaf", base=middle)
+        assert leaf.is_derived_from(base)
+        assert leaf.is_derived_from(middle)
+        assert not base.is_derived_from(leaf)
+
+
+class TestSchemaLookups:
+    def test_missing_lookups_raise(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema.element("ghost")
+        with pytest.raises(SchemaError):
+            schema.type_definition("ghost")
+        with pytest.raises(SchemaError):
+            schema.group("ghost")
+
+    def test_dfa_cache_reuse(self):
+        schema = Schema()
+        complex_type = ComplexType(
+            name="T",
+            content=Particle(
+                ModelGroup(Compositor.SEQUENCE, [Particle(element("a"))])
+            ),
+        )
+        first = schema.content_dfa(complex_type)
+        second = schema.content_dfa(complex_type)
+        assert first is second
+
+    def test_substitution_alternatives_exclude_abstract_head(self):
+        schema = Schema()
+        head = ElementDeclaration(
+            "head", abstract=True, type_definition=builtin_type("string")
+        )
+        member = ElementDeclaration(
+            "member",
+            substitution_group="head",
+            type_definition=builtin_type("string"),
+        )
+        schema.elements["head"] = head
+        schema.elements["member"] = member
+        schema.substitution_members["head"] = [member]
+        names = [d.name for d in schema.substitution_alternatives(head)]
+        assert names == ["member"]
+
+    def test_any_type_is_mixed(self):
+        assert ANY_TYPE.content_type in (ContentType.MIXED, ContentType.EMPTY)
+        assert ANY_TYPE.mixed

@@ -1,0 +1,162 @@
+"""Facet machinery, tested directly on FacetSet."""
+
+import decimal
+
+import pytest
+
+from repro.errors import SchemaError, SimpleTypeError
+from repro.xsd.facets import FacetSet, Pattern, WhiteSpace
+from repro.xsd.simple import builtin_type
+
+
+def derive(base_name="string", **kwargs):
+    base = builtin_type(base_name)
+    return base.facets.derive(parse=base.parse, **kwargs)
+
+
+class TestPattern:
+    def test_pattern_matches_fullmatch_semantics(self):
+        pattern = Pattern(r"\d+")
+        assert pattern.matches("123")
+        assert not pattern.matches("123x")
+
+    def test_alternative_patterns_within_one_step(self):
+        facets = derive(patterns=("cat", "dog"))
+        facets.check_lexical("cat")
+        facets.check_lexical("dog")
+        with pytest.raises(SimpleTypeError):
+            facets.check_lexical("cow")
+
+    def test_patterns_across_steps_all_required(self):
+        step1 = derive(patterns=("[a-z]+",))
+        step2 = step1.derive(parse=str, patterns=(".{3}",))
+        step2.check_lexical("abc")
+        with pytest.raises(SimpleTypeError):
+            step2.check_lexical("ab")
+        with pytest.raises(SimpleTypeError):
+            step2.check_lexical("ABC")
+
+
+class TestLengthFacets:
+    def test_exact_length(self):
+        facets = derive(length=3)
+        facets.check_value("abc", "abc")
+        with pytest.raises(SimpleTypeError):
+            facets.check_value("ab", "ab")
+
+    def test_length_counts_list_items(self):
+        facets = derive(length=2)
+        facets.check_value(("a", "b"), "a b")
+        with pytest.raises(SimpleTypeError):
+            facets.check_value(("a",), "a")
+
+    def test_min_max_length(self):
+        facets = derive(min_length=2, max_length=4)
+        facets.check_value("abc", "abc")
+        with pytest.raises(SimpleTypeError):
+            facets.check_value("a", "a")
+        with pytest.raises(SimpleTypeError):
+            facets.check_value("abcde", "abcde")
+
+
+class TestRangeFacets:
+    def test_inclusive_bounds(self):
+        facets = derive("integer", min_inclusive="0", max_inclusive="10")
+        facets.check_value(0, "0")
+        facets.check_value(10, "10")
+        with pytest.raises(SimpleTypeError):
+            facets.check_value(-1, "-1")
+        with pytest.raises(SimpleTypeError):
+            facets.check_value(11, "11")
+
+    def test_exclusive_bounds(self):
+        facets = derive("integer", min_exclusive="0", max_exclusive="10")
+        facets.check_value(1, "1")
+        facets.check_value(9, "9")
+        with pytest.raises(SimpleTypeError):
+            facets.check_value(0, "0")
+        with pytest.raises(SimpleTypeError):
+            facets.check_value(10, "10")
+
+    def test_bounds_live_in_value_space(self):
+        """'9' > '10' lexically; numerically the facet must use values."""
+        facets = derive("integer", max_inclusive="10")
+        facets.check_value(9, "9")
+
+    def test_conflicting_bounds_rejected(self):
+        with pytest.raises(SchemaError):
+            derive("integer", min_inclusive="5", min_exclusive="4")
+        with pytest.raises(SchemaError):
+            derive("integer", max_inclusive="5", max_exclusive="6")
+
+
+class TestDigitFacets:
+    def test_total_digits(self):
+        facets = derive("decimal", total_digits=4)
+        facets.check_value(decimal.Decimal("12.34"), "12.34")
+        with pytest.raises(SimpleTypeError):
+            facets.check_value(decimal.Decimal("123.45"), "123.45")
+
+    def test_fraction_digits(self):
+        facets = derive("decimal", fraction_digits=2)
+        facets.check_value(decimal.Decimal("0.12"), "0.12")
+        with pytest.raises(SimpleTypeError):
+            facets.check_value(decimal.Decimal("0.123"), "0.123")
+
+    def test_trailing_zeros_do_not_count(self):
+        facets = derive("decimal", fraction_digits=1)
+        facets.check_value(decimal.Decimal("1.50"), "1.50")
+
+    def test_fraction_above_total_rejected(self):
+        with pytest.raises(SchemaError):
+            derive("decimal", total_digits=2, fraction_digits=3)
+
+
+class TestEnumeration:
+    def test_membership_in_value_space(self):
+        facets = derive("integer", enumeration=("1", "2", "3"))
+        facets.check_value(2, "2")
+        with pytest.raises(SimpleTypeError):
+            facets.check_value(4, "4")
+
+    def test_enumeration_replaced_not_merged(self):
+        step1 = derive(enumeration=("a", "b"))
+        base = builtin_type("string")
+        step2 = step1.derive(parse=base.parse, enumeration=("a",))
+        step2.check_value("a", "a")
+        with pytest.raises(SimpleTypeError):
+            step2.check_value("b", "b")
+
+
+class TestWhiteSpaceOrdering:
+    def test_cannot_weaken(self):
+        collapse = FacetSet(white_space=WhiteSpace.COLLAPSE)
+        with pytest.raises(SchemaError):
+            collapse.derive(parse=str, white_space=WhiteSpace.PRESERVE)
+
+    def test_can_strengthen(self):
+        preserve = FacetSet(white_space=WhiteSpace.PRESERVE)
+        derived = preserve.derive(parse=str, white_space=WhiteSpace.COLLAPSE)
+        assert derived.white_space == WhiteSpace.COLLAPSE
+
+
+class TestFixedFacets:
+    def test_fixed_facet_cannot_change(self):
+        fixed = derive("integer")  # integer has fractionDigits=0 fixed
+        base = builtin_type("integer")
+        with pytest.raises(SchemaError):
+            base.facets.derive(parse=base.parse, fraction_digits=1)
+
+    def test_fixed_facet_can_be_restated(self):
+        base = builtin_type("integer")
+        base.facets.derive(parse=base.parse, fraction_digits=0)
+
+    def test_fixing_propagates(self):
+        base = builtin_type("string")
+        step1 = base.facets.derive(
+            parse=base.parse,
+            max_length=5,
+            fixed_names=frozenset({"maxLength"}),
+        )
+        with pytest.raises(SchemaError):
+            step1.derive(parse=base.parse, max_length=6)

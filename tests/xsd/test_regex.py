@@ -1,0 +1,112 @@
+"""XSD pattern translation to Python regular expressions."""
+
+import pytest
+
+from repro.errors import SchemaError, UnsupportedFeatureError
+from repro.xsd.regex import compile_pattern, translate_pattern
+
+
+def fullmatch(pattern: str, text: str) -> bool:
+    return compile_pattern(pattern).fullmatch(text) is not None
+
+
+class TestBasics:
+    def test_sku_pattern(self):
+        """The paper's SKU type: \\d{3}-[A-Z]{2}."""
+        pattern = r"\d{3}-[A-Z]{2}"
+        assert fullmatch(pattern, "872-AA")
+        assert not fullmatch(pattern, "87-AA")
+        assert not fullmatch(pattern, "872-AAA")
+        assert not fullmatch(pattern, "872-aa")
+
+    def test_implicit_anchoring(self):
+        assert not fullmatch("abc", "xabcx")
+        assert fullmatch("abc", "abc")
+
+    def test_alternation(self):
+        assert fullmatch("cat|dog", "dog")
+        assert not fullmatch("cat|dog", "catdog")
+
+    def test_quantifiers(self):
+        assert fullmatch("a?b+c*", "bb")
+        assert fullmatch("a?b+c*", "abcc")
+        assert not fullmatch("a?b+c*", "ac")
+
+    def test_bounded_quantifier(self):
+        assert fullmatch("a{2,3}", "aa")
+        assert not fullmatch("a{2,3}", "aaaa")
+        assert fullmatch("a{2,}", "aaaaa")
+
+    def test_groups(self):
+        assert fullmatch("(ab)+", "abab")
+
+
+class TestXsdSpecifics:
+    def test_caret_and_dollar_are_literals(self):
+        assert fullmatch(r"\^\$", "^$")
+
+    def test_dot_excludes_newlines(self):
+        assert fullmatch("a.c", "abc")
+        assert not fullmatch("a.c", "a\nc")
+        assert not fullmatch("a.c", "a\rc")
+
+    def test_name_escapes(self):
+        assert fullmatch(r"\i\c*", "purchaseOrder")
+        assert not fullmatch(r"\i\c*", "1abc")
+        assert fullmatch(r"\i\c*", "_x-1.y")
+
+    def test_whitespace_escape(self):
+        assert fullmatch(r"a\sb", "a b")
+        assert fullmatch(r"a\sb", "a\tb")
+
+    def test_single_escapes(self):
+        assert fullmatch(r"\(\)\[\]\{\}", "()[]{}")
+        assert fullmatch(r"a\|b", "a|b")
+        assert fullmatch(r"\n", "\n")
+
+
+class TestCharacterClasses:
+    def test_ranges(self):
+        assert fullmatch("[a-f]+", "cafe")
+        assert not fullmatch("[a-f]+", "z")
+
+    def test_negation(self):
+        assert fullmatch("[^0-9]+", "abc")
+        assert not fullmatch("[^0-9]+", "a1")
+
+    def test_subtraction(self):
+        pattern = "[a-z-[aeiou]]+"
+        assert fullmatch(pattern, "bcdfg")
+        assert not fullmatch(pattern, "bca")
+
+    def test_nested_subtraction(self):
+        pattern = "[a-z-[m-p-[n]]]+"
+        assert fullmatch(pattern, "an")
+        assert not fullmatch(pattern, "m")
+
+    def test_class_escape_inside_class(self):
+        assert fullmatch(r"[\d.]+", "3.14")
+
+    def test_literal_dash(self):
+        assert fullmatch("[a-]+", "a-a")
+
+    def test_caret_not_first_is_literal(self):
+        assert fullmatch("[a^]+", "a^")
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(SchemaError):
+            translate_pattern("[z-a]")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "pattern",
+        ["(ab", "a)", "[abc", "a{2,1}", "a{x}", "*a", r"\q", "[]"],
+    )
+    def test_malformed_rejected(self, pattern):
+        with pytest.raises(SchemaError):
+            translate_pattern(pattern)
+
+    def test_unicode_properties_unsupported(self):
+        with pytest.raises(UnsupportedFeatureError):
+            translate_pattern(r"\p{L}+")

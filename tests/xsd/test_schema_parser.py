@@ -1,0 +1,378 @@
+"""Parsing XSD documents into the component model."""
+
+import pytest
+
+from repro.errors import SchemaError, UnsupportedFeatureError
+from repro.xsd import parse_schema
+from repro.xsd.components import (
+    ComplexType,
+    Compositor,
+    ContentType,
+    DerivationMethod,
+    ElementDeclaration,
+    GroupReference,
+    ModelGroup,
+)
+from repro.xsd.simple import SimpleType
+from repro.automata.rex import UNBOUNDED
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+
+_WRAP = '<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">{}</xsd:schema>'
+
+
+def schema_of(body: str):
+    return parse_schema(_WRAP.format(body))
+
+
+class TestPurchaseOrderSchema:
+    """FIG2/3: the paper's schema parses into the expected components."""
+
+    @pytest.fixture(scope="class")
+    def schema(self):
+        return parse_schema(PURCHASE_ORDER_SCHEMA)
+
+    def test_global_elements(self, schema):
+        assert set(schema.elements) == {"purchaseOrder", "comment"}
+
+    def test_named_types(self, schema):
+        assert set(schema.types) == {
+            "PurchaseOrderType", "USAddress", "Items", "SKU"
+        }
+
+    def test_purchase_order_type_structure(self, schema):
+        definition = schema.types["PurchaseOrderType"]
+        assert isinstance(definition, ComplexType)
+        group = definition.content.term
+        assert isinstance(group, ModelGroup)
+        assert group.compositor is Compositor.SEQUENCE
+        names = [particle.term.name for particle in group.particles]
+        assert names == ["shipTo", "billTo", "comment", "items"]
+        assert group.particles[2].min_occurs == 0  # optional comment
+
+    def test_element_ref_resolved_to_global(self, schema):
+        group = schema.types["PurchaseOrderType"].content.term
+        comment = group.particles[2].term
+        assert comment is schema.elements["comment"]
+
+    def test_attribute_uses(self, schema):
+        uses = schema.types["USAddress"].attribute_uses
+        assert uses["country"].fixed == "US"
+        items = schema.types["Items"].content.term
+        item = items.particles[0].term
+        assert isinstance(item, ElementDeclaration)
+        item_type = item.resolved_type()
+        assert item_type.attribute_uses["partNum"].required
+
+    def test_unbounded_occurs(self, schema):
+        items = schema.types["Items"].content.term
+        assert items.particles[0].max_occurs == UNBOUNDED
+        assert items.particles[0].min_occurs == 0
+
+    def test_anonymous_types_resolved(self, schema):
+        items = schema.types["Items"].content.term
+        item_type = items.particles[0].term.resolved_type()
+        assert isinstance(item_type, ComplexType)
+        assert item_type.name is None  # anonymous until normalization
+
+    def test_sku_simple_type(self, schema):
+        sku = schema.types["SKU"]
+        assert isinstance(sku, SimpleType)
+        assert sku.is_valid("872-AA")
+        assert not sku.is_valid("872AA")
+
+    def test_inline_simple_restriction(self, schema):
+        items = schema.types["Items"].content.term
+        item_type = items.particles[0].term.resolved_type()
+        quantity = item_type.content.term.particles[1].term
+        quantity_type = quantity.resolved_type()
+        assert quantity_type.is_valid("99")
+        assert not quantity_type.is_valid("100")
+
+
+class TestStructuralFeatures:
+    def test_forward_type_reference(self):
+        schema = schema_of(
+            '<xsd:element name="a" type="Later"/>'
+            '<xsd:complexType name="Later"><xsd:sequence/></xsd:complexType>'
+        )
+        assert schema.elements["a"].resolved_type().name == "Later"
+
+    def test_circular_type_reference_rejected(self):
+        with pytest.raises(SchemaError, match="circular"):
+            schema_of(
+                '<xsd:simpleType name="A">'
+                '<xsd:restriction base="B"/></xsd:simpleType>'
+                '<xsd:simpleType name="B">'
+                '<xsd:restriction base="A"/></xsd:simpleType>'
+            )
+
+    def test_recursive_complex_type_allowed(self):
+        schema = schema_of(
+            '<xsd:element name="tree" type="Tree"/>'
+            '<xsd:complexType name="Tree"><xsd:sequence>'
+            '<xsd:element name="child" type="Tree" minOccurs="0"'
+            ' maxOccurs="unbounded"/>'
+            "</xsd:sequence></xsd:complexType>"
+        )
+        tree = schema.types["Tree"]
+        child = tree.content.term.particles[0].term
+        assert child.resolved_type() is tree
+
+    def test_named_group_definition_and_reference(self):
+        schema = schema_of(
+            '<xsd:group name="AddressGroup"><xsd:choice>'
+            '<xsd:element name="a" type="xsd:string"/>'
+            '<xsd:element name="b" type="xsd:string"/>'
+            "</xsd:choice></xsd:group>"
+            '<xsd:complexType name="T"><xsd:sequence>'
+            '<xsd:group ref="AddressGroup"/>'
+            "</xsd:sequence></xsd:complexType>"
+        )
+        reference = schema.types["T"].content.term.particles[0].term
+        assert isinstance(reference, GroupReference)
+        assert reference.resolved().compositor is Compositor.CHOICE
+
+    def test_attribute_group(self):
+        schema = schema_of(
+            '<xsd:attributeGroup name="common">'
+            '<xsd:attribute name="id" type="xsd:ID"/>'
+            '<xsd:attribute name="lang" type="xsd:language"/>'
+            "</xsd:attributeGroup>"
+            '<xsd:complexType name="T"><xsd:sequence/>'
+            '<xsd:attributeGroup ref="common"/></xsd:complexType>'
+        )
+        assert set(schema.types["T"].attribute_uses) == {"id", "lang"}
+
+    def test_extension_combines_content(self):
+        schema = schema_of(
+            '<xsd:complexType name="Base"><xsd:sequence>'
+            '<xsd:element name="x" type="xsd:string"/>'
+            "</xsd:sequence></xsd:complexType>"
+            '<xsd:complexType name="Derived"><xsd:complexContent>'
+            '<xsd:extension base="Base"><xsd:sequence>'
+            '<xsd:element name="y" type="xsd:string"/>'
+            "</xsd:sequence></xsd:extension></xsd:complexContent>"
+            "</xsd:complexType>"
+        )
+        derived = schema.types["Derived"]
+        assert derived.derivation is DerivationMethod.EXTENSION
+        effective = derived.effective_content().term
+        assert isinstance(effective, ModelGroup)
+        dfa = schema.content_dfa(derived)
+        assert dfa.accepts(["x", "y"])
+        assert not dfa.accepts(["y"])
+
+    def test_restriction_replaces_content(self):
+        schema = schema_of(
+            '<xsd:complexType name="Base"><xsd:sequence>'
+            '<xsd:element name="x" type="xsd:string" minOccurs="0"/>'
+            "</xsd:sequence></xsd:complexType>"
+            '<xsd:complexType name="Derived"><xsd:complexContent>'
+            '<xsd:restriction base="Base"><xsd:sequence>'
+            '<xsd:element name="x" type="xsd:string"/>'
+            "</xsd:sequence></xsd:restriction></xsd:complexContent>"
+            "</xsd:complexType>"
+        )
+        derived = schema.types["Derived"]
+        dfa = schema.content_dfa(derived)
+        assert dfa.accepts(["x"])
+        assert not dfa.accepts([])  # the restriction made x mandatory
+
+    def test_simple_content_extension(self):
+        schema = schema_of(
+            '<xsd:complexType name="Price"><xsd:simpleContent>'
+            '<xsd:extension base="xsd:decimal">'
+            '<xsd:attribute name="currency" type="xsd:string"/>'
+            "</xsd:extension></xsd:simpleContent></xsd:complexType>"
+        )
+        price = schema.types["Price"]
+        assert price.content_type is ContentType.SIMPLE
+        assert price.simple_content.name == "decimal"
+        assert "currency" in price.attribute_uses
+
+    def test_mixed_content_flag(self):
+        schema = schema_of(
+            '<xsd:complexType name="P" mixed="true"><xsd:sequence>'
+            '<xsd:element name="b" type="xsd:string" minOccurs="0"/>'
+            "</xsd:sequence></xsd:complexType>"
+        )
+        assert schema.types["P"].content_type is ContentType.MIXED
+
+    def test_substitution_group_membership(self):
+        schema = schema_of(
+            '<xsd:element name="head" type="xsd:string"/>'
+            '<xsd:element name="m1" type="xsd:string"'
+            ' substitutionGroup="head"/>'
+            '<xsd:element name="m2" type="xsd:string"'
+            ' substitutionGroup="m1"/>'
+        )
+        members = {
+            d.name for d in schema.substitution_members["head"]
+        }
+        assert members == {"m1", "m2"}  # transitive
+
+    def test_substitution_member_inherits_head_type(self):
+        schema = schema_of(
+            '<xsd:element name="head" type="xsd:decimal"/>'
+            '<xsd:element name="m" substitutionGroup="head"/>'
+        )
+        assert schema.elements["m"].resolved_type().name == "decimal"
+
+    def test_all_group_parses(self):
+        schema = schema_of(
+            '<xsd:complexType name="T"><xsd:all>'
+            '<xsd:element name="a" type="xsd:string"/>'
+            '<xsd:element name="b" type="xsd:string"/>'
+            "</xsd:all></xsd:complexType>"
+        )
+        group = schema.types["T"].content.term
+        assert group.compositor is Compositor.ALL
+        # The paper treats all like sequence:
+        dfa = schema.content_dfa(schema.types["T"])
+        assert dfa.accepts(["a", "b"])
+        assert not dfa.accepts(["b", "a"])
+
+
+class TestAttributeDetails:
+    def test_prohibited_attribute_dropped(self):
+        schema = schema_of(
+            '<xsd:complexType name="T"><xsd:sequence/>'
+            '<xsd:attribute name="x" type="xsd:string" use="prohibited"/>'
+            "</xsd:complexType>"
+        )
+        assert "x" not in schema.types["T"].attribute_uses
+
+    def test_attribute_with_inline_type(self):
+        schema = schema_of(
+            '<xsd:complexType name="T"><xsd:sequence/>'
+            '<xsd:attribute name="level"><xsd:simpleType>'
+            '<xsd:restriction base="xsd:integer">'
+            '<xsd:maxInclusive value="5"/>'
+            "</xsd:restriction></xsd:simpleType></xsd:attribute>"
+            "</xsd:complexType>"
+        )
+        level = schema.types["T"].attribute_uses["level"]
+        assert level.declaration.resolved_type().is_valid("5")
+        assert not level.declaration.resolved_type().is_valid("6")
+
+    def test_attribute_default_validated_against_type(self):
+        with pytest.raises(SchemaError):
+            schema_of(
+                '<xsd:complexType name="T"><xsd:sequence/>'
+                '<xsd:attribute name="n" type="xsd:int" default="oops"/>'
+                "</xsd:complexType>"
+            )
+
+    def test_default_and_fixed_conflict(self):
+        with pytest.raises(SchemaError):
+            schema_of(
+                '<xsd:complexType name="T"><xsd:sequence/>'
+                '<xsd:attribute name="n" type="xsd:int"'
+                ' default="1" fixed="2"/>'
+                "</xsd:complexType>"
+            )
+
+    def test_required_with_default_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_of(
+                '<xsd:complexType name="T"><xsd:sequence/>'
+                '<xsd:attribute name="n" type="xsd:int"'
+                ' use="required" default="1"/>'
+                "</xsd:complexType>"
+            )
+
+
+class TestSimpleContentDetails:
+    def test_simple_content_restriction_applies_facets(self):
+        schema = schema_of(
+            '<xsd:complexType name="Price"><xsd:simpleContent>'
+            '<xsd:extension base="xsd:decimal">'
+            '<xsd:attribute name="cur" type="xsd:string"/>'
+            "</xsd:extension></xsd:simpleContent></xsd:complexType>"
+            '<xsd:complexType name="SmallPrice"><xsd:simpleContent>'
+            '<xsd:restriction base="Price">'
+            '<xsd:maxInclusive value="10"/>'
+            "</xsd:restriction></xsd:simpleContent></xsd:complexType>"
+        )
+        small = schema.types["SmallPrice"]
+        assert small.simple_content.is_valid("9.99")
+        assert not small.simple_content.is_valid("10.01")
+        # attributes inherited through the derivation chain
+        assert "cur" in small.effective_attribute_uses()
+
+    def test_simple_content_base_must_be_simpleish(self):
+        with pytest.raises(SchemaError):
+            schema_of(
+                '<xsd:complexType name="Elemental"><xsd:sequence>'
+                '<xsd:element name="x" type="xsd:string"/>'
+                "</xsd:sequence></xsd:complexType>"
+                '<xsd:complexType name="Bad"><xsd:simpleContent>'
+                '<xsd:extension base="Elemental"/>'
+                "</xsd:simpleContent></xsd:complexType>"
+            )
+
+    def test_mixed_flag_on_complex_content(self):
+        schema = schema_of(
+            '<xsd:complexType name="Base"><xsd:sequence/>'
+            "</xsd:complexType>"
+            '<xsd:complexType name="D"><xsd:complexContent mixed="true">'
+            '<xsd:extension base="Base"><xsd:sequence>'
+            '<xsd:element name="b" type="xsd:string" minOccurs="0"/>'
+            "</xsd:sequence></xsd:extension></xsd:complexContent>"
+            "</xsd:complexType>"
+        )
+        assert schema.types["D"].mixed
+
+
+class TestUnsupportedAndErrors:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            '<xsd:complexType name="T"><xsd:sequence><xsd:any/>'
+            "</xsd:sequence></xsd:complexType>",
+            '<xsd:import namespace="http://other"/>',
+            '<xsd:include schemaLocation="other.xsd"/>',
+        ],
+    )
+    def test_unsupported_features_flagged(self, body):
+        with pytest.raises(UnsupportedFeatureError):
+            schema_of(body)
+
+    def test_identity_constraints_flagged(self):
+        with pytest.raises(UnsupportedFeatureError):
+            schema_of(
+                '<xsd:element name="r"><xsd:complexType><xsd:sequence/>'
+                "</xsd:complexType>"
+                '<xsd:key name="k"><xsd:selector xpath="x"/>'
+                '<xsd:field xpath="@id"/></xsd:key></xsd:element>'
+            )
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            '<xsd:element name="a" type="Missing"/>',
+            '<xsd:complexType name="T"><xsd:sequence>'
+            '<xsd:element ref="ghost"/></xsd:sequence></xsd:complexType>'
+            '<xsd:element name="r" type="T"/>',
+            '<xsd:complexType name="T"/><xsd:complexType name="T"/>',
+            '<xsd:element name="a" type="xsd:string"/>'
+            '<xsd:element name="a" type="xsd:string"/>',
+            '<xsd:complexType name="T"><xsd:sequence>'
+            '<xsd:element name="e" type="xsd:string"'
+            ' minOccurs="3" maxOccurs="2"/></xsd:sequence></xsd:complexType>',
+        ],
+    )
+    def test_broken_schemas_rejected(self, body):
+        with pytest.raises(SchemaError):
+            schema_of(body)
+
+    def test_non_schema_root_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_schema("<not-a-schema/>")
+
+    def test_substitution_group_head_must_exist(self):
+        with pytest.raises(SchemaError):
+            schema_of(
+                '<xsd:element name="m" type="xsd:string"'
+                ' substitutionGroup="ghost"/>'
+            )

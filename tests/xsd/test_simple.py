@@ -1,0 +1,219 @@
+"""Simple types: built-in hierarchy, restriction, list, union."""
+
+import decimal
+
+import pytest
+
+from repro.errors import SchemaError, SimpleTypeError
+from repro.xsd.simple import (
+    BUILTIN_TYPES,
+    builtin_type,
+    list_of,
+    restrict,
+    union_of,
+)
+
+
+class TestBuiltinHierarchy:
+    def test_integer_hierarchy_bounds(self):
+        assert builtin_type("byte").parse("127") == 127
+        with pytest.raises(SimpleTypeError):
+            builtin_type("byte").parse("128")
+        with pytest.raises(SimpleTypeError):
+            builtin_type("unsignedByte").parse("-1")
+        assert builtin_type("positiveInteger").parse("1") == 1
+        with pytest.raises(SimpleTypeError):
+            builtin_type("positiveInteger").parse("0")
+        with pytest.raises(SimpleTypeError):
+            builtin_type("negativeInteger").parse("0")
+
+    def test_derivation_chain(self):
+        assert builtin_type("byte").is_derived_from(builtin_type("short"))
+        assert builtin_type("byte").is_derived_from(builtin_type("decimal"))
+        assert not builtin_type("string").is_derived_from(builtin_type("decimal"))
+
+    def test_primitive_lookup(self):
+        assert builtin_type("byte").primitive().name == "decimal"
+        assert builtin_type("NMTOKEN").primitive().name == "string"
+
+    def test_whitespace_handling_by_type(self):
+        assert builtin_type("string").parse("  a  b  ") == "  a  b  "
+        assert builtin_type("normalizedString").parse("a\tb") == "a b"
+        assert builtin_type("token").parse("  a  b  ") == "a b"
+        assert builtin_type("integer").parse("  42  ") == 42
+
+    def test_builtin_list_types(self):
+        assert builtin_type("NMTOKENS").parse("a b c") == ("a", "b", "c")
+        with pytest.raises(SimpleTypeError):
+            builtin_type("NMTOKENS").parse("   ")  # minLength 1
+
+    def test_unknown_builtin_raises(self):
+        with pytest.raises(SchemaError):
+            builtin_type("nope")
+
+    def test_registry_is_complete_enough(self):
+        for name in (
+            "string", "boolean", "decimal", "float", "double", "date",
+            "dateTime", "time", "duration", "anyURI", "QName", "NMTOKEN",
+            "ID", "IDREF", "integer", "positiveInteger", "long", "int",
+            "short", "byte", "nonNegativeInteger", "unsignedLong",
+            "hexBinary", "base64Binary", "language", "token", "Name",
+        ):
+            assert name in BUILTIN_TYPES
+
+
+class TestRestriction:
+    def test_pattern_facet(self):
+        sku = restrict(builtin_type("string"), "SKU", patterns=(r"\d{3}-[A-Z]{2}",))
+        assert sku.parse("926-AA") == "926-AA"
+        with pytest.raises(SimpleTypeError):
+            sku.parse("bogus")
+
+    def test_range_facets_parsed_in_base_value_space(self):
+        quantity = restrict(
+            builtin_type("positiveInteger"), None, max_exclusive="100"
+        )
+        assert quantity.parse("99") == 99
+        with pytest.raises(SimpleTypeError):
+            quantity.parse("100")
+
+    def test_enumeration_facet(self):
+        align = restrict(
+            builtin_type("string"), "Align",
+            enumeration=("left", "center", "right"),
+        )
+        assert align.parse("left") == "left"
+        with pytest.raises(SimpleTypeError):
+            align.parse("justify")
+
+    def test_length_facets(self):
+        short = restrict(builtin_type("string"), None, min_length=2, max_length=4)
+        assert short.parse("abc") == "abc"
+        with pytest.raises(SimpleTypeError):
+            short.parse("a")
+        with pytest.raises(SimpleTypeError):
+            short.parse("abcde")
+
+    def test_digits_facets(self):
+        price = restrict(
+            builtin_type("decimal"), None, total_digits=5, fraction_digits=2
+        )
+        assert price.parse("148.95") == decimal.Decimal("148.95")
+        with pytest.raises(SimpleTypeError):
+            price.parse("1.955")
+        with pytest.raises(SimpleTypeError):
+            price.parse("123456")
+
+    def test_stacked_restrictions_all_apply(self):
+        base = restrict(builtin_type("integer"), None, min_inclusive="0")
+        derived = restrict(base, None, max_inclusive="10")
+        assert derived.parse("5") == 5
+        with pytest.raises(SimpleTypeError):
+            derived.parse("-1")  # inherited bound
+        with pytest.raises(SimpleTypeError):
+            derived.parse("11")  # own bound
+
+    def test_patterns_across_steps_conjoin(self):
+        step1 = restrict(builtin_type("string"), None, patterns=(r"[ab]+",))
+        step2 = restrict(step1, None, patterns=(r".{2}",))
+        assert step2.parse("ab") == "ab"
+        with pytest.raises(SimpleTypeError):
+            step2.parse("abc")  # fails step2 pattern
+        with pytest.raises(SimpleTypeError):
+            step2.parse("xy")  # fails step1 pattern
+
+    def test_fixed_facet_cannot_change(self):
+        base = restrict(
+            builtin_type("integer"), None,
+            fraction_digits=0,
+        )
+        # fractionDigits is fixed on xsd:integer itself.
+        with pytest.raises(SchemaError):
+            restrict(builtin_type("integer"), None, fraction_digits=2)
+
+    def test_inconsistent_facets_rejected(self):
+        with pytest.raises(SchemaError):
+            restrict(builtin_type("string"), None, min_length=5, max_length=2)
+        with pytest.raises(SchemaError):
+            restrict(
+                builtin_type("integer"), None,
+                min_inclusive="5", max_inclusive="2",
+            )
+
+    def test_whitespace_cannot_weaken(self):
+        with pytest.raises(SchemaError):
+            restrict(builtin_type("token"), None, white_space="preserve")
+
+    def test_range_facets_rejected_on_strings(self):
+        with pytest.raises(SchemaError, match="not applicable"):
+            restrict(builtin_type("string"), None, max_inclusive="z")
+
+    def test_length_facets_rejected_on_numbers(self):
+        with pytest.raises(SchemaError, match="not applicable"):
+            restrict(builtin_type("integer"), None, max_length=3)
+
+    def test_digit_facets_rejected_on_floats(self):
+        with pytest.raises(SchemaError, match="decimal-derived"):
+            restrict(builtin_type("float"), None, total_digits=4)
+
+    def test_range_facets_allowed_on_dates(self):
+        recent = restrict(
+            builtin_type("date"), None, min_inclusive="2000-01-01"
+        )
+        assert recent.is_valid("2020-06-15")
+        assert not recent.is_valid("1999-12-31")
+
+    def test_length_facets_allowed_on_binary(self):
+        digest = restrict(builtin_type("hexBinary"), None, length=2)
+        assert digest.is_valid("0aFF")
+        assert not digest.is_valid("0a")
+
+    def test_range_facets_rejected_on_lists(self):
+        with pytest.raises(SchemaError, match="list type"):
+            restrict(
+                list_of(builtin_type("integer")), None, max_inclusive="9"
+            )
+
+
+class TestListTypes:
+    def test_list_parses_items(self):
+        dates = list_of(builtin_type("date"))
+        parsed = dates.parse("1999-05-21  2000-01-01")
+        assert len(parsed) == 2
+
+    def test_list_item_errors_propagate(self):
+        dates = list_of(builtin_type("date"))
+        with pytest.raises(SimpleTypeError):
+            dates.parse("1999-05-21 yesterday")
+
+    def test_list_length_facets_count_items(self):
+        pair = restrict(list_of(builtin_type("integer")), None, length=2)
+        assert pair.parse("1 2") == (1, 2)
+        with pytest.raises(SimpleTypeError):
+            pair.parse("1 2 3")
+
+    def test_list_of_list_rejected(self):
+        with pytest.raises(SchemaError):
+            list_of(list_of(builtin_type("integer")))
+
+
+class TestUnionTypes:
+    def test_first_matching_member_wins(self):
+        union = union_of((builtin_type("integer"), builtin_type("NCName")))
+        assert union.parse("42") == 42
+        assert union.parse("abc") == "abc"
+
+    def test_no_member_matches(self):
+        union = union_of((builtin_type("integer"), builtin_type("boolean")))
+        with pytest.raises(SimpleTypeError) as info:
+            union.parse("maybe")
+        assert "matches no member" in str(info.value)
+
+    def test_union_restriction_limited_to_pattern_enum(self):
+        union = union_of((builtin_type("integer"), builtin_type("NCName")))
+        with pytest.raises(SchemaError):
+            restrict(union, None, min_inclusive="0")
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(SchemaError):
+            union_of(())

@@ -1,0 +1,78 @@
+"""Unique Particle Attribution checking."""
+
+import pytest
+
+from repro.xsd import parse_schema
+from repro.schemas import PURCHASE_ORDER_SCHEMA, WML_SCHEMA, XHTML_SUBSET_SCHEMA
+
+_WRAP = '<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">{}</xsd:schema>'
+
+
+class TestUpaCheck:
+    def test_bundled_schemas_are_deterministic(self):
+        for text in (PURCHASE_ORDER_SCHEMA, WML_SCHEMA, XHTML_SUBSET_SCHEMA):
+            schema = parse_schema(text)
+            assert schema.check_unique_particle_attribution() == []
+
+    def test_classic_upa_violation_detected(self):
+        # (a?, a) — after reading 'a' two particles compete.
+        schema = parse_schema(
+            _WRAP.format(
+                '<xsd:complexType name="T"><xsd:sequence>'
+                '<xsd:element name="a" type="xsd:string" minOccurs="0"/>'
+                '<xsd:element name="a" type="xsd:string"/>'
+                "</xsd:sequence></xsd:complexType>"
+            )
+        )
+        violations = schema.check_unique_particle_attribution()
+        assert len(violations) == 1
+        assert "Unique Particle Attribution" in str(violations[0])
+        assert "'T'" in str(violations[0])
+
+    def test_ambiguous_choice_detected(self):
+        # (a, b?) | (a, c): 'a' is matched by two particles.
+        schema = parse_schema(
+            _WRAP.format(
+                '<xsd:complexType name="T"><xsd:choice>'
+                "<xsd:sequence>"
+                '<xsd:element name="a" type="xsd:string"/>'
+                '<xsd:element name="b" type="xsd:string" minOccurs="0"/>'
+                "</xsd:sequence>"
+                "<xsd:sequence>"
+                '<xsd:element name="a" type="xsd:string"/>'
+                '<xsd:element name="c" type="xsd:string"/>'
+                "</xsd:sequence>"
+                "</xsd:choice></xsd:complexType>"
+            )
+        )
+        assert schema.check_unique_particle_attribution()
+
+    def test_ambiguous_schema_still_validates_correctly(self):
+        """The validator tolerates UPA violations (subset construction)."""
+        from repro.dom import parse_document
+        from repro.xsd import validate
+
+        schema = parse_schema(
+            _WRAP.format(
+                '<xsd:element name="r" type="T"/>'
+                '<xsd:complexType name="T"><xsd:sequence>'
+                '<xsd:element name="a" type="xsd:string" minOccurs="0"/>'
+                '<xsd:element name="a" type="xsd:string"/>'
+                "</xsd:sequence></xsd:complexType>"
+            )
+        )
+        assert validate(parse_document("<r><a>1</a></r>"), schema) == []
+        assert validate(parse_document("<r><a>1</a><a>2</a></r>"), schema) == []
+        assert validate(parse_document("<r/>"), schema)
+
+    def test_repetition_boundary_ambiguity(self):
+        # a{1,2} followed by a? is ambiguous at the second 'a'.
+        schema = parse_schema(
+            _WRAP.format(
+                '<xsd:complexType name="T"><xsd:sequence>'
+                '<xsd:element name="a" type="xsd:string" maxOccurs="2"/>'
+                '<xsd:element name="a" type="xsd:string" minOccurs="0"/>'
+                "</xsd:sequence></xsd:complexType>"
+            )
+        )
+        assert schema.check_unique_particle_attribution()

@@ -1,0 +1,163 @@
+"""Runtime schema validation — the paper's generic-DOM baseline path."""
+
+import pytest
+
+from repro.dom import parse_document
+from repro.xsd import SchemaValidator, parse_schema, validate
+from repro.schemas import (
+    PURCHASE_ORDER_DOCUMENT,
+    PURCHASE_ORDER_INVALID_DOCUMENTS,
+    PURCHASE_ORDER_SCHEMA,
+    WML_DIRECTORY_DOCUMENT,
+    WML_SCHEMA,
+)
+from repro.schemas.variants import (
+    ABSTRACT_HEAD_SCHEMA,
+    ADDRESS_EXTENSION_SCHEMA,
+    SUBSTITUTION_GROUP_SCHEMA,
+)
+
+
+@pytest.fixture(scope="module")
+def po_validator():
+    return SchemaValidator(parse_schema(PURCHASE_ORDER_SCHEMA))
+
+
+class TestFig1Document:
+    def test_valid_document_passes(self, po_validator):
+        document = parse_document(PURCHASE_ORDER_DOCUMENT)
+        assert po_validator.validate(document) == []
+        assert po_validator.is_valid(document)
+
+    @pytest.mark.parametrize("name", sorted(PURCHASE_ORDER_INVALID_DOCUMENTS))
+    def test_every_mutation_detected(self, po_validator, name):
+        """CLAIM-1 core: all ten schema-violating edits are caught."""
+        document = parse_document(PURCHASE_ORDER_INVALID_DOCUMENTS[name])
+        assert po_validator.validate(document), f"{name} passed validation"
+
+    def test_assert_valid_raises_first_error(self, po_validator):
+        document = parse_document(
+            PURCHASE_ORDER_INVALID_DOCUMENTS["bad-quantity"]
+        )
+        with pytest.raises(Exception, match="maxExclusive"):
+            po_validator.assert_valid(document)
+
+    def test_errors_carry_paths(self, po_validator):
+        document = parse_document(
+            PURCHASE_ORDER_INVALID_DOCUMENTS["bad-quantity"]
+        )
+        errors = po_validator.validate(document)
+        assert any("item" in (e.path or "") for e in errors)
+
+
+class TestContentChecks:
+    def test_unknown_root_reported(self, po_validator):
+        assert po_validator.validate(parse_document("<unknown/>"))
+
+    def test_wml_document_valid(self):
+        schema = parse_schema(WML_SCHEMA)
+        document = parse_document(WML_DIRECTORY_DOCUMENT)
+        assert validate(document, schema) == []
+
+    def test_mixed_content_allows_text(self):
+        schema = parse_schema(WML_SCHEMA)
+        document = parse_document(
+            "<wml><card><p>hello <b>bold</b> world</p></card></wml>"
+        )
+        assert validate(document, schema) == []
+
+    def test_empty_type_rejects_content(self):
+        schema = parse_schema(WML_SCHEMA)
+        document = parse_document(
+            "<wml><card><p><br>text inside br</br></p></card></wml>"
+        )
+        assert validate(document, schema)
+
+    def test_attribute_enumeration(self):
+        schema = parse_schema(WML_SCHEMA)
+        good = parse_document('<wml><card><p align="left"/></card></wml>')
+        bad = parse_document('<wml><card><p align="diagonal"/></card></wml>')
+        assert validate(good, schema) == []
+        assert validate(bad, schema)
+
+    def test_xmlns_attributes_ignored(self):
+        schema = parse_schema(WML_SCHEMA)
+        document = parse_document('<wml xmlns="http://example"><card/></wml>')
+        assert validate(document, schema) == []
+
+
+class TestSubstitutionGroups:
+    @pytest.fixture(scope="class")
+    def schema(self):
+        return parse_schema(SUBSTITUTION_GROUP_SCHEMA)
+
+    def test_members_substitute_for_head(self, schema):
+        document = parse_document(
+            "<notes><shipComment>a</shipComment>"
+            "<comment>b</comment>"
+            "<customerComment>c</customerComment></notes>"
+        )
+        assert validate(document, schema) == []
+
+    def test_non_member_rejected(self, schema):
+        document = parse_document("<notes><other>x</other></notes>")
+        assert validate(document, schema)
+
+    def test_abstract_head_cannot_appear(self):
+        schema = parse_schema(ABSTRACT_HEAD_SCHEMA)
+        direct = parse_document("<notes><comment>x</comment></notes>")
+        member = parse_document("<notes><shipComment>x</shipComment></notes>")
+        assert validate(direct, schema)
+        assert validate(member, schema) == []
+
+
+class TestTypeDerivation:
+    def test_extension_instance_needs_all_parts(self):
+        schema = parse_schema(ADDRESS_EXTENSION_SCHEMA)
+        valid = parse_document(
+            "<addressBook><entry><name>n</name><street>s</street>"
+            "<city>c</city></entry></addressBook>"
+        )
+        assert validate(valid, schema) == []
+        # An entry is declared as Address (3 children), not USAddress.
+        too_many = parse_document(
+            "<addressBook><entry><name>n</name><street>s</street>"
+            "<city>c</city><state>st</state><zip>1</zip></entry></addressBook>"
+        )
+        assert validate(too_many, schema)
+
+
+class TestSimpleContentAndFixed:
+    SCHEMA = """\
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="price" type="Price"/>
+  <xsd:complexType name="Price">
+    <xsd:simpleContent>
+      <xsd:extension base="xsd:decimal">
+        <xsd:attribute name="currency" type="xsd:string" use="required"/>
+      </xsd:extension>
+    </xsd:simpleContent>
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+    def test_simple_content_value_checked(self):
+        schema = parse_schema(self.SCHEMA)
+        good = parse_document('<price currency="USD">14.99</price>')
+        bad = parse_document('<price currency="USD">cheap</price>')
+        assert validate(good, schema) == []
+        assert validate(bad, schema)
+
+    def test_required_attribute_on_simple_content(self):
+        schema = parse_schema(self.SCHEMA)
+        missing = parse_document("<price>14.99</price>")
+        assert validate(missing, schema)
+
+    def test_element_fixed_value(self):
+        schema = parse_schema(
+            '<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">'
+            '<xsd:element name="version" type="xsd:string" fixed="1.0"/>'
+            "</xsd:schema>"
+        )
+        assert validate(parse_document("<version>1.0</version>"), schema) == []
+        assert validate(parse_document("<version>2.0</version>"), schema)

@@ -1,0 +1,178 @@
+"""Primitive value-space parsing."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro.errors import SimpleTypeError
+from repro.xsd import values
+
+
+class TestBoolean:
+    @pytest.mark.parametrize(
+        "literal,expected",
+        [("true", True), ("1", True), ("false", False), ("0", False)],
+    )
+    def test_valid(self, literal, expected):
+        assert values.parse_boolean(literal) is expected
+
+    @pytest.mark.parametrize("literal", ["TRUE", "yes", "", "01"])
+    def test_invalid(self, literal):
+        with pytest.raises(SimpleTypeError):
+            values.parse_boolean(literal)
+
+
+class TestDecimal:
+    def test_forms(self):
+        assert values.parse_decimal("148.95") == decimal.Decimal("148.95")
+        assert values.parse_decimal("-.5") == decimal.Decimal("-0.5")
+        assert values.parse_decimal("+3.") == decimal.Decimal("3")
+        assert values.parse_decimal("0") == 0
+
+    @pytest.mark.parametrize("literal", ["1e3", "abc", "", ".", "1..2"])
+    def test_invalid(self, literal):
+        with pytest.raises(SimpleTypeError):
+            values.parse_decimal(literal)
+
+
+class TestInteger:
+    def test_valid(self):
+        assert values.parse_integer("-42") == -42
+        assert values.parse_integer("+7") == 7
+
+    @pytest.mark.parametrize("literal", ["1.0", "", "abc", "1 2"])
+    def test_invalid(self, literal):
+        with pytest.raises(SimpleTypeError):
+            values.parse_integer(literal)
+
+
+class TestFloat:
+    def test_special_values(self):
+        assert values.parse_float("INF") == float("inf")
+        assert values.parse_float("-INF") == float("-inf")
+        assert values.parse_float("NaN") != values.parse_float("NaN")
+
+    def test_scientific_notation(self):
+        assert values.parse_float("1.5e3") == 1500.0
+
+    def test_invalid(self):
+        with pytest.raises(SimpleTypeError):
+            values.parse_float("inf")
+
+
+class TestTemporal:
+    def test_date(self):
+        assert values.parse_date("1999-05-21") == datetime.date(1999, 5, 21)
+
+    def test_date_with_timezone_suffix(self):
+        assert values.parse_date("1999-05-21Z") == datetime.date(1999, 5, 21)
+
+    @pytest.mark.parametrize(
+        "literal", ["1999-13-01", "1999-02-30", "99-05-21", "tomorrow"]
+    )
+    def test_invalid_dates(self, literal):
+        with pytest.raises(SimpleTypeError):
+            values.parse_date(literal)
+
+    def test_time(self):
+        assert values.parse_time("13:20:00") == datetime.time(13, 20)
+
+    def test_time_with_fraction_and_zone(self):
+        parsed = values.parse_time("13:20:00.5Z")
+        assert parsed.microsecond == 500000
+        assert parsed.tzinfo is not None
+
+    def test_datetime(self):
+        parsed = values.parse_datetime("1999-05-31T13:20:00-05:00")
+        assert parsed.year == 1999
+        assert parsed.utcoffset() == datetime.timedelta(hours=-5)
+
+    def test_invalid_datetime(self):
+        with pytest.raises(SimpleTypeError):
+            values.parse_datetime("1999-05-31 13:20:00")
+
+    def test_bad_zone_offset(self):
+        with pytest.raises(SimpleTypeError):
+            values.parse_time("13:20:00+15:00")
+
+
+class TestDuration:
+    def test_parse_components(self):
+        duration = values.parse_duration("P1Y2M3DT4H5M6S")
+        assert duration.months == 14
+        assert duration.seconds == 3 * 86400 + 4 * 3600 + 5 * 60 + 6
+
+    def test_negative(self):
+        duration = values.parse_duration("-P1M")
+        assert duration.months == -1
+
+    def test_roundtrip_str(self):
+        duration = values.parse_duration("P1Y2M3DT4H5M6S")
+        assert values.parse_duration(str(duration)) == duration
+
+    @pytest.mark.parametrize("literal", ["P", "PT", "1Y", "", "P-1Y"])
+    def test_invalid(self, literal):
+        with pytest.raises(SimpleTypeError):
+            values.parse_duration(literal)
+
+
+class TestBinary:
+    def test_hex(self):
+        assert values.parse_hex_binary("0fB8") == b"\x0f\xb8"
+
+    def test_hex_odd_length_rejected(self):
+        with pytest.raises(SimpleTypeError):
+            values.parse_hex_binary("0fB")
+
+    def test_base64(self):
+        assert values.parse_base64_binary("aGVsbG8=") == b"hello"
+
+    def test_base64_bad_padding_rejected(self):
+        with pytest.raises(SimpleTypeError):
+            values.parse_base64_binary("aGVsbG8")
+
+
+class TestNames:
+    def test_name_types(self):
+        assert values.parse_name("a:b") == "a:b"
+        assert values.parse_ncname("local") == "local"
+        assert values.parse_nmtoken("123") == "123"
+
+    def test_ncname_rejects_colon(self):
+        with pytest.raises(SimpleTypeError):
+            values.parse_ncname("a:b")
+
+    def test_language(self):
+        assert values.parse_language("en-US") == "en-US"
+        with pytest.raises(SimpleTypeError):
+            values.parse_language("waytoolongsubtag")
+        with pytest.raises(SimpleTypeError):
+            values.parse_language("en_US")
+
+
+class TestGregorian:
+    def test_valid_forms(self):
+        assert values.parse_gregorian("gYear", "1999") == "1999"
+        assert values.parse_gregorian("gYearMonth", "1999-05") == "1999-05"
+        assert values.parse_gregorian("gMonthDay", "--05-21") == "--05-21"
+        assert values.parse_gregorian("gDay", "---21") == "---21"
+        assert values.parse_gregorian("gMonth", "--05") == "--05"
+
+    def test_invalid(self):
+        with pytest.raises(SimpleTypeError):
+            values.parse_gregorian("gYear", "99")
+
+
+class TestCanonicalForms:
+    def test_boolean(self):
+        assert values.canonical_boolean(True) == "true"
+        assert values.canonical_boolean(False) == "false"
+
+    def test_decimal(self):
+        assert values.canonical_decimal(decimal.Decimal("1.50")) == "1.5"
+        assert values.canonical_decimal(decimal.Decimal("3")) == "3.0"
+
+    def test_float_specials(self):
+        assert values.canonical_float(float("inf")) == "INF"
+        assert values.canonical_float(float("nan")) == "NaN"

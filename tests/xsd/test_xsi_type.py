@@ -1,0 +1,79 @@
+"""xsi:type — derived types in instance documents (type extension)."""
+
+import pytest
+
+from repro.dom import parse_document
+from repro.xsd import SchemaValidator, StreamingValidator, parse_schema, validate
+from repro.schemas.variants import ADDRESS_EXTENSION_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(ADDRESS_EXTENSION_SCHEMA)
+
+
+BASE_ENTRY = (
+    "<addressBook><entry>"
+    "<name>n</name><street>s</street><city>c</city>"
+    "</entry></addressBook>"
+)
+
+US_ENTRY = (
+    "<addressBook>"
+    '<entry xsi:type="USAddress" '
+    'xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance">'
+    "<name>n</name><street>s</street><city>c</city>"
+    "<state>CA</state><zip>90952</zip>"
+    "</entry></addressBook>"
+)
+
+
+class TestDomValidator:
+    def test_derived_type_substitutes(self, schema):
+        """A USAddress entry is valid where Address is declared — the
+        paper's 'elements of type USAddress at a location where an
+        element Address is expected'."""
+        assert validate(parse_document(US_ENTRY), schema) == []
+
+    def test_extension_content_without_xsi_type_rejected(self, schema):
+        plain = US_ENTRY.replace(
+            ' xsi:type="USAddress"', ""
+        )
+        assert validate(parse_document(plain), schema)
+
+    def test_unknown_xsi_type(self, schema):
+        document = parse_document(
+            US_ENTRY.replace("USAddress", "MartianAddress")
+        )
+        errors = validate(document, schema)
+        assert any("unknown type" in str(e) for e in errors)
+
+    def test_underived_xsi_type_rejected(self, schema):
+        document = parse_document(
+            US_ENTRY.replace('xsi:type="USAddress"', 'xsi:type="AddressBook"')
+        )
+        errors = validate(document, schema)
+        assert any("not derived" in str(e) for e in errors)
+
+    def test_content_checked_against_override(self, schema):
+        incomplete = US_ENTRY.replace("<zip>90952</zip>", "")
+        errors = validate(parse_document(incomplete), schema)
+        assert errors  # USAddress requires state AND zip
+
+    def test_base_entry_still_fine(self, schema):
+        assert validate(parse_document(BASE_ENTRY), schema) == []
+
+
+class TestStreamingValidator:
+    def test_agreement_with_dom(self, schema):
+        streaming = StreamingValidator(schema)
+        dom = SchemaValidator(schema)
+        for text in (
+            BASE_ENTRY,
+            US_ENTRY,
+            US_ENTRY.replace("USAddress", "Nonsense"),
+            US_ENTRY.replace("<zip>90952</zip>", ""),
+        ):
+            assert bool(streaming.validate_text(text)) == bool(
+                dom.validate(parse_document(text))
+            )
