@@ -7,7 +7,6 @@ exponential on ambiguous models and is linear-with-large-constants even
 on friendly ones.
 """
 
-import pytest
 
 from repro.automata import (
     Alternation,

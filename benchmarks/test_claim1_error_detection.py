@@ -8,10 +8,9 @@ detects it under each approach and prints the paper-style summary table;
 the benchmark measures time-to-detection for each stage.
 """
 
-import pytest
 
 from repro import Template, parse_document, validate
-from repro.errors import PxmlStaticError, VdomTypeError, XmlSyntaxError
+from repro.errors import PxmlStaticError, VdomTypeError
 from repro.schemas import PURCHASE_ORDER_INVALID_DOCUMENTS
 
 from benchmarks.test_claim1_support import (

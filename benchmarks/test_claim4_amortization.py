@@ -8,7 +8,6 @@ and locates the crossover.
 
 import time
 
-import pytest
 
 from repro.dom import parse_document
 from repro.pxml import Template

@@ -28,6 +28,7 @@ reproduction of every figure and claim of the paper.
 """
 
 from repro.errors import (
+    CacheError,
     DtdError,
     DtdValidationError,
     PxmlError,
@@ -58,11 +59,19 @@ from repro.core import (
 from repro.pxml import Template, preprocess_module
 from repro.query import Query, select
 from repro.serverpages import ServerPage, render_page
+from repro.cache import (
+    CacheStats,
+    ReproCache,
+    default_cache,
+    set_default_cache,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Binding",
+    "CacheError",
+    "CacheStats",
     "ChoiceStrategy",
     "DtdError",
     "DtdValidationError",
@@ -71,6 +80,7 @@ __all__ = [
     "PxmlSyntaxError",
     "Query",
     "QueryError",
+    "ReproCache",
     "ReproError",
     "SchemaError",
     "SchemaValidator",
@@ -84,6 +94,7 @@ __all__ = [
     "XmlSyntaxError",
     "__version__",
     "bind",
+    "default_cache",
     "generate_interfaces",
     "generate_python_module",
     "normalize",
@@ -95,6 +106,7 @@ __all__ = [
     "render_page",
     "select",
     "serialize",
+    "set_default_cache",
     "validate",
     "validate_against_dtd",
 ]

@@ -1,0 +1,51 @@
+"""Persistent schema-compilation cache (preparation-time reuse).
+
+The paper splits an XML application's life into *program preparation
+time* — schema compilation, interface generation, template checking —
+and *runtime*.  This package makes the preparation side durable: every
+expensive artifact (parsed + normalized schemas, content-model DFAs,
+the generated interface model, compiled P-XML templates, translated
+server pages) is keyed by a content fingerprint and reused across
+processes, with corruption-tolerant loads that silently degrade to
+recompilation.
+
+Typical use::
+
+    from repro import ReproCache, bind
+
+    cache = ReproCache.persistent()         # $REPRO_CACHE_DIR or .repro-cache
+    binding = bind(SCHEMA_TEXT, cache=cache)
+    print(cache.stats.as_dict())
+"""
+
+from repro.cache.fingerprint import (
+    CACHE_FORMAT_VERSION,
+    combine,
+    environment_tag,
+    fingerprint,
+)
+from repro.cache.manager import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    ReproCache,
+    default_cache,
+    set_default_cache,
+)
+from repro.cache.stats import CacheStats
+from repro.cache.stores import DirectoryStore, MemoryStore, TieredStore
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "DirectoryStore",
+    "MemoryStore",
+    "ReproCache",
+    "TieredStore",
+    "combine",
+    "default_cache",
+    "environment_tag",
+    "fingerprint",
+    "set_default_cache",
+]

@@ -1,0 +1,190 @@
+"""(De)serialization of cached compilation artifacts.
+
+Three artifact families:
+
+* **binding** — one pickle holding the *normalized* schema (with its
+  content-model DFAs prewarmed) together with the generated interface
+  model.  Pickling them as a single object graph preserves every shared
+  reference, so the identity-keyed machinery (``class_by_declaration``,
+  the DFA cache) stays consistent after a load.  The class objects
+  themselves are *not* pickled — ``Binding`` re-materializes them from
+  the model, which is cheap next to parsing and generation.
+* **template** — the P-XML compiler's generated source plus the hole
+  specification reduced to interface keys; rehydrated against the live
+  binding without re-running the static checker.
+* **text** — plain UTF-8 strings (translated server pages, rendered
+  IDL, generated Python modules).
+
+Loads raise :class:`ArtifactError` on *any* problem; callers treat that
+as a cache miss.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import pickletools
+from typing import TYPE_CHECKING, Any
+
+from repro.xsd.components import ComplexType, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.model import InterfaceModel
+    from repro.core.vdom import Binding
+
+
+class ArtifactError(Exception):
+    """A cached artifact could not be decoded; recompile instead."""
+
+
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: modules a binding pickle may legitimately reference — everything else
+#: is refused at load time so a tampered cache file cannot import
+#: arbitrary code through unpickling
+_TRUSTED_MODULES = frozenset(
+    {"builtins", "collections", "datetime", "decimal", "re"}
+)
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str):
+        if module in _TRUSTED_MODULES or module.startswith("repro."):
+            return super().find_class(module, name)
+        raise ArtifactError(
+            f"cache entry references untrusted module '{module}'"
+        )
+
+
+def _loads(payload: bytes) -> Any:
+    try:
+        return _RestrictedUnpickler(io.BytesIO(payload)).load()
+    except ArtifactError:
+        raise
+    except Exception as error:  # truncated, stale classes, anything
+        raise ArtifactError(f"undecodable cache entry: {error}")
+
+
+def prewarm_dfas(schema: Schema, model: "InterfaceModel | None" = None) -> int:
+    """Build every content-model DFA the binding will need.
+
+    Doing this *before* pickling moves the Glushkov/subset construction
+    cost into the cached artifact: a warm start never builds a DFA.
+    Returns the number of automata in the schema's cache afterwards.
+    """
+    for definition in schema.types.values():
+        if isinstance(definition, ComplexType):
+            schema.content_dfa(definition)
+    if model is not None:
+        for interface in model:
+            definition = interface.type_definition
+            if isinstance(definition, ComplexType):
+                schema.content_dfa(definition)
+    return len(schema._dfa_cache)
+
+
+def _dumps(obj: Any) -> bytes:
+    # ``optimize`` strips unused PUT opcodes: dumping pays a little more
+    # (cold path) so every load pays less (warm path).
+    return pickletools.optimize(pickle.dumps(obj, protocol=_PROTOCOL))
+
+
+def dump_binding(schema: Schema, model: "InterfaceModel") -> bytes:
+    prewarm_dfas(schema, model)
+    return _dumps((schema, model))
+
+
+def load_binding(payload: bytes) -> "tuple[Schema, InterfaceModel]":
+    pair = _loads(payload)
+    if (
+        not isinstance(pair, tuple)
+        or len(pair) != 2
+        or not isinstance(pair[0], Schema)
+    ):
+        raise ArtifactError("cache entry is not a (schema, model) pair")
+    return pair
+
+
+def dump_schema(schema: Schema) -> bytes:
+    prewarm_dfas(schema)
+    return _dumps(schema)
+
+
+def load_schema(payload: bytes) -> Schema:
+    schema = _loads(payload)
+    if not isinstance(schema, Schema):
+        raise ArtifactError("cache entry is not a schema")
+    return schema
+
+
+# -- template artifacts ---------------------------------------------------------
+
+
+def dump_template(
+    binding: "Binding",
+    generated_source: str,
+    root_name: str,
+    holes: dict[str, Any],
+) -> bytes:
+    """Reduce a compiled template to binding-independent data.
+
+    Hole specs reference generated classes, which cannot be pickled;
+    they are stored as interface keys and resolved against the live
+    binding on load.
+    """
+    key_by_class = {cls: key for key, cls in binding.classes.items()}
+    hole_table: dict[str, dict[str, Any]] = {}
+    for name, spec in holes.items():
+        try:
+            class_keys = [key_by_class[cls] for cls in spec.classes]
+        except KeyError:
+            raise ArtifactError(
+                f"hole '{name}' references a class outside the binding"
+            )
+        hole_table[name] = {"kind": spec.kind, "classes": class_keys}
+    record = {
+        "kind": "template",
+        "root": root_name,
+        "generated_source": generated_source,
+        "holes": hole_table,
+    }
+    return _dumps(record)
+
+
+def load_template(payload: bytes, binding: "Binding") -> dict[str, Any]:
+    """Rehydrate ``{root, generated_source, holes}`` for *binding*.
+
+    The returned ``holes`` map contains live ``HoleSpec`` objects whose
+    classes come from the *current* binding.
+    """
+    from repro.pxml.checker import HoleSpec
+
+    record = _loads(payload)
+    if not isinstance(record, dict) or record.get("kind") != "template":
+        raise ArtifactError("cache entry is not a compiled template")
+    holes: dict[str, Any] = {}
+    for name, entry in record["holes"].items():
+        try:
+            classes = tuple(binding.classes[key] for key in entry["classes"])
+        except KeyError as error:
+            raise ArtifactError(f"stale template artifact: {error}")
+        holes[name] = HoleSpec(name=name, kind=entry["kind"], classes=classes)
+    return {
+        "root": record["root"],
+        "generated_source": record["generated_source"],
+        "holes": holes,
+    }
+
+
+# -- text artifacts -----------------------------------------------------------
+
+
+def dump_text(text: str) -> bytes:
+    return text.encode("utf-8")
+
+
+def load_text(payload: bytes) -> str:
+    try:
+        return payload.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ArtifactError(f"undecodable text artifact: {error}")

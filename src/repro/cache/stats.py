@@ -1,0 +1,70 @@
+"""Cache observability: hit/miss/evict/invalidation counters.
+
+The benchmarks (``benchmarks/test_cache_amortization.py``) and the
+``vdom-generate cache stats`` subcommand read these; nothing in the hot
+path does more than increment an integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Mutable counter block shared by every layer of one cache."""
+
+    #: artifact served from the cache (any tier)
+    hits: int = 0
+    #: artifact absent — compiled from scratch
+    misses: int = 0
+    #: artifact written to the store after a miss
+    stores: int = 0
+    #: entries dropped by the in-memory LRU to respect its capacity
+    evictions: int = 0
+    #: entries explicitly removed (``invalidate``/``clear``) or replaced
+    #: because their fingerprint no longer matched the source
+    invalidations: int = 0
+    #: on-disk entries rejected as corrupt/truncated/stale-format; every
+    #: one degrades to a recompile, it never surfaces as an error
+    corrupt_entries: int = 0
+    #: per-artifact-kind hit/miss split, e.g. ``{"binding": [3, 1]}``
+    by_kind: dict[str, list[int]] = field(default_factory=dict)
+
+    def record_hit(self, kind: str) -> None:
+        self.hits += 1
+        self.by_kind.setdefault(kind, [0, 0])[0] += 1
+
+    def record_miss(self, kind: str) -> None:
+        self.misses += 1
+        self.by_kind.setdefault(kind, [0, 0])[1] += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (benchmark output, CLI ``cache stats``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "corrupt_entries": self.corrupt_entries,
+            "hit_rate": round(self.hit_rate, 4),
+            "by_kind": {
+                kind: {"hits": pair[0], "misses": pair[1]}
+                for kind, pair in sorted(self.by_kind.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.corrupt_entries = 0
+        self.by_kind.clear()

@@ -1,0 +1,190 @@
+"""Artifact stores: in-memory LRU, on-disk directory, and their stack.
+
+The disk format is deliberately paranoid: every entry is
+``magic || sha256(payload) || payload`` written to a temp file in the
+same directory and published with :func:`os.replace`, so concurrent
+readers only ever observe either no entry or a complete one.  Loads
+verify the digest and treat *any* irregularity — short file, bad magic,
+wrong digest, I/O error — as a miss, never as an exception: a damaged
+cache degrades to recompilation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import CacheError
+from repro.cache.stats import CacheStats
+
+_MAGIC = b"RPRC\x01"
+_DIGEST_SIZE = hashlib.sha256().digest_size
+
+
+class MemoryStore:
+    """Bounded LRU over raw payload bytes; thread-safe."""
+
+    def __init__(self, max_entries: int = 128, stats: CacheStats | None = None):
+        if max_entries < 1:
+            raise CacheError("MemoryStore needs room for at least one entry")
+        self.max_entries = max_entries
+        self.stats = stats if stats is not None else CacheStats()
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> bytes | None:
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+            return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> int:
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            return count
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class DirectoryStore:
+    """Content-addressed files under one root; atomic, corruption-tolerant.
+
+    Layout: ``<root>/<key[:2]>/<key>.bin`` — the two-character fan-out
+    keeps directories small when thousands of schemas are cached.
+    """
+
+    def __init__(self, root: str | os.PathLike, stats: CacheStats | None = None):
+        self.root = Path(root)
+        self._root_str = os.fspath(root)
+        self.stats = stats if stats is not None else CacheStats()
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise CacheError(
+                f"cache directory {self.root} cannot be created: {error}"
+            )
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def _path(self, key: str) -> str:
+        # Plain string joins: this runs on every lookup, and pathlib
+        # object construction is measurable next to a ~1 ms warm start.
+        return os.path.join(self._root_str, key[:2], f"{key}.bin")
+
+    def get(self, key: str) -> bytes | None:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return None
+        if (
+            len(raw) >= len(_MAGIC) + _DIGEST_SIZE
+            and raw.startswith(_MAGIC)
+        ):
+            digest = raw[len(_MAGIC) : len(_MAGIC) + _DIGEST_SIZE]
+            payload = raw[len(_MAGIC) + _DIGEST_SIZE :]
+            if hashlib.sha256(payload).digest() == digest:
+                return payload
+        # Truncated, foreign, or bit-rotted entry: drop it and recompile.
+        self.stats.corrupt_entries += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+
+    def put(self, key: str, payload: bytes) -> None:
+        path = self._path(key)
+        parent = os.path.dirname(path)
+        try:
+            os.makedirs(parent, exist_ok=True)
+            with self._lock:
+                self._counter += 1
+                serial = self._counter
+            temp = os.path.join(
+                parent,
+                f".{os.path.basename(path)}.{os.getpid()}.{serial}.tmp",
+            )
+            blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+            with open(temp, "wb") as handle:
+                handle.write(blob)
+            os.replace(temp, path)
+        except OSError:
+            # A read-only or full disk must not take the pipeline down;
+            # the artifact is simply recomputed next time.
+            try:
+                os.unlink(temp)
+            except (OSError, UnboundLocalError):
+                pass
+
+    def delete(self, key: str) -> bool:
+        try:
+            os.unlink(self._path(key))
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        count = 0
+        for path in self.root.glob("*/*.bin"):
+            try:
+                path.unlink()
+                count += 1
+            except OSError:
+                pass
+        return count
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.bin"))
+
+
+class TieredStore:
+    """Memory in front of disk; disk hits are promoted to memory."""
+
+    def __init__(self, memory: MemoryStore, disk: DirectoryStore):
+        self.memory = memory
+        self.disk = disk
+
+    def get(self, key: str) -> bytes | None:
+        payload = self.memory.get(key)
+        if payload is not None:
+            return payload
+        payload = self.disk.get(key)
+        if payload is not None:
+            self.memory.put(key, payload)
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        self.memory.put(key, payload)
+        self.disk.put(key, payload)
+
+    def delete(self, key: str) -> bool:
+        in_memory = self.memory.delete(key)
+        on_disk = self.disk.delete(key)
+        return in_memory or on_disk
+
+    def clear(self) -> int:
+        self.memory.clear()
+        return self.disk.clear()
+
+    def __len__(self) -> int:
+        return len(self.disk)

@@ -6,20 +6,28 @@ Subcommands mirror the paper's tooling:
 * ``python <schema.xsd>``     — print the generated Python binding module,
 * ``validate <schema> <doc>`` — runtime-validate a document (the baseline),
 * ``preprocess <schema> <m>`` — run the P-XML preprocessor on a module
-  (Fig. 9), printing the rewritten source.
+  (Fig. 9), printing the rewritten source,
+* ``cache stats|clear``       — inspect or empty the compilation cache.
+
+Schema compilation is cached persistently: ``--cache-dir`` (or the
+``REPRO_CACHE_DIR`` environment variable) names the directory, which
+defaults to ``.repro-cache``; ``--no-cache`` disables the cache for one
+invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.errors import ReproError
 from repro.dom import parse_document
-from repro.xsd import SchemaValidator, parse_schema
+from repro.xsd import SchemaValidator
 from repro.core import bind, generate_interfaces, normalize, render_idl
 from repro.core.generate import ChoiceStrategy
 from repro.core.pygen import generate_python_module
+from repro.cache import ReproCache
 from repro.pxml import preprocess_module
 
 
@@ -32,6 +40,17 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="vdom-generate",
         description="V-DOM / P-XML tooling (Kempa & Linnemann, EDBT 2002)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="compilation cache directory (default: $REPRO_CACHE_DIR "
+        "or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compile from scratch, ignoring any cache",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -60,6 +79,11 @@ def main(argv: list[str] | None = None) -> int:
     preprocess_command.add_argument("schema")
     preprocess_command.add_argument("module")
 
+    cache_command = commands.add_parser(
+        "cache", help="inspect or clear the compilation cache"
+    )
+    cache_command.add_argument("action", choices=["stats", "clear"])
+
     arguments = parser.parse_args(argv)
     try:
         return _dispatch(arguments)
@@ -68,21 +92,47 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
 
+def _make_cache(arguments: argparse.Namespace) -> ReproCache | None:
+    if arguments.no_cache:
+        return None
+    from repro.errors import CacheError
+
+    try:
+        return ReproCache.persistent(arguments.cache_dir)
+    except CacheError:
+        # Unwritable directory: still run, just without persistence.
+        return ReproCache()
+
+
 def _dispatch(arguments: argparse.Namespace) -> int:
+    cache = _make_cache(arguments)
     if arguments.command == "idl":
-        schema = parse_schema(_read(arguments.schema))
-        normalize(schema)
         strategy = (
             ChoiceStrategy.UNION if arguments.unions
             else ChoiceStrategy.INHERITANCE
         )
-        print(render_idl(generate_interfaces(schema, strategy)), end="")
+        text = _read(arguments.schema)
+        if cache is not None:
+            binding = cache.bind(text, choice_strategy=strategy)
+            print(render_idl(binding.model), end="")
+        else:
+            from repro.xsd import parse_schema
+
+            schema = parse_schema(text)
+            normalize(schema)
+            print(render_idl(generate_interfaces(schema, strategy)), end="")
         return 0
     if arguments.command == "python":
         print(generate_python_module(_read(arguments.schema)), end="")
         return 0
     if arguments.command == "validate":
-        schema = parse_schema(_read(arguments.schema))
+        text = _read(arguments.schema)
+        if cache is not None:
+            schema = cache.schema(text)
+        else:
+            from repro.xsd import parse_schema
+
+            schema = parse_schema(text)
         document = parse_document(_read(arguments.document))
         errors = SchemaValidator(schema).validate(document)
         for error in errors:
@@ -90,13 +140,26 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         print(f"{len(errors)} error(s)")
         return 0 if not errors else 1
     if arguments.command == "preprocess":
-        binding = bind(_read(arguments.schema))
+        binding = bind(_read(arguments.schema), cache=cache)
         result = preprocess_module(_read(arguments.module), binding)
         print(result.source, end="")
         print(
             f"# {result.replaced} constructor(s) replaced",
             file=sys.stderr,
         )
+        return 0
+    if arguments.command == "cache":
+        store_cache = cache if cache is not None else ReproCache.persistent(
+            arguments.cache_dir
+        )
+        if arguments.action == "clear":
+            removed = store_cache.clear()
+            print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+            return 0
+        report = dict(store_cache.stats.as_dict())
+        report["directory"] = store_cache.directory
+        report["entries"] = len(store_cache)
+        print(json.dumps(report, indent=2, sort_keys=True))
         return 0
     raise AssertionError(f"unknown command {arguments.command}")
 

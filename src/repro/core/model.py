@@ -79,6 +79,11 @@ class Field:
     #: runtime hook (not rendered): the simple type of attribute /
     #: simple-content fields, for typed value access
     simple_type: object | None = None
+    #: runtime hook (not rendered): memoized set of element names this
+    #: field can match — filled by the first Binding built over this
+    #: model, and carried inside cached artifacts so warm starts skip
+    #: the substitution-group scans
+    resolved_names: frozenset[str] | None = None
     doc: str = ""
 
 

@@ -26,7 +26,6 @@ from repro.xsd.components import (
     GroupDefinition,
     GroupReference,
     ModelGroup,
-    Particle,
     Schema,
 )
 from repro.xsd.simple import SimpleType

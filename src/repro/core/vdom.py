@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import datetime
 import decimal
+import functools
 import keyword
 import re
 from typing import Any
@@ -60,6 +61,7 @@ from repro.core.model import (
 )
 
 
+@functools.lru_cache(maxsize=4096)
 def snake_case(name: str) -> str:
     """``purchaseOrder`` → ``purchase_order``; ``USPrice`` → ``us_price``."""
     step1 = re.sub(r"(.)([A-Z][a-z]+)", r"\1_\2", name)
@@ -70,6 +72,7 @@ def snake_case(name: str) -> str:
     return result
 
 
+@functools.lru_cache(maxsize=4096)
 def class_case(name: str) -> str:
     """``purchaseOrderElement`` → ``PurchaseOrderElement``."""
     cleaned = re.sub(r"[^0-9a-zA-Z]+", " ", name)
@@ -522,6 +525,12 @@ class Factory:
 class Binding:
     """Everything generated for one schema."""
 
+    #: content fingerprint of the schema source this binding came from,
+    #: stamped by :meth:`repro.cache.ReproCache.bind`; downstream caches
+    #: (P-XML templates) chain their keys off it.  ``None`` when the
+    #: binding was built without a cache.
+    cache_fingerprint: str | None = None
+
     def __init__(
         self,
         schema: Schema,
@@ -665,7 +674,17 @@ class Binding:
         return fields
 
     def _names_for_field(self, field: Field) -> frozenset[str]:
-        """The element names a child field can match in the tree."""
+        """The element names a child field can match in the tree.
+
+        Memoized on the field itself: the result depends only on the
+        schema + model the field belongs to, so cached artifacts carry
+        it and warm starts skip the substitution-group scans.
+        """
+        if field.resolved_names is None:
+            field.resolved_names = self._compute_names_for_field(field)
+        return field.resolved_names
+
+    def _compute_names_for_field(self, field: Field) -> frozenset[str]:
         if field.target_key is None:
             return frozenset({field.xml_name or field.name})
         target = self.model[field.target_key]
@@ -899,12 +918,22 @@ def bind(
     naming: NamingScheme | None = None,
     choice_strategy: ChoiceStrategy = ChoiceStrategy.INHERITANCE,
     validate_on_mutate: bool = True,
+    cache: Any = None,
 ) -> Binding:
     """Generate a live binding for a schema (text or parsed).
 
     This is the whole Fig. 9 front half in one call: parse → normalize →
-    generate interfaces → materialize classes.
+    generate interfaces → materialize classes.  With a
+    :class:`repro.cache.ReproCache` (schema text only), the prepared
+    schema and interface model are reused across calls and processes.
     """
+    if cache is not None and isinstance(schema_or_text, str):
+        return cache.bind(
+            schema_or_text,
+            naming=naming,
+            choice_strategy=choice_strategy,
+            validate_on_mutate=validate_on_mutate,
+        )
     if isinstance(schema_or_text, str):
         schema = parse_schema(schema_or_text)
     else:

@@ -19,7 +19,6 @@ from __future__ import annotations
 from repro.errors import GenerationError
 from repro.automata.rex import UNBOUNDED
 from repro.xsd.components import (
-    ANY_TYPE,
     AttributeDeclaration,
     AttributeUse,
     ComplexType,

@@ -8,7 +8,7 @@ prescribes for the internal subset.
 
 from __future__ import annotations
 
-from repro.errors import DtdError, Location, XmlSyntaxError
+from repro.errors import DtdError, XmlSyntaxError
 from repro.xml.reader import Reader
 from repro.dtd.model import (
     AttDefault,

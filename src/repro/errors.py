@@ -156,3 +156,12 @@ class ServerPageError(LocatedError):
 
 class QueryError(LocatedError):
     """Errors from the typed query extension (paper Sect. 8)."""
+
+
+class CacheError(ReproError):
+    """Misconfiguration of the compilation cache.
+
+    Degraded cache *content* (corrupt files, stale formats) never raises —
+    it falls back to recompilation; only programmer errors (unwritable
+    store roots, bad parameters) surface as :class:`CacheError`.
+    """

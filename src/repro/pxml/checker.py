@@ -28,12 +28,7 @@ from repro.errors import PxmlStaticError, SimpleTypeError
 from repro.xsd.components import ANY_TYPE, ComplexType, ContentType, ElementDeclaration
 from repro.xsd.simple import SimpleType
 from repro.core.vdom import Binding, TypedElement, VdomGroup
-from repro.pxml.ast import (
-    Hole,
-    TemplateAttribute,
-    TemplateElement,
-    TemplateText,
-)
+from repro.pxml.ast import Hole, TemplateElement, TemplateText
 from repro.pxml.parser import parse_template
 
 

@@ -12,7 +12,7 @@ Comments are dropped (they are developer notes in templates).
 
 from __future__ import annotations
 
-from repro.errors import Location, PxmlSyntaxError, XmlSyntaxError
+from repro.errors import PxmlSyntaxError, XmlSyntaxError
 from repro.xml.chars import is_xml_char
 from repro.xml.entities import resolve_reference
 from repro.xml.reader import Reader
@@ -21,7 +21,6 @@ from repro.pxml.ast import (
     Hole,
     TemplateAttribute,
     TemplateElement,
-    TemplateNode,
     TemplateText,
 )
 

@@ -26,6 +26,14 @@ class Template:
 
     Checking happens in ``__init__`` — the paper's "compile time".  A
     ``Template`` that exists can only render schema-valid fragments.
+
+    With a :class:`repro.cache.ReproCache` (and a binding produced by a
+    cached :func:`repro.bind`), the checked + compiled form is reused
+    across processes: a warm start skips parsing, the static check, and
+    code generation, going straight to the generated render function.
+    The guarantee is preserved — the cached artifact exists only because
+    the checker accepted exactly this source against exactly this
+    schema, and both are part of the cache key.
     """
 
     def __init__(
@@ -34,26 +42,106 @@ class Template:
         source: str,
         param_types: dict[str, Any] | None = None,
         compiled: bool = True,
+        cache: Any = None,
     ):
         self.binding = binding
         self.source = source
-        self.ast = parse_template(source)
-        self.checked: CheckedTemplate = check_template(
-            binding, self.ast, param_types
-        )
+        self.checked: CheckedTemplate | None = None
         self._render: Callable[..., TypedElement] | None = None
         self.generated_source: str | None = None
+        self._hole_names: list[str] = []
+        self._root_name: str | None = None
+        cache_key = self._cache_key(cache, source, param_types, compiled)
+        if cache_key is not None and self._load_cached(cache, cache_key):
+            return
+        self.ast = parse_template(source)
+        self._root_name = self.ast.name
+        self.checked = check_template(binding, self.ast, param_types)
+        self._hole_names = self.checked.hole_names()
         if compiled:
             self.generated_source, self._render = compile_template(self.checked)
+        if cache_key is not None and compiled:
+            self._store_cached(cache, cache_key)
+
+    # -- cache plumbing ---------------------------------------------------------
+
+    def _cache_key(
+        self,
+        cache: Any,
+        source: str,
+        param_types: dict[str, Any] | None,
+        compiled: bool,
+    ) -> str | None:
+        """Chained fingerprint, or ``None`` when caching cannot apply."""
+        if cache is None or not compiled:
+            return None
+        base = self.binding.cache_fingerprint
+        if base is None:
+            # An unfingerprinted binding gives no stable schema identity
+            # to key on; skip caching rather than risk a wrong reuse.
+            return None
+        from repro.cache.fingerprint import combine
+
+        annotations = (
+            sorted((name, str(value)) for name, value in param_types.items())
+            if param_types
+            else ()
+        )
+        return combine(base, "template", source, param_types=annotations)
+
+    def _load_cached(self, cache: Any, key: str) -> bool:
+        from repro.cache.artifacts import ArtifactError, load_template
+        from repro.core.vdom import lexicalize
+
+        payload = cache.get_bytes("template", key)
+        if payload is None:
+            return False
+        try:
+            record = load_template(payload, self.binding)
+        except ArtifactError:
+            cache.stats.corrupt_entries += 1
+            cache.invalidate(key)
+            return False
+        self.ast = None
+        self._root_name = record["root"]
+        self.generated_source = record["generated_source"]
+        self._hole_names = sorted(record["holes"])
+        namespace: dict[str, Any] = {
+            "_lex": lexicalize,
+            "_hole_specs": record["holes"],
+        }
+        exec(
+            compile(self.generated_source, "<pxml:render>", "exec"), namespace
+        )
+        self._render = namespace["render"]
+        return True
+
+    def _store_cached(self, cache: Any, key: str) -> None:
+        from repro.cache.artifacts import ArtifactError, dump_template
+
+        assert self.checked is not None and self.generated_source is not None
+        try:
+            payload = dump_template(
+                self.binding,
+                self.generated_source,
+                self._root_name or "",
+                self.checked.holes,
+            )
+        except ArtifactError:
+            return
+        cache.put_bytes("template", key, payload)
+
+    # -- public surface ----------------------------------------------------------
 
     @property
     def hole_names(self) -> list[str]:
-        return self.checked.hole_names()
+        return self._hole_names
 
     def render(self, **values: Any) -> TypedElement:
         """Instantiate the template; returns a typed (valid) element."""
         if self._render is not None:
             return self._render(self.binding.factory, **values)
+        assert self.checked is not None
         return render_interpreted(self.checked, **values)
 
     def render_document(self, **values: Any):
@@ -63,7 +151,7 @@ class Template:
     def __repr__(self) -> str:
         mode = "compiled" if self._render is not None else "interpreted"
         return (
-            f"Template(<{self.ast.name}>, holes={self.hole_names}, {mode})"
+            f"Template(<{self._root_name}>, holes={self.hole_names}, {mode})"
         )
 
 

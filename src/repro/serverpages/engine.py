@@ -23,16 +23,40 @@ from repro.errors import ServerPageError
 
 
 class ServerPage:
-    """A compiled server page."""
+    """A compiled server page.
 
-    def __init__(self, source: str, name: str = "<page>"):
+    With a :class:`repro.cache.ReproCache` the page→Python translation
+    is reused across processes (keyed by the page source); only the
+    final byte-compile runs on a warm start.
+    """
+
+    def __init__(self, source: str, name: str = "<page>", cache: Any = None):
         self.source = source
         self.name = name
-        self._code = self._translate(source)
+        self.translated: str | None = None
+        if cache is not None:
+            from repro.cache.fingerprint import fingerprint
+
+            key = fingerprint("serverpage", source, name=name)
+            self.translated = cache.get_text("serverpage", key)
+            if self.translated is None:
+                self.translated = self._translate_source(source)
+                cache.put_text("serverpage", key, self.translated)
+        else:
+            self.translated = self._translate_source(source)
+        self._code = self._compile(self.translated)
 
     # -- translation ----------------------------------------------------------
 
-    def _translate(self, source: str):
+    def _compile(self, text: str):
+        try:
+            return compile(text, self.name, "exec")
+        except SyntaxError as error:
+            raise ServerPageError(
+                f"server page {self.name} does not compile: {error}"
+            )
+
+    def _translate_source(self, source: str) -> str:
         lines: list[str] = []
         indent = 0
 
@@ -89,13 +113,7 @@ class ServerPage:
                 f"unclosed block in server page {self.name} "
                 f"(missing '<% end %>')"
             )
-        text = "\n".join(lines) or "pass"
-        try:
-            return compile(text, self.name, "exec")
-        except SyntaxError as error:
-            raise ServerPageError(
-                f"server page {self.name} does not compile: {error}"
-            )
+        return "\n".join(lines) or "pass"
 
     @staticmethod
     def _emit_literal(emit, literal: str) -> None:
@@ -113,6 +131,6 @@ class ServerPage:
         return "".join(output)
 
 
-def render_page(source: str, **context: Any) -> str:
-    """One-shot convenience."""
-    return ServerPage(source).render(**context)
+def render_page(source: str, *, page_cache: Any = None, **context: Any) -> str:
+    """One-shot convenience (``page_cache`` reuses the translation)."""
+    return ServerPage(source, cache=page_cache).render(**context)

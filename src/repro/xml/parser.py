@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.errors import Location, XmlSyntaxError
-from repro.xml.chars import is_name, is_xml_char
+from repro.xml.chars import is_xml_char
 from repro.xml.entities import decode_char_reference, resolve_reference
 from repro.xml.events import (
     Characters,

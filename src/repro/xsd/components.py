@@ -244,6 +244,18 @@ class ComplexType:
     def __repr__(self) -> str:
         return f"ComplexType({self.name!r}, {self.content_type.value})"
 
+    def __reduce_ex__(self, protocol):
+        # The ur-type is compared by identity (``definition is ANY_TYPE``)
+        # all over the generator and V-DOM runtime; a cached schema must
+        # rehydrate to the singleton, not a copy.
+        if self is ANY_TYPE:
+            return (_restore_any_type, ())
+        return super().__reduce_ex__(protocol)
+
+
+def _restore_any_type() -> "ComplexType":
+    return ANY_TYPE
+
 
 def _has_elements(particle: Particle) -> bool:
     term = particle.term
@@ -269,7 +281,10 @@ class Schema:
         self.attribute_groups: dict[str, list[AttributeUse]] = {}
         #: head element name -> members (transitively closed at resolution)
         self.substitution_members: dict[str, list[ElementDeclaration]] = {}
-        self._dfa_cache: dict[int, Dfa] = {}
+        #: id(complex_type) -> (complex_type, dfa); the type reference is
+        #: retained so the cache can be re-keyed after unpickling, when
+        #: every object identity (and so every ``id()``) has changed
+        self._dfa_cache: dict[int, tuple[ComplexType, Dfa]] = {}
 
     # -- lookups ---------------------------------------------------------------
 
@@ -385,7 +400,24 @@ class Schema:
             regex: Regex = (
                 self.particle_to_regex(content) if content is not None else Epsilon()
             )
-            self._dfa_cache[cache_key] = build_dfa(
-                regex, key=lambda declaration: declaration.name
+            self._dfa_cache[cache_key] = (
+                complex_type,
+                build_dfa(regex, key=lambda declaration: declaration.name),
             )
-        return self._dfa_cache[cache_key]
+        return self._dfa_cache[cache_key][1]
+
+    # -- pickling (the persistent compilation cache) ------------------------------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        # ``id()`` keys are meaningless in another process; ship the
+        # (type, dfa) pairs and re-key on load.
+        state["_dfa_cache"] = list(self._dfa_cache.values())
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        pairs = state.pop("_dfa_cache")
+        self.__dict__.update(state)
+        self._dfa_cache = {
+            id(complex_type): (complex_type, dfa) for complex_type, dfa in pairs
+        }

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import decimal
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import SchemaError, SimpleTypeError

@@ -67,6 +67,33 @@ class SimpleType:
         label = self.name or "<anonymous>"
         return f"SimpleType({label}, {self.variety.value})"
 
+    # -- pickling (the persistent compilation cache) ---------------------------
+
+    def __reduce_ex__(self, protocol):
+        # Built-in types are process-wide singletons (some with closure
+        # kernels that cannot be pickled); serialize them as a name
+        # lookup so a cached schema rehydrates to the same objects.
+        name = self.name
+        if name is not None and BUILTIN_TYPES.get(name) is self:
+            return (_restore_builtin, (name,))
+        return super().__reduce_ex__(protocol)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        # A derived type usually shares its base's kernel object; that
+        # reference may be an unpicklable closure (the Gregorian
+        # builtins).  Mark it inherited and re-resolve after load.
+        if self.base is not None and state["_kernel"] is self.base._kernel:
+            state["_kernel"] = _INHERITED_KERNEL
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if isinstance(self._kernel, str):  # the inherited-kernel marker
+            self._kernel = (
+                self.base._kernel if self.base is not None else values.parse_string
+            )
+
     def is_derived_from(self, other: SimpleType) -> bool:
         """True when *other* appears on this type's base chain (or is it)."""
         current: SimpleType | None = self
@@ -259,6 +286,13 @@ def union_of(
 # ---------------------------------------------------------------------------
 
 BUILTIN_TYPES: dict[str, SimpleType] = {}
+
+#: pickle placeholder for "same kernel object as the base type"
+_INHERITED_KERNEL = "__kernel-inherited-from-base__"
+
+
+def _restore_builtin(name: str) -> SimpleType:
+    return BUILTIN_TYPES[name]
 
 
 def _register(simple_type: SimpleType) -> SimpleType:

@@ -1,0 +1,100 @@
+"""Fingerprints: stable for identical inputs, different for anything else."""
+
+from repro.cache.fingerprint import (
+    CACHE_FORMAT_VERSION,
+    combine,
+    environment_tag,
+    fingerprint,
+)
+
+SCHEMA_A = "<schema><element name='a'/></schema>"
+SCHEMA_B = "<schema><element name='b'/></schema>"
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert fingerprint("binding", SCHEMA_A) == fingerprint(
+            "binding", SCHEMA_A
+        )
+
+    def test_is_hex_sha256(self):
+        key = fingerprint("binding", SCHEMA_A)
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+    def test_source_edit_changes_key(self):
+        """The invalidation mechanism: a schema edit yields a new key,
+        so the old artifact is simply never looked up again."""
+        assert fingerprint("binding", SCHEMA_A) != fingerprint(
+            "binding", SCHEMA_B
+        )
+
+    def test_single_character_edit_changes_key(self):
+        assert fingerprint("binding", SCHEMA_A) != fingerprint(
+            "binding", SCHEMA_A + " "
+        )
+
+    def test_kind_partitions_key_space(self):
+        assert fingerprint("binding", SCHEMA_A) != fingerprint(
+            "schema", SCHEMA_A
+        )
+
+    def test_options_change_key(self):
+        plain = fingerprint("binding", SCHEMA_A)
+        with_option = fingerprint(
+            "binding", SCHEMA_A, choice_strategy="union"
+        )
+        other_option = fingerprint(
+            "binding", SCHEMA_A, choice_strategy="inheritance"
+        )
+        assert len({plain, with_option, other_option}) == 3
+
+    def test_option_order_is_irrelevant(self):
+        assert fingerprint("t", "s", a="1", b="2") == fingerprint(
+            "t", "s", b="2", a="1"
+        )
+
+
+class TestEnvironmentTag:
+    def test_mentions_format_version(self):
+        assert f"format={CACHE_FORMAT_VERSION}" in environment_tag()
+
+    def test_mentions_interpreter(self):
+        import sys
+
+        tag = environment_tag()
+        assert f"python={sys.version_info.major}.{sys.version_info.minor}" in tag
+
+    def test_format_version_feeds_the_key(self, monkeypatch):
+        # The module is shadowed by the function re-exported from
+        # ``repro.cache``, so patch via sys.modules.
+        import sys
+
+        module = sys.modules["repro.cache.fingerprint"]
+        before = fingerprint("binding", SCHEMA_A)
+        monkeypatch.setattr(
+            module, "CACHE_FORMAT_VERSION", CACHE_FORMAT_VERSION + 1
+        )
+        assert fingerprint("binding", SCHEMA_A) != before
+
+
+class TestCombine:
+    def test_chains_off_base(self):
+        base_a = fingerprint("binding", SCHEMA_A)
+        base_b = fingerprint("binding", SCHEMA_B)
+        template = "<a>$x$</a>"
+        assert combine(base_a, "template", template) != combine(
+            base_b, "template", template
+        )
+
+    def test_same_base_same_source_is_stable(self):
+        base = fingerprint("binding", SCHEMA_A)
+        assert combine(base, "template", "<a/>") == combine(
+            base, "template", "<a/>"
+        )
+
+    def test_differs_from_unchained(self):
+        base = fingerprint("binding", SCHEMA_A)
+        assert combine(base, "template", "<a/>") != fingerprint(
+            "template", "<a/>"
+        )

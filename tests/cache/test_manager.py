@@ -1,0 +1,192 @@
+"""``ReproCache`` end to end: bind, schema, text, stats, degradation."""
+
+import os
+
+import pytest
+
+from repro.cache import ReproCache
+from repro.cache.manager import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
+from repro.errors import CacheError, VdomTypeError
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+
+EDITED_SCHEMA = PURCHASE_ORDER_SCHEMA.replace("comment", "remark")
+
+
+def _exercise(binding):
+    """The binding must enforce the schema regardless of how it loaded."""
+    factory = binding.factory
+    ship_to = factory.create_ship_to(
+        factory.create_name("Alice Smith"),
+        factory.create_street("123 Maple Street"),
+        factory.create_city("Mill Valley"),
+        factory.create_state("CA"),
+        factory.create_zip("90952"),
+        country="US",
+    )
+    assert ship_to.name.content == "Alice Smith"
+    with pytest.raises(VdomTypeError):
+        factory.create_ship_to(factory.create_name("nobody else"))
+    return ship_to
+
+
+class TestBind:
+    def test_cold_bind_works_and_stores(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        binding = cache.bind(PURCHASE_ORDER_SCHEMA)
+        _exercise(binding)
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert len(cache) == 1
+
+    def test_same_process_repeat_returns_same_object(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        first = cache.bind(PURCHASE_ORDER_SCHEMA)
+        second = cache.bind(PURCHASE_ORDER_SCHEMA)
+        assert second is first
+        assert cache.stats.hits == 1
+
+    def test_warm_start_from_disk(self, tmp_path):
+        ReproCache(tmp_path / "cache").bind(PURCHASE_ORDER_SCHEMA)
+        reopened = ReproCache(tmp_path / "cache")
+        binding = reopened.bind(PURCHASE_ORDER_SCHEMA)
+        _exercise(binding)
+        assert reopened.stats.hits == 1
+        assert reopened.stats.misses == 0
+
+    def test_warm_binding_is_fingerprinted(self, tmp_path):
+        cold = ReproCache(tmp_path / "cache").bind(PURCHASE_ORDER_SCHEMA)
+        warm = ReproCache(tmp_path / "cache").bind(PURCHASE_ORDER_SCHEMA)
+        assert cold.cache_fingerprint == warm.cache_fingerprint
+
+    def test_schema_edit_invalidates(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        original = cache.bind(PURCHASE_ORDER_SCHEMA)
+        edited = cache.bind(EDITED_SCHEMA)
+        assert edited is not original
+        assert edited.cache_fingerprint != original.cache_fingerprint
+        assert len(cache) == 2  # both artifacts coexist under their keys
+        assert hasattr(edited.factory, "create_remark")
+        assert hasattr(original.factory, "create_comment")
+
+    def test_options_partition_the_cache(self, tmp_path):
+        from repro.core.generate import ChoiceStrategy
+
+        cache = ReproCache(tmp_path / "cache")
+        inheritance = cache.bind(PURCHASE_ORDER_SCHEMA)
+        union = cache.bind(
+            PURCHASE_ORDER_SCHEMA, choice_strategy=ChoiceStrategy.UNION
+        )
+        assert union is not inheritance
+        assert union.cache_fingerprint != inheritance.cache_fingerprint
+
+    def test_corrupted_entry_recompiles_silently(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        cache.bind(PURCHASE_ORDER_SCHEMA)
+        for path in (tmp_path / "cache").rglob("*.bin"):
+            path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        reopened = ReproCache(tmp_path / "cache")
+        binding = reopened.bind(PURCHASE_ORDER_SCHEMA)  # must not raise
+        _exercise(binding)
+        assert reopened.stats.corrupt_entries >= 1
+
+    def test_valid_container_wrong_pickle_recompiles(self, tmp_path):
+        """A checksummed entry whose *payload* is junk also degrades."""
+        cache = ReproCache(tmp_path / "cache")
+        binding = cache.bind(PURCHASE_ORDER_SCHEMA)
+        key = binding.cache_fingerprint
+        cache.put_bytes("binding", key, b"this is not a pickle")
+        reopened = ReproCache(tmp_path / "cache")
+        _exercise(reopened.bind(PURCHASE_ORDER_SCHEMA))
+        assert reopened.stats.corrupt_entries == 1
+
+    def test_binding_lru_is_bounded(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache", binding_entries=1)
+        first = cache.bind(PURCHASE_ORDER_SCHEMA)
+        cache.bind(EDITED_SCHEMA)  # evicts the live object for `first`
+        again = cache.bind(PURCHASE_ORDER_SCHEMA)
+        assert again is not first  # reloaded from bytes, not the LRU
+        assert cache.stats.evictions >= 1
+
+    def test_memory_only_cache_works(self):
+        cache = ReproCache()
+        _exercise(cache.bind(PURCHASE_ORDER_SCHEMA))
+        assert cache.bind(PURCHASE_ORDER_SCHEMA) is not None
+
+
+class TestSchema:
+    def test_cached_schema_parses_once(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        schema = cache.schema(PURCHASE_ORDER_SCHEMA)
+        assert "purchaseOrder" in schema.elements
+        reopened = ReproCache(tmp_path / "cache")
+        warm = reopened.schema(PURCHASE_ORDER_SCHEMA)
+        assert "purchaseOrder" in warm.elements
+        assert reopened.stats.hits == 1
+
+    def test_warm_schema_validates(self, tmp_path):
+        from repro.dom import parse_document
+        from repro.xsd import SchemaValidator
+
+        ReproCache(tmp_path / "cache").schema(PURCHASE_ORDER_SCHEMA)
+        schema = ReproCache(tmp_path / "cache").schema(PURCHASE_ORDER_SCHEMA)
+        document = parse_document(
+            "<purchaseOrder><badChild/></purchaseOrder>"
+        )
+        assert SchemaValidator(schema).validate(document) != []
+
+
+class TestTextArtifacts:
+    def test_roundtrip(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        cache.put_text("serverpage", "k" * 64, "translated source")
+        assert cache.get_text("serverpage", "k" * 64) == "translated source"
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        assert cache.get_text("serverpage", "k" * 64) is None
+        assert cache.stats.misses == 1
+
+
+class TestHousekeeping:
+    def test_invalidate(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        binding = cache.bind(PURCHASE_ORDER_SCHEMA)
+        assert cache.invalidate(binding.cache_fingerprint) is True
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_clear(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        cache.bind(PURCHASE_ORDER_SCHEMA)
+        cache.bind(EDITED_SCHEMA)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        # Live objects are dropped too: the next bind recompiles.
+        cache.bind(PURCHASE_ORDER_SCHEMA)
+        assert cache.stats.misses == 3
+
+    def test_stats_report(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        cache.bind(PURCHASE_ORDER_SCHEMA)
+        report = cache.stats.as_dict()
+        assert report["misses"] == 1
+        assert report["stores"] == 1
+        assert report["by_kind"]["binding"] == {"hits": 0, "misses": 1}
+
+    def test_persistent_honors_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "from-env"))
+        cache = ReproCache.persistent()
+        assert cache.directory == str(tmp_path / "from-env")
+
+    def test_persistent_default_directory(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        cache = ReproCache.persistent()
+        assert cache.directory == DEFAULT_CACHE_DIR
+        assert os.path.isdir(tmp_path / DEFAULT_CACHE_DIR)
+
+    def test_unwritable_directory_raises(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("in the way")
+        with pytest.raises(CacheError):
+            ReproCache(blocker / "cache")

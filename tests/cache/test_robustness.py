@@ -1,0 +1,161 @@
+"""Concurrency and cross-layer degradation: the cache never lies.
+
+The paper's guarantee — a template that exists renders only valid XML —
+must survive every cache failure mode: parallel writers, readers racing
+a writer, truncated files, and stale downstream artifacts.
+"""
+
+import threading
+
+import pytest
+
+from repro.cache import ReproCache
+from repro.cache.stores import DirectoryStore
+from repro.errors import VdomTypeError
+from repro.pxml import Template
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+from repro.serverpages import ServerPage
+
+KEY = "ab" + "0" * 62
+
+SHIP_TO_TEMPLATE = (
+    '<shipTo country="US"><name>$n$</name>'
+    "<street>123 Maple Street</street><city>Mill Valley</city>"
+    "<state>CA</state><zip>90952</zip></shipTo>"
+)
+
+
+class TestConcurrency:
+    def test_readers_never_see_partial_writes(self, tmp_path):
+        """Hammer one key with rewrites while readers poll: every
+        observation must be a miss or a *complete* payload (the store
+        publishes with ``os.replace`` and checksums on read)."""
+        store = DirectoryStore(tmp_path / "cache")
+        payload = b"x" * 64 * 1024
+        observations: list[bytes] = []
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                store.put(KEY, payload)
+
+        def reader():
+            while not stop.is_set():
+                seen = store.get(KEY)
+                if seen is not None:
+                    if seen != payload:
+                        failures.append(f"partial read of {len(seen)} bytes")
+                    observations.append(seen[:1])
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        timer = threading.Timer(1.0, stop.set)
+        timer.start()
+        for thread in threads:
+            thread.join()
+        timer.cancel()
+        assert failures == []
+        assert observations  # the race actually exercised reads
+
+    def test_parallel_binds_share_one_artifact(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        bindings: list = []
+
+        def bind():
+            bindings.append(cache.bind(PURCHASE_ORDER_SCHEMA))
+
+        threads = [threading.Thread(target=bind) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(bindings) == 8
+        assert len(cache) == 1  # one key, however many racers
+        for binding in bindings:
+            binding.factory.create_name("works")
+
+
+class TestTemplateCache:
+    def _warm_pair(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        binding = cache.bind(PURCHASE_ORDER_SCHEMA)
+        Template(binding, SHIP_TO_TEMPLATE, cache=cache)
+        reopened = ReproCache(tmp_path / "cache")
+        rebound = reopened.bind(PURCHASE_ORDER_SCHEMA)
+        return reopened, rebound
+
+    def test_warm_template_renders_identically(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        binding = cache.bind(PURCHASE_ORDER_SCHEMA)
+        cold = Template(binding, SHIP_TO_TEMPLATE, cache=cache)
+        reopened, rebound = self._warm_pair(tmp_path)
+        warm = Template(rebound, SHIP_TO_TEMPLATE, cache=reopened)
+        template_hits, _ = reopened.stats.by_kind["template"]
+        assert template_hits == 1
+        assert str(warm.render(n="Alice")) == str(cold.render(n="Alice"))
+
+    def test_warm_template_still_enforces_types(self, tmp_path):
+        """The static guarantee survives the cache: wrong hole values
+        are rejected by the rebuilt render function."""
+        reopened, rebound = self._warm_pair(tmp_path)
+        warm = Template(rebound, SHIP_TO_TEMPLATE, cache=reopened)
+        with pytest.raises(VdomTypeError):
+            warm.render(n=rebound.factory.create_city("not a name"))
+
+    def test_schema_edit_misses_template_cache(self, tmp_path):
+        """Chained fingerprints: editing the schema changes the binding
+        key, so the old template artifact is never even looked up."""
+        reopened, _ = self._warm_pair(tmp_path)
+        edited = PURCHASE_ORDER_SCHEMA.replace("comment", "remark")
+        other_binding = reopened.bind(edited)
+        Template(other_binding, SHIP_TO_TEMPLATE, cache=reopened)
+        _, template_misses = reopened.stats.by_kind["template"]
+        assert template_misses == 1
+
+    def test_corrupt_template_artifact_recompiles(self, tmp_path):
+        reopened, rebound = self._warm_pair(tmp_path)
+        for path in (tmp_path / "cache").rglob("*.bin"):
+            raw = path.read_bytes()
+            path.write_bytes(raw[: len(raw) - 8])
+        recompiled = Template(rebound, SHIP_TO_TEMPLATE, cache=reopened)
+        element = recompiled.render(n="Alice")
+        assert element.name.content == "Alice"
+        assert reopened.stats.corrupt_entries >= 1
+
+    def test_uncached_binding_skips_template_cache(self, tmp_path):
+        """A binding without a fingerprint gives no stable identity to
+        chain from; the template must compile (and work) uncached."""
+        from repro.core import bind
+
+        cache = ReproCache(tmp_path / "cache")
+        plain = bind(PURCHASE_ORDER_SCHEMA)
+        template = Template(plain, SHIP_TO_TEMPLATE, cache=cache)
+        assert template.render(n="Alice").name.content == "Alice"
+        assert cache.stats.by_kind.get("template") is None
+
+
+class TestServerPageCache:
+    PAGE = "<html><% for x in xs: %><p><%= x %></p><% end %></html>"
+
+    def test_warm_page_renders_identically(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        cold = ServerPage(self.PAGE, cache=cache)
+        reopened = ReproCache(tmp_path / "cache")
+        warm = ServerPage(self.PAGE, cache=reopened)
+        page_hits, _ = reopened.stats.by_kind["serverpage"]
+        assert page_hits == 1
+        assert warm.render(xs=[1, 2]) == cold.render(xs=[1, 2])
+        assert warm.translated == cold.translated
+
+    def test_corrupt_page_artifact_retranslates(self, tmp_path):
+        cache = ReproCache(tmp_path / "cache")
+        ServerPage(self.PAGE, cache=cache)
+        for path in (tmp_path / "cache").rglob("*.bin"):
+            path.write_bytes(b"\xff\xfe garbage")
+        reopened = ReproCache(tmp_path / "cache")
+        page = ServerPage(self.PAGE, cache=reopened)
+        assert page.render(xs=["ok"]) == "<html><p>ok</p></html>"

@@ -1,0 +1,181 @@
+"""Store behavior: LRU bounds, atomicity, and corruption tolerance."""
+
+import os
+
+import pytest
+
+from repro.errors import CacheError
+from repro.cache.stats import CacheStats
+from repro.cache.stores import (
+    _MAGIC,
+    DirectoryStore,
+    MemoryStore,
+    TieredStore,
+)
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+class TestMemoryStore:
+    def test_roundtrip(self):
+        store = MemoryStore()
+        store.put(KEY, b"payload")
+        assert store.get(KEY) == b"payload"
+
+    def test_miss_is_none(self):
+        assert MemoryStore().get(KEY) is None
+
+    def test_lru_evicts_oldest(self):
+        stats = CacheStats()
+        store = MemoryStore(max_entries=2, stats=stats)
+        store.put("k1", b"1")
+        store.put("k2", b"2")
+        store.put("k3", b"3")
+        assert store.get("k1") is None
+        assert store.get("k2") == b"2"
+        assert store.get("k3") == b"3"
+        assert stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        store = MemoryStore(max_entries=2)
+        store.put("k1", b"1")
+        store.put("k2", b"2")
+        store.get("k1")  # k1 is now the most recent
+        store.put("k3", b"3")
+        assert store.get("k1") == b"1"
+        assert store.get("k2") is None
+
+    def test_needs_at_least_one_slot(self):
+        with pytest.raises(CacheError):
+            MemoryStore(max_entries=0)
+
+    def test_delete_and_clear(self):
+        store = MemoryStore()
+        store.put(KEY, b"x")
+        assert store.delete(KEY) is True
+        assert store.delete(KEY) is False
+        store.put(KEY, b"x")
+        store.put(OTHER, b"y")
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestDirectoryStore:
+    def test_roundtrip(self, tmp_path):
+        store = DirectoryStore(tmp_path / "cache")
+        store.put(KEY, b"payload")
+        assert store.get(KEY) == b"payload"
+
+    def test_persists_across_instances(self, tmp_path):
+        DirectoryStore(tmp_path / "cache").put(KEY, b"payload")
+        assert DirectoryStore(tmp_path / "cache").get(KEY) == b"payload"
+
+    def test_fan_out_layout(self, tmp_path):
+        store = DirectoryStore(tmp_path / "cache")
+        store.put(KEY, b"payload")
+        assert (tmp_path / "cache" / KEY[:2] / f"{KEY}.bin").exists()
+
+    def test_unwritable_root_raises_cache_error(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        with pytest.raises(CacheError):
+            DirectoryStore(blocker / "cache")
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = DirectoryStore(tmp_path / "cache")
+        for index in range(5):
+            store.put(KEY, b"payload-%d" % index)
+        leftovers = list((tmp_path / "cache").rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        stats = CacheStats()
+        store = DirectoryStore(tmp_path / "cache", stats=stats)
+        store.put(KEY, b"payload")
+        path = tmp_path / "cache" / KEY[:2] / f"{KEY}.bin"
+        path.write_bytes(path.read_bytes()[:10])
+        assert store.get(KEY) is None
+        assert stats.corrupt_entries == 1
+
+    def test_bit_flip_is_a_miss(self, tmp_path):
+        stats = CacheStats()
+        store = DirectoryStore(tmp_path / "cache", stats=stats)
+        store.put(KEY, b"payload")
+        path = tmp_path / "cache" / KEY[:2] / f"{KEY}.bin"
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert store.get(KEY) is None
+        assert stats.corrupt_entries == 1
+
+    def test_foreign_file_is_a_miss(self, tmp_path):
+        stats = CacheStats()
+        store = DirectoryStore(tmp_path / "cache", stats=stats)
+        path = tmp_path / "cache" / KEY[:2] / f"{KEY}.bin"
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a cache entry at all")
+        assert store.get(KEY) is None
+        assert stats.corrupt_entries == 1
+
+    def test_corrupt_entry_is_pruned(self, tmp_path):
+        store = DirectoryStore(tmp_path / "cache")
+        store.put(KEY, b"payload")
+        path = tmp_path / "cache" / KEY[:2] / f"{KEY}.bin"
+        path.write_bytes(b"garbage")
+        store.get(KEY)
+        assert not path.exists()
+
+    def test_entry_format_is_checksummed(self, tmp_path):
+        store = DirectoryStore(tmp_path / "cache")
+        store.put(KEY, b"payload")
+        raw = (tmp_path / "cache" / KEY[:2] / f"{KEY}.bin").read_bytes()
+        assert raw.startswith(_MAGIC)
+        assert raw.endswith(b"payload")
+
+    def test_put_failure_is_silent(self, tmp_path, monkeypatch):
+        store = DirectoryStore(tmp_path / "cache")
+
+        def refuse(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", refuse)
+        store.put(KEY, b"payload")  # must not raise
+        assert store.get(KEY) is None
+
+    def test_delete_and_clear(self, tmp_path):
+        store = DirectoryStore(tmp_path / "cache")
+        store.put(KEY, b"x")
+        store.put(OTHER, b"y")
+        assert len(store) == 2
+        assert store.delete(KEY) is True
+        assert store.delete(KEY) is False
+        assert store.clear() == 1
+        assert len(store) == 0
+
+
+class TestTieredStore:
+    def _tiered(self, tmp_path):
+        memory = MemoryStore()
+        disk = DirectoryStore(tmp_path / "cache")
+        return memory, disk, TieredStore(memory, disk)
+
+    def test_put_reaches_both_tiers(self, tmp_path):
+        memory, disk, tiered = self._tiered(tmp_path)
+        tiered.put(KEY, b"payload")
+        assert memory.get(KEY) == b"payload"
+        assert disk.get(KEY) == b"payload"
+
+    def test_disk_hit_is_promoted_to_memory(self, tmp_path):
+        memory, disk, tiered = self._tiered(tmp_path)
+        disk.put(KEY, b"payload")
+        assert memory.get(KEY) is None
+        assert tiered.get(KEY) == b"payload"
+        assert memory.get(KEY) == b"payload"
+
+    def test_delete_covers_both_tiers(self, tmp_path):
+        memory, disk, tiered = self._tiered(tmp_path)
+        tiered.put(KEY, b"payload")
+        assert tiered.delete(KEY) is True
+        assert memory.get(KEY) is None
+        assert disk.get(KEY) is None

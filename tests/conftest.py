@@ -4,11 +4,7 @@ import pytest
 
 from repro.core import bind
 from repro.xsd import parse_schema
-from repro.schemas import (
-    PURCHASE_ORDER_DTD,
-    PURCHASE_ORDER_SCHEMA,
-    WML_SCHEMA,
-)
+from repro.schemas import PURCHASE_ORDER_SCHEMA, WML_SCHEMA
 from repro.schemas.variants import (
     ADDRESS_EXTENSION_SCHEMA,
     PURCHASE_ORDER_CHOICE_SCHEMA,

@@ -5,7 +5,6 @@ import pytest
 from repro.xsd import parse_schema
 from repro.core.generate import generate_interfaces
 from repro.core.model import (
-    Field,
     FieldKind,
     Interface,
     InterfaceKind,

@@ -1,6 +1,5 @@
 """Naming schemes for anonymous groups (paper Sect. 3)."""
 
-import pytest
 
 from repro.xsd.components import (
     Compositor,

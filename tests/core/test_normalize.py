@@ -1,6 +1,5 @@
 """Schema normal form (paper Sect. 3, rules 1-3)."""
 
-import pytest
 
 from repro.xsd import parse_schema
 from repro.core.naming import InheritedNaming, SynthesizedNaming

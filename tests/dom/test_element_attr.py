@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DomError, XmlError
-from repro.dom import Attr, Document
+from repro.dom import Document
 
 
 @pytest.fixture

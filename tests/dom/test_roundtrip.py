@@ -1,6 +1,5 @@
 """Parse → DOM → serialize round-trips (FIG1 infrastructure)."""
 
-import pytest
 
 from repro.dom import parse_document, serialize
 from repro.schemas import PURCHASE_ORDER_DOCUMENT

@@ -9,13 +9,12 @@ for each approach on the same set of faults.
 
 import pytest
 
-from repro import Template, bind, parse_document, serialize, validate
+from repro import Template, parse_document, serialize, validate
 from repro.errors import PxmlStaticError, VdomTypeError
 from repro.serverpages import render_page
 from repro.schemas import (
     PURCHASE_ORDER_DOCUMENT,
     PURCHASE_ORDER_INVALID_DOCUMENTS,
-    PURCHASE_ORDER_SCHEMA,
 )
 
 

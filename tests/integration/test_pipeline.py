@@ -5,17 +5,14 @@ import pytest
 
 from repro import (
     Template,
-    bind,
     generate_python_module,
     parse_document,
-    parse_schema,
     preprocess_module,
     serialize,
     validate,
 )
 from repro.core.pygen import load_generated_module
 from repro.errors import VdomTypeError
-from repro.xsd import SchemaValidator
 from repro.schemas import (
     PURCHASE_ORDER_DOCUMENT,
     PURCHASE_ORDER_INVALID_DOCUMENTS,

@@ -11,8 +11,7 @@ import string
 from hypothesis import given, settings, strategies as st
 
 from repro import Template, bind, parse_document, serialize, validate
-from repro.core import bind as bind_schema
-from repro.errors import PxmlStaticError, ReproError, VdomTypeError, XmlSyntaxError
+from repro.errors import VdomTypeError, XmlSyntaxError
 from repro.schemas import PURCHASE_ORDER_SCHEMA
 
 _BINDING = bind(PURCHASE_ORDER_SCHEMA)

@@ -1,6 +1,5 @@
 """Shape of the code the template compiler emits (Fig. 11 fidelity)."""
 
-import pytest
 
 from repro.pxml import check_template
 from repro.pxml.compiler import compile_template, compile_template_source

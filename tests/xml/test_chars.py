@@ -1,6 +1,5 @@
 """XML character classes and name productions."""
 
-import pytest
 
 from repro.xml.chars import (
     collapse_whitespace,

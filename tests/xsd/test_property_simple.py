@@ -2,9 +2,8 @@
 
 import decimal
 
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.errors import SimpleTypeError
 from repro.xsd.regex import compile_pattern
 from repro.xsd.simple import builtin_type, list_of, restrict
 

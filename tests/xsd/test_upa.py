@@ -1,6 +1,5 @@
 """Unique Particle Attribution checking."""
 
-import pytest
 
 from repro.xsd import parse_schema
 from repro.schemas import PURCHASE_ORDER_SCHEMA, WML_SCHEMA, XHTML_SUBSET_SCHEMA
