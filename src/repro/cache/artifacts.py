@@ -125,12 +125,16 @@ def dump_template(
     generated_source: str,
     root_name: str,
     holes: dict[str, Any],
+    text_source: str | None = None,
+    segment_program: Any = None,
 ) -> bytes:
     """Reduce a compiled template to binding-independent data.
 
-    Hole specs reference generated classes, which cannot be pickled;
-    they are stored as interface keys and resolved against the live
-    binding on load.
+    Hole specs (and segment-run owners) reference generated classes,
+    which cannot be pickled; they are stored as interface keys and
+    resolved against the live binding on load.  ``text_source`` and
+    ``segment_program`` carry the render-to-text fast path; both are
+    optional so templates the segment compiler declined still cache.
     """
     key_by_class = {cls: key for key, cls in binding.classes.items()}
     hole_table: dict[str, dict[str, Any]] = {}
@@ -148,14 +152,24 @@ def dump_template(
         "generated_source": generated_source,
         "holes": hole_table,
     }
+    if text_source is not None and segment_program is not None:
+        from repro.pxml.segments import program_to_record
+
+        try:
+            record["text_source"] = text_source
+            record["segments"] = program_to_record(segment_program, binding)
+        except LookupError as error:
+            raise ArtifactError(f"unpicklable segment program: {error}")
     return _dumps(record)
 
 
 def load_template(payload: bytes, binding: "Binding") -> dict[str, Any]:
-    """Rehydrate ``{root, generated_source, holes}`` for *binding*.
+    """Rehydrate ``{root, generated_source, holes, text_source, program}``.
 
     The returned ``holes`` map contains live ``HoleSpec`` objects whose
-    classes come from the *current* binding.
+    classes come from the *current* binding; ``program`` (a rebuilt
+    ``SegmentProgram``) and ``text_source`` are ``None`` when the cached
+    template predates or declined segment compilation.
     """
     from repro.pxml.checker import HoleSpec
 
@@ -169,10 +183,21 @@ def load_template(payload: bytes, binding: "Binding") -> dict[str, Any]:
         except KeyError as error:
             raise ArtifactError(f"stale template artifact: {error}")
         holes[name] = HoleSpec(name=name, kind=entry["kind"], classes=classes)
+    program = None
+    text_source = record.get("text_source")
+    if text_source is not None and record.get("segments") is not None:
+        from repro.pxml.segments import program_from_record
+
+        try:
+            program = program_from_record(record["segments"], binding, holes)
+        except (LookupError, TypeError, ValueError) as error:
+            raise ArtifactError(f"stale segment artifact: {error}")
     return {
         "root": record["root"],
         "generated_source": record["generated_source"],
         "holes": holes,
+        "text_source": text_source,
+        "program": program,
     }
 
 

@@ -16,7 +16,9 @@ import sys
 from typing import Any
 
 #: Bump whenever the pickled artifact layout changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: 2: template records gained ``text_source`` + ``segments`` (the
+#: render-to-text fast path).
+CACHE_FORMAT_VERSION = 2
 
 
 def _library_version() -> str:

@@ -79,6 +79,27 @@ def main(argv: list[str] | None = None) -> int:
     preprocess_command.add_argument("schema")
     preprocess_command.add_argument("module")
 
+    render_command = commands.add_parser(
+        "render",
+        help="render a P-XML template straight to markup text "
+        "(the segment-compiled serving path)",
+    )
+    render_command.add_argument("schema")
+    render_command.add_argument("template")
+    render_command.add_argument(
+        "--hole",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="value for one template hole (repeatable)",
+    )
+    render_command.add_argument(
+        "--dom",
+        action="store_true",
+        help="build the typed DOM tree and serialize it instead "
+        "(reference path; output is byte-identical)",
+    )
+
     cache_command = commands.add_parser(
         "cache", help="inspect or clear the compilation cache"
     )
@@ -147,6 +168,28 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             f"# {result.replaced} constructor(s) replaced",
             file=sys.stderr,
         )
+        return 0
+    if arguments.command == "render":
+        from repro.pxml import Template
+
+        binding = bind(_read(arguments.schema), cache=cache)
+        template = Template(binding, _read(arguments.template), cache=cache)
+        values: dict[str, str] = {}
+        for item in arguments.hole:
+            name, separator, value = item.partition("=")
+            if not separator:
+                print(
+                    f"error: --hole expects NAME=VALUE, got {item!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            values[name] = value
+        if arguments.dom:
+            from repro.dom.serialize import serialize
+
+            print(serialize(template.render(**values)))
+        else:
+            print(template.render_text(**values))
         return 0
     if arguments.command == "cache":
         store_cache = cache if cache is not None else ReproCache.persistent(

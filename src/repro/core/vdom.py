@@ -616,12 +616,16 @@ class Binding:
             if base_interface.kind is InterfaceKind.GROUP:
                 bases.append(self.classes[base_key])
         name = self._allocate_name(interface, taken)
+        tag = interface.declaration.name
         namespace: dict[str, Any] = {
             "__doc__": interface.doc,
             "_DECLARATION": interface.declaration,
             "_TYPE": interface.type_definition,
             "_BINDING": self,
             "_ATTRIBUTE_FIELDS": {},
+            # Start/end tag text precomputed at bind time: the schema
+            # guarantees the name, so serialization never re-runs is_name().
+            "_TAG_PARTS": ("<" + tag, "</" + tag + ">"),
         }
         self._install_properties(interface, namespace)
         cls = type(name, tuple(bases), namespace)

@@ -22,17 +22,22 @@ parsed by the simple type of their position at render time.
 
 from repro.pxml.parser import parse_template
 from repro.pxml.checker import CheckedTemplate, check_template
-from repro.pxml.compiler import compile_template
+from repro.pxml.compiler import compile_template, compile_text_template
+from repro.pxml.segments import SegmentProgram, compile_segments
 from repro.pxml.template import Template
-from repro.pxml.runtime import render_interpreted
+from repro.pxml.runtime import render_interpreted, render_text_interpreted
 from repro.pxml.preprocessor import preprocess_module
 
 __all__ = [
     "CheckedTemplate",
+    "SegmentProgram",
     "Template",
     "check_template",
+    "compile_segments",
     "compile_template",
+    "compile_text_template",
     "parse_template",
     "preprocess_module",
     "render_interpreted",
+    "render_text_interpreted",
 ]

@@ -16,10 +16,8 @@ from repro.pxml.ast import Hole, TemplateElement, TemplateText
 from repro.pxml.checker import CheckedTemplate
 
 
-def render_interpreted(
-    checked: CheckedTemplate, **values: Any
-) -> TypedElement:
-    """Render *checked* with hole *values* by direct AST interpretation."""
+def _check_hole_values(checked: CheckedTemplate, values: dict[str, Any]) -> None:
+    """Shared render-entry validation: names present, names known, types."""
     missing = [name for name in checked.holes if name not in values]
     if missing:
         raise PxmlStaticError(
@@ -32,7 +30,40 @@ def render_interpreted(
         )
     for name, spec in checked.holes.items():
         spec.accepts(values[name])
+
+
+def render_interpreted(
+    checked: CheckedTemplate, **values: Any
+) -> TypedElement:
+    """Render *checked* with hole *values* by direct AST interpretation."""
+    _check_hole_values(checked, values)
     return _build_element(checked, checked.root, values)
+
+
+_UNCOMPILED = object()  # sentinel: segments not attempted yet for a template
+
+
+def render_text_interpreted(checked: CheckedTemplate, **values: Any) -> str:
+    """Interpreted twin of the segment-compiled ``render_text``.
+
+    Lazily partitions the checked AST into a :class:`SegmentProgram`
+    (memoized on *checked*) and renders it directly to text; templates
+    the partitioner declines fall back to building and serializing the
+    typed tree, so output is always byte-identical to
+    ``serialize(render_interpreted(...))``.
+    """
+    from repro.pxml.segments import compile_segments
+
+    _check_hole_values(checked, values)
+    program = checked.__dict__.get("_segment_program", _UNCOMPILED)
+    if program is _UNCOMPILED:
+        program = compile_segments(checked)
+        checked._segment_program = program
+    if program is None:
+        from repro.dom.serialize import serialize
+
+        return serialize(_build_element(checked, checked.root, values))
+    return program.render(values, checked.binding.validate_on_mutate)
 
 
 def _build_element(

@@ -6,9 +6,9 @@ from typing import Any, Callable
 
 from repro.core.vdom import Binding, TypedElement
 from repro.pxml.checker import CheckedTemplate, check_template
-from repro.pxml.compiler import compile_template
+from repro.pxml.compiler import compile_template, compile_text_template
 from repro.pxml.parser import parse_template
-from repro.pxml.runtime import render_interpreted
+from repro.pxml.runtime import render_interpreted, render_text_interpreted
 
 
 class Template:
@@ -48,7 +48,10 @@ class Template:
         self.source = source
         self.checked: CheckedTemplate | None = None
         self._render: Callable[..., TypedElement] | None = None
+        self._render_text: Callable[..., str] | None = None
         self.generated_source: str | None = None
+        self.text_source: str | None = None
+        self._segments = None
         self._hole_names: list[str] = []
         self._root_name: str | None = None
         cache_key = self._cache_key(cache, source, param_types, compiled)
@@ -60,6 +63,12 @@ class Template:
         self._hole_names = self.checked.hole_names()
         if compiled:
             self.generated_source, self._render = compile_template(self.checked)
+            self._segments, self.text_source, self._render_text = (
+                compile_text_template(self.checked)
+            )
+            # Seed the interpreted twin's memo so a mixed usage pattern
+            # never re-partitions the same checked AST.
+            self.checked._segment_program = self._segments
         if cache_key is not None and compiled:
             self._store_cached(cache, cache_key)
 
@@ -114,6 +123,17 @@ class Template:
             compile(self.generated_source, "<pxml:render>", "exec"), namespace
         )
         self._render = namespace["render"]
+        self._segments = record.get("program")
+        self.text_source = record.get("text_source")
+        if self._segments is not None and self.text_source is not None:
+            from repro.pxml.segments import build_text_namespace
+
+            text_namespace = build_text_namespace(self._segments, self.binding)
+            exec(
+                compile(self.text_source, "<pxml:render_text>", "exec"),
+                text_namespace,
+            )
+            self._render_text = text_namespace["render_text"]
         return True
 
     def _store_cached(self, cache: Any, key: str) -> None:
@@ -126,6 +146,8 @@ class Template:
                 self.generated_source,
                 self._root_name or "",
                 self.checked.holes,
+                text_source=self.text_source,
+                segment_program=self._segments,
             )
         except ArtifactError:
             return
@@ -143,6 +165,24 @@ class Template:
             return self._render(self.binding.factory, **values)
         assert self.checked is not None
         return render_interpreted(self.checked, **values)
+
+    def render_text(self, **values: Any) -> str:
+        """Render directly to serialized markup, skipping the DOM.
+
+        Byte-identical to ``serialize(self.render(**values))`` but emits
+        the string from precomputed segments; the static check in
+        ``__init__`` (plus per-hole validation at render time) preserves
+        the validity guarantee without materializing a tree.  Templates
+        whose shape the segment compiler declines transparently take the
+        render-then-serialize route.
+        """
+        if self._render_text is not None:
+            return self._render_text(**values)
+        if self.checked is not None:
+            return render_text_interpreted(self.checked, **values)
+        from repro.dom.serialize import serialize
+
+        return serialize(self.render(**values))
 
     def render_document(self, **values: Any):
         """Render and wrap in a document (root must be global)."""

@@ -57,8 +57,17 @@ class ServerPage:
             )
 
     def _translate_source(self, source: str) -> str:
-        lines: list[str] = []
+        lines: list[str] = ["__emit__ = __out__.append"]
         indent = 0
+        pending_literal: list[str] = []
+
+        def flush_literal() -> None:
+            # Adjacent literal chunks (e.g. around a comment tag) fuse
+            # into one append — precomputed runs, one call at render time.
+            if pending_literal:
+                literal = "".join(pending_literal)
+                pending_literal.clear()
+                lines.append("    " * indent + f"__emit__({literal!r})")
 
         def emit(statement: str) -> None:
             lines.append("    " * indent + statement)
@@ -67,10 +76,11 @@ class ServerPage:
         while index < len(source):
             open_tag = source.find("<%", index)
             if open_tag < 0:
-                self._emit_literal(emit, source[index:])
+                if source[index:]:
+                    pending_literal.append(source[index:])
                 break
             if open_tag > index:
-                self._emit_literal(emit, source[index:open_tag])
+                pending_literal.append(source[index:open_tag])
             close_tag = source.find("%>", open_tag + 2)
             if close_tag < 0:
                 raise ServerPageError(
@@ -79,10 +89,14 @@ class ServerPage:
             body = source[open_tag + 2 : close_tag]
             index = close_tag + 2
             if body.startswith("--"):
-                continue  # comment
+                continue  # comment: surrounding literals coalesce across it
+            # Any executable tag ends the current literal run *at the
+            # current indent* — a literal may never drift across a block
+            # boundary, or it would render under the wrong condition.
+            flush_literal()
             if body.startswith("="):
                 expression = body[1:].strip()
-                emit(f"__out__.append(str({expression}))")
+                emit(f"__emit__(str({expression}))")
                 continue
             statement = body.strip()
             if statement == "end":
@@ -108,17 +122,13 @@ class ServerPage:
                 emit("pass")
                 continue
             emit(statement)
+        flush_literal()
         if indent != 0:
             raise ServerPageError(
                 f"unclosed block in server page {self.name} "
                 f"(missing '<% end %>')"
             )
-        return "\n".join(lines) or "pass"
-
-    @staticmethod
-    def _emit_literal(emit, literal: str) -> None:
-        if literal:
-            emit(f"__out__.append({literal!r})")
+        return "\n".join(lines)
 
     # -- rendering -------------------------------------------------------------
 

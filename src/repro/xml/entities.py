@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import re
+
 from repro.errors import Location, XmlSyntaxError
 from repro.xml.chars import is_name, is_xml_char
 
@@ -36,13 +38,26 @@ _ATTR_ESCAPES = str.maketrans(
 )
 
 
+# Quick-reject probes: most runs of character data contain nothing that
+# needs escaping, and a compiled character-class scan rejects them far
+# faster than a per-character translate pass.  The classes below MUST
+# stay in sync with the translate tables above (the golden tests in
+# tests/xml/test_entities.py compare both paths byte for byte).
+_TEXT_NEEDS_ESCAPE = re.compile(r"[&<>\r]").search
+_ATTR_NEEDS_ESCAPE = re.compile(r'[&<>"\t\n\r]').search
+
+
 def escape_text(text: str) -> str:
     """Escape character data for element content."""
+    if _TEXT_NEEDS_ESCAPE(text) is None:
+        return text
     return text.translate(_TEXT_ESCAPES)
 
 
 def escape_attribute(text: str) -> str:
     """Escape character data for a double-quoted attribute value."""
+    if _ATTR_NEEDS_ESCAPE(text) is None:
+        return text
     return text.translate(_ATTR_ESCAPES)
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DomError
+from repro.errors import DomError, XmlError
 from repro.dom import Document, parse_document, serialize
 from repro.dom.document import DocumentType
 
@@ -95,3 +95,92 @@ class TestEscapingEdges:
         assert reparsed.document_element.get_attribute("x") == (
             'quote " and tab\t!'
         )
+
+    def test_lt_and_quote_in_attribute(self, doc):
+        element = doc.create_element("a")
+        element.set_attribute("x", '<b v="1">')
+        assert serialize(element) == '<a x="&lt;b v=&quot;1&quot;&gt;"/>'
+
+    def test_ampersand_in_attribute(self, doc):
+        element = doc.create_element("a")
+        element.set_attribute("x", "Smith & Sons")
+        assert serialize(element) == '<a x="Smith &amp; Sons"/>'
+
+
+class TestMarkupGuards:
+    def test_cdata_with_embedded_terminator_splits(self, doc):
+        element = doc.create_element("a")
+        element.append_child(doc.create_cdata_section("x]]>y"))
+        rendered = serialize(element)
+        assert rendered == "<a><![CDATA[x]]]]><![CDATA[>y]]></a>"
+        reparsed = parse_document(rendered)
+        assert reparsed.document_element.text_content == "x]]>y"
+
+    def test_cdata_terminator_at_boundaries(self, doc):
+        element = doc.create_element("a")
+        element.append_child(doc.create_cdata_section("]]>"))
+        reparsed = parse_document(serialize(element))
+        assert reparsed.document_element.text_content == "]]>"
+
+    def test_comment_double_hyphen_rejected(self, doc):
+        element = doc.create_element("a")
+        element.append_child(doc.create_comment("bad -- comment"))
+        with pytest.raises(XmlError):
+            serialize(element)
+
+    def test_comment_double_hyphen_rejected_pretty(self, doc):
+        element = doc.create_element("a")
+        element.append_child(doc.create_comment("bad -- comment"))
+        with pytest.raises(XmlError):
+            serialize(element, pretty=True)
+
+
+class TestPrettyMixedContent:
+    def test_preserve_mixed_keeps_text_untouched(self):
+        source = "<p>one <b>two</b> three</p>"
+        document = parse_document(source)
+        assert serialize(document, pretty=True) == source
+
+    def test_preserve_mixed_subtree_inside_pretty_document(self):
+        document = parse_document(
+            "<doc><p>one <b>two</b> three</p><q/></doc>"
+        )
+        assert serialize(document, pretty=True) == (
+            "<doc>\n  <p>one <b>two</b> three</p>\n  <q/>\n</doc>"
+        )
+
+    def test_preserve_mixed_off_indents_through_text(self):
+        document = parse_document("<p>one <b>two</b> three</p>")
+        from repro.xml.serializer import IndentPolicy
+
+        pieces: list[str] = []
+        from repro.dom.serialize import _write
+
+        _write(document, pieces, IndentPolicy("  ", preserve_mixed=False), 0)
+        rendered = "".join(pieces)
+        assert "\n" in rendered  # text children get indented too
+
+
+class TestDeepTrees:
+    def test_10000_deep_chain_serializes_iteratively(self, doc):
+        # Built bottom-up so each append_child sees a parentless chain.
+        depth = 10_000
+        node = doc.create_element("leaf")
+        node.append_child(doc.create_text_node("x"))
+        for _ in range(depth):
+            parent = doc.create_element("d")
+            parent.append_child(node)
+            node = parent
+        rendered = serialize(node)
+        assert rendered == "<d>" * depth + "<leaf>x</leaf>" + "</d>" * depth
+
+    def test_10000_deep_chain_pretty(self, doc):
+        depth = 10_000
+        node = doc.create_element("leaf")
+        for _ in range(depth):
+            parent = doc.create_element("d")
+            parent.append_child(node)
+            node = parent
+        rendered = serialize(node, pretty=True, indent="")
+        assert rendered.count("<d>") == depth
+        assert rendered.count("</d>") == depth

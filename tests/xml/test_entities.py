@@ -27,6 +27,62 @@ class TestEscaping:
         assert unescape(escape_attribute(original)) == original
 
 
+class TestQuickRejectGolden:
+    """The quick-reject probe must agree byte-for-byte with the tables.
+
+    ``escape_text``/``escape_attribute`` first scan with a compiled
+    character class and return the input unchanged when nothing matches.
+    These goldens pin the probe classes to the translate tables: if one
+    gains a character the other lacks, a case below breaks.
+    """
+
+    TEXT_SPECIALS = "&<>\r"
+    ATTR_SPECIALS = '&<>"\t\n\r'
+
+    def test_text_probe_matches_table(self):
+        from repro.xml.entities import _TEXT_ESCAPES
+
+        for char in map(chr, range(0x20, 0x80)):
+            expected = char.translate(_TEXT_ESCAPES)
+            assert escape_text(char) == expected
+            # Fast path fires exactly when the table would be a no-op.
+            assert (escape_text(char) is char) == (expected == char)
+        for char in "\t\n\r":
+            assert escape_text(char) == char.translate(_TEXT_ESCAPES)
+
+    def test_attr_probe_matches_table(self):
+        from repro.xml.entities import _ATTR_ESCAPES
+
+        for char in map(chr, range(0x20, 0x80)):
+            expected = char.translate(_ATTR_ESCAPES)
+            assert escape_attribute(char) == expected
+            assert (escape_attribute(char) is char) == (expected == char)
+        for char in "\t\n\r":
+            assert escape_attribute(char) == char.translate(_ATTR_ESCAPES)
+
+    def test_every_text_special_takes_slow_path(self):
+        for char in self.TEXT_SPECIALS:
+            assert escape_text(f"a{char}b") != f"a{char}b"
+
+    def test_every_attr_special_takes_slow_path(self):
+        for char in self.ATTR_SPECIALS:
+            assert escape_attribute(f"a{char}b") != f"a{char}b"
+
+    def test_clean_strings_returned_unchanged(self):
+        clean = "The quick brown fox, München, 東京 — no markup."
+        assert escape_text(clean) is clean
+        assert escape_attribute(clean) is clean
+
+    def test_mixed_golden_bytes(self):
+        source = 'A & B < C > D " E \t F \n G \r H'
+        assert escape_text(source) == (
+            'A &amp; B &lt; C &gt; D " E \t F \n G &#13; H'
+        )
+        assert escape_attribute(source) == (
+            "A &amp; B &lt; C &gt; D &quot; E &#9; F &#10; G &#13; H"
+        )
+
+
 class TestReferences:
     def test_predefined_entities(self):
         for body, expected in (
