@@ -1,0 +1,253 @@
+"""INGEST — parse + validate to a typed tree, seed vs fused pipeline.
+
+The seed route is three passes: the character-stepping reference parser
+(preserved verbatim in ``repro.xml.reference``) feeds a generic DOM
+build, then ``Binding.from_dom`` walks that DOM stepping the content
+DFAs and walks the result again in ``check_valid``.  The fused route
+(``repro.ingest``) is one pass: the scanning tokenizer's events step the
+DFAs *during* parsing and allocate ``TypedElement`` nodes directly.
+
+Measured here:
+
+* **seed**   — reference parser -> DOM -> ``from_dom`` (the pre-PR path),
+* **legacy** — scanning parser -> DOM -> ``from_dom`` (tokenizer win only),
+* **fused**  — ``fused_parse`` (the full pipeline win),
+* **tokenizer** — event iteration alone, both parsers,
+* **bulk**   — ``validate_files`` with a process pool, when cores allow.
+
+Acceptance floors (the ISSUE's criteria): fused must clear **3x** the
+seed pipeline on the purchase-order and XHTML corpora (1.5x under
+``REPRO_BENCH_QUICK``), and ``--jobs 4`` must clear **2x** ``--jobs 1``
+over a 100-document corpus — the latter only on machines with at least
+four CPUs (skipped elsewhere: a process pool cannot beat inline
+execution without cores to run on).
+
+Environment knobs (used by the CI smoke job):
+
+* ``REPRO_BENCH_QUICK=1``      — fewer iterations, relaxed floor,
+* ``REPRO_BENCH_JSON=<path>``  — where to write the JSON artifact
+  (default: ``BENCH_parse_ingest.json``).
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import purchase_order_text
+from repro.core import bind
+from repro.dom.document import Document
+from repro.ingest import fused_parse, legacy_parse, validate_files
+from repro.schemas import PURCHASE_ORDER_SCHEMA, XHTML_SUBSET_SCHEMA
+from repro.xml.events import Characters, EndElement, StartElement
+from repro.xml.parser import PullParser
+from repro.xml.reference import ReferencePullParser
+
+#: the ISSUE's acceptance criteria, and the CI-noise-tolerant floors
+REQUIRED_SPEEDUP = 3.0
+QUICK_SPEEDUP = 1.5
+REQUIRED_SCALING = 2.0
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+REPEATS = 3 if QUICK else 7
+ITEMS = 100 if QUICK else 300
+BULK_DOCUMENTS = 40 if QUICK else 100
+FLOOR = QUICK_SPEEDUP if QUICK else REQUIRED_SPEEDUP
+
+#: module-level result sink, flushed at teardown
+RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_json_report():
+    yield
+    target = os.environ.get("REPRO_BENCH_JSON", "BENCH_parse_ingest.json")
+    if target and RESULTS:
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(RESULTS, handle, indent=2, sort_keys=True)
+
+
+def xhtml_page_text(rows: int) -> str:
+    """A valid XHTML-subset page: mixed content, links, lists, a table."""
+    blocks = []
+    for index in range(rows):
+        blocks.append(
+            f"<h2>Section {index}</h2>"
+            f"<p>Paragraph <b>{index}</b> with <i>mixed</i> content and "
+            f'a <a href="/item/{index}">link {index}</a>.<br/></p>'
+            f"<ul><li>first {index}</li><li>second &amp; third</li></ul>"
+        )
+        if index % 10 == 0:
+            blocks.append(
+                "<table>"
+                + "".join(
+                    f"<tr><td>cell {index}.{row}</td><td>more</td></tr>"
+                    for row in range(3)
+                )
+                + "</table>"
+            )
+    return (
+        "<html><head><title>benchmark page</title>"
+        '<meta name="generator" content="bench"/></head>'
+        "<body>" + "".join(blocks) + "</body></html>"
+    )
+
+
+def _best_seconds_interleaved(actions, repeats=REPEATS):
+    """Best-of-*repeats* for each action, measured round-robin.
+
+    Interleaving means a load spike on a shared runner degrades every
+    pipeline's round rather than one pipeline's entire measurement, so
+    the *ratios* (which the floors assert on) stay stable even when the
+    absolute numbers wobble.
+    """
+    best = [None] * len(actions)
+    for _ in range(repeats):
+        for index, action in enumerate(actions):
+            start = time.perf_counter()
+            action()
+            elapsed = time.perf_counter() - start
+            if best[index] is None or elapsed < best[index]:
+                best[index] = elapsed
+    return best
+
+
+def _seed_pipeline(binding, text):
+    """The seed ingest: reference parse -> generic DOM -> ``from_dom``."""
+    document = Document()
+    stack = [document]
+    for event in ReferencePullParser(text):
+        kind = type(event)
+        if kind is StartElement:
+            element = document.create_element(event.name)
+            for name, value in event.attributes:
+                element.set_attribute(name, value)
+            stack[-1].append_child(element)
+            stack.append(element)
+        elif kind is EndElement:
+            stack.pop()
+        elif kind is Characters:
+            stack[-1].append_child(document.create_text_node(event.data))
+    return binding.from_dom(document.document_element)
+
+
+def _drain(parser_cls, text):
+    for _ in parser_cls(text):
+        pass
+
+
+def _measure_corpus(label, schema_text, text):
+    binding = bind(schema_text)
+    # Correctness precedes speed.
+    from repro.dom.serialize import serialize
+
+    assert serialize(fused_parse(binding, text)) == serialize(
+        _seed_pipeline(binding, text)
+    )
+    seed, legacy, fused, reference_scan, fast_scan = _best_seconds_interleaved(
+        [
+            lambda: _seed_pipeline(binding, text),
+            lambda: legacy_parse(binding, text),
+            lambda: fused_parse(binding, text),
+            lambda: _drain(ReferencePullParser, text),
+            lambda: _drain(PullParser, text),
+        ]
+    )
+    result = {
+        "document_bytes": len(text),
+        "seed_ms": round(seed * 1000, 2),
+        "legacy_ms": round(legacy * 1000, 2),
+        "fused_ms": round(fused * 1000, 2),
+        "reference_tokenize_ms": round(reference_scan * 1000, 2),
+        "fast_tokenize_ms": round(fast_scan * 1000, 2),
+        "tokenizer_speedup": round(reference_scan / fast_scan, 2),
+        "fused_vs_seed": round(seed / fused, 2),
+        "fused_vs_legacy": round(legacy / fused, 2),
+        "repeats": REPEATS,
+    }
+    RESULTS[label] = result
+    print(
+        f"\n{label}: seed {result['seed_ms']}ms  legacy {result['legacy_ms']}ms  "
+        f"fused {result['fused_ms']}ms  -> {result['fused_vs_seed']}x vs seed "
+        f"(tokenizer alone {result['tokenizer_speedup']}x)"
+    )
+    return result
+
+
+def test_purchase_order_ingest(capsys):
+    """The headline floor: fused >= 3x the seed pipeline (PO corpus)."""
+    text = purchase_order_text(ITEMS)
+    result = _measure_corpus("purchase_order", PURCHASE_ORDER_SCHEMA, text)
+    assert result["fused_vs_seed"] >= FLOOR, (
+        f"fused ingest is only {result['fused_vs_seed']:.2f}x the seed "
+        f"pipeline (need >= {FLOOR}x)"
+    )
+
+
+def test_xhtml_ingest(capsys):
+    """The same floor on mixed-content XHTML."""
+    text = xhtml_page_text(ITEMS)
+    result = _measure_corpus("xhtml", XHTML_SUBSET_SCHEMA, text)
+    assert result["fused_vs_seed"] >= FLOOR, (
+        f"fused ingest is only {result['fused_vs_seed']:.2f}x the seed "
+        f"pipeline (need >= {FLOOR}x)"
+    )
+
+
+def test_bulk_scaling(tmp_path, capsys):
+    """``--jobs 4`` must be >= 2x ``--jobs 1`` over 100 documents.
+
+    Gated on the machine actually having 4 cores; a 1-CPU container
+    cannot exhibit (or meaningfully test) process-pool scaling.
+    """
+    cores = multiprocessing.cpu_count()
+    corpus = []
+    for index in range(BULK_DOCUMENTS):
+        path = tmp_path / f"doc{index}.xml"
+        path.write_text(
+            purchase_order_text(30, seed=index), encoding="utf-8"
+        )
+        corpus.append(path)
+    cache_dir = str(tmp_path / "cache")
+    # Pre-warm the compilation cache so workers measure ingest, not XSD
+    # compilation; disable the verdict cache so documents are re-parsed.
+    validate_files(
+        PURCHASE_ORDER_SCHEMA, corpus[:1], cache_dir=cache_dir,
+        use_verdict_cache=False,
+    )
+
+    def run(jobs):
+        start = time.perf_counter()
+        report = validate_files(
+            PURCHASE_ORDER_SCHEMA, corpus, jobs=jobs,
+            cache_dir=cache_dir, use_verdict_cache=False,
+        )
+        elapsed = time.perf_counter() - start
+        assert report["summary"]["invalid"] == 0
+        return elapsed
+
+    serial = min(run(1) for _ in range(2))
+    parallel = min(run(4) for _ in range(2))
+    result = {
+        "documents": BULK_DOCUMENTS,
+        "cpu_count": cores,
+        "jobs1_ms": round(serial * 1000, 2),
+        "jobs4_ms": round(parallel * 1000, 2),
+        "scaling": round(serial / parallel, 2),
+    }
+    RESULTS["bulk_scaling"] = result
+    print(
+        f"\nbulk: jobs=1 {result['jobs1_ms']}ms  jobs=4 {result['jobs4_ms']}ms"
+        f"  -> {result['scaling']}x on {cores} cores"
+    )
+    if cores < 4:
+        pytest.skip(
+            f"parallel-scaling floor needs >= 4 CPUs (have {cores}); "
+            "timings recorded without the floor"
+        )
+    assert result["scaling"] >= REQUIRED_SCALING, (
+        f"--jobs 4 is only {result['scaling']:.2f}x --jobs 1 "
+        f"(need >= {REQUIRED_SCALING}x on {cores} cores)"
+    )

@@ -18,7 +18,9 @@ from typing import Any
 #: Bump whenever the pickled artifact layout changes incompatibly.
 #: 2: template records gained ``text_source`` + ``segments`` (the
 #: render-to-text fast path).
-CACHE_FORMAT_VERSION = 2
+#: 3: ``Location`` and the parse events grew ``__slots__``;
+#: ``ComplexType`` gained the attribute-use memo field.
+CACHE_FORMAT_VERSION = 3
 
 
 def _library_version() -> str:

@@ -22,6 +22,7 @@ visible only in :class:`~repro.cache.stats.CacheStats`.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 from collections import OrderedDict
@@ -221,6 +222,22 @@ class ReproCache:
 
     def put_text(self, kind: str, key: str, text: str) -> None:
         self.put_bytes(kind, key, artifacts.dump_text(text))
+
+    # -- JSON artifacts (bulk-ingest verdicts, reports) --------------------------
+
+    def get_json(self, kind: str, key: str) -> Any | None:
+        text = self.get_text(kind, key)
+        if text is None:
+            return None
+        try:
+            return json.loads(text)
+        except ValueError:
+            self.stats.corrupt_entries += 1
+            self.invalidate(key)
+            return None
+
+    def put_json(self, kind: str, key: str, value: Any) -> None:
+        self.put_text(kind, key, json.dumps(value, sort_keys=True))
 
 
 _default_cache: ReproCache | None = None

@@ -4,7 +4,9 @@ Subcommands mirror the paper's tooling:
 
 * ``idl <schema.xsd>``        — print generated V-DOM interfaces (Fig. 6),
 * ``python <schema.xsd>``     — print the generated Python binding module,
-* ``validate <schema> <doc>`` — runtime-validate a document (the baseline),
+* ``validate <schema> <doc…>`` — runtime-validate documents; several
+  documents (or ``--jobs N`` / ``--report``) switch to the bulk ingest
+  pipeline with warm-started worker processes,
 * ``preprocess <schema> <m>`` — run the P-XML preprocessor on a module
   (Fig. 9), printing the rewritten source,
 * ``cache stats|clear``       — inspect or empty the compilation cache.
@@ -68,10 +70,26 @@ def main(argv: list[str] | None = None) -> int:
     python_command.add_argument("schema")
 
     validate_command = commands.add_parser(
-        "validate", help="validate a document against a schema (runtime path)"
+        "validate",
+        help="validate documents against a schema (runtime path; several "
+        "documents or --jobs/--report switch to the bulk ingest pipeline)",
     )
     validate_command.add_argument("schema")
-    validate_command.add_argument("document")
+    validate_command.add_argument("documents", nargs="+")
+    validate_command.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="validate with N worker processes (bulk mode; workers "
+        "warm-start their schema binding from the compilation cache)",
+    )
+    validate_command.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the bulk-mode JSON report to PATH ('-' for stdout)",
+    )
 
     preprocess_command = commands.add_parser(
         "preprocess", help="statically check and rewrite a P-XML module"
@@ -125,6 +143,41 @@ def _make_cache(arguments: argparse.Namespace) -> ReproCache | None:
         return ReproCache()
 
 
+def _bulk_validate(
+    arguments: argparse.Namespace, schema_text: str, cache: ReproCache | None
+) -> int:
+    """``validate`` in bulk mode: the fused ingest path over a file list."""
+    from repro.ingest import validate_files
+
+    report = validate_files(
+        schema_text,
+        arguments.documents,
+        jobs=max(1, arguments.jobs),
+        cache_dir=cache.directory if cache is not None else None,
+        schema_label=arguments.schema,
+    )
+    for record in report["files"]:
+        if record["valid"]:
+            note = " (cached)" if record["cached"] else ""
+            print(f"ok   {record['path']} [{record['ms']}ms]{note}")
+        else:
+            print(f"FAIL {record['path']}: {record['error']}")
+    summary = report["summary"]
+    print(
+        f"{summary['documents']} document(s): {summary['valid']} valid, "
+        f"{summary['invalid']} invalid "
+        f"({report['jobs']} job(s), {summary['elapsed_ms']}ms)"
+    )
+    if arguments.report == "-":
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    elif arguments.report is not None:
+        with open(arguments.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report written to {arguments.report}")
+    return 0 if summary["invalid"] == 0 else 1
+
+
 def _dispatch(arguments: argparse.Namespace) -> int:
     cache = _make_cache(arguments)
     if arguments.command == "idl":
@@ -148,13 +201,20 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         return 0
     if arguments.command == "validate":
         text = _read(arguments.schema)
+        bulk = (
+            len(arguments.documents) > 1
+            or arguments.jobs > 1
+            or arguments.report is not None
+        )
+        if bulk:
+            return _bulk_validate(arguments, text, cache)
         if cache is not None:
             schema = cache.schema(text)
         else:
             from repro.xsd import parse_schema
 
             schema = parse_schema(text)
-        document = parse_document(_read(arguments.document))
+        document = parse_document(_read(arguments.documents[0]))
         errors = SchemaValidator(schema).validate(document)
         for error in errors:
             print(error)

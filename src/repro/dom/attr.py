@@ -96,6 +96,23 @@ class NamedNodeMap:
         self._attrs[attr.name] = attr
         return previous
 
+    def _install(self, name: str, value: str) -> None:
+        """Trusted fast path: attach a fresh attribute without re-checks.
+
+        For builders whose *name* already passed the parser's Name
+        production (identical to ``is_name``) and is not yet present:
+        skips ``Attr.__init__``'s name validation and the displacement
+        and ownership logic of :meth:`set_named_item`.
+        """
+        attr = Attr.__new__(Attr)
+        attr._owner_document = None
+        attr._parent = None
+        attr._children = []
+        attr._name = name
+        attr.value = value
+        attr._owner_element = self._owner
+        self._attrs[name] = attr
+
     def remove_named_item(self, name: str) -> Attr:
         try:
             attr = self._attrs.pop(name)

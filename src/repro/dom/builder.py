@@ -27,6 +27,11 @@ def parse_document(
 
     CDATA sections become :class:`~repro.dom.charnodes.CDATASection`
     nodes so the original notation round-trips through the serializer.
+
+    Events are consumed lazily, one at a time, straight off the pull
+    parser — no event list is ever materialized.  Attribute names come
+    from the parser's Name production (the same check ``Attr`` runs), so
+    they are installed through the trusted fast path.
     """
     document = Document()
     open_nodes: list[Node] = [document]
@@ -34,8 +39,9 @@ def parse_document(
         current = open_nodes[-1]
         if isinstance(event, StartElement):
             element = document.create_element(event.name)
+            attributes = element.attributes
             for name, value in event.attributes:
-                element.set_attribute(name, value)
+                attributes._install(name, value)
             current.append_child(element)
             open_nodes.append(element)
         elif isinstance(event, EndElement):

@@ -18,17 +18,68 @@ paper's stages:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass(frozen=True, order=True)
 class Location:
-    """A position in a source text (1-based line/column, 0-based offset)."""
+    """A position in a source text (1-based line/column, 0-based offset).
 
-    line: int = 1
-    column: int = 1
-    offset: int = 0
-    source: str | None = None
+    Hand-rolled rather than a frozen dataclass: one instance is built
+    per parser event on the ingest hot path, and the generated frozen
+    ``__init__`` pays an ``object.__setattr__`` call per field where a
+    plain slot store suffices.  Equality, ordering, hashing, and repr
+    keep the exact shapes ``dataclass(frozen=True, order=True)`` would
+    generate.
+    """
+
+    __slots__ = ("line", "column", "offset", "source")
+
+    def __init__(
+        self,
+        line: int = 1,
+        column: int = 1,
+        offset: int = 0,
+        source: str | None = None,
+    ):
+        self.line = line
+        self.column = column
+        self.offset = offset
+        self.source = source
+
+    def _astuple(self) -> tuple:
+        return (self.line, self.column, self.offset, self.source)
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is Location:
+            return self._astuple() == other._astuple()
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        if other.__class__ is Location:
+            return self._astuple() < other._astuple()
+        return NotImplemented
+
+    def __le__(self, other) -> bool:
+        if other.__class__ is Location:
+            return self._astuple() <= other._astuple()
+        return NotImplemented
+
+    def __gt__(self, other) -> bool:
+        if other.__class__ is Location:
+            return self._astuple() > other._astuple()
+        return NotImplemented
+
+    def __ge__(self, other) -> bool:
+        if other.__class__ is Location:
+            return self._astuple() >= other._astuple()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"Location(line={self.line!r}, column={self.column!r}, "
+            f"offset={self.offset!r}, source={self.source!r})"
+        )
 
     def __str__(self) -> str:
         prefix = f"{self.source}:" if self.source else ""

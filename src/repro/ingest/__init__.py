@@ -1,0 +1,33 @@
+"""High-throughput ingest: fused parse-to-typed-tree + bulk validation.
+
+Two entry points:
+
+* :func:`parse_typed` / :func:`ingest` — one document to a typed V-DOM
+  tree in a single pass (events drive the content-model DFAs during
+  parsing; no generic DOM intermediate), with transparent fallback to
+  the legacy parse → build → bind route for documents the fused walk
+  does not cover;
+* :func:`validate_files` — a whole corpus through a multiprocessing
+  pool of workers warm-started from the persistent compilation cache,
+  aggregated into a JSON-ready report.
+"""
+
+from repro.ingest.bulk import validate_files
+from repro.ingest.fused import (
+    IngestFallback,
+    IngestResult,
+    fused_parse,
+    ingest,
+    legacy_parse,
+    parse_typed,
+)
+
+__all__ = [
+    "IngestFallback",
+    "IngestResult",
+    "fused_parse",
+    "ingest",
+    "legacy_parse",
+    "parse_typed",
+    "validate_files",
+]

@@ -17,7 +17,7 @@ from repro.xml.events import (
     StartElement,
     XmlDeclaration,
 )
-from repro.xml.parser import PullParser, parse_events
+from repro.xml.parser import PullParser, iter_events, parse_events
 from repro.xml.qname import QName, split_qname
 from repro.xml.serializer import attribute_string, start_tag
 
@@ -38,6 +38,7 @@ __all__ = [
     "is_name_char",
     "is_name_start_char",
     "is_nmtoken",
+    "iter_events",
     "parse_events",
     "split_qname",
     "start_tag",

@@ -14,6 +14,8 @@ independent of the Python unicode database version.
 
 from __future__ import annotations
 
+import functools
+
 # NameStartChar ranges, XML 1.0 5th edition production [4].
 _NAME_START_RANGES: tuple[tuple[int, int], ...] = (
     (ord(":"), ord(":")),
@@ -124,16 +126,24 @@ def re_escape_char(char: str) -> str:
     return char
 
 
+@functools.lru_cache(maxsize=None)
 def name_start_class() -> str:
     """Regex-class body matching ``NameStartChar`` (for ``\\i``)."""
     return _ranges_to_class(_NAME_START_RANGES)
 
 
+@functools.lru_cache(maxsize=None)
 def name_char_class() -> str:
     """Regex-class body matching ``NameChar`` (for ``\\c``)."""
     return _ranges_to_class(_NAME_START_RANGES) + _ranges_to_class(
         _NAME_EXTRA_RANGES
     )
+
+
+@functools.lru_cache(maxsize=None)
+def char_class() -> str:
+    """Regex-class body matching the ``Char`` production (legal chars)."""
+    return _ranges_to_class(_CHAR_RANGES)
 
 
 def collapse_whitespace(text: str) -> str:

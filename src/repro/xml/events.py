@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from repro.errors import Location
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class XmlDeclaration:
     """``<?xml version=... encoding=... standalone=...?>``"""
 
@@ -23,7 +23,7 @@ class XmlDeclaration:
     location: Location = field(default_factory=Location, compare=False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DoctypeDecl:
     """``<!DOCTYPE name ...>`` with the raw internal subset, if any."""
 
@@ -34,7 +34,7 @@ class DoctypeDecl:
     location: Location = field(default_factory=Location, compare=False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StartElement:
     """A start tag (or the start half of an empty-element tag)."""
 
@@ -52,7 +52,7 @@ class StartElement:
         return default
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EndElement:
     """An end tag (synthesized for empty-element tags)."""
 
@@ -60,7 +60,7 @@ class EndElement:
     location: Location = field(default_factory=Location, compare=False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Characters:
     """Character data; ``cdata`` marks text from a CDATA section."""
 
@@ -69,7 +69,7 @@ class Characters:
     location: Location = field(default_factory=Location, compare=False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Comment:
     """``<!-- data -->``"""
 
@@ -77,7 +77,7 @@ class Comment:
     location: Location = field(default_factory=Location, compare=False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProcessingInstruction:
     """``<?target data?>``"""
 

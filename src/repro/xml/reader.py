@@ -2,32 +2,97 @@
 
 Shared by the XML parser, the DTD parser, and the P-XML template parser so
 every error in the stack carries an exact line/column.
+
+The cursor is optimized for the ingest hot path: ``advance`` is a plain
+offset bump, names and white-space runs are consumed with compiled
+regexes (one C-level scan instead of a Python loop per character), and
+line/column bookkeeping is *lazy* — nothing counts newlines until a
+:meth:`location` is actually requested, at which point the count resumes
+from the last anchor so the total work stays one pass over the text.
+The observable values are identical to eager per-character tracking
+(``tests/xml/test_scanner_parity.py`` holds the two to the same answers).
 """
 
 from __future__ import annotations
 
+import re
+import sys
+
 from repro.errors import Location, XmlSyntaxError
-from repro.xml.chars import is_name_char, is_name_start_char, is_space
+from repro.xml.chars import name_char_class, name_start_class
+
+#: one white-space run (the XML ``S`` production, greedily)
+_SPACE_RUN = re.compile(r"[ \t\r\n]+")
+
+#: one XML Name (productions 4/4a/5), compiled from the same ranges the
+#: character-class predicates in :mod:`repro.xml.chars` use
+_NAME = re.compile(f"[{name_start_class()}][{name_char_class()}]*")
+
+_intern = sys.intern
 
 
 class Reader:
-    """Sequential reader with line/column bookkeeping."""
+    """Sequential reader with (lazily computed) line/column bookkeeping."""
 
     def __init__(self, text: str, source: str | None = None):
         self._text = text
         self._length = len(text)
         self._source = source
         self.offset = 0
-        self.line = 1
-        self.column = 1
+        # Anchor of the last line/column computation: everything before
+        # ``_anchor_offset`` has been counted into ``_anchor_line``, and
+        # ``_line_start`` is the offset just after that line's newline.
+        self._anchor_offset = 0
+        self._anchor_line = 1
+        self._line_start = 0
 
     @property
     def text(self) -> str:
         return self._text
 
+    def _line_column(self) -> tuple[int, int]:
+        offset = self.offset
+        anchor = self._anchor_offset
+        if offset > anchor:
+            newlines = self._text.count("\n", anchor, offset)
+            if newlines:
+                self._anchor_line += newlines
+                self._line_start = self._text.rfind("\n", anchor, offset) + 1
+            self._anchor_offset = offset
+        elif offset < anchor:  # pragma: no cover - parsers only move forward
+            self._anchor_line = self._text.count("\n", 0, offset) + 1
+            self._line_start = self._text.rfind("\n", 0, offset) + 1
+            self._anchor_offset = offset
+        return self._anchor_line, offset - self._line_start + 1
+
+    @property
+    def line(self) -> int:
+        return self._line_column()[0]
+
+    @property
+    def column(self) -> int:
+        return self._line_column()[1]
+
     def location(self) -> Location:
-        """The location of the *next* character to be read."""
-        return Location(self.line, self.column, self.offset, self._source)
+        """The location of the *next* character to be read.
+
+        The forward-anchor advance of :meth:`_line_column` is inlined:
+        this runs once per parser event, and the extra method call is
+        measurable on the ingest hot path.
+        """
+        offset = self.offset
+        anchor = self._anchor_offset
+        if offset > anchor:
+            newlines = self._text.count("\n", anchor, offset)
+            if newlines:
+                self._anchor_line += newlines
+                self._line_start = self._text.rfind("\n", anchor, offset) + 1
+            self._anchor_offset = offset
+        elif offset < anchor:  # pragma: no cover - parsers only move forward
+            self._line_column()
+        return Location(
+            self._anchor_line, offset - self._line_start + 1, offset, self._source
+        )
 
     def at_end(self) -> bool:
         return self.offset >= self._length
@@ -42,44 +107,38 @@ class Reader:
     def advance(self, count: int = 1) -> str:
         """Consume and return *count* characters (fewer at end of input)."""
         chunk = self._text[self.offset : self.offset + count]
-        for char in chunk:
-            if char == "\n":
-                self.line += 1
-                self.column = 1
-            else:
-                self.column += 1
         self.offset += len(chunk)
         return chunk
 
     def expect(self, literal: str, context: str) -> None:
         """Consume *literal* or raise a syntax error mentioning *context*."""
-        if not self.looking_at(literal):
+        if not self._text.startswith(literal, self.offset):
             found = self.peek(len(literal)) or "end of input"
             raise XmlSyntaxError(
                 f"expected '{literal}' {context}, found '{found}'", self.location()
             )
-        self.advance(len(literal))
+        self.offset += len(literal)
 
     def skip_space(self) -> bool:
         """Consume a run of white space; return whether any was consumed."""
-        start = self.offset
-        while not self.at_end() and is_space(self._text[self.offset]):
-            self.advance(1)
-        return self.offset > start
+        match = _SPACE_RUN.match(self._text, self.offset)
+        if match is None:
+            return False
+        self.offset = match.end()
+        return True
 
     def require_space(self, context: str) -> None:
         if not self.skip_space():
             raise XmlSyntaxError(f"expected white space {context}", self.location())
 
     def read_name(self, context: str = "") -> str:
-        """Consume an XML Name."""
-        if self.at_end() or not is_name_start_char(self._text[self.offset]):
+        """Consume an XML Name (interned: names repeat heavily)."""
+        match = _NAME.match(self._text, self.offset)
+        if match is None:
             what = f" {context}" if context else ""
             raise XmlSyntaxError(f"expected a name{what}", self.location())
-        start = self.offset
-        while not self.at_end() and is_name_char(self._text[self.offset]):
-            self.advance(1)
-        return self._text[start : self.offset]
+        self.offset = match.end()
+        return _intern(match.group())
 
     def read_until(self, terminator: str, context: str) -> str:
         """Consume text up to *terminator*, consuming the terminator too."""
@@ -89,7 +148,7 @@ class Reader:
                 f"unterminated {context} (missing '{terminator}')", self.location()
             )
         chunk = self._text[self.offset : end]
-        self.advance(len(chunk) + len(terminator))
+        self.offset = end + len(terminator)
         return chunk
 
     def read_quoted(self, context: str) -> str:
@@ -97,5 +156,5 @@ class Reader:
         quote = self.peek()
         if quote not in ("'", '"'):
             raise XmlSyntaxError(f"expected quoted literal {context}", self.location())
-        self.advance(1)
+        self.offset += 1
         return self.read_until(quote, context)

@@ -1,29 +1,26 @@
-"""A well-formedness-checking pull parser for XML 1.0.
+"""The character-stepping reference parser — the fast scanner's oracle.
 
-The parser is a generator of :mod:`repro.xml.events` values.  It enforces
-the well-formedness constraints the paper's Sect. 2 distinguishes from
-validity: balanced tags, a single root element, unique attributes, legal
-names and characters, resolvable entity references.  Validity — the
-stronger property — is checked by the layers above (DTD, XSD, V-DOM).
+This module preserves the seed implementation of the pull parser: a
+cursor that advances one character at a time, updating line/column on
+every step, with no bulk scanning, no interning, and no laziness.  It is
+deliberately *slow and obvious*; :mod:`repro.xml.parser` reimplements the
+hot loops with compiled-regex / ``str.find`` slice scanning and must stay
+byte-for-byte, event-for-event, error-for-error equivalent to this one.
 
-The hot loops scan in bulk: character-data runs, names, and white space
-are consumed as slices located by compiled regexes and ``str.find``
-rather than per-character stepping, and line/column positions are
-computed lazily by the :class:`~repro.xml.reader.Reader`.  The
-character-stepping original survives as
-:mod:`repro.xml.reference` — the oracle the parity tests hold this
-implementation to, event for event and error for error.
+``tests/xml/test_scanner_parity.py`` enforces that equivalence on a
+golden corpus (CDATA, entity references, attribute normalization,
+``]]>`` / comment edge cases), including identical exception types,
+messages, and locations.  Keep this module frozen unless the XML
+semantics themselves are meant to change — in that case change both
+parsers and let the parity suite arbitrate.
 """
 
 from __future__ import annotations
 
-import re
-import sys
-
 from collections.abc import Iterator
 
 from repro.errors import Location, XmlSyntaxError
-from repro.xml.chars import char_class, name_char_class, name_start_class
+from repro.xml.chars import is_name_char, is_name_start_char, is_space, is_xml_char
 from repro.xml.entities import decode_char_reference, resolve_reference
 from repro.xml.events import (
     Characters,
@@ -35,50 +32,100 @@ from repro.xml.events import (
     StartElement,
     XmlDeclaration,
 )
-from repro.xml.reader import Reader
 
 _MAX_ENTITY_DEPTH = 16
 
-#: the next markup or reference inside a character-data run
-_TEXT_DELIM = re.compile(r"[<&]")
 
-#: any character outside the ``Char`` production (one C-level scan
-#: replaces the per-character ``is_xml_char`` loop)
-_ILLEGAL_CHAR = re.compile(f"[^{char_class()}]")
+class ReferenceReader:
+    """The seed ``Reader``: eager per-character line/column bookkeeping."""
 
-#: attribute values containing none of these need no normalization at
-#: all — no references to resolve, no white space to fold, no '<' error
-_ATTR_SPECIAL = re.compile(r"[&<\t\n\r]")
+    def __init__(self, text: str, source: str | None = None):
+        self._text = text
+        self._length = len(text)
+        self._source = source
+        self.offset = 0
+        self.line = 1
+        self.column = 1
 
-#: one complete, already-normalized attribute: leading space, a Name, '=',
-#: a double-quoted value containing nothing _ATTR_SPECIAL matches.  One
-#: C-level match consumes the whole attribute; anything else (single
-#: quotes, references, errors) drops to the generic loop for exact parity.
-_ATTR_QUICK = re.compile(
-    f"[ \\t\\r\\n]+([{name_start_class()}][{name_char_class()}]*)"
-    '[ \\t\\r\\n]*=[ \\t\\r\\n]*"([^"&<\\t\\n\\r]*)"'
-)
+    @property
+    def text(self) -> str:
+        return self._text
 
-_intern = sys.intern
+    def location(self) -> Location:
+        return Location(self.line, self.column, self.offset, self._source)
+
+    def at_end(self) -> bool:
+        return self.offset >= self._length
+
+    def peek(self, count: int = 1) -> str:
+        return self._text[self.offset : self.offset + count]
+
+    def looking_at(self, literal: str) -> bool:
+        return self._text.startswith(literal, self.offset)
+
+    def advance(self, count: int = 1) -> str:
+        chunk = self._text[self.offset : self.offset + count]
+        for char in chunk:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.offset += len(chunk)
+        return chunk
+
+    def expect(self, literal: str, context: str) -> None:
+        if not self.looking_at(literal):
+            found = self.peek(len(literal)) or "end of input"
+            raise XmlSyntaxError(
+                f"expected '{literal}' {context}, found '{found}'", self.location()
+            )
+        self.advance(len(literal))
+
+    def skip_space(self) -> bool:
+        start = self.offset
+        while not self.at_end() and is_space(self._text[self.offset]):
+            self.advance(1)
+        return self.offset > start
+
+    def require_space(self, context: str) -> None:
+        if not self.skip_space():
+            raise XmlSyntaxError(f"expected white space {context}", self.location())
+
+    def read_name(self, context: str = "") -> str:
+        if self.at_end() or not is_name_start_char(self._text[self.offset]):
+            what = f" {context}" if context else ""
+            raise XmlSyntaxError(f"expected a name{what}", self.location())
+        start = self.offset
+        while not self.at_end() and is_name_char(self._text[self.offset]):
+            self.advance(1)
+        return self._text[start : self.offset]
+
+    def read_until(self, terminator: str, context: str) -> str:
+        end = self._text.find(terminator, self.offset)
+        if end < 0:
+            raise XmlSyntaxError(
+                f"unterminated {context} (missing '{terminator}')", self.location()
+            )
+        chunk = self._text[self.offset : end]
+        self.advance(len(chunk) + len(terminator))
+        return chunk
+
+    def read_quoted(self, context: str) -> str:
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise XmlSyntaxError(f"expected quoted literal {context}", self.location())
+        self.advance(1)
+        return self.read_until(quote, context)
 
 
-class PullParser:
-    """Parse *text* into an event stream.
-
-    Usage::
-
-        for event in PullParser(text):
-            ...
-
-    The iterator raises :class:`~repro.errors.XmlSyntaxError` on the first
-    well-formedness violation.  General entities declared in an internal
-    DTD subset are honoured for content and attribute values.
-    """
+class ReferencePullParser:
+    """The seed character-stepping parser of *text* into an event stream."""
 
     def __init__(self, text: str, source: str | None = None):
         if text.startswith("﻿"):
             text = text[1:]
-        self._reader = Reader(text, source)
+        self._reader = ReferenceReader(text, source)
         self._entities: dict[str, str] = {}
 
     def __iter__(self) -> Iterator[Event]:
@@ -238,11 +285,6 @@ class PullParser:
         return DoctypeDecl(name, public_id, system_id, internal_subset, location)
 
     def _read_internal_subset(self) -> str:
-        """Consume text up to the ']' closing the internal subset.
-
-        Quoted literals and comments inside the subset may contain ']', so
-        a small scanner is needed rather than a plain find.
-        """
         reader = self._reader
         start = reader.offset
         while not reader.at_end():
@@ -264,27 +306,22 @@ class PullParser:
         )
 
     def _declare_subset_entities(self, subset: str, location: Location) -> None:
-        """Extract ``<!ENTITY name "value">`` declarations for later use."""
-        inner = Reader(subset)
+        inner = ReferenceReader(subset)
         while not inner.at_end():
             if inner.looking_at("<!ENTITY"):
                 inner.advance(len("<!ENTITY"))
                 inner.require_space("after '<!ENTITY'")
                 if inner.looking_at("%"):
-                    # Parameter entities only matter inside the DTD itself;
-                    # the DTD package handles them.
                     inner.read_until(">", "parameter entity declaration")
                     continue
                 name = inner.read_name("as an entity name")
                 inner.require_space("after the entity name")
                 if inner.looking_at("SYSTEM") or inner.looking_at("PUBLIC"):
-                    # External entities are not fetched (no I/O here).
                     inner.read_until(">", "external entity declaration")
                     continue
                 value = inner.read_quoted("as an entity value")
                 inner.skip_space()
                 inner.expect(">", "to close the entity declaration")
-                # First declaration binds (XML 1.0 Sect. 4.2).
                 self._entities.setdefault(
                     name, self._expand_entity_value(value, location)
                 )
@@ -295,11 +332,6 @@ class PullParser:
                 inner.advance(1)
 
     def _expand_entity_value(self, value: str, location: Location) -> str:
-        """Resolve character references inside an entity value now.
-
-        General-entity references inside the value stay textual and are
-        expanded at use time, which lets us detect recursion.
-        """
         pieces: list[str] = []
         index = 0
         while True:
@@ -319,37 +351,18 @@ class PullParser:
     # -- elements ------------------------------------------------------------
 
     def _parse_element(self) -> Iterator[Event]:
-        """Parse one element and all of its content, iteratively.
-
-        Depth is tracked with an explicit ``open_tags`` stack (never the
-        Python call stack), so nesting is bounded by memory alone — the
-        10,000-deep regression test in ``tests/xml`` pins that down.
-        Dispatch looks at the next one or two characters directly
-        instead of running a ``looking_at`` ladder per content item.
-        """
         reader = self._reader
-        text = reader.text
-        length = len(text)
         open_tags: list[str] = []
         while True:
-            offset = reader.offset
-            if offset >= length:
+            if reader.at_end():
                 raise XmlSyntaxError(
                     f"unexpected end of input; <{open_tags[-1]}> is not "
                     "closed" if open_tags else "unexpected end of input",
                     reader.location(),
                 )
-            if text[offset] != "<":
-                if not open_tags:
-                    raise XmlSyntaxError(
-                        "expected an element", reader.location()
-                    )
-                yield self._parse_characters()
-                continue
-            after = text[offset + 1] if offset + 1 < length else ""
-            if after == "/":
+            if reader.looking_at("</"):
                 location = reader.location()
-                reader.offset = offset + 2
+                reader.advance(2)
                 name = reader.read_name("in an end tag")
                 reader.skip_space()
                 reader.expect(">", "to close the end tag")
@@ -365,19 +378,17 @@ class PullParser:
                 yield EndElement(name, location)
                 if not open_tags:
                     return
-            elif after == "!":
-                if text.startswith("<!--", offset):
-                    yield self._parse_comment()
-                elif text.startswith("<![CDATA[", offset):
-                    yield self._parse_cdata()
-                else:
-                    raise XmlSyntaxError(
-                        "markup declaration inside element content",
-                        reader.location(),
-                    )
-            elif after == "?":
+            elif reader.looking_at("<!--"):
+                yield self._parse_comment()
+            elif reader.looking_at("<![CDATA["):
+                yield self._parse_cdata()
+            elif reader.looking_at("<?"):
                 yield self._parse_processing_instruction()
-            else:
+            elif reader.looking_at("<!"):
+                raise XmlSyntaxError(
+                    "markup declaration inside element content", reader.location()
+                )
+            elif reader.looking_at("<"):
                 start, end = self._parse_start_tag()
                 yield start
                 if end is not None:
@@ -386,42 +397,30 @@ class PullParser:
                         return
                 else:
                     open_tags.append(start.name)
+            else:
+                if not open_tags:
+                    raise XmlSyntaxError(
+                        "expected an element", reader.location()
+                    )
+                yield self._parse_characters()
 
     def _parse_start_tag(self) -> tuple[StartElement, EndElement | None]:
         reader = self._reader
-        text = reader.text
-        length = len(text)
         location = reader.location()
-        # Callers dispatch on a literal '<' before calling, so consuming it
-        # is a plain offset bump.
-        reader.offset += 1
+        reader.expect("<", "to open a start tag")
         name = reader.read_name("in a start tag")
         attributes: list[tuple[str, str]] = []
         seen: set[str] = set()
         while True:
-            match = _ATTR_QUICK.match(text, reader.offset)
-            if match is not None:
-                attr_name = match.group(1)
-                value = match.group(2)
-                if attr_name not in seen and _ILLEGAL_CHAR.search(value) is None:
-                    seen.add(attr_name)
-                    attributes.append((_intern(attr_name), value))
-                    reader.offset = match.end()
-                    continue
-                # Duplicate name or illegal character: re-walk this
-                # attribute through the generic path below so the error
-                # (type, message, location) matches the reference parser.
             had_space = reader.skip_space()
-            offset = reader.offset
-            char = text[offset] if offset < length else ""
-            if char == ">":
-                reader.offset = offset + 1
-                return StartElement(name, tuple(attributes), False, location), None
-            if char == "/" and text.startswith("/>", offset):
-                reader.offset = offset + 2
+            if reader.looking_at("/>"):
+                reader.advance(2)
                 start = StartElement(name, tuple(attributes), True, location)
                 return start, EndElement(name, location)
-            if offset >= length:
+            if reader.looking_at(">"):
+                reader.advance(1)
+                return StartElement(name, tuple(attributes), False, location), None
+            if reader.at_end():
                 raise XmlSyntaxError(f"unterminated start tag <{name}>", location)
             if not had_space:
                 raise XmlSyntaxError(
@@ -445,24 +444,11 @@ class PullParser:
     def _normalize_attribute(
         self, raw: str, location: Location, depth: int = 0
     ) -> str:
-        """Resolve references and apply attribute-value normalization.
-
-        Per XML 1.0 §3.3.3, literal white space becomes a space, but
-        characters arriving via *character references* are appended
-        verbatim (``&#10;`` stays a newline), and a ``<`` smuggled in
-        through an entity is a well-formedness error just like a
-        literal one.
-        """
         if depth > _MAX_ENTITY_DEPTH:
             raise XmlSyntaxError(
                 "entity expansion nested too deeply (recursive entity?)",
                 location,
             )
-        if _ATTR_SPECIAL.search(raw) is None:
-            # Common case: nothing to resolve or normalize.  The value is
-            # returned as-is after the same legality scan the slow path runs.
-            self._check_chars(raw, location)
-            return raw
         if "<" in raw:
             raise XmlSyntaxError("'<' is not allowed in attribute values", location)
         self._check_chars(raw, location)
@@ -485,8 +471,6 @@ class PullParser:
                         body, self._entities, location
                     )
                     if body in self._entities:
-                        # Entity replacement text is processed recursively,
-                        # with its own literal whitespace normalized.
                         pieces.append(
                             self._normalize_attribute(
                                 replacement, location, depth + 1
@@ -504,70 +488,25 @@ class PullParser:
         return "".join(pieces)
 
     def _parse_characters(self) -> Characters:
-        """Consume one character-data run up to the next ``<``.
-
-        The run is eaten in whole slices between markup/reference
-        delimiters; ``]]>`` and illegal characters are found with
-        compiled scans, and whichever problem occurs first in document
-        order is reported — exactly as the character-stepping reference
-        parser would.
-        """
         reader = self._reader
-        text = reader.text
-        length = len(text)
         location = reader.location()
-        offset = reader.offset
-        delimiter = _TEXT_DELIM.search(text, offset)
-        if delimiter is None or delimiter.group() == "<":
-            # Single-slice run with no references — the overwhelmingly
-            # common case (indentation and plain text between tags).
-            stop = delimiter.start() if delimiter is not None else length
-            run = text[offset:stop]
-            cdata_end = run.find("]]>")
-            bad = _ILLEGAL_CHAR.search(run)
-            if cdata_end >= 0 and (bad is None or cdata_end < bad.start()):
-                reader.offset = offset + cdata_end
-                raise XmlSyntaxError(
-                    "']]>' is not allowed in character data", reader.location()
-                )
-            if bad is not None:
-                reader.offset = offset + bad.start()
-                raise XmlSyntaxError(
-                    f"illegal character U+{ord(bad.group()):04X}",
-                    reader.location(),
-                )
-            reader.offset = stop
-            return Characters(run, False, location)
         pieces: list[str] = []
-        while offset < length:
-            char = text[offset]
-            if char == "<":
-                break
+        while not reader.at_end() and not reader.looking_at("<"):
+            char = reader.peek()
             if char == "&":
-                reader.offset = offset + 1
+                reader.advance(1)
                 body = reader.read_until(";", "reference")
                 pieces.append(self._resolve_general(body, location, depth=0))
-                offset = reader.offset
-                continue
-            delimiter = _TEXT_DELIM.search(text, offset)
-            stop = delimiter.start() if delimiter is not None else length
-            run = text[offset:stop]
-            cdata_end = run.find("]]>")
-            bad = _ILLEGAL_CHAR.search(run)
-            if cdata_end >= 0 and (bad is None or cdata_end < bad.start()):
-                reader.offset = offset + cdata_end
+            elif char == "]" and reader.looking_at("]]>"):
                 raise XmlSyntaxError(
                     "']]>' is not allowed in character data", reader.location()
                 )
-            if bad is not None:
-                reader.offset = offset + bad.start()
-                raise XmlSyntaxError(
-                    f"illegal character U+{ord(bad.group()):04X}",
-                    reader.location(),
-                )
-            pieces.append(run)
-            offset = stop
-        reader.offset = offset
+            else:
+                if not is_xml_char(char):
+                    raise XmlSyntaxError(
+                        f"illegal character U+{ord(char):04X}", reader.location()
+                    )
+                pieces.append(reader.advance(1))
         return Characters("".join(pieces), False, location)
 
     def _parse_cdata(self) -> Characters:
@@ -590,7 +529,6 @@ class PullParser:
         replacement = resolve_reference(body, self._entities, location)
         if body.startswith("#") or body not in self._entities:
             return replacement
-        # Replacement text of a declared entity may itself contain references.
         return self._expand_references(replacement, location, depth + 1)
 
     def _expand_references(self, text: str, location: Location, depth: int) -> str:
@@ -611,28 +549,13 @@ class PullParser:
             index = semi + 1
 
     def _check_chars(self, text: str, location: Location) -> None:
-        bad = _ILLEGAL_CHAR.search(text)
-        if bad is not None:
-            raise XmlSyntaxError(
-                f"illegal character U+{ord(bad.group()):04X}", location
-            )
+        for char in text:
+            if not is_xml_char(char):
+                raise XmlSyntaxError(
+                    f"illegal character U+{ord(char):04X}", location
+                )
 
 
-def iter_events(text: str, source: str | None = None) -> Iterator[Event]:
-    """Iterate parse events lazily — nothing is materialized up front.
-
-    This is the form every streaming consumer should use (and what
-    :func:`repro.dom.builder.parse_document` and the streaming schema
-    validator do): each event is produced on demand, so a consumer that
-    stops early never pays for the rest of the document.
-    """
-    return iter(PullParser(text, source))
-
-
-def parse_events(text: str, source: str | None = None) -> list[Event]:
-    """Parse *text* completely and return the materialized event list.
-
-    Convenience for tests and tools that need random access; hot paths
-    iterate :class:`PullParser` (or :func:`iter_events`) directly.
-    """
-    return list(PullParser(text, source))
+def reference_events(text: str, source: str | None = None) -> list[Event]:
+    """Parse *text* completely with the reference parser."""
+    return list(ReferencePullParser(text, source))

@@ -192,6 +192,11 @@ class ComplexType:
     attribute_uses: dict[str, AttributeUse] = field(default_factory=dict)
     #: unresolved attribute-group references
     attribute_group_refs: list[str] = field(default_factory=list)
+    #: memo for :meth:`effective_attribute_uses`, guarded by the local
+    #: use count so incremental additions (DTD ATTLIST) stay visible
+    _uses_cache: tuple[int, dict[str, AttributeUse]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def content_type(self) -> ContentType:
@@ -224,11 +229,22 @@ class ComplexType:
         return Particle(combined)
 
     def effective_attribute_uses(self) -> dict[str, AttributeUse]:
-        """Attribute uses including those inherited from the base chain."""
+        """Attribute uses including those inherited from the base chain.
+
+        Memoized — validation consults this per element on the ingest
+        hot path.  Callers must treat the result as read-only.
+        """
+        # getattr: instances unpickled from artifacts written before this
+        # field existed have no ``_uses_cache`` in their ``__dict__``
+        cache = getattr(self, "_uses_cache", None)
+        count = len(self.attribute_uses)
+        if cache is not None and cache[0] == count:
+            return cache[1]
         merged: dict[str, AttributeUse] = {}
         if isinstance(self.base, ComplexType):
             merged.update(self.base.effective_attribute_uses())
         merged.update(self.attribute_uses)
+        self._uses_cache = (count, merged)
         return merged
 
     def is_derived_from(self, other: ComplexType) -> bool:

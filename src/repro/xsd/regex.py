@@ -17,6 +17,7 @@ property escapes (``\\p{...}``) are not supported and raise
 
 from __future__ import annotations
 
+import functools
 import re
 
 from repro.errors import SchemaError, UnsupportedFeatureError
@@ -280,8 +281,13 @@ def translate_pattern(pattern: str) -> str:
     return _Translator(pattern).translate()
 
 
+@functools.lru_cache(maxsize=1024)
 def compile_pattern(pattern: str) -> re.Pattern[str]:
-    """Compile an XSD pattern; match with ``.fullmatch`` (XSD anchoring)."""
+    """Compile an XSD pattern; match with ``.fullmatch`` (XSD anchoring).
+
+    Memoized: pattern facets re-check every literal on the ingest hot
+    path, and translation costs orders of magnitude more than matching.
+    """
     translated = translate_pattern(pattern)
     try:
         return re.compile(translated)

@@ -1,0 +1,150 @@
+"""Bulk validation: report shape, parallel equivalence, verdict caching,
+and the ``vdom-generate validate`` CLI integration."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.ingest import validate_files
+from repro.schemas import PURCHASE_ORDER_DOCUMENT, PURCHASE_ORDER_SCHEMA
+from repro.schemas.purchase_order import PURCHASE_ORDER_INVALID_DOCUMENTS
+
+
+@pytest.fixture()
+def corpus(tmp_path):
+    """Six documents: four valid, one invalid, one unreadable."""
+    paths = []
+    for index in range(4):
+        path = tmp_path / f"ok{index}.xml"
+        path.write_text(PURCHASE_ORDER_DOCUMENT, encoding="utf-8")
+        paths.append(path)
+    bad = tmp_path / "bad.xml"
+    bad.write_text(
+        PURCHASE_ORDER_INVALID_DOCUMENTS["bad-sku"], encoding="utf-8"
+    )
+    paths.append(bad)
+    paths.append(tmp_path / "missing.xml")  # never created
+    return paths
+
+
+class TestValidateFiles:
+    def test_report_shape(self, corpus, tmp_path):
+        report = validate_files(
+            PURCHASE_ORDER_SCHEMA, corpus, schema_label="po.xsd"
+        )
+        assert report["schema"] == "po.xsd"
+        assert report["jobs"] == 1
+        summary = report["summary"]
+        assert summary["documents"] == 6
+        assert summary["valid"] == 4
+        assert summary["invalid"] == 2
+        assert summary["fused"] == 4
+        assert len(report["files"]) == 6
+        for record in report["files"]:
+            assert set(record) == {
+                "path", "valid", "error", "error_type", "fused",
+                "cached", "ms",
+            }
+        by_name = {record["path"].rsplit("/", 1)[-1]: record
+                   for record in report["files"]}
+        assert by_name["bad.xml"]["error_type"] == "VdomTypeError"
+        assert "partNum" in by_name["bad.xml"]["error"]
+        assert by_name["missing.xml"]["error_type"] == "OSError"
+        # The report must be JSON-serializable as-is.
+        json.dumps(report)
+
+    def test_jobs_agree_with_inline(self, corpus):
+        inline = validate_files(PURCHASE_ORDER_SCHEMA, corpus, jobs=1)
+        pooled = validate_files(PURCHASE_ORDER_SCHEMA, corpus, jobs=2)
+        strip = lambda report: [
+            {key: record[key] for key in ("path", "valid", "error", "error_type")}
+            for record in report["files"]
+        ]
+        assert strip(pooled) == strip(inline)
+        assert pooled["jobs"] == 2
+
+    def test_verdict_cache_hits_on_rerun(self, corpus, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = validate_files(
+            PURCHASE_ORDER_SCHEMA, corpus, cache_dir=str(cache_dir)
+        )
+        assert first["summary"]["cached"] == 0
+        second = validate_files(
+            PURCHASE_ORDER_SCHEMA, corpus, cache_dir=str(cache_dir)
+        )
+        # Readable documents (valid *and* invalid) answer from the cache;
+        # the unreadable one is re-attempted every run.
+        assert second["summary"]["cached"] == 5
+        assert second["summary"]["valid"] == first["summary"]["valid"]
+        bad = [r for r in second["files"] if r["path"].endswith("bad.xml")][0]
+        assert bad["cached"] is True
+        assert "partNum" in bad["error"]
+
+    def test_content_change_invalidates_verdict(self, corpus, tmp_path):
+        cache_dir = tmp_path / "cache"
+        validate_files(PURCHASE_ORDER_SCHEMA, corpus, cache_dir=str(cache_dir))
+        corpus[0].write_text(
+            PURCHASE_ORDER_INVALID_DOCUMENTS["bad-quantity"], encoding="utf-8"
+        )
+        report = validate_files(
+            PURCHASE_ORDER_SCHEMA, corpus, cache_dir=str(cache_dir)
+        )
+        changed = [
+            r for r in report["files"] if r["path"].endswith("ok0.xml")
+        ][0]
+        assert changed["cached"] is False
+        assert changed["valid"] is False
+
+
+class TestCli:
+    def _write_schema(self, tmp_path):
+        schema = tmp_path / "po.xsd"
+        schema.write_text(PURCHASE_ORDER_SCHEMA, encoding="utf-8")
+        return schema
+
+    def test_single_document_keeps_validator_output(self, tmp_path, capsys):
+        schema = self._write_schema(tmp_path)
+        doc = tmp_path / "doc.xml"
+        doc.write_text(PURCHASE_ORDER_DOCUMENT, encoding="utf-8")
+        code = main(["--no-cache", "validate", str(schema), str(doc)])
+        assert code == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_bulk_mode_report_and_exit_code(self, tmp_path, capsys):
+        schema = self._write_schema(tmp_path)
+        good = tmp_path / "good.xml"
+        good.write_text(PURCHASE_ORDER_DOCUMENT, encoding="utf-8")
+        bad = tmp_path / "bad.xml"
+        bad.write_text(
+            PURCHASE_ORDER_INVALID_DOCUMENTS["bad-date"], encoding="utf-8"
+        )
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "--cache-dir", str(tmp_path / "cache"),
+                "validate", str(schema), str(good), str(bad),
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert f"ok   {good}" in out
+        assert f"FAIL {bad}" in out
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["summary"]["documents"] == 2
+        assert report["summary"]["invalid"] == 1
+
+    def test_bulk_mode_with_jobs(self, tmp_path, capsys):
+        schema = self._write_schema(tmp_path)
+        docs = []
+        for index in range(3):
+            doc = tmp_path / f"d{index}.xml"
+            doc.write_text(PURCHASE_ORDER_DOCUMENT, encoding="utf-8")
+            docs.append(str(doc))
+        code = main(
+            ["--cache-dir", str(tmp_path / "cache"),
+             "validate", str(schema), *docs, "--jobs", "2"]
+        )
+        assert code == 0
+        assert "3 valid, 0 invalid" in capsys.readouterr().out

@@ -1,0 +1,140 @@
+"""Golden parity: the fast scanner against the character-stepping oracle.
+
+``repro.xml.parser`` rewrites the seed parser's hot loops around bulk
+scanning (compiled regexes, ``str.find`` slices, interned names, lazy
+line/column).  ``repro.xml.reference`` preserves the seed verbatim.  The
+two must be indistinguishable: identical event streams (every field,
+locations included) for well-formed input, identical exception type,
+message, and location for ill-formed input.
+"""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xml import PullParser, parse_events
+from repro.xml.reference import reference_events
+
+WELL_FORMED = {
+    "simple": "<a>hello</a>",
+    "nested": "<a><b><c/></b>tail</a>",
+    "empty-element": "<a/>",
+    "attributes": '<a x="1" y="two" z=""/>',
+    "single-quoted-attributes": "<a x='1' y='two'/>",
+    "attribute-entities": '<a x="a&amp;b&lt;c&gt;d&quot;e&apos;f"/>',
+    "attribute-char-refs": '<a x="&#65;&#x42;"/>',
+    "attribute-whitespace-normalization": '<a x="a\tb\nc\rd"/>',
+    "attribute-spacing": '<a   x  =  "1"   y="2"  />',
+    "text-entities": "<a>&amp;&lt;&gt;&quot;&apos;</a>",
+    "char-references": "<a>&#65;&#x41;&#x1F600;</a>",
+    "cdata": "<a><![CDATA[<not> & markup ]]></a>",
+    "cdata-with-brackets": "<a><![CDATA[a]]b]] >c]]></a>",
+    "cdata-empty": "<a><![CDATA[]]></a>",
+    "text-around-cdata": "<a>x<![CDATA[y]]>z</a>",
+    "lone-brackets-in-text": "<a>a ] b ]] c &gt; d</a>",
+    "comment": "<a><!-- a - b - single hyphens are fine --></a>",
+    "comment-before-root": "<!-- prolog --><a/>",
+    "comment-after-root": "<a/><!-- epilog -->",
+    "processing-instruction": "<a><?target some data?></a>",
+    "pi-no-data": "<a><?target?></a>",
+    "xml-declaration": '<?xml version="1.0" encoding="UTF-8"?><a/>',
+    "standalone": "<?xml version='1.0' standalone='yes'?><a/>",
+    "doctype-system": '<!DOCTYPE a SYSTEM "a.dtd"><a/>',
+    "doctype-internal-subset": "<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>",
+    "mixed-content": "<p>one <b>two</b> three <i>four</i> five</p>",
+    "whitespace-runs": "<a>\n  <b>  spaced  </b>\n  \t\r\n</a>",
+    "unicode-names": "<élément attributé=\"café\"/>",
+    "unicode-text": "<a>日本語 \U0001f600</a>",
+    "colon-names": '<ns:a ns:x="1"><ns:b/></ns:a>',
+    "deep-attributes": '<a a1="1" a2="2" a3="3" a4="4" a5="5" a6="6"/>',
+    "crlf-text": "<a>line1\r\nline2\rline3\nline4</a>",
+}
+
+ILL_FORMED = {
+    "empty-document": "",
+    "no-root": "   \n  ",
+    "junk-before-root": "junk<a/>",
+    "text-after-root": "<a/>tail",
+    "second-root": "<a/><b/>",
+    "unclosed-root": "<a>",
+    "mismatched-end-tag": "<a></b>",
+    "unterminated-start-tag": "<a",
+    "unterminated-start-tag-after-attr": '<a x="1"',
+    "unterminated-end-tag": "<a></a",
+    "bad-name-start": "<1a/>",
+    "bad-attr-no-value": "<a x/>",
+    "bad-attr-no-quotes": "<a x=1/>",
+    "unterminated-attr-value": '<a x="1/>',
+    "duplicate-attribute": '<a x="1" x="2"/>',
+    "attr-missing-space": '<a x="1"y="2"/>',
+    "lt-in-attr-value": '<a x="<"/>',
+    "bare-ampersand": "<a>a & b</a>",
+    "unknown-entity": "<a>&nope;</a>",
+    "unterminated-entity": "<a>&amp</a>",
+    "bad-char-ref": "<a>&#x110000;</a>",
+    "cdata-end-in-text": "<a>a ]]> b</a>",
+    "unterminated-cdata": "<a><![CDATA[x</a>",
+    "unterminated-comment": "<a><!-- x</a>",
+    "double-hyphen-comment": "<a><!-- a -- b --></a>",
+    "unterminated-pi": "<a><?pi x</a>",
+    "pi-reserved-target": "<a><?xml x?></a>",
+    "markup-decl-in-content": "<a><!ELEMENT a EMPTY></a>",
+    "control-character": "<a>\x01</a>",
+    "control-character-in-attr": '<a x="\x01"/>',
+    "end-tag-only": "</a>",
+    "doctype-after-root": "<a/><!DOCTYPE a>",
+}
+
+
+@pytest.mark.parametrize("name", sorted(WELL_FORMED))
+def test_event_stream_identical(name):
+    text = WELL_FORMED[name]
+    fast = parse_events(text, source=f"{name}.xml")
+    slow = reference_events(text, source=f"{name}.xml")
+    assert len(fast) == len(slow)
+    for fast_event, slow_event in zip(fast, slow):
+        assert type(fast_event) is type(slow_event)
+        assert fast_event == slow_event
+        # Locations are excluded from dataclass equality — compare them
+        # explicitly; lazy computation must not drift from the oracle.
+        assert fast_event.location == slow_event.location
+
+
+@pytest.mark.parametrize("name", sorted(ILL_FORMED))
+def test_errors_identical(name):
+    text = ILL_FORMED[name]
+    with pytest.raises(XmlSyntaxError) as fast:
+        parse_events(text, source=f"{name}.xml")
+    with pytest.raises(XmlSyntaxError) as slow:
+        reference_events(text, source=f"{name}.xml")
+    assert type(fast.value) is type(slow.value)
+    assert fast.value.message == slow.value.message
+    assert fast.value.location == slow.value.location
+
+
+def test_lazy_event_consumption():
+    """The pull parser tokenizes on demand, not all at once."""
+    text = "<a><b/><c/>" + "<unclosed>"  # error only at the very end
+    events = iter(PullParser(text))
+    assert next(events).name == "a"  # StartElement before the bad tail
+    with pytest.raises(XmlSyntaxError):
+        for _ in events:
+            pass
+
+
+def test_deeply_nested_document():
+    """10,000-deep nesting parses without hitting the recursion limit."""
+    depth = 10_000
+    text = "".join(f"<e{i}>" for i in range(depth)) + "x" + "".join(
+        f"</e{i}>" for i in reversed(range(depth))
+    )
+    opened = sum(
+        1 for event in PullParser(text) if type(event).__name__ == "StartElement"
+    )
+    assert opened == depth
+
+
+def test_interned_names():
+    """Repeated tag names come back as the same string object."""
+    events = parse_events("<a><b/><b/><b/></a>")
+    names = [e.name for e in events if type(e).__name__ == "StartElement"]
+    assert names[1] is names[2] is names[3]
