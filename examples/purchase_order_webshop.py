@@ -15,7 +15,7 @@ import decimal
 from dataclasses import dataclass
 
 from repro import bind, parse_document, serialize
-from repro.errors import VdomTypeError
+from repro.errors import ReproError, VdomTypeError
 from repro.query import Query
 from repro.schemas import PURCHASE_ORDER_SCHEMA
 
@@ -154,7 +154,7 @@ def main() -> None:
     )
     try:
         shop.ingest(swapped)
-    except Exception as error:
+    except ReproError as error:
         print(f"structurally broken order rejected: {error}")
 
 

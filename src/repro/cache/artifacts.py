@@ -61,7 +61,9 @@ def _loads(payload: bytes) -> Any:
         return _RestrictedUnpickler(io.BytesIO(payload)).load()
     except ArtifactError:
         raise
-    except Exception as error:  # truncated, stale classes, anything
+    # Audited boundary: unpickling corrupt bytes can raise anything
+    # (truncation, stale classes); all of it means "recompile".
+    except Exception as error:  # noqa: BLE001
         raise ArtifactError(f"undecodable cache entry: {error}")
 
 

@@ -28,6 +28,7 @@ import threading
 from collections import OrderedDict
 from typing import Any
 
+from repro import obs
 from repro.cache import artifacts
 from repro.cache.artifacts import ArtifactError
 from repro.cache.fingerprint import fingerprint
@@ -131,6 +132,18 @@ class ReproCache:
         cross-process repeat unpickles the prepared schema + interface
         model (DFAs included) and only re-materializes classes.
         """
+        with obs.timeit("cache.bind"):
+            return self._bind(
+                schema_text, naming, choice_strategy, validate_on_mutate
+            )
+
+    def _bind(
+        self,
+        schema_text: str,
+        naming: Any,
+        choice_strategy: Any,
+        validate_on_mutate: bool,
+    ):
         from repro.core.generate import ChoiceStrategy, generate_interfaces
         from repro.core.normalize import normalize
         from repro.core.vdom import Binding
@@ -152,6 +165,7 @@ class ReproCache:
             if cached is not None:
                 self._bindings.move_to_end((key, validate_on_mutate))
                 self.stats.record_hit("binding")
+                obs.count("cache.bind.outcome", outcome="live")
                 return cached
         payload = self.get_bytes("binding", key)
         if payload is not None:
@@ -162,9 +176,10 @@ class ReproCache:
                 )
                 binding.cache_fingerprint = key
                 self._remember_binding(key, validate_on_mutate, binding)
+                obs.count("cache.bind.outcome", outcome="warm")
                 return binding
             except ArtifactError:
-                self.stats.corrupt_entries += 1
+                self.stats.record_corrupt("binding")
                 self.invalidate(key)
         schema = parse_schema(schema_text)
         normalize(schema, naming)
@@ -176,6 +191,7 @@ class ReproCache:
         binding.cache_fingerprint = key
         self.put_bytes("binding", key, artifacts.dump_binding(schema, model))
         self._remember_binding(key, validate_on_mutate, binding)
+        obs.count("cache.bind.outcome", outcome="compiled")
         return binding
 
     def _remember_binding(self, key: str, flag: bool, binding: Any) -> None:
@@ -201,7 +217,7 @@ class ReproCache:
             try:
                 return artifacts.load_schema(payload)
             except ArtifactError:
-                self.stats.corrupt_entries += 1
+                self.stats.record_corrupt("schema")
                 self.invalidate(key)
         schema = parse_schema(schema_text)
         self.put_bytes("schema", key, artifacts.dump_schema(schema))
@@ -216,7 +232,7 @@ class ReproCache:
         try:
             return artifacts.load_text(payload)
         except ArtifactError:
-            self.stats.corrupt_entries += 1
+            self.stats.record_corrupt(kind)
             self.invalidate(key)
             return None
 
@@ -232,7 +248,7 @@ class ReproCache:
         try:
             return json.loads(text)
         except ValueError:
-            self.stats.corrupt_entries += 1
+            self.stats.record_corrupt(kind)
             self.invalidate(key)
             return None
 

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
+
 
 @dataclass
 class CacheStats:
@@ -34,10 +36,18 @@ class CacheStats:
     def record_hit(self, kind: str) -> None:
         self.hits += 1
         self.by_kind.setdefault(kind, [0, 0])[0] += 1
+        obs.count("cache.hit", kind=kind)
 
     def record_miss(self, kind: str) -> None:
         self.misses += 1
         self.by_kind.setdefault(kind, [0, 0])[1] += 1
+        obs.count("cache.miss", kind=kind)
+
+    def record_corrupt(self, kind: str) -> None:
+        """A stored entry was rejected (truncated, stale format, bad
+        checksum) and recovery fell back to recompilation."""
+        self.corrupt_entries += 1
+        obs.count("cache.corrupt_recovery", kind=kind)
 
     @property
     def hit_rate(self) -> float:

@@ -105,7 +105,7 @@ class DirectoryStore:
             if hashlib.sha256(payload).digest() == digest:
                 return payload
         # Truncated, foreign, or bit-rotted entry: drop it and recompile.
-        self.stats.corrupt_entries += 1
+        self.stats.record_corrupt("store")
         try:
             os.unlink(path)
         except OSError:

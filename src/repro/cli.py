@@ -15,6 +15,12 @@ Schema compilation is cached persistently: ``--cache-dir`` (or the
 ``REPRO_CACHE_DIR`` environment variable) names the directory, which
 defaults to ``.repro-cache``; ``--no-cache`` disables the cache for one
 invocation.
+
+``--stats`` / ``--stats-json PATH`` (accepted both before and after the
+subcommand) switch :mod:`repro.obs` on for the run and report which
+pipeline routes actually executed — cache hit vs. recompile, fused vs.
+legacy ingest, segment vs. DOM render — as a human table on stderr
+and/or a JSON artifact.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import argparse
 import json
 import sys
 
+from repro import obs
 from repro.errors import ReproError
 from repro.dom import parse_document
 from repro.xsd import SchemaValidator
@@ -36,6 +43,26 @@ from repro.pxml import preprocess_module
 def _read(path: str) -> str:
     with open(path, encoding="utf-8") as handle:
         return handle.read()
+
+
+def _add_stats_flags(parser: argparse.ArgumentParser, top_level: bool) -> None:
+    """``--stats``/``--stats-json`` on the main parser *and* every
+    subcommand: subparser defaults are SUPPRESS so a value given before
+    the subcommand is not clobbered by the subparser's defaults."""
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="collect pipeline observability counters (repro.obs) and "
+        "print them as a table on stderr",
+        **({} if top_level else {"default": argparse.SUPPRESS}),
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="collect pipeline observability counters and write the "
+        "JSON snapshot to PATH ('-' for stdout)",
+        **({"default": None} if top_level else {"default": argparse.SUPPRESS}),
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,6 +81,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="compile from scratch, ignoring any cache",
     )
+    _add_stats_flags(parser, top_level=True)
     commands = parser.add_subparsers(dest="command", required=True)
 
     idl = commands.add_parser("idl", help="print generated IDL interfaces")
@@ -123,12 +151,45 @@ def main(argv: list[str] | None = None) -> int:
     )
     cache_command.add_argument("action", choices=["stats", "clear"])
 
+    for sub in (
+        idl,
+        python_command,
+        validate_command,
+        preprocess_command,
+        render_command,
+        cache_command,
+    ):
+        _add_stats_flags(sub, top_level=False)
+
     arguments = parser.parse_args(argv)
+    if arguments.stats or arguments.stats_json:
+        obs.enable(reset=True)
     try:
-        return _dispatch(arguments)
+        exit_code = _dispatch(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        exit_code = 1
+    _emit_stats(arguments)
+    return exit_code
+
+
+def _emit_stats(arguments: argparse.Namespace) -> None:
+    """Write the obs snapshot wherever ``--stats``/``--stats-json`` asked.
+
+    Runs on error exits too: a failing pipeline is exactly when the
+    route counters are most interesting.
+    """
+    if not (arguments.stats or arguments.stats_json):
+        return
+    snapshot = obs.snapshot()
+    if arguments.stats:
+        print(obs.render_table(snapshot), file=sys.stderr)
+    if arguments.stats_json == "-":
+        json.dump(snapshot, sys.stdout, indent=2, sort_keys=True)
+        print()
+    elif arguments.stats_json is not None:
+        with open(arguments.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
 
 
 def _make_cache(arguments: argparse.Namespace) -> ReproCache | None:

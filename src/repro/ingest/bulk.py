@@ -7,6 +7,22 @@ then streams documents through the fused ingest path
 (:mod:`repro.ingest.fused`).  Per-file verdicts and timings aggregate
 into one JSON-ready report.
 
+Two hardening rules shape the error handling here:
+
+* a *document*-level problem (unreadable file, bad encoding, invalid
+  content) yields one failed verdict and never aborts the run;
+* a *schema*-level problem is pre-flighted in the parent before any
+  worker starts: a schema that fails to bind used to blow up inside the
+  ``Pool`` initializer, which surfaces as a hung pool or an opaque
+  ``BrokenProcessPool`` — now it raises the original
+  :class:`~repro.errors.ReproError` (and the successful pre-flight
+  warms the persistent cache the workers start from).
+
+When :mod:`repro.obs` is collecting, each worker keeps its own registry
+and ships per-file snapshot deltas back with the verdicts; the parent
+merges them into its registry and into the report's ``"obs"`` section,
+so fused/fallback/cache counters cover the whole pool.
+
 Verdicts are themselves cacheable: keyed on (path, document content,
 schema fingerprint), a re-run over an unchanged corpus answers from the
 cache without parsing anything.
@@ -18,6 +34,7 @@ import os
 import time
 from typing import Any
 
+from repro import obs
 from repro.errors import ReproError
 from repro.cache.fingerprint import fingerprint
 from repro.cache.manager import ReproCache
@@ -31,14 +48,27 @@ _WORKER: dict[str, Any] = {}
 
 
 def _init_worker(
-    schema_text: str, cache_dir: str | None, use_verdict_cache: bool
+    schema_text: str,
+    cache_dir: str | None,
+    use_verdict_cache: bool,
+    collect_obs: bool = False,
 ) -> None:
     """Bind the schema in this process, warm from the persistent cache."""
+    mark = None
+    if collect_obs:
+        # Baseline *before* the bind below, so warm-start cost lands on
+        # the first record's delta.  A snapshot (not a reset) keeps this
+        # correct both inline — where "the worker" is the parent, whose
+        # prior observations must survive — and in forked workers, whose
+        # registries inherit the parent's pre-fork contents.
+        mark = obs.snapshot()
+        obs.enable()
     cache = ReproCache(directory=cache_dir)
     binding = cache.bind(schema_text)
     _WORKER["binding"] = binding
     _WORKER["schema_key"] = binding.cache_fingerprint
     _WORKER["cache"] = cache if (use_verdict_cache and cache_dir) else None
+    _WORKER["obs_mark"] = mark
 
 
 def _validate_one(path: str) -> dict[str, Any]:
@@ -58,11 +88,13 @@ def _validate_one(path: str) -> dict[str, Any]:
     try:
         with open(path, encoding="utf-8") as handle:
             text = handle.read()
-    except OSError as error:
+    except (OSError, UnicodeDecodeError) as error:
+        # UnicodeDecodeError is a ValueError, *not* an OSError: before it
+        # was caught here, one mis-encoded file crashed the whole
+        # ``pool.map`` instead of producing one failed verdict.
         record["error"] = str(error)
-        record["error_type"] = "OSError"
-        record["ms"] = round((time.perf_counter() - started) * 1000, 3)
-        return record
+        record["error_type"] = type(error).__name__
+        return _finish(record, started)
     key = None
     if cache is not None:
         # The path is part of the key: cached error messages embed it
@@ -75,8 +107,7 @@ def _validate_one(path: str) -> dict[str, Any]:
         if verdict is not None:
             record.update(verdict)
             record["cached"] = True
-            record["ms"] = round((time.perf_counter() - started) * 1000, 3)
-            return record
+            return _finish(record, started)
     try:
         result = ingest(binding, text, source=path)
         record["valid"] = True
@@ -88,8 +119,36 @@ def _validate_one(path: str) -> dict[str, Any]:
         cache.put_json(
             "ingest", key, {name: record[name] for name in _VERDICT_KEYS}
         )
+    return _finish(record, started)
+
+
+def _finish(record: dict[str, Any], started: float) -> dict[str, Any]:
+    """Stamp the timing and, when collecting, the obs delta."""
     record["ms"] = round((time.perf_counter() - started) * 1000, 3)
+    mark = _WORKER.get("obs_mark")
+    if mark is not None:
+        current = obs.snapshot()
+        record["obs"] = obs.diff_snapshots(current, mark)
+        _WORKER["obs_mark"] = current
     return record
+
+
+def _preflight_bind(schema_text: str, cache_dir: str | None) -> None:
+    """Bind once in the parent before any worker exists.
+
+    A failure here is a clean :class:`ReproError` instead of the hung
+    pool / ``BrokenProcessPool`` an initializer crash produces; a
+    success leaves the compiled artifact in the persistent cache, which
+    is exactly the warm start the workers want.
+    """
+    try:
+        ReproCache(directory=cache_dir).bind(schema_text)
+    except ReproError:
+        raise
+    # Audited boundary: any bind crash must surface as the library's
+    # error type here in the parent, not kill the worker pool.
+    except Exception as error:  # noqa: BLE001
+        raise ReproError(f"schema failed to bind: {error}") from error
 
 
 def validate_files(
@@ -99,38 +158,66 @@ def validate_files(
     cache_dir: str | None = None,
     use_verdict_cache: bool = True,
     schema_label: str | None = None,
+    collect_obs: bool | None = None,
 ) -> dict[str, Any]:
     """Validate *paths* against the schema, *jobs* processes wide.
 
     Returns the aggregate report::
 
         {"schema": ..., "jobs": N,
-         "summary": {"documents", "valid", "invalid", "fused", "cached",
-                     "elapsed_ms", "worker_ms"},
+         "summary": {"documents", "valid", "invalid", "fused", "fallback",
+                     "cached", "elapsed_ms", "worker_ms"},
          "files": [{"path", "valid", "error", "error_type", "fused",
-                    "cached", "ms"}, ...]}
+                    "cached", "ms"}, ...],
+         "obs": {"counters": ..., "timers": ..., "spans": ...}}  # optional
 
     ``jobs=1`` runs inline (no pool); higher values fan out over a
     ``multiprocessing.Pool`` whose workers warm-start their binding from
     the persistent compilation cache at *cache_dir*.
+
+    *collect_obs* defaults to whatever :func:`repro.obs.enabled` says in
+    the parent; when on, worker observations are merged into the parent
+    registry and returned under the report's ``"obs"`` key.
     """
     started = time.perf_counter()
+    if collect_obs is None:
+        collect_obs = obs.enabled()
     names = [os.fspath(path) for path in paths]
-    if jobs <= 1:
-        _init_worker(schema_text, cache_dir, use_verdict_cache)
-        files = [_validate_one(name) for name in names]
-    else:
-        from multiprocessing import Pool
+    with obs.span("ingest.bulk"):
+        if jobs <= 1:
+            _init_worker(schema_text, cache_dir, use_verdict_cache, collect_obs)
+            files = [_validate_one(name) for name in names]
+        else:
+            _preflight_bind(schema_text, cache_dir)
+            from multiprocessing import Pool
 
-        with Pool(
-            processes=jobs,
-            initializer=_init_worker,
-            initargs=(schema_text, cache_dir, use_verdict_cache),
-        ) as pool:
-            files = pool.map(_validate_one, names)
+            with Pool(
+                processes=jobs,
+                initializer=_init_worker,
+                initargs=(
+                    schema_text,
+                    cache_dir,
+                    use_verdict_cache,
+                    collect_obs,
+                ),
+            ) as pool:
+                files = pool.map(_validate_one, names)
+    merged: dict[str, Any] | None = None
+    if collect_obs:
+        registry = obs.ObsRegistry()
+        for record in files:
+            delta = record.pop("obs", None)
+            if delta:
+                registry.merge(delta)
+        merged = registry.snapshot()
+        if jobs > 1:
+            # Fold the pool's activity into the parent registry too, so
+            # ``repro.obs.snapshot()`` covers the whole run.  Inline runs
+            # recorded straight into the parent registry already.
+            obs.merge(merged)
     elapsed_ms = (time.perf_counter() - started) * 1000
     valid = sum(1 for record in files if record["valid"])
-    return {
+    report: dict[str, Any] = {
         "schema": schema_label,
         "jobs": jobs,
         "summary": {
@@ -138,9 +225,15 @@ def validate_files(
             "valid": valid,
             "invalid": len(files) - valid,
             "fused": sum(1 for record in files if record["fused"]),
+            "fallback": sum(
+                1 for record in files if record["fused"] is False
+            ),
             "cached": sum(1 for record in files if record["cached"]),
             "elapsed_ms": round(elapsed_ms, 3),
             "worker_ms": round(sum(record["ms"] for record in files), 3),
         },
         "files": files,
     }
+    if merged is not None:
+        report["obs"] = merged
+    return report

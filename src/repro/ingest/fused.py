@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import SimpleTypeError, VdomTypeError
 from repro.dom.attr import NamedNodeMap
 from repro.dom.builder import parse_document
@@ -120,9 +121,14 @@ def parse_typed(binding: Binding, text: str, source: str | None = None):
 def ingest(binding: Binding, text: str, source: str | None = None) -> IngestResult:
     """Like :func:`parse_typed` but reporting which route ran."""
     try:
-        return IngestResult(fused_parse(binding, text, source), True)
-    except IngestFallback:
+        result = IngestResult(fused_parse(binding, text, source), True)
+    except IngestFallback as fallback:
+        obs.count(
+            "ingest.route", route="legacy", reason=str(fallback) or "unknown"
+        )
         return IngestResult(legacy_parse(binding, text, source), False)
+    obs.count("ingest.route", route="fused")
+    return result
 
 
 def fused_parse(

@@ -1,0 +1,131 @@
+"""``repro.obs`` — near-zero-overhead pipeline observability.
+
+PRs 1–3 moved work out of the serving path (compiled schemas, segment
+rendering, fused ingest), and with it the *evidence* that the fast path
+ran: a cache miss, a DOM fallback, or a legacy-route parse looks exactly
+like the fast path, only slower.  This module makes those runtime
+decisions measurable — the complement of the paper's preparation-time
+argument: once checks move out of sight, you need counters to prove
+they stayed gone.
+
+Usage (every call is a no-op while disabled, which is the default)::
+
+    from repro import obs
+
+    obs.enable()                      # or REPRO_OBS=1, or the CLI --stats
+    ...
+    obs.count("ingest.route", route="fused")
+    with obs.timeit("cache.bind"):
+        ...
+    with obs.span("bulk.validate"):  # nests: inner spans get a path
+        ...
+    obs.snapshot()   # {"counters": ..., "timers": ..., "spans": ...}
+
+Design constraints:
+
+* **disabled is free** — one module-global read and a branch per call
+  site; the overhead benchmark (``benchmarks/test_obs_overhead.py``)
+  holds the PR 2/3 throughput floors with instrumentation compiled in;
+* **process-local** — no I/O, no globals beyond this module; the
+  bulk-ingest pool ships worker snapshots back and merges them;
+* **JSON-ready snapshots** — the ``--stats-json`` artifact and the
+  benchmark assertions both read :func:`snapshot` directly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.obs.registry import ObsRegistry, diff_snapshots, render_table
+
+__all__ = [
+    "ObsRegistry",
+    "count",
+    "diff_snapshots",
+    "disable",
+    "enable",
+    "enabled",
+    "merge",
+    "render_table",
+    "reset",
+    "snapshot",
+    "span",
+    "timeit",
+]
+
+#: environment variable that switches collection on for the process
+OBS_ENV = "REPRO_OBS"
+
+_registry = ObsRegistry()
+_enabled = os.environ.get(OBS_ENV, "") not in ("", "0")
+
+
+class _NoopTimed:
+    """Shared do-nothing context manager for disabled timeit/span."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NOOP = _NoopTimed()
+
+
+def enabled() -> bool:
+    """Is collection currently on?"""
+    return _enabled
+
+
+def enable(reset: bool = False) -> None:
+    """Switch collection on (optionally clearing prior observations)."""
+    global _enabled
+    if reset:
+        _registry.reset()
+    _enabled = True
+
+
+def disable() -> None:
+    """Switch collection off; recorded observations are kept."""
+    global _enabled
+    _enabled = False
+
+
+def count(name: str, n: int = 1, **labels: Any) -> None:
+    """Add *n* to a counter; labels fold into the key deterministically."""
+    if _enabled:
+        _registry.count(name, n, **labels)
+
+
+def timeit(name: str, **labels: Any):
+    """Context manager recording one wall-time observation."""
+    if _enabled:
+        return _registry.timeit(name, **labels)
+    return _NOOP
+
+
+def span(name: str, **labels: Any):
+    """Like :func:`timeit` but hierarchical: nested spans record under
+    the ``/``-joined path of their ancestors (per thread)."""
+    if _enabled:
+        return _registry.span(name, **labels)
+    return _NOOP
+
+
+def snapshot() -> dict[str, Any]:
+    """JSON-ready copy of everything recorded so far."""
+    return _registry.snapshot()
+
+
+def merge(other: dict[str, Any]) -> None:
+    """Fold a snapshot (e.g. from a pool worker) into this process."""
+    _registry.merge(other)
+
+
+def reset() -> None:
+    """Drop all recorded observations (the enabled flag is untouched)."""
+    _registry.reset()

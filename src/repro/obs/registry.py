@@ -1,0 +1,200 @@
+"""The metrics registry backing :mod:`repro.obs`.
+
+One :class:`ObsRegistry` lives per process (module-level singleton in
+``repro.obs``); workers of the bulk-ingest pool each own their own and
+ship :meth:`snapshot` deltas back to the parent, which folds them in
+with :meth:`merge`.
+
+Three instrument kinds, all aggregated — nothing here keeps per-event
+records, so memory stays O(distinct instrument names):
+
+* **counters** — monotonically increasing integers.  Labels are folded
+  into the key deterministically (``ingest.route{route=fused}``) so a
+  snapshot is a flat, JSON-ready dict;
+* **timers** — ``(count, total_seconds)`` pairs fed by the ``timeit``
+  context manager;
+* **spans** — timers whose key is the ``/``-joined path of the
+  enclosing span stack (thread-local), giving a cheap hierarchy:
+  ``bulk.validate/cache.bind`` is the bind time observed *inside* a
+  bulk run.
+
+The registry itself is always live; the enable/disable gate (the
+near-zero-overhead part) lives in ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+__all__ = ["ObsRegistry", "diff_snapshots", "render_table"]
+
+
+def _key(name: str, labels: dict[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class _SpanStack(threading.local):
+    def __init__(self):
+        self.names: list[str] = []
+
+
+class _Timed:
+    """Context manager recording elapsed wall time into *sink*."""
+
+    __slots__ = ("_registry", "_name", "_is_span", "_started")
+
+    def __init__(self, registry: "ObsRegistry", name: str, is_span: bool):
+        self._registry = registry
+        self._name = name
+        self._is_span = is_span
+
+    def __enter__(self):
+        if self._is_span:
+            self._registry._stack.names.append(self._name)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        elapsed = time.perf_counter() - self._started
+        registry = self._registry
+        if self._is_span:
+            stack = registry._stack.names
+            path = "/".join(stack)
+            stack.pop()
+            registry._record(registry.spans, path, elapsed)
+        else:
+            registry._record(registry.timers, self._name, elapsed)
+        return False
+
+
+class ObsRegistry:
+    """Process-local counters/timers/spans with a mergeable snapshot."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stack = _SpanStack()
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, list[float]] = {}  # key -> [count, seconds]
+        self.spans: dict[str, list[float]] = {}  # path -> [count, seconds]
+
+    # -- recording ----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1, **labels: Any) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            self.counters[key] = self.counters.get(key, 0) + n
+
+    def timeit(self, name: str, **labels: Any) -> _Timed:
+        return _Timed(self, _key(name, labels), is_span=False)
+
+    def span(self, name: str, **labels: Any) -> _Timed:
+        return _Timed(self, _key(name, labels), is_span=True)
+
+    def _record(self, sink: dict[str, list[float]], key: str, elapsed: float) -> None:
+        with self._lock:
+            entry = sink.get(key)
+            if entry is None:
+                sink[key] = [1, elapsed]
+            else:
+                entry[0] += 1
+                entry[1] += elapsed
+
+    # -- reading / merging --------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready copy: counters flat, timers/spans as count+ms."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "timers": {
+                    key: {"count": int(entry[0]), "total_ms": round(entry[1] * 1000, 3)}
+                    for key, entry in self.timers.items()
+                },
+                "spans": {
+                    key: {"count": int(entry[0]), "total_ms": round(entry[1] * 1000, 3)}
+                    for key, entry in self.spans.items()
+                },
+            }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot`-shaped dict (e.g. a worker delta) in."""
+        with self._lock:
+            for key, value in snapshot.get("counters", {}).items():
+                self.counters[key] = self.counters.get(key, 0) + value
+            for sink_name in ("timers", "spans"):
+                sink = getattr(self, sink_name)
+                for key, value in snapshot.get(sink_name, {}).items():
+                    entry = sink.get(key)
+                    if entry is None:
+                        sink[key] = [value["count"], value["total_ms"] / 1000]
+                    else:
+                        entry[0] += value["count"]
+                        entry[1] += value["total_ms"] / 1000
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.timers.clear()
+            self.spans.clear()
+
+
+def diff_snapshots(new: dict[str, Any], old: dict[str, Any]) -> dict[str, Any]:
+    """``new - old`` for two snapshots; zero entries are dropped.
+
+    Used by bulk-pool workers to attribute activity to individual files:
+    every worker keeps the snapshot taken after its previous record and
+    ships only the delta.
+    """
+    counters = {}
+    for key, value in new.get("counters", {}).items():
+        delta = value - old.get("counters", {}).get(key, 0)
+        if delta:
+            counters[key] = delta
+    out: dict[str, Any] = {"counters": counters}
+    for sink in ("timers", "spans"):
+        entries = {}
+        for key, value in new.get(sink, {}).items():
+            before = old.get(sink, {}).get(key)
+            count = value["count"] - (before["count"] if before else 0)
+            total = value["total_ms"] - (before["total_ms"] if before else 0.0)
+            if count or total:
+                entries[key] = {"count": count, "total_ms": round(total, 3)}
+        out[sink] = entries
+    return out
+
+
+def render_table(snapshot: dict[str, Any]) -> str:
+    """The human-readable ``--stats`` table."""
+    lines: list[str] = []
+
+    def section(title: str, rows: list[tuple[str, str]]) -> None:
+        if not rows:
+            return
+        lines.append(title)
+        width = max(len(name) for name, _ in rows)
+        for name, value in rows:
+            lines.append(f"  {name.ljust(width)}  {value}")
+
+    section(
+        "counters",
+        [
+            (key, str(value))
+            for key, value in sorted(snapshot.get("counters", {}).items())
+        ],
+    )
+    for sink, title in (("timers", "timers"), ("spans", "spans")):
+        section(
+            title,
+            [
+                (key, f"{value['count']}x  {value['total_ms']}ms")
+                for key, value in sorted(snapshot.get(sink, {}).items())
+            ],
+        )
+    if not lines:
+        return "(no observations recorded)"
+    return "\n".join(lines)

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any
 
-from repro.errors import PxmlStaticError, SimpleTypeError
+from repro.errors import PxmlStaticError, SimpleTypeError, VdomStateError
 from repro.xsd.components import ANY_TYPE, ComplexType, ContentType, ElementDeclaration
 from repro.xsd.simple import SimpleType
 from repro.core.vdom import Binding, TypedElement, VdomGroup
@@ -168,10 +168,12 @@ class _Checker:
                     hole.location,
                 )
             return (candidates[0],)
-        # Try a generated class name (element or group marker).
+        # Try a generated class name (element or group marker).  Only the
+        # "no such class" signal means "not an element annotation" — a
+        # blanket except here used to swallow real lookup bugs too.
         try:
             cls = self._binding.class_named(annotation)
-        except Exception:
+        except VdomStateError:
             return None
         if issubclass(cls, TypedElement):
             return (cls,)

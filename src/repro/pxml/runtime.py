@@ -52,6 +52,7 @@ def render_text_interpreted(checked: CheckedTemplate, **values: Any) -> str:
     typed tree, so output is always byte-identical to
     ``serialize(render_interpreted(...))``.
     """
+    from repro import obs
     from repro.pxml.segments import compile_segments
 
     _check_hole_values(checked, values)
@@ -60,9 +61,11 @@ def render_text_interpreted(checked: CheckedTemplate, **values: Any) -> str:
         program = compile_segments(checked)
         checked._segment_program = program
     if program is None:
+        obs.count("render.route", route="dom", reason="segment fallback")
         from repro.dom.serialize import serialize
 
         return serialize(_build_element(checked, checked.root, values))
+    obs.count("render.route", route="segment")
     return program.render(values, checked.binding.validate_on_mutate)
 
 

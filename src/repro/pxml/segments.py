@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro import obs
 from repro.errors import SimpleTypeError, VdomTypeError
 from repro.xsd.components import ANY_TYPE, ComplexType, ContentType
 from repro.xsd.simple import SimpleType
@@ -37,7 +38,12 @@ from repro.pxml.checker import CheckedTemplate, HoleSpec
 
 
 class _Unsupported(Exception):
-    """Internal: this template shape must use the DOM fallback."""
+    """Internal: this template shape must use the DOM fallback.
+
+    Always raised with a short reason string — it becomes the label on
+    the ``pxml.segments`` fallback counter, so a perf regression caused
+    by templates quietly leaving the fast path is attributable.
+    """
 
 
 #: A run part: ``("lit", text)`` or ``("hole", name)``.
@@ -185,18 +191,25 @@ class SegmentProgram:
 def compile_segments(checked: CheckedTemplate) -> SegmentProgram | None:
     """Partition *checked* into segments, or ``None`` when unsupported.
 
-    Returning ``None`` is always safe — the caller keeps the DOM route —
-    so this catches *any* failure rather than crash template creation
-    for shapes the DOM compiler accepts.
+    Only :class:`_Unsupported` — the partitioner's own "this shape stays
+    on the DOM route" signal — is caught, and every such fallback is
+    counted with its reason (``pxml.segments{outcome=fallback,...}``).
+    Anything else is a real compiler bug and propagates: a blanket
+    ``except Exception`` here once turned those into silent DOM-route
+    perf regressions.
     """
     try:
         builder = _SegmentBuilder(checked)
         builder.element(checked.root)
-        return SegmentProgram(builder.finish(), dict(checked.holes))
-    except _Unsupported:
+    except _Unsupported as unsupported:
+        obs.count(
+            "pxml.segments",
+            outcome="fallback",
+            reason=str(unsupported) or "unsupported shape",
+        )
         return None
-    except Exception:
-        return None
+    obs.count("pxml.segments", outcome="compiled")
+    return SegmentProgram(builder.finish(), dict(checked.holes))
 
 
 class _SegmentBuilder:
@@ -232,12 +245,12 @@ class _SegmentBuilder:
     def element(self, node: TemplateElement) -> None:
         cls = self._checked.element_classes.get(id(node))
         if cls is None:  # unchecked child (anyType content)
-            raise _Unsupported
+            raise _Unsupported("unchecked anyType child")
         declaration = cls._DECLARATION
         if declaration.fixed is not None:
             # Element-level fixed values need the full text_content
             # comparison; rare enough to leave on the DOM route.
-            raise _Unsupported
+            raise _Unsupported("element-level fixed value")
         tag = declaration.name
         self._lit("<" + tag)
         self._attributes(node, cls)
@@ -279,11 +292,11 @@ class _SegmentBuilder:
             elif isinstance(child, Hole):
                 spec = self._checked.holes[child.name]
                 if spec.kind != "text":
-                    raise _Unsupported
+                    raise _Unsupported("element hole in simple content")
                 parts.append(("hole", child.name))
                 dynamic = True
             else:
-                raise _Unsupported
+                raise _Unsupported("nested element in simple content")
         if not dynamic:
             # Fully static simple content: the checker parsed it already.
             self._lit(
@@ -348,7 +361,8 @@ class _SegmentBuilder:
         for field in fields.values():
             if field.xml_name == name or field.name == name:
                 return field
-        raise _Unsupported  # undeclared attr: render() raises, use it
+        # Undeclared attribute: render() raises a matching error, use it.
+        raise _Unsupported("undeclared template attribute")
 
 
 # -- cache (de)hydration -------------------------------------------------------

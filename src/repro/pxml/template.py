@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro import obs
 from repro.core.vdom import Binding, TypedElement
 from repro.pxml.checker import CheckedTemplate, check_template
 from repro.pxml.compiler import compile_template, compile_text_template
@@ -108,7 +109,7 @@ class Template:
         try:
             record = load_template(payload, self.binding)
         except ArtifactError:
-            cache.stats.corrupt_entries += 1
+            cache.stats.record_corrupt("template")
             cache.invalidate(key)
             return False
         self.ast = None
@@ -177,9 +178,13 @@ class Template:
         render-then-serialize route.
         """
         if self._render_text is not None:
+            obs.count("render.route", route="segment")
             return self._render_text(**values)
         if self.checked is not None:
             return render_text_interpreted(self.checked, **values)
+        # A cached template whose segment program did not survive
+        # rehydration: the only remaining route is render-then-serialize.
+        obs.count("render.route", route="dom", reason="no segment program")
         from repro.dom.serialize import serialize
 
         return serialize(self.render(**values))

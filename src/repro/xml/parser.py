@@ -39,6 +39,14 @@ from repro.xml.reader import Reader
 
 _MAX_ENTITY_DEPTH = 16
 
+#: total characters of entity replacement text one document may produce.
+#: Depth alone does not bound *amplification*: ten levels of ten
+#: references each stay well under ``_MAX_ENTITY_DEPTH`` while expanding
+#: to 10**10 characters (the "billion laughs" shape).  Exceeding the
+#: budget fails fast with an :class:`XmlSyntaxError` instead of
+#: exhausting memory.
+_MAX_ENTITY_EXPANSION = 1 << 20
+
 #: the next markup or reference inside a character-data run
 _TEXT_DELIM = re.compile(r"[<&]")
 
@@ -80,6 +88,19 @@ class PullParser:
             text = text[1:]
         self._reader = Reader(text, source)
         self._entities: dict[str, str] = {}
+        self._expansion_total = 0
+
+    def _charge_expansion(self, amount: int, location: Location) -> None:
+        """Count *amount* characters of replacement text against the
+        per-document amplification budget."""
+        self._expansion_total += amount
+        if self._expansion_total > _MAX_ENTITY_EXPANSION:
+            raise XmlSyntaxError(
+                "entity expansion exceeds "
+                f"{_MAX_ENTITY_EXPANSION} characters "
+                "(entity amplification attack?)",
+                location,
+            )
 
     def __iter__(self) -> Iterator[Event]:
         return self._parse_document()
@@ -485,6 +506,7 @@ class PullParser:
                         body, self._entities, location
                     )
                     if body in self._entities:
+                        self._charge_expansion(len(replacement), location)
                         # Entity replacement text is processed recursively,
                         # with its own literal whitespace normalized.
                         pieces.append(
@@ -590,6 +612,7 @@ class PullParser:
         replacement = resolve_reference(body, self._entities, location)
         if body.startswith("#") or body not in self._entities:
             return replacement
+        self._charge_expansion(len(replacement), location)
         # Replacement text of a declared entity may itself contain references.
         return self._expand_references(replacement, location, depth + 1)
 

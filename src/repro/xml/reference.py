@@ -35,6 +35,11 @@ from repro.xml.events import (
 
 _MAX_ENTITY_DEPTH = 16
 
+#: total replacement characters one document may expand to — mirrors
+#: ``repro.xml.parser._MAX_ENTITY_EXPANSION`` so the parity tests hold
+#: on amplification bombs too (depth alone does not bound them).
+_MAX_ENTITY_EXPANSION = 1 << 20
+
 
 class ReferenceReader:
     """The seed ``Reader``: eager per-character line/column bookkeeping."""
@@ -127,6 +132,17 @@ class ReferencePullParser:
             text = text[1:]
         self._reader = ReferenceReader(text, source)
         self._entities: dict[str, str] = {}
+        self._expansion_total = 0
+
+    def _charge_expansion(self, amount: int, location: Location) -> None:
+        self._expansion_total += amount
+        if self._expansion_total > _MAX_ENTITY_EXPANSION:
+            raise XmlSyntaxError(
+                "entity expansion exceeds "
+                f"{_MAX_ENTITY_EXPANSION} characters "
+                "(entity amplification attack?)",
+                location,
+            )
 
     def __iter__(self) -> Iterator[Event]:
         return self._parse_document()
@@ -471,6 +487,7 @@ class ReferencePullParser:
                         body, self._entities, location
                     )
                     if body in self._entities:
+                        self._charge_expansion(len(replacement), location)
                         pieces.append(
                             self._normalize_attribute(
                                 replacement, location, depth + 1
@@ -529,6 +546,7 @@ class ReferencePullParser:
         replacement = resolve_reference(body, self._entities, location)
         if body.startswith("#") or body not in self._entities:
             return replacement
+        self._charge_expansion(len(replacement), location)
         return self._expand_references(replacement, location, depth + 1)
 
     def _expand_references(self, text: str, location: Location, depth: int) -> str:

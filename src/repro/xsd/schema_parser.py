@@ -17,7 +17,7 @@ boundary the paper draws in Sect. 3.
 
 from __future__ import annotations
 
-from repro.errors import SchemaError, UnsupportedFeatureError
+from repro.errors import SchemaError, SimpleTypeError, UnsupportedFeatureError
 from repro.xml.qname import XSD_NAMESPACE
 from repro.dom import Element, parse_document
 from repro.automata.rex import UNBOUNDED
@@ -595,7 +595,7 @@ class _SchemaParser:
             if constant is not None:
                 try:
                     declaration.resolved_type().validate(constant)
-                except Exception as error:
+                except SimpleTypeError as error:
                     raise SchemaError(
                         f"{kind} value {constant!r} of attribute '{name}' "
                         f"does not satisfy its type: {error}"

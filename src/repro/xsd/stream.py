@@ -67,16 +67,22 @@ class StreamingValidator:
         return self.validate_events(PullParser(text))
 
     def validate_events(self, events: Iterable[Event]) -> list[ValidationError]:
+        from repro import obs
+
         errors: list[ValidationError] = []
         stack: list[_Frame] = []
-        for event in events:
-            if isinstance(event, StartElement):
-                self._start(event, stack, errors)
-            elif isinstance(event, EndElement):
-                self._end(stack, errors)
-            elif isinstance(event, Characters):
-                self._characters(event, stack, errors)
-            # comments / PIs / doctype / declarations are transparent
+        with obs.span("xsd.stream.validate"):
+            for event in events:
+                if isinstance(event, StartElement):
+                    self._start(event, stack, errors)
+                elif isinstance(event, EndElement):
+                    self._end(stack, errors)
+                elif isinstance(event, Characters):
+                    self._characters(event, stack, errors)
+                # comments / PIs / doctype / declarations are transparent
+        obs.count("xsd.stream.documents")
+        if errors:
+            obs.count("xsd.stream.errors", n=len(errors))
         return errors
 
     def is_valid(self, text: str) -> bool:

@@ -5,10 +5,20 @@ import json
 
 import pytest
 
+from repro import obs
 from repro.cli import main
+from repro.errors import ReproError
 from repro.ingest import validate_files
 from repro.schemas import PURCHASE_ORDER_DOCUMENT, PURCHASE_ORDER_SCHEMA
 from repro.schemas.purchase_order import PURCHASE_ORDER_INVALID_DOCUMENTS
+
+
+@pytest.fixture()
+def obs_clean():
+    """Restore the module-level obs gate/registry after the test."""
+    yield
+    obs.disable()
+    obs.reset()
 
 
 @pytest.fixture()
@@ -50,7 +60,8 @@ class TestValidateFiles:
                    for record in report["files"]}
         assert by_name["bad.xml"]["error_type"] == "VdomTypeError"
         assert "partNum" in by_name["bad.xml"]["error"]
-        assert by_name["missing.xml"]["error_type"] == "OSError"
+        # The concrete class, not the old hardcoded "OSError" string.
+        assert by_name["missing.xml"]["error_type"] == "FileNotFoundError"
         # The report must be JSON-serializable as-is.
         json.dumps(report)
 
@@ -148,3 +159,173 @@ class TestCli:
         )
         assert code == 0
         assert "3 valid, 0 invalid" in capsys.readouterr().out
+
+
+class TestHardening:
+    """Document- vs schema-level failures: contain the first, fail the
+    second fast — in both inline and pooled modes."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_bad_encoding_is_one_failed_verdict(self, tmp_path, jobs):
+        good = tmp_path / "good.xml"
+        good.write_text(PURCHASE_ORDER_DOCUMENT, encoding="utf-8")
+        bad = tmp_path / "latin.xml"
+        # Latin-1 bytes: 0xE9 is not valid UTF-8.  This used to escape
+        # the worker's OSError-only catch and abort the whole pool.map.
+        bad.write_bytes("<comment>caf\xe9</comment>".encode("latin-1"))
+        report = validate_files(
+            PURCHASE_ORDER_SCHEMA, [good, bad], jobs=jobs
+        )
+        assert report["summary"] == dict(
+            report["summary"],
+            documents=2, valid=1, invalid=1,
+        )
+        by_name = {
+            record["path"].rsplit("/", 1)[-1]: record
+            for record in report["files"]
+        }
+        assert by_name["good.xml"]["valid"] is True
+        record = by_name["latin.xml"]
+        assert record["valid"] is False
+        assert record["error_type"] == "UnicodeDecodeError"
+        assert "utf-8" in record["error"]
+        json.dumps(report)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_unbindable_schema_raises_cleanly(self, tmp_path, jobs):
+        doc = tmp_path / "doc.xml"
+        doc.write_text(PURCHASE_ORDER_DOCUMENT, encoding="utf-8")
+        # With jobs=2 this used to crash the Pool initializer, which
+        # surfaces as a hang or an opaque BrokenProcessPool; the parent
+        # now pre-flights the bind and raises the real error.
+        with pytest.raises(ReproError, match="not-a-schema"):
+            validate_files(
+                "<not-a-schema/>", [doc], jobs=jobs,
+                cache_dir=str(tmp_path / "cache"),
+            )
+
+
+class TestObsIntegration:
+    def test_inline_report_carries_route_counters(
+        self, corpus, tmp_path, obs_clean
+    ):
+        cache_dir = str(tmp_path / "cache")
+        report = validate_files(
+            PURCHASE_ORDER_SCHEMA, corpus,
+            cache_dir=cache_dir, collect_obs=True,
+        )
+        counters = report["obs"]["counters"]
+        # Four valid documents took the fused route; the invalid one
+        # errors out before its route is decided, the missing one never
+        # reaches ingest.  Nothing fell back to the legacy parser.
+        assert counters["ingest.route{route=fused}"] == 4
+        assert not any(key.startswith("ingest.route{reason")
+                       for key in counters)
+        # First run over a fresh verdict cache: five readable files,
+        # five misses, no hits.
+        assert counters["cache.miss{kind=ingest}"] == 5
+        assert "cache.hit{kind=ingest}" not in counters
+        # Records themselves stay JSON-shaped and delta-free.
+        assert all("obs" not in record for record in report["files"])
+
+    def test_rerun_reports_verdict_cache_hits(
+        self, corpus, tmp_path, obs_clean
+    ):
+        cache_dir = str(tmp_path / "cache")
+        validate_files(
+            PURCHASE_ORDER_SCHEMA, corpus,
+            cache_dir=cache_dir, collect_obs=True,
+        )
+        second = validate_files(
+            PURCHASE_ORDER_SCHEMA, corpus,
+            cache_dir=cache_dir, collect_obs=True,
+        )
+        counters = second["obs"]["counters"]
+        assert counters["cache.hit{kind=ingest}"] == 5
+        # Cached verdicts answer without parsing: no fused-route runs.
+        assert "ingest.route{route=fused}" not in counters
+        assert second["summary"]["cached"] == 5
+
+    def test_pool_workers_ship_their_observations(
+        self, corpus, tmp_path, obs_clean
+    ):
+        cache_dir = str(tmp_path / "cache")
+        report = validate_files(
+            PURCHASE_ORDER_SCHEMA, corpus, jobs=2,
+            cache_dir=cache_dir, collect_obs=True,
+        )
+        counters = report["obs"]["counters"]
+        assert counters["ingest.route{route=fused}"] == 4
+        # The parent's pre-flight bind left a compiled artifact in the
+        # cache, so at least one worker warm-started from it.
+        assert counters.get("cache.bind.outcome{outcome=warm}", 0) >= 1
+        # Pool observations also fold into the parent process registry.
+        assert (
+            obs.snapshot()["counters"]["ingest.route{route=fused}"] == 4
+        )
+
+
+class TestCliStats:
+    def _corpus(self, tmp_path, documents=4):
+        schema = tmp_path / "po.xsd"
+        schema.write_text(PURCHASE_ORDER_SCHEMA, encoding="utf-8")
+        docs = []
+        for index in range(documents):
+            doc = tmp_path / f"d{index}.xml"
+            doc.write_text(PURCHASE_ORDER_DOCUMENT, encoding="utf-8")
+            docs.append(str(doc))
+        return schema, docs
+
+    def test_stats_json_artifact_from_bulk_validate(
+        self, tmp_path, capsys, obs_clean
+    ):
+        """The ISSUE's acceptance check: ``validate --jobs 2
+        --stats-json`` reports the pipeline's route counters."""
+        schema, docs = self._corpus(tmp_path)
+        stats_path = tmp_path / "stats.json"
+        code = main(
+            ["--cache-dir", str(tmp_path / "cache"),
+             "validate", str(schema), *docs,
+             "--jobs", "2", "--stats-json", str(stats_path)]
+        )
+        assert code == 0
+        snapshot = json.loads(stats_path.read_text(encoding="utf-8"))
+        assert snapshot["counters"]["ingest.route{route=fused}"] == 4
+        assert "cache.miss{kind=ingest}" in snapshot["counters"]
+
+    def test_stats_table_on_stderr(self, tmp_path, capsys, obs_clean):
+        schema, docs = self._corpus(tmp_path, documents=2)
+        code = main(
+            ["--cache-dir", str(tmp_path / "cache"),
+             "validate", str(schema), *docs, "--stats"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "counters" in err
+        assert "ingest.route{route=fused}" in err
+
+    def test_stats_flag_accepted_before_subcommand(
+        self, tmp_path, capsys, obs_clean
+    ):
+        schema, docs = self._corpus(tmp_path, documents=2)
+        code = main(
+            ["--stats", "--cache-dir", str(tmp_path / "cache"),
+             "validate", str(schema), *docs]
+        )
+        assert code == 0
+        assert "ingest.route{route=fused}" in capsys.readouterr().err
+
+    def test_stats_emitted_even_on_error_exit(
+        self, tmp_path, capsys, obs_clean
+    ):
+        schema = tmp_path / "bad.xsd"
+        schema.write_text("<not-a-schema/>", encoding="utf-8")
+        doc = tmp_path / "d.xml"
+        doc.write_text(PURCHASE_ORDER_DOCUMENT, encoding="utf-8")
+        code = main(
+            ["--no-cache", "--stats",
+             "validate", str(schema), str(doc), "--jobs", "2"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "not-a-schema" in err

@@ -1,0 +1,197 @@
+"""The observability layer: registry semantics and the module-level gate.
+
+The registry (``ObsRegistry``) is always live; ``repro.obs`` adds the
+enable/disable gate whose disabled half must be free.  Tests here pin
+the snapshot shape other code depends on — the ``--stats-json``
+artifact, the bulk-pool worker deltas, and the benchmark assertions all
+read these dicts directly.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs import ObsRegistry, diff_snapshots, render_table
+
+
+@pytest.fixture()
+def clean():
+    """Run with the module gate off and an empty registry, both ways."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = ObsRegistry()
+        registry.count("hits")
+        registry.count("hits", 2)
+        assert registry.snapshot()["counters"] == {"hits": 3}
+
+    def test_labels_fold_into_key_sorted(self):
+        registry = ObsRegistry()
+        # Whatever order the call site uses, label names sort in the key.
+        registry.count("route", route="fused", reason="ok")
+        registry.count("route", reason="ok", route="fused")
+        assert registry.snapshot()["counters"] == {
+            "route{reason=ok,route=fused}": 2
+        }
+
+    def test_timer_records_count_and_total(self):
+        registry = ObsRegistry()
+        with registry.timeit("bind"):
+            pass
+        with registry.timeit("bind"):
+            pass
+        entry = registry.snapshot()["timers"]["bind"]
+        assert entry["count"] == 2
+        assert entry["total_ms"] >= 0
+
+    def test_spans_nest_into_paths(self):
+        registry = ObsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        spans = registry.snapshot()["spans"]
+        assert set(spans) == {"outer", "outer/inner"}
+
+    def test_span_stack_is_per_thread(self):
+        registry = ObsRegistry()
+        ready = threading.Event()
+
+        def other():
+            with registry.span("b"):
+                ready.wait(5)
+
+        worker = threading.Thread(target=other)
+        with registry.span("a"):
+            worker.start()
+            # "b" opens on the other thread while "a" is open here; if
+            # the stack were shared, one of them would record "a/b".
+        ready.set()
+        worker.join()
+        assert set(registry.snapshot()["spans"]) == {"a", "b"}
+
+    def test_snapshot_is_json_ready_copy(self):
+        registry = ObsRegistry()
+        registry.count("c")
+        with registry.timeit("t"):
+            pass
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)
+        snapshot["counters"]["c"] = 99
+        assert registry.snapshot()["counters"]["c"] == 1
+
+    def test_merge_folds_worker_snapshot_in(self):
+        parent, worker = ObsRegistry(), ObsRegistry()
+        parent.count("docs", 2)
+        worker.count("docs", 3)
+        worker.count("errors")
+        with worker.timeit("parse"):
+            pass
+        parent.merge(worker.snapshot())
+        merged = parent.snapshot()
+        assert merged["counters"] == {"docs": 5, "errors": 1}
+        assert merged["timers"]["parse"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        registry = ObsRegistry()
+        registry.count("c")
+        with registry.span("s"):
+            pass
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "timers": {}, "spans": {}
+        }
+
+
+class TestDiffSnapshots:
+    def test_delta_drops_unchanged_entries(self):
+        registry = ObsRegistry()
+        registry.count("stale")
+        registry.count("hot")
+        before = registry.snapshot()
+        registry.count("hot", 4)
+        registry.count("fresh")
+        delta = diff_snapshots(registry.snapshot(), before)
+        assert delta["counters"] == {"hot": 4, "fresh": 1}
+
+    def test_timer_delta_subtracts_count_and_total(self):
+        registry = ObsRegistry()
+        with registry.timeit("t"):
+            pass
+        before = registry.snapshot()
+        with registry.timeit("t"):
+            pass
+        delta = diff_snapshots(registry.snapshot(), before)
+        assert delta["timers"]["t"]["count"] == 1
+
+
+class TestRenderTable:
+    def test_empty_snapshot_says_so(self):
+        empty = {"counters": {}, "timers": {}, "spans": {}}
+        assert render_table(empty) == "(no observations recorded)"
+
+    def test_sections_and_sorting(self):
+        registry = ObsRegistry()
+        registry.count("z.last")
+        registry.count("a.first")
+        with registry.timeit("bind"):
+            pass
+        table = render_table(registry.snapshot())
+        assert "counters" in table and "timers" in table
+        # Counter rows come out name-sorted.
+        assert table.index("a.first") < table.index("z.last")
+        assert "1x" in table  # the timer row
+
+
+class TestModuleGate:
+    def test_disabled_calls_are_noops(self, clean):
+        obs.count("never")
+        with obs.timeit("never"):
+            pass
+        with obs.span("never"):
+            pass
+        assert obs.snapshot() == {"counters": {}, "timers": {}, "spans": {}}
+        # The disabled context manager is one shared singleton — no
+        # allocation on the hot path.
+        assert obs.timeit("a") is obs.timeit("b") is obs.span("c")
+
+    def test_enable_records_and_disable_keeps_data(self, clean):
+        obs.enable()
+        obs.count("seen")
+        obs.disable()
+        obs.count("unseen")
+        assert obs.snapshot()["counters"] == {"seen": 1}
+
+    def test_enable_with_reset_clears_prior_observations(self, clean):
+        obs.enable()
+        obs.count("old")
+        obs.enable(reset=True)
+        obs.count("new")
+        assert obs.snapshot()["counters"] == {"new": 1}
+
+    def test_env_var_switches_collection_on(self, clean):
+        src = str(Path(obs.__file__).resolve().parents[2])
+        script = (
+            "from repro import obs; "
+            "obs.count('boot'); "
+            "print(obs.enabled(), obs.snapshot()['counters'])"
+        )
+        for value, expected in (("1", "True {'boot': 1}"), ("0", "False {}")):
+            env = dict(os.environ, PYTHONPATH=src)
+            env[obs.OBS_ENV] = value
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env, capture_output=True, text=True, check=True,
+            ).stdout.strip()
+            assert out == expected

@@ -288,3 +288,73 @@ class TestExampleCorpusEquivalence:
             assert template.render_text(**values) == serialize(
                 template.render(**values)
             ), values
+
+
+class TestFallbackAccounting:
+    """``compile_segments`` swallows only ``_Unsupported`` — and counts it.
+
+    The old blanket ``except Exception: return None`` turned compiler
+    bugs into silent DOM fallbacks; now a real bug propagates, and every
+    legitimate fallback is visible in ``repro.obs`` with its reason.
+    """
+
+    @pytest.fixture()
+    def collecting(self):
+        from repro import obs
+
+        obs.enable(reset=True)
+        yield obs
+        obs.disable()
+        obs.reset()
+
+    def test_successful_compile_is_counted(self, po_binding, collecting):
+        template = Template(po_binding, "<comment>$c$</comment>")
+        assert compile_segments(template.checked) is not None
+        counters = collecting.snapshot()["counters"]
+        assert counters["pxml.segments{outcome=compiled}"] >= 1
+
+    def test_unsupported_shape_counts_reason(self, collecting):
+        binding = bind(parse_schema(FIXED_ELEMENT_SCHEMA))
+        template = Template(
+            binding, "<doc><version>1.0</version><body>$b$</body></doc>"
+        )
+        assert compile_segments(template.checked) is None
+        counters = collecting.snapshot()["counters"]
+        key = (
+            "pxml.segments"
+            "{outcome=fallback,reason=element-level fixed value}"
+        )
+        assert counters[key] >= 1
+
+    def test_injected_unsupported_falls_back_counted(
+        self, po_binding, collecting, monkeypatch
+    ):
+        from repro.pxml import segments as segments_module
+
+        template = Template(po_binding, "<comment>$c$</comment>")
+
+        def explode(self, element):
+            raise segments_module._Unsupported("injected fault")
+
+        monkeypatch.setattr(
+            segments_module._SegmentBuilder, "element", explode
+        )
+        assert compile_segments(template.checked) is None
+        counters = collecting.snapshot()["counters"]
+        assert counters[
+            "pxml.segments{outcome=fallback,reason=injected fault}"
+        ] == 1
+
+    def test_real_bugs_propagate(self, po_binding, monkeypatch):
+        from repro.pxml import segments as segments_module
+
+        template = Template(po_binding, "<comment>$c$</comment>")
+
+        def explode(self, element):
+            raise RuntimeError("builder bug")
+
+        monkeypatch.setattr(
+            segments_module._SegmentBuilder, "element", explode
+        )
+        with pytest.raises(RuntimeError, match="builder bug"):
+            compile_segments(template.checked)

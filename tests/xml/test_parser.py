@@ -1,5 +1,7 @@
 """Well-formedness parsing: event stream shape and error detection."""
 
+import time
+
 import pytest
 
 from repro.errors import XmlSyntaxError
@@ -155,6 +157,60 @@ class TestEntityHandling:
         )
         start = [e for e in events if isinstance(e, StartElement)][0]
         assert start.get("x") == "p q"
+
+
+def _expansion_bomb(levels=8, fanout=10, where="content"):
+    """A billion-laughs document: ~``fanout**levels`` chars if expanded."""
+    declarations = ['<!ENTITY e0 "ha ha ha ha ha ha ha ha ha ha">']
+    for level in range(1, levels):
+        refs = f"&e{level - 1};" * fanout
+        declarations.append(f'<!ENTITY e{level} "{refs}">')
+    subset = "\n".join(declarations)
+    use = f"&e{levels - 1};"
+    if where == "attribute":
+        return f"<!DOCTYPE a [\n{subset}\n]><a x=\"{use}\"/>"
+    return f"<!DOCTYPE a [\n{subset}\n]><a>{use}</a>"
+
+
+class TestEntityAmplification:
+    """A per-document expansion budget caps billion-laughs documents.
+
+    Depth alone does not stop the attack — the bomb is only 8 levels
+    deep but expands to ~10^8 characters.  The parser charges every
+    declared-entity substitution against one budget and fails fast with
+    a clear error instead of grinding through gigabytes.
+    """
+
+    @pytest.mark.parametrize("where", ["content", "attribute"])
+    def test_expansion_bomb_rejected(self, where):
+        started = time.perf_counter()
+        with pytest.raises(XmlSyntaxError, match="entity expansion exceeds"):
+            parse_events(_expansion_bomb(where=where))
+        # Fail-fast is the point: the budget trips long before the
+        # ~10^8-character expansion is materialized.
+        assert time.perf_counter() - started < 5.0
+
+    def test_reference_parser_agrees(self):
+        from repro.xml.reference import reference_events
+
+        bomb = _expansion_bomb()
+        with pytest.raises(XmlSyntaxError) as fast:
+            parse_events(bomb)
+        with pytest.raises(XmlSyntaxError) as slow:
+            reference_events(bomb)
+        assert str(fast.value) == str(slow.value)
+
+    def test_budget_does_not_tax_honest_documents(self):
+        # A few thousand expanded characters is normal use, far under
+        # the cap; both charge points (content and attributes) apply.
+        text = (
+            '<!DOCTYPE a [<!ENTITY chunk "0123456789">]>'
+            "<a y=\"&chunk;\">" + "&chunk;" * 500 + "</a>"
+        )
+        events = parse_events(text)
+        data = "".join(e.data for e in events if isinstance(e, Characters))
+        assert len(data) == 5000
+        assert events[1].get("y") == "0123456789"
 
 
 class TestWellFormednessErrors:
