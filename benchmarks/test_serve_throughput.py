@@ -1,0 +1,141 @@
+"""SERVE — sustained request throughput of the HTTP tier.
+
+The segment pipeline's promise is "guaranteed-valid markup at string
+cost"; :mod:`repro.serve` puts a socket in front of it.  This
+experiment measures how much of the ``render_text`` rate survives the
+trip through HTTP framing — an asyncio keep-alive client hammering one
+template route and reading complete, ``Content-Length``-framed
+responses.
+
+Two checks gate the result:
+
+* **byte parity** — the response body must be byte-identical to calling
+  ``Template.render_text`` directly; the serving tier may add headers,
+  never touch the payload;
+* **throughput floor** — sustained requests/sec must clear a deliberately
+  conservative floor (CI boxes are noisy and single-core; the floor
+  catches order-of-magnitude regressions such as an accidental
+  per-request recompile, not scheduler jitter).
+
+Environment knobs (used by the CI smoke job):
+
+* ``REPRO_BENCH_QUICK=1``      — fewer requests, relaxed floor,
+* ``REPRO_BENCH_JSON=<path>``  — where to write the JSON artifact
+  (default: ``BENCH_serve_throughput.json``).
+"""
+
+import asyncio
+import json
+import os
+import time
+
+import pytest
+
+from repro.pxml import Template
+from repro.serve import ReproServer, RouteTable
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+REQUESTS = 150 if QUICK else 800
+REPEATS = 2 if QUICK else 4
+
+#: requests/sec the serving tier must sustain (order-of-magnitude floor)
+FLOOR_RPS = 50 if QUICK else 200
+
+#: module-level result sink, flushed at teardown
+RESULTS: dict[str, dict] = {}
+
+SHIP_TO = """\
+<shipTo country="US">
+  <name>$name$</name>
+  <street>123 Maple Street</street>
+  <city>Mill Valley</city>
+  <state>CA</state>
+  <zip>90952</zip>
+</shipTo>"""
+
+TARGET = "/ship_to?name=Alice%20Smith"
+HOLE_VALUES = {"name": "Alice Smith"}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_json_report():
+    yield
+    target = os.environ.get("REPRO_BENCH_JSON", "BENCH_serve_throughput.json")
+    if target and RESULTS:
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(RESULTS, handle, indent=2, sort_keys=True)
+
+
+def _routes(po_binding) -> RouteTable:
+    table = RouteTable()
+    table.add_template("/ship_to", Template(po_binding, SHIP_TO))
+    return table
+
+
+async def _read_response(reader) -> bytes:
+    head = await reader.readuntil(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    return await reader.readexactly(length)
+
+
+async def _client_burst(port: int, count: int) -> bytes:
+    """*count* keep-alive requests on one connection; returns last body."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = f"GET {TARGET} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
+    body = b""
+    for _ in range(count):
+        writer.write(payload)
+        await writer.drain()
+        body = await _read_response(reader)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return body
+
+
+async def _measure(po_binding) -> tuple[dict, bytes]:
+    server = ReproServer(_routes(po_binding), port=0, request_timeout=30.0)
+    await server.start()
+    try:
+        await _client_burst(server.port, 20)  # warmup
+        rates = []
+        body = b""
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            body = await _client_burst(server.port, REQUESTS)
+            elapsed = time.perf_counter() - start
+            rates.append(REQUESTS / elapsed)
+        result = {
+            "requests_per_sec": round(max(rates), 1),
+            "requests": REQUESTS,
+            "repeats": REPEATS,
+            "response_bytes": len(body),
+            "floor_rps": FLOOR_RPS,
+            "served_total": server.stats["requests"],
+        }
+        return result, body
+    finally:
+        server.request_shutdown()
+        await server.drain()
+
+
+def test_sustained_throughput_and_byte_parity(po_binding):
+    expected = Template(po_binding, SHIP_TO).render_text(**HOLE_VALUES)
+    result, body = asyncio.run(_measure(po_binding))
+    # Parity first: speed means nothing if the bytes are wrong.
+    assert body == expected.encode("utf-8")
+    RESULTS["serve:ship_to"] = result
+    print(
+        f"\nserve: {result['requests_per_sec']:.0f} req/s sustained "
+        f"({result['response_bytes']} bytes/response, "
+        f"floor {FLOOR_RPS} req/s)"
+    )
+    assert result["requests_per_sec"] >= FLOOR_RPS, (
+        f"serving tier sustained only {result['requests_per_sec']:.0f} "
+        f"req/s (floor {FLOOR_RPS})"
+    )

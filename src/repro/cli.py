@@ -9,6 +9,8 @@ Subcommands mirror the paper's tooling:
   pipeline with warm-started worker processes,
 * ``preprocess <schema> <m>`` — run the P-XML preprocessor on a module
   (Fig. 9), printing the rewritten source,
+* ``serve <schema> <dir>``    — serve a directory of compiled pages
+  (``*.pxml`` templates, ``*.page`` server pages) over HTTP,
 * ``cache stats|clear``       — inspect or empty the compilation cache.
 
 Schema compilation is cached persistently: ``--cache-dir`` (or the
@@ -110,7 +112,9 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         metavar="N",
         help="validate with N worker processes (bulk mode; workers "
-        "warm-start their schema binding from the compilation cache)",
+        "warm-start their schema binding from the compilation cache); "
+        "0 means one per CPU, and requests beyond the CPU count are "
+        "clamped down",
     )
     validate_command.add_argument(
         "--report",
@@ -146,6 +150,39 @@ def main(argv: list[str] | None = None) -> int:
         "(reference path; output is byte-identical)",
     )
 
+    serve_command = commands.add_parser(
+        "serve",
+        help="serve a directory of compiled pages over HTTP "
+        "(*.pxml validated templates and *.page server pages; "
+        "runs until SIGTERM, then drains gracefully)",
+    )
+    serve_command.add_argument("schema")
+    serve_command.add_argument("directory")
+    serve_command.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default: %(default)s)"
+    )
+    serve_command.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="port to bind; 0 picks a free port (default: %(default)s)",
+    )
+    serve_command.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        metavar="N",
+        help="serve at most N connections concurrently; further ones "
+        "queue (default: %(default)s)",
+    )
+    serve_command.add_argument(
+        "--request-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-request read budget before a 408 (default: %(default)s)",
+    )
+
     cache_command = commands.add_parser(
         "cache", help="inspect or clear the compilation cache"
     )
@@ -157,6 +194,7 @@ def main(argv: list[str] | None = None) -> int:
         validate_command,
         preprocess_command,
         render_command,
+        serve_command,
         cache_command,
     ):
         _add_stats_flags(sub, top_level=False)
@@ -213,7 +251,7 @@ def _bulk_validate(
     report = validate_files(
         schema_text,
         arguments.documents,
-        jobs=max(1, arguments.jobs),
+        jobs=arguments.jobs,
         cache_dir=cache.directory if cache is not None else None,
         schema_label=arguments.schema,
     )
@@ -264,7 +302,7 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         text = _read(arguments.schema)
         bulk = (
             len(arguments.documents) > 1
-            or arguments.jobs > 1
+            or arguments.jobs != 1
             or arguments.report is not None
         )
         if bulk:
@@ -311,6 +349,36 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             print(serialize(template.render(**values)))
         else:
             print(template.render_text(**values))
+        return 0
+    if arguments.command == "serve":
+        import asyncio
+
+        from repro.serve import ReproServer, build_routes
+
+        binding = bind(_read(arguments.schema), cache=cache)
+        routes = build_routes(binding, arguments.directory, cache=cache)
+        server = ReproServer(
+            routes,
+            arguments.host,
+            arguments.port,
+            max_connections=arguments.max_connections,
+            request_timeout=arguments.request_timeout,
+        )
+
+        async def _serve() -> None:
+            await server.start()
+            # The "listening" line doubles as the readiness signal for
+            # scripts that wait on our stdout before probing.
+            print(
+                f"serving {len(routes)} route(s) on "
+                f"http://{server.host}:{server.port}/",
+                flush=True,
+            )
+            for path in routes.paths():
+                print(f"  route {path}", flush=True)
+            await server.run()
+
+        asyncio.run(_serve())
         return 0
     if arguments.command == "cache":
         store_cache = cache if cache is not None else ReproCache.persistent(

@@ -12,7 +12,7 @@ Two entry points:
   aggregated into a JSON-ready report.
 """
 
-from repro.ingest.bulk import validate_files
+from repro.ingest.bulk import effective_jobs, validate_files
 from repro.ingest.fused import (
     IngestFallback,
     IngestResult,
@@ -25,6 +25,7 @@ from repro.ingest.fused import (
 __all__ = [
     "IngestFallback",
     "IngestResult",
+    "effective_jobs",
     "fused_parse",
     "ingest",
     "legacy_parse",

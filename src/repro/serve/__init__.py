@@ -1,0 +1,45 @@
+"""HTTP serving tier for validated pages (:mod:`repro.serve`).
+
+The paper's server pages exist to be *served*; this package closes the
+loop with a stdlib-only asyncio HTTP server that maps URL paths to
+compiled :class:`~repro.pxml.Template` /
+:class:`~repro.serverpages.ServerPage` objects and answers requests
+with the segment pipeline's ``render_text`` output — guaranteed-valid
+markup straight to the socket, no DOM on the hot path.
+
+Layers:
+
+* :mod:`repro.serve.http` — minimal HTTP/1.1 request parsing and
+  response formatting;
+* :mod:`repro.serve.routes` — the route table and the directory
+  compiler (``*.pxml`` / ``*.page`` sources to compiled routes, keyed
+  through :class:`repro.cache.ReproCache`);
+* :mod:`repro.serve.server` — :class:`ReproServer`: connection cap
+  with backpressure, per-request timeouts, graceful drain on SIGTERM,
+  and ``/-/stats`` observability.
+
+``vdom-generate serve <schema.xsd> <directory>`` is the CLI front end.
+"""
+
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    build_response,
+    error_response,
+    parse_request,
+)
+from repro.serve.routes import Route, RouteTable, build_routes
+from repro.serve.server import ReproServer, serve
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "ReproServer",
+    "Route",
+    "RouteTable",
+    "build_response",
+    "build_routes",
+    "error_response",
+    "parse_request",
+    "serve",
+]

@@ -1,0 +1,169 @@
+"""A minimal HTTP/1.1 message layer for :mod:`repro.serve`.
+
+Only what a page server needs, built on the stdlib alone: parse one
+request head (request line + headers) from the bytes an
+``asyncio.StreamReader`` hands over, and format one response with a
+``Content-Length`` body.  No chunked transfer, no multipart, no
+trailers — requests with bodies are read and discarded up to a small
+cap, everything else is rejected with a clear status code.
+
+The parser is strict where sloppiness would be ambiguous (malformed
+request line, header without ``:``, non-integer ``Content-Length``) and
+lenient where the RFC says to be (header names are case-insensitive,
+empty header values are fine).
+"""
+
+from __future__ import annotations
+
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import ReproError
+
+#: request-head size cap (also the StreamReader limit the server uses)
+MAX_HEAD_BYTES = 32 * 1024
+
+#: largest request body the server will read-and-discard
+MAX_BODY_BYTES = 1 << 20
+
+#: the subset of status codes this server emits
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Content Too Large",
+    422: "Unprocessable Content",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ReproError):
+    """A request that cannot be served; carries the response status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class HttpRequest:
+    """One parsed request head."""
+
+    __slots__ = ("method", "target", "path", "query", "version", "headers")
+
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        path: str,
+        query: dict[str, str],
+        version: str,
+        headers: dict[str, str],
+    ):
+        self.method = method
+        self.target = target
+        self.path = path
+        self.query = query
+        self.version = version
+        self.headers = headers  # keys lower-cased
+
+    @property
+    def content_length(self) -> int:
+        raw = self.headers.get("content-length")
+        if raw is None:
+            return 0
+        try:
+            length = int(raw)
+        except ValueError:
+            raise HttpError(400, f"malformed Content-Length {raw!r}")
+        if length < 0:
+            raise HttpError(400, f"malformed Content-Length {raw!r}")
+        return length
+
+    def wants_keep_alive(self) -> bool:
+        """Connection persistence per HTTP/1.1 (default on) vs 1.0."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return "keep-alive" in connection
+        return "close" not in connection
+
+    def __repr__(self) -> str:
+        return f"HttpRequest({self.method} {self.target})"
+
+
+def parse_request(head: bytes) -> HttpRequest:
+    """Parse one request head (everything up to the blank line).
+
+    Raises :class:`HttpError` with a 400-family status on anything
+    malformed; the caller turns that into the response.
+    """
+    try:
+        text = head.decode("ascii")
+    except UnicodeDecodeError:
+        raise HttpError(400, "request head is not ASCII")
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if not method.isalpha() or method != method.upper():
+        raise HttpError(400, f"malformed method {method!r}")
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+    if not target.startswith("/"):
+        # Absolute-form targets (proxy requests) are out of scope.
+        raise HttpError(400, f"unsupported request target {target!r}")
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator or not name or name != name.strip():
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.lower()] = value.strip()
+    return HttpRequest(method, target, path, query, version, headers)
+
+
+def build_response(
+    status: int,
+    body: bytes,
+    content_type: str = "text/plain; charset=utf-8",
+    *,
+    keep_alive: bool = True,
+    head_only: bool = False,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """Format one complete response (status line, headers, body).
+
+    *head_only* answers a HEAD request: full headers — including the
+    ``Content-Length`` the body would have — with no body bytes.
+    """
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Server: repro-serve",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    if head_only:
+        return head
+    return head + body
+
+
+def error_response(
+    status: int, message: str, *, keep_alive: bool = False
+) -> bytes:
+    """A plain-text error body; errors always close the connection by
+    default (the stream state after a malformed request is unknown)."""
+    body = f"{status} {REASONS.get(status, 'Unknown')}: {message}\n".encode()
+    return build_response(status, body, keep_alive=keep_alive)

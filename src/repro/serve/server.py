@@ -1,0 +1,355 @@
+"""The asyncio HTTP server serving compiled, schema-valid pages.
+
+``asyncio.start_server`` accepts connections; each connection runs a
+keep-alive loop: read one request head (bounded in time and size),
+dispatch it through the :class:`~repro.serve.routes.RouteTable`, write
+one ``Content-Length``-framed response.  Rendering is the segment
+pipeline's ``render_text`` — the same precomputed-string path the
+benchmarks measure — so the serving tier adds framing, not tree walks.
+
+Operational behaviour:
+
+* **connection cap with backpressure** — at most ``max_connections``
+  connections are *served* concurrently; beyond that, new connections
+  queue on a semaphore (their bytes wait in kernel buffers) instead of
+  being refused;
+* **per-request timeout** — a request head that does not arrive within
+  ``request_timeout`` seconds gets a 408 and the connection is closed;
+  the same budget bounds body reads;
+* **graceful drain** — SIGTERM (or :meth:`request_shutdown`) stops the
+  listener, lets every in-flight request finish, then returns from
+  :meth:`run`; responses sent while draining carry
+  ``Connection: close``;
+* **observability** — every request counts into :mod:`repro.obs`
+  (``serve.request`` by route and status, ``serve.latency`` timings,
+  ``serve.fallback`` for unvalidated/missed routes) and into a
+  process-local ``stats`` dict served at ``/-/stats`` so a scrape needs
+  no obs opt-in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from typing import Any
+
+from repro import obs
+from repro.errors import PxmlError, ValidationError, VdomError
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    MAX_HEAD_BYTES,
+    HttpError,
+    HttpRequest,
+    build_response,
+    error_response,
+    parse_request,
+)
+from repro.serve.routes import RouteTable
+
+#: content type of every rendered page (they are XML by construction)
+PAGE_CONTENT_TYPE = "application/xml; charset=utf-8"
+
+#: parameter-shaped failures: the request named holes that do not fit
+_CLIENT_PARAM_ERRORS = (TypeError, KeyError, NameError)
+
+#: validity-shaped failures: the value reached the schema and lost
+_VALIDITY_ERRORS = (VdomError, ValidationError, PxmlError)
+
+
+class ReproServer:
+    """Serve a :class:`RouteTable` over HTTP/1.1."""
+
+    def __init__(
+        self,
+        routes: RouteTable,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 64,
+        request_timeout: float = 10.0,
+    ):
+        self.routes = routes
+        self.host = host
+        self.port = port  # replaced by the bound port after start()
+        self.max_connections = max_connections
+        self.request_timeout = request_timeout
+        self.stats: dict[str, Any] = {
+            "connections": 0,
+            "requests": 0,
+            "responses": {},  # status code (str, for JSON) -> count
+            "active": 0,
+            "peak_active": 0,
+            "timeouts": 0,
+            "bytes_sent": 0,
+            "draining": False,
+        }
+        self._server: asyncio.base_events.Server | None = None
+        self._gate = asyncio.Semaphore(max_connections)
+        self._connections: set[asyncio.Task] = set()
+        self._shutdown_requested: asyncio.Event | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting (returns once listening)."""
+        self._shutdown_requested = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_HEAD_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_shutdown(self) -> None:
+        """Ask :meth:`run` to drain and return (signal-handler safe)."""
+        if self._shutdown_requested is not None:
+            self._shutdown_requested.set()
+
+    async def drain(self) -> None:
+        """Stop accepting, let in-flight requests finish, close up."""
+        self.stats["draining"] = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = {task for task in self._connections if not task.done()}
+        if pending:
+            # Keep-alive loops notice the drain flag after their current
+            # response; an idle connection is bounded by the request
+            # timeout.  Anything still alive after that grace window is
+            # cancelled rather than holding shutdown hostage.
+            _done, stragglers = await asyncio.wait(
+                pending, timeout=self.request_timeout + 1.0
+            )
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                await asyncio.wait(stragglers)
+
+    async def run(self, *, install_signal_handlers: bool = True) -> None:
+        """Start, serve until SIGTERM/SIGINT (or
+        :meth:`request_shutdown`), then drain gracefully."""
+        if self._server is None:
+            await self.start()
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    # Platforms/embeddings without signal support still
+                    # get programmatic shutdown.
+                    break
+        assert self._shutdown_requested is not None
+        await self._shutdown_requested.wait()
+        await self.drain()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        self.stats["connections"] += 1
+        try:
+            # The cap: waiting here *is* the backpressure — the client's
+            # request bytes sit in kernel buffers until a slot frees up.
+            async with self._gate:
+                self.stats["active"] += 1
+                self.stats["peak_active"] = max(
+                    self.stats["peak_active"], self.stats["active"]
+                )
+                try:
+                    await self._serve_connection(reader, writer)
+                finally:
+                    self.stats["active"] -= 1
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-write; nothing left to tell it
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while not self.stats["draining"]:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), self.request_timeout
+                )
+            except asyncio.TimeoutError:
+                self.stats["timeouts"] += 1
+                obs.count("serve.timeout")
+                await self._send(writer, error_response(408, "request timed out"))
+                return
+            except asyncio.IncompleteReadError as partial:
+                if partial.partial:
+                    await self._send(
+                        writer, error_response(400, "truncated request head")
+                    )
+                return  # clean EOF between requests: client hung up
+            except asyncio.LimitOverrunError:
+                await self._send(
+                    writer, error_response(431, "request head too large")
+                )
+                return
+            try:
+                request = parse_request(head[:-4])
+                length = request.content_length
+                if length > MAX_BODY_BYTES:
+                    raise HttpError(413, "request body too large")
+                if length:
+                    # Bodies are irrelevant to GET-shaped page serving;
+                    # read and discard to keep the stream framed.
+                    await asyncio.wait_for(
+                        reader.readexactly(length), self.request_timeout
+                    )
+            except HttpError as error:
+                self._record(None, error.status)
+                await self._send(
+                    writer, error_response(error.status, error.message)
+                )
+                return
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                self.stats["timeouts"] += 1
+                await self._send(writer, error_response(408, "body timed out"))
+                return
+            keep_alive = request.wants_keep_alive()
+            response = self._respond(request, keep_alive)
+            await self._send(writer, response)
+            if not keep_alive:
+                return
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: bytes) -> None:
+        writer.write(payload)
+        self.stats["bytes_sent"] += len(payload)
+        await writer.drain()
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _record(self, route_name: str | None, status: int) -> None:
+        self.stats["requests"] += 1
+        responses = self.stats["responses"]
+        key = str(status)
+        responses[key] = responses.get(key, 0) + 1
+        obs.count(
+            "serve.request", route=route_name or "-", status=status
+        )
+
+    def _respond(self, request: HttpRequest, keep_alive: bool) -> bytes:
+        """One request to one complete response byte string."""
+        keep_alive = keep_alive and not self.stats["draining"]
+        head_only = request.method == "HEAD"
+        if request.method not in ("GET", "HEAD"):
+            self._record(None, 405)
+            body = f"405 Method Not Allowed: {request.method}\n".encode()
+            return build_response(
+                405,
+                body,
+                keep_alive=keep_alive,
+                head_only=head_only,
+                extra_headers=(("Allow", "GET, HEAD"),),
+            )
+        if request.path == "/-/stats":
+            self._record("-/stats", 200)
+            return build_response(
+                200,
+                self._stats_body(),
+                "application/json; charset=utf-8",
+                keep_alive=keep_alive,
+                head_only=head_only,
+            )
+        if request.path == "/-/health":
+            status = 503 if self.stats["draining"] else 200
+            self._record("-/health", status)
+            body = b"draining\n" if status == 503 else b"ok\n"
+            return build_response(
+                status, body, keep_alive=keep_alive, head_only=head_only
+            )
+        route = self.routes.resolve(request.path)
+        if route is None:
+            self._record(None, 404)
+            obs.count("serve.fallback", route="-", reason="no-route")
+            body = f"404 Not Found: no route for {request.path}\n".encode()
+            return build_response(
+                404, body, keep_alive=keep_alive, head_only=head_only
+            )
+        started = time.perf_counter()
+        try:
+            with obs.timeit("serve.render", route=route.name):
+                text = route.render(request.query)
+        except _VALIDITY_ERRORS as error:
+            # The page would have been schema-invalid; it is refused
+            # whole instead of served broken.
+            self._record(route.name, 422)
+            obs.count("serve.fallback", route=route.name, reason="invalid")
+            return error_response(422, str(error), keep_alive=False)
+        except _CLIENT_PARAM_ERRORS as error:
+            self._record(route.name, 400)
+            obs.count("serve.fallback", route=route.name, reason="bad-params")
+            return error_response(
+                400,
+                f"missing or unusable page parameter ({error})",
+                keep_alive=False,
+            )
+        except Exception as error:  # noqa: BLE001
+            # Audited boundary: an arbitrary page bug must become one
+            # 500, never a dropped connection or a dead server.
+            self._record(route.name, 500)
+            obs.count(
+                "serve.fallback",
+                route=route.name,
+                reason=type(error).__name__,
+            )
+            return error_response(500, "page failed to render", keep_alive=False)
+        body = text.encode("utf-8")
+        self._record(route.name, 200)
+        self._observe_latency(route.name, time.perf_counter() - started)
+        return build_response(
+            200,
+            body,
+            PAGE_CONTENT_TYPE,
+            keep_alive=keep_alive,
+            head_only=head_only,
+        )
+
+    def _observe_latency(self, route_name: str, seconds: float) -> None:
+        self.stats.setdefault("render_seconds", 0.0)
+        self.stats["render_seconds"] += seconds
+
+    def _stats_body(self) -> bytes:
+        snapshot = {
+            "server": {
+                **{
+                    key: value
+                    for key, value in self.stats.items()
+                    if key != "responses"
+                },
+                "responses": dict(self.stats["responses"]),
+                "routes": self.routes.paths(),
+                "max_connections": self.max_connections,
+                "request_timeout": self.request_timeout,
+            },
+            "obs": obs.snapshot(),
+        }
+        return (json.dumps(snapshot, indent=2, sort_keys=True) + "\n").encode()
+
+
+async def serve(
+    routes: RouteTable,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    **options: Any,
+) -> None:
+    """Convenience: build a :class:`ReproServer` and run it to drain."""
+    server = ReproServer(routes, host, port, **options)
+    await server.run()

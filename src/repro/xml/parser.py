@@ -50,6 +50,12 @@ _MAX_ENTITY_EXPANSION = 1 << 20
 #: the next markup or reference inside a character-data run
 _TEXT_DELIM = re.compile(r"[<&]")
 
+#: XML 1.0 §2.11: a literal ``\r\n`` pair or a bare ``\r`` in parsed text
+#: is passed to the application as a single ``\n``.  Characters arriving
+#: via character references (``&#13;``) are *not* normalized — reference
+#: resolution happens after end-of-line handling in the spec's model.
+_LINE_BREAKS = re.compile("\r\n?")
+
 #: any character outside the ``Char`` production (one C-level scan
 #: replaces the per-character ``is_xml_char`` loop)
 _ILLEGAL_CHAR = re.compile(f"[^{char_class()}]")
@@ -68,6 +74,13 @@ _ATTR_QUICK = re.compile(
 )
 
 _intern = sys.intern
+
+
+def _normalize_line_endings(text: str) -> str:
+    """Apply §2.11 end-of-line normalization to one literal text run."""
+    if "\r" not in text:
+        return text
+    return _LINE_BREAKS.sub("\n", text)
 
 
 class PullParser:
@@ -517,7 +530,15 @@ class PullParser:
                     else:
                         pieces.append(replacement)
                 index = semi + 1
-            elif char in "\t\n\r":
+            elif char == "\r":
+                # §2.11 end-of-line handling runs before attribute-value
+                # normalization, so a literal "\r\n" pair is one line
+                # break and becomes one space, not two.
+                if index + 1 < length and raw[index + 1] == "\n":
+                    index += 1
+                pieces.append(" ")
+                index += 1
+            elif char in "\t\n":
                 pieces.append(" ")
                 index += 1
             else:
@@ -559,7 +580,7 @@ class PullParser:
                     reader.location(),
                 )
             reader.offset = stop
-            return Characters(run, False, location)
+            return Characters(_normalize_line_endings(run), False, location)
         pieces: list[str] = []
         while offset < length:
             char = text[offset]
@@ -587,7 +608,7 @@ class PullParser:
                     f"illegal character U+{ord(bad.group()):04X}",
                     reader.location(),
                 )
-            pieces.append(run)
+            pieces.append(_normalize_line_endings(run))
             offset = stop
         reader.offset = offset
         return Characters("".join(pieces), False, location)
@@ -598,7 +619,7 @@ class PullParser:
         reader.expect("<![CDATA[", "to open a CDATA section")
         body = reader.read_until("]]>", "CDATA section")
         self._check_chars(body, location)
-        return Characters(body, True, location)
+        return Characters(_normalize_line_endings(body), True, location)
 
     # -- reference expansion ---------------------------------------------------
 

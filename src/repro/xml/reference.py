@@ -496,7 +496,15 @@ class ReferencePullParser:
                     else:
                         pieces.append(replacement)
                 index = semi + 1
-            elif char in "\t\n\r":
+            elif char == "\r":
+                # §2.11 end-of-line handling runs before attribute-value
+                # normalization, so a literal "\r\n" pair is one line
+                # break and becomes one space, not two.
+                if index + 1 < length and raw[index + 1] == "\n":
+                    index += 1
+                pieces.append(" ")
+                index += 1
+            elif char in "\t\n":
                 pieces.append(" ")
                 index += 1
             else:
@@ -518,6 +526,13 @@ class ReferencePullParser:
                 raise XmlSyntaxError(
                     "']]>' is not allowed in character data", reader.location()
                 )
+            elif char == "\r":
+                # §2.11 end-of-line handling: "\r\n" and a bare "\r"
+                # both reach the application as a single "\n".
+                reader.advance(1)
+                if reader.peek() == "\n":
+                    reader.advance(1)
+                pieces.append("\n")
             else:
                 if not is_xml_char(char):
                     raise XmlSyntaxError(
@@ -532,6 +547,10 @@ class ReferencePullParser:
         reader.expect("<![CDATA[", "to open a CDATA section")
         body = reader.read_until("]]>", "CDATA section")
         self._check_chars(body, location)
+        # §2.11, stated with the seed's regex-free idiom: the two-step
+        # replace normalizes "\r\n" first so the bare-"\r" pass cannot
+        # double a pair into two newlines.
+        body = body.replace("\r\n", "\n").replace("\r", "\n")
         return Characters(body, True, location)
 
     # -- reference expansion ---------------------------------------------------

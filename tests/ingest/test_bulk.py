@@ -8,7 +8,7 @@ import pytest
 from repro import obs
 from repro.cli import main
 from repro.errors import ReproError
-from repro.ingest import validate_files
+from repro.ingest import effective_jobs, validate_files
 from repro.schemas import PURCHASE_ORDER_DOCUMENT, PURCHASE_ORDER_SCHEMA
 from repro.schemas.purchase_order import PURCHASE_ORDER_INVALID_DOCUMENTS
 
@@ -67,7 +67,9 @@ class TestValidateFiles:
 
     def test_jobs_agree_with_inline(self, corpus):
         inline = validate_files(PURCHASE_ORDER_SCHEMA, corpus, jobs=1)
-        pooled = validate_files(PURCHASE_ORDER_SCHEMA, corpus, jobs=2)
+        pooled = validate_files(
+            PURCHASE_ORDER_SCHEMA, corpus, jobs=2, clamp_jobs=False
+        )
         strip = lambda report: [
             {key: record[key] for key in ("path", "valid", "error", "error_type")}
             for record in report["files"]
@@ -174,7 +176,7 @@ class TestHardening:
         # the worker's OSError-only catch and abort the whole pool.map.
         bad.write_bytes("<comment>caf\xe9</comment>".encode("latin-1"))
         report = validate_files(
-            PURCHASE_ORDER_SCHEMA, [good, bad], jobs=jobs
+            PURCHASE_ORDER_SCHEMA, [good, bad], jobs=jobs, clamp_jobs=False
         )
         assert report["summary"] == dict(
             report["summary"],
@@ -200,7 +202,7 @@ class TestHardening:
         # now pre-flights the bind and raises the real error.
         with pytest.raises(ReproError, match="not-a-schema"):
             validate_files(
-                "<not-a-schema/>", [doc], jobs=jobs,
+                "<not-a-schema/>", [doc], jobs=jobs, clamp_jobs=False,
                 cache_dir=str(tmp_path / "cache"),
             )
 
@@ -251,7 +253,7 @@ class TestObsIntegration:
     ):
         cache_dir = str(tmp_path / "cache")
         report = validate_files(
-            PURCHASE_ORDER_SCHEMA, corpus, jobs=2,
+            PURCHASE_ORDER_SCHEMA, corpus, jobs=2, clamp_jobs=False,
             cache_dir=cache_dir, collect_obs=True,
         )
         counters = report["obs"]["counters"]
@@ -329,3 +331,65 @@ class TestCliStats:
         assert code == 1
         err = capsys.readouterr().err
         assert "error:" in err and "not-a-schema" in err
+
+
+class TestJobsClamp:
+    """Oversubscribing the pool pessimizes; the clamp keeps it honest."""
+
+    def test_effective_jobs_pure_logic(self):
+        assert effective_jobs(0, cpu_count=4) == 4      # auto: one per CPU
+        assert effective_jobs(-3, cpu_count=4) == 4     # negatives mean auto
+        assert effective_jobs(2, cpu_count=4) == 2      # under the cap: as asked
+        assert effective_jobs(8, cpu_count=4) == 4      # over the cap: clamped
+        assert effective_jobs(8, cpu_count=1) == 1
+        assert effective_jobs(0, cpu_count=0) == 1      # cpu_count() can be odd
+        assert effective_jobs(1) >= 1                   # real os.cpu_count path
+
+    def test_report_records_clamp(self, corpus):
+        import os
+
+        cpus = os.cpu_count() or 1
+        report = validate_files(PURCHASE_ORDER_SCHEMA, corpus, jobs=cpus + 7)
+        assert report["jobs"] == cpus
+        assert report["jobs_requested"] == cpus + 7
+
+    def test_jobs_zero_means_auto(self, corpus):
+        import os
+
+        report = validate_files(PURCHASE_ORDER_SCHEMA, corpus, jobs=0)
+        assert report["jobs"] == (os.cpu_count() or 1)
+        assert report["jobs_requested"] == 0
+        assert report["summary"]["documents"] == len(corpus)
+
+    def test_clamp_lands_in_obs_section(self, corpus, obs_clean):
+        import os
+
+        cpus = os.cpu_count() or 1
+        report = validate_files(
+            PURCHASE_ORDER_SCHEMA, corpus, jobs=cpus + 7, collect_obs=True
+        )
+        counters = report["obs"]["counters"]
+        key = (
+            "ingest.bulk.jobs_clamped"
+            f"{{effective={cpus},requested={cpus + 7}}}"
+        )
+        assert counters.get(key) == 1, counters
+
+    def test_unclamped_run_has_no_clamp_counter(self, corpus, obs_clean):
+        report = validate_files(
+            PURCHASE_ORDER_SCHEMA, corpus, jobs=1, collect_obs=True
+        )
+        counters = report["obs"]["counters"]
+        assert not any("jobs_clamped" in key for key in counters)
+
+    def test_cli_jobs_zero_runs_bulk(self, tmp_path, capsys):
+        schema = tmp_path / "po.xsd"
+        schema.write_text(PURCHASE_ORDER_SCHEMA, encoding="utf-8")
+        doc = tmp_path / "doc.xml"
+        doc.write_text(PURCHASE_ORDER_DOCUMENT, encoding="utf-8")
+        code = main(
+            ["--cache-dir", str(tmp_path / "cache"),
+             "validate", str(schema), str(doc), "--jobs", "0"]
+        )
+        assert code == 0
+        assert "1 valid, 0 invalid" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""Route table and the directory compiler."""
+
+import pytest
+
+from repro.errors import ReproError, VdomTypeError
+from repro.cache import ReproCache
+from repro.pxml import Template
+from repro.serve import Route, RouteTable, build_routes
+from repro.serverpages import ServerPage
+
+SHIP_TO = """\
+<shipTo country="US">
+  <name>$name$</name>
+  <street>123 Maple Street</street>
+  <city>Mill Valley</city>
+  <state>CA</state>
+  <zip>90952</zip>
+</shipTo>"""
+
+
+@pytest.fixture
+def template(po_binding):
+    return Template(po_binding, SHIP_TO)
+
+
+class TestRoute:
+    def test_exactly_one_of_template_or_page(self, template):
+        with pytest.raises(ValueError):
+            Route("/x")
+        with pytest.raises(ValueError):
+            Route("/x", template=template, page=ServerPage("hi"))
+
+    def test_template_route_is_validated(self, template):
+        route = Route("/ship_to", template=template)
+        assert route.validated
+        assert route.kind == "template"
+
+    def test_page_route_is_not(self):
+        route = Route("/legacy", page=ServerPage("<%= who %>"))
+        assert not route.validated
+
+    def test_render_fills_holes_from_params(self, template):
+        route = Route("/ship_to", template=template)
+        text = route.render({"name": "Alice"})
+        assert "<name>Alice</name>" in text
+        assert text == template.render_text(name="Alice")
+
+    def test_unknown_params_are_ignored(self, template):
+        # Query noise ("?utm_source=...") must not break a template.
+        route = Route("/ship_to", template=template)
+        assert route.render({"name": "Alice", "utm_source": "spam"})
+
+    def test_invalid_hole_value_raises(self, po_binding):
+        route = Route(
+            "/item", template=Template(po_binding, "<quantity>$q$</quantity>")
+        )
+        with pytest.raises(VdomTypeError):
+            route.render({"q": "100"})
+
+    def test_page_route_renders_with_full_params(self):
+        route = Route("/legacy", page=ServerPage("<b><%= who %></b>"))
+        assert route.render({"who": "x"}) == "<b>x</b>"
+
+    def test_default_name_from_path(self, template):
+        assert Route("/ship_to", template=template).name == "ship_to"
+        assert Route("/", template=template).name == "index"
+
+
+class TestRouteTable:
+    def test_add_and_resolve(self, template):
+        table = RouteTable()
+        table.add_template("/a", template)
+        assert table.resolve("/a").path == "/a"
+        assert table.resolve("/missing") is None
+        assert len(table) == 1
+
+    def test_duplicate_path_rejected(self, template):
+        table = RouteTable()
+        table.add_template("/a", template)
+        with pytest.raises(ReproError, match="duplicate route"):
+            table.add_template("/a", template)
+
+    def test_paths_sorted(self, template):
+        table = RouteTable()
+        table.add_template("/b", template)
+        table.add_template("/a", template)
+        assert table.paths() == ["/a", "/b"]
+
+
+class TestBuildRoutes:
+    @pytest.fixture
+    def site(self, tmp_path):
+        (tmp_path / "ship_to.pxml").write_text(SHIP_TO)
+        (tmp_path / "index.pxml").write_text("<comment>hi</comment>")
+        (tmp_path / "legacy.page").write_text("<b><%= who %></b>")
+        (tmp_path / "README.txt").write_text("not a page")
+        return tmp_path
+
+    def test_compiles_directory(self, po_binding, site):
+        table = build_routes(po_binding, site)
+        assert table.paths() == ["/", "/index", "/legacy", "/ship_to"]
+        assert table.resolve("/ship_to").validated
+        assert not table.resolve("/legacy").validated
+
+    def test_index_claims_root(self, po_binding, site):
+        table = build_routes(po_binding, site)
+        assert table.resolve("/").render({}) == "<comment>hi</comment>"
+
+    def test_empty_directory_refused(self, po_binding, tmp_path):
+        with pytest.raises(ReproError, match="no page sources"):
+            build_routes(po_binding, tmp_path)
+
+    def test_broken_template_aborts_the_build(self, po_binding, site):
+        (site / "broken.pxml").write_text("<notInSchema>$x$</notInSchema>")
+        with pytest.raises(ReproError):
+            build_routes(po_binding, site)
+
+    def test_cached_build_matches_fresh_build(self, po_binding, site, tmp_path):
+        cache = ReproCache.persistent(str(tmp_path / "cache"))
+        fresh = build_routes(po_binding, site)
+        cold = build_routes(po_binding, site, cache=cache)
+        warm = build_routes(po_binding, site, cache=cache)
+        for path in fresh.paths():
+            params = {"name": "A", "who": "A"}
+            assert (
+                fresh.resolve(path).render(params)
+                == cold.resolve(path).render(params)
+                == warm.resolve(path).render(params)
+            )

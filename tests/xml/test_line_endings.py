@@ -1,0 +1,177 @@
+"""XML 1.0 §2.11 end-of-line handling, end to end.
+
+The spec: before any other processing, a literal ``\\r\\n`` pair and a
+bare ``\\r`` are both passed to the application as a single ``\\n``.
+Characters that arrive via *character references* (``&#13;``) are not
+touched — reference resolution happens after end-of-line handling in
+the spec's processing model, so ``&#13;`` is the one way a carriage
+return can reach (and survive in) parsed content.
+
+Covered here: the fast scanner and the reference parser agree on a
+CR/CRLF golden corpus; character data, CDATA, and attribute values all
+normalize; ``Location``s keep pointing into the *pre*-normalization
+source; the fused ingest route inherits the behaviour; and a serialize
+round-trip emits ``\\r`` only as ``&#13;``.
+"""
+
+import pytest
+
+from repro.core import bind
+from repro.dom import parse_document
+from repro.dom.serialize import serialize
+from repro.ingest import fused_parse, legacy_parse
+from repro.schemas import PURCHASE_ORDER_SCHEMA
+from repro.xml import parse_events
+from repro.xml.events import Characters
+from repro.xml.reference import reference_events
+
+#: name -> (document, expected character data of the root element)
+GOLDEN = {
+    "crlf-pair": ("<a>x\r\ny</a>", "x\ny"),
+    "bare-cr": ("<a>x\ry</a>", "x\ny"),
+    "cr-then-crlf": ("<a>a\r\r\nb</a>", "a\n\nb"),
+    "crlf-then-cr": ("<a>a\r\n\rb</a>", "a\n\nb"),
+    "lone-cr-run": ("<a>\r\r\r</a>", "\n\n\n"),
+    "trailing-cr": ("<a>tail\r</a>", "tail\n"),
+    "leading-crlf": ("<a>\r\nbody</a>", "\nbody"),
+    "cdata-crlf": ("<a><![CDATA[p\r\nq\r]]></a>", "p\nq\n"),
+    "cdata-only-cr": ("<a><![CDATA[\r]]></a>", "\n"),
+    "char-ref-cr-kept": ("<a>x&#13;y</a>", "x\ry"),
+    "char-ref-hex-cr-kept": ("<a>x&#xD;y</a>", "x\ry"),
+    "literal-cr-before-ref": ("<a>a\r&#10;b</a>", "a\n\nb"),
+    "ref-cr-before-literal-lf": ("<a>a&#13;\nb</a>", "a\r\nb"),
+    "mixed-everything": (
+        "<a>one\r\ntwo\rthree&#13;four\nfive</a>",
+        "one\ntwo\nthree\rfour\nfive",
+    ),
+}
+
+
+def _text_of(events) -> str:
+    return "".join(
+        event.data for event in events if isinstance(event, Characters)
+    )
+
+
+class TestCharacterData:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_fast_parser_normalizes(self, name):
+        document, expected = GOLDEN[name]
+        assert _text_of(parse_events(document)) == expected
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_reference_parser_agrees_event_for_event(self, name):
+        document, _ = GOLDEN[name]
+        assert list(parse_events(document)) == list(
+            reference_events(document)
+        )
+
+    def test_issue_repro(self):
+        # The report that started this: a CRLF document's text events
+        # leaked the raw "\r\n" to the application.
+        events = list(parse_events("<a>x\r\ny</a>"))
+        assert events[1].data == "x\ny"
+
+    def test_locations_index_the_unnormalized_source(self):
+        # "\r\n" collapses in the *event data* only; the source string
+        # is untouched, so locations (and therefore error carets) keep
+        # pointing at real offsets in what the user actually wrote.
+        document = "<a>x\r\ny</a><oops"
+        events = list(parse_events("<a>x\r\ny</a>"))
+        text = events[1]
+        assert document[text.location.offset] == "x"
+        end = events[2]
+        assert document[end.location.offset :].startswith("</a>")
+
+
+class TestAttributeValues:
+    # §2.11 runs before §3.3.3 attribute-value normalization, so a
+    # literal "\r\n" is ONE line break -> one space.
+    CASES = {
+        '<a x="p\r\nq"/>': "p q",
+        '<a x="p\rq"/>': "p q",
+        '<a x="p\nq"/>': "p q",
+        '<a x="p\r\r\nq"/>': "p  q",
+        '<a x="p&#13;q"/>': "p\rq",
+        '<a x="p&#13;&#10;q"/>': "p\r\nq",
+    }
+
+    @pytest.mark.parametrize("document", sorted(CASES))
+    def test_value(self, document):
+        start = list(parse_events(document))[0]
+        assert dict(start.attributes)["x"] == self.CASES[document]
+
+    @pytest.mark.parametrize("document", sorted(CASES))
+    def test_parity(self, document):
+        assert list(parse_events(document)) == list(
+            reference_events(document)
+        )
+
+
+#: a purchase-order document written by a DOS-line-endings editor
+CRLF_PURCHASE_ORDER = (
+    '<purchaseOrder orderDate="1999-10-20">\r\n'
+    "  <shipTo country=\"US\">\r\n"
+    "    <name>Alice\r\nSmith</name>\r\n"
+    "    <street>123 Maple Street</street>\r\n"
+    "    <city>Mill Valley</city>\r\n"
+    "    <state>CA</state>\r\n"
+    "    <zip>90952</zip>\r\n"
+    "  </shipTo>\r\n"
+    "  <billTo country=\"US\">\r\n"
+    "    <name>Robert Smith</name>\r\n"
+    "    <street>8 Oak Avenue</street>\r\n"
+    "    <city>Old Town</city>\r\n"
+    "    <state>PA</state>\r\n"
+    "    <zip>95819</zip>\r\n"
+    "  </billTo>\r\n"
+    "  <comment>Hurry, my lawn\ris going wild</comment>\r\n"
+    "  <items>\r\n"
+    '    <item partNum="872-AA">\r\n'
+    "      <productName>Lawnmower</productName>\r\n"
+    "      <quantity>1</quantity>\r\n"
+    "      <USPrice>148.95</USPrice>\r\n"
+    "    </item>\r\n"
+    "  </items>\r\n"
+    "</purchaseOrder>\r\n"
+)
+
+
+class TestIngestRoutes:
+    @pytest.fixture(scope="class")
+    def po_binding(self):
+        return bind(PURCHASE_ORDER_SCHEMA)
+
+    def test_fused_equals_legacy_on_crlf_document(self, po_binding):
+        legacy = legacy_parse(po_binding, CRLF_PURCHASE_ORDER)
+        fused = fused_parse(po_binding, CRLF_PURCHASE_ORDER)
+        assert serialize(legacy) == serialize(fused)
+
+    def test_typed_content_is_normalized(self, po_binding):
+        root = fused_parse(po_binding, CRLF_PURCHASE_ORDER)
+        assert root.ship_to.name.content == "Alice\nSmith"
+        assert root.comment.content == "Hurry, my lawn\nis going wild"
+
+    def test_unix_and_dos_sources_build_identical_trees(self, po_binding):
+        unix = CRLF_PURCHASE_ORDER.replace("\r\n", "\n").replace("\r", "\n")
+        assert serialize(fused_parse(po_binding, unix)) == serialize(
+            fused_parse(po_binding, CRLF_PURCHASE_ORDER)
+        )
+
+
+class TestSerializeRoundTrip:
+    def test_cr_survives_only_as_character_reference(self):
+        document = '<a x="p&#13;q">t\r\nu&#13;v<![CDATA[w\r]]></a>'
+        output = serialize(parse_document(document).document_element)
+        assert "\r" not in output
+        assert output == '<a x="p&#13;q">t\nu&#13;v<![CDATA[w\n]]></a>'
+
+    def test_crlf_document_reserializes_stably(self):
+        # After one normalizing parse the text is all-"\n"; a second
+        # parse+serialize round trip is the identity.
+        first = serialize(
+            parse_document(CRLF_PURCHASE_ORDER).document_element
+        )
+        second = serialize(parse_document(first).document_element)
+        assert "\r" not in first
+        assert first == second
