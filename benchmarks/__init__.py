@@ -1,0 +1,30 @@
+"""Benchmark package: the shared acceptance-floor registry.
+
+Every experiment's floor lives in one place — ``floors.json`` — keyed
+by a short name.  Each entry records the artifact file the measured
+number lands in, the dotted path to it inside that JSON, the full
+floor, and (where CI quick mode is allowed to relax it) a
+``quick_floor``.  The benchmark modules read their floors from here,
+and ``scripts/check_bench.py`` — the CI ``bench-gate`` job — re-checks
+the recorded artifacts against the very same file, so a floor can
+never drift between what a benchmark asserts locally and what the
+gate enforces on the run's artifacts.
+"""
+
+import json
+import os
+
+FLOORS_PATH = os.path.join(os.path.dirname(__file__), "floors.json")
+
+
+def load_floors() -> dict:
+    with open(FLOORS_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def bench_floor(name: str, quick: bool) -> float:
+    """The floor to assert for *name*, honoring quick-mode relaxation."""
+    entry = load_floors()[name]
+    if quick:
+        return entry.get("quick_floor", entry["floor"])
+    return entry["floor"]

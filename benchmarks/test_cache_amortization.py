@@ -28,16 +28,18 @@ import time
 
 import pytest
 
+from benchmarks import bench_floor
 from repro.cache import ReproCache
 from repro.pxml import Template
 from repro.schemas import PURCHASE_ORDER_SCHEMA
 from repro.schemas.xhtml import XHTML_SUBSET_SCHEMA
 
-#: the ISSUE's acceptance criterion
-REQUIRED_SPEEDUP = 5.0
-
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 ITERATIONS = 5 if QUICK else 25
+#: the ISSUE's acceptance criterion, shared with the CI bench-gate
+#: via benchmarks/floors.json (no quick relaxation: the ratio is
+#: stable even at low iteration counts)
+REQUIRED_SPEEDUP = bench_floor("cache_warm_speedup", QUICK)
 
 #: module-level result sink, flushed to $REPRO_BENCH_JSON at teardown
 RESULTS: dict[str, dict[str, float]] = {}
@@ -48,6 +50,7 @@ def _write_json_report():
     yield
     target = os.environ.get("REPRO_BENCH_JSON")
     if target and RESULTS:
+        RESULTS["_meta"] = {"quick": QUICK}
         with open(target, "w", encoding="utf-8") as handle:
             json.dump(RESULTS, handle, indent=2, sort_keys=True)
 

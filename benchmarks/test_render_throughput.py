@@ -28,25 +28,23 @@ Environment knobs (used by the CI smoke job):
 
 import json
 import os
-import statistics
 import time
 
 import pytest
 
+from benchmarks import bench_floor
 from repro.core import bind
 from repro.dom.serialize import serialize
 from repro.pxml import Template
 from repro.schemas import PURCHASE_ORDER_SCHEMA
 from repro.schemas.xhtml import XHTML_SUBSET_SCHEMA
 
-#: the ISSUE's acceptance criterion, and its CI-noise-tolerant floor
-REQUIRED_SPEEDUP = 3.0
-QUICK_SPEEDUP = 1.5
-
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 RENDERS = 300 if QUICK else 2000
 REPEATS = 3 if QUICK else 5
-FLOOR = QUICK_SPEEDUP if QUICK else REQUIRED_SPEEDUP
+#: the ISSUE's acceptance criterion (CI-noise-tolerant in quick mode),
+#: shared with the bench-gate via benchmarks/floors.json
+FLOOR = bench_floor("render_text_speedup", QUICK)
 
 #: module-level result sink, flushed at teardown
 RESULTS: dict[str, dict[str, float]] = {}
@@ -108,6 +106,7 @@ def _write_json_report():
         "REPRO_BENCH_JSON", "BENCH_render_throughput.json"
     )
     if target and RESULTS:
+        RESULTS["_meta"] = {"quick": QUICK}
         with open(target, "w", encoding="utf-8") as handle:
             json.dump(RESULTS, handle, indent=2, sort_keys=True)
 

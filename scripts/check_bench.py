@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate.
+
+Reads the floor registry (``benchmarks/floors.json``), finds each
+entry's ``BENCH_*.json`` artifact under a directory tree, extracts the
+measured metric by dotted path, and fails if any number is below its
+floor — or if an expected artifact is missing entirely (a benchmark
+that silently stopped producing its artifact must not pass the gate).
+
+Artifacts written under ``REPRO_BENCH_QUICK=1`` record
+``{"_meta": {"quick": true}}``; for those the entry's ``quick_floor``
+(when present) is enforced instead of the full floor, mirroring what
+the benchmark itself asserted when it ran.
+
+Usage::
+
+    python scripts/check_bench.py [artifact-dir]
+
+*artifact-dir* defaults to the current directory and is searched
+recursively (``actions/download-artifact`` unpacks each artifact into
+its own subdirectory).
+"""
+
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FLOORS_PATH = os.path.join(REPO_ROOT, "benchmarks", "floors.json")
+
+
+def find_artifact(root: str, filename: str) -> str | None:
+    """The first file named *filename* under *root*, or None."""
+    for dirpath, _dirnames, filenames in sorted(os.walk(root)):
+        if filename in filenames:
+            return os.path.join(dirpath, filename)
+    return None
+
+
+def extract(report: dict, dotted: str):
+    """Walk *report* by the dotted *path* from floors.json.
+
+    Only the final separator splits a metric name from its containing
+    scenario — scenario keys themselves may contain anything but dots
+    (``serve:hot_cache``, ``bind:purchase_order``).
+    """
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_artifacts(floors: dict, artifact_dir: str) -> list[str]:
+    """Every floor violation / missing artifact, as printable strings."""
+    problems = []
+    for name, entry in floors.items():
+        path = find_artifact(artifact_dir, entry["artifact"])
+        if path is None:
+            problems.append(
+                f"{name}: artifact {entry['artifact']} not found under "
+                f"{artifact_dir}"
+            )
+            continue
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        quick = bool(report.get("_meta", {}).get("quick"))
+        floor = (
+            entry.get("quick_floor", entry["floor"])
+            if quick
+            else entry["floor"]
+        )
+        value = extract(report, entry["path"])
+        if value is None:
+            problems.append(
+                f"{name}: metric {entry['path']!r} missing from {path}"
+            )
+        elif value < floor:
+            mode = "quick" if quick else "full"
+            problems.append(
+                f"{name}: {value} < floor {floor} ({mode} mode, "
+                f"{entry['path']} in {entry['artifact']})"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    artifact_dir = argv[1] if len(argv) > 1 else "."
+    with open(FLOORS_PATH, encoding="utf-8") as handle:
+        floors = json.load(handle)
+    problems = check_artifacts(floors, artifact_dir)
+    checked = len(floors)
+    if problems:
+        print(f"bench-gate: {len(problems)}/{checked} checks FAILED")
+        for problem in problems:
+            print(f"  FAIL {problem}")
+        return 1
+    print(f"bench-gate: all {checked} floors clear")
+    for name, entry in sorted(floors.items()):
+        print(f"  ok   {name} ({entry['path']} >= {entry['floor']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -182,6 +182,36 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SECONDS",
         help="per-request read budget before a 408 (default: %(default)s)",
     )
+    response_cache = serve_command.add_mutually_exclusive_group()
+    response_cache.add_argument(
+        "--cache",
+        dest="response_cache",
+        action="store_true",
+        default=True,
+        help="cache rendered responses keyed on typed hole values, "
+        "with ETag/If-None-Match 304 revalidation (default)",
+    )
+    response_cache.add_argument(
+        "--no-cache",
+        dest="response_cache",
+        action="store_false",
+        help="render every response (disables only the response cache; "
+        "the top-level --no-cache controls the compilation cache)",
+    )
+    serve_command.add_argument(
+        "--cache-entries",
+        type=int,
+        default=512,
+        metavar="N",
+        help="response-cache capacity in entries (default: %(default)s)",
+    )
+    serve_command.add_argument(
+        "--stream",
+        action="store_true",
+        help="answer template routes as Transfer-Encoding: chunked, "
+        "streaming precomputed static segments (holes are still "
+        "validated before the first byte)",
+    )
 
     cache_command = commands.add_parser(
         "cache", help="inspect or clear the compilation cache"
@@ -363,15 +393,26 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             arguments.port,
             max_connections=arguments.max_connections,
             request_timeout=arguments.request_timeout,
+            cache_entries=(
+                arguments.cache_entries if arguments.response_cache else 0
+            ),
+            stream=arguments.stream,
         )
 
         async def _serve() -> None:
             await server.start()
             # The "listening" line doubles as the readiness signal for
             # scripts that wait on our stdout before probing.
+            mode = "streamed" if server.stream else "buffered"
+            cache_state = (
+                f"cache {server.cache.max_entries} entries"
+                if server.cache is not None
+                else "cache off"
+            )
             print(
                 f"serving {len(routes)} route(s) on "
-                f"http://{server.host}:{server.port}/",
+                f"http://{server.host}:{server.port}/ "
+                f"({mode}, {cache_state})",
                 flush=True,
             )
             for path in routes.paths():

@@ -9,37 +9,48 @@ markup straight to the socket, no DOM on the hot path.
 
 Layers:
 
-* :mod:`repro.serve.http` — minimal HTTP/1.1 request parsing and
-  response formatting;
+* :mod:`repro.serve.http` — minimal HTTP/1.1 request parsing, response
+  formatting (``Content-Length`` and chunked framing), strong ETags and
+  the ``If-None-Match`` comparison;
+* :mod:`repro.serve.cache` — the bounded in-process response cache,
+  keyed on ``(route fingerprint, typed hole values)``;
 * :mod:`repro.serve.routes` — the route table and the directory
   compiler (``*.pxml`` / ``*.page`` sources to compiled routes, keyed
   through :class:`repro.cache.ReproCache`);
-* :mod:`repro.serve.server` — :class:`ReproServer`: connection cap
+* :mod:`repro.serve.server` — :class:`ReproServer`: response caching
+  with conditional GETs, chunked segment streaming, connection cap
   with backpressure, per-request timeouts, graceful drain on SIGTERM,
   and ``/-/stats`` observability.
 
 ``vdom-generate serve <schema.xsd> <directory>`` is the CLI front end.
 """
 
+from repro.serve.cache import CachedResponse, ResponseCache
 from repro.serve.http import (
     HttpError,
     HttpRequest,
     build_response,
     error_response,
+    etag_matches,
+    make_etag,
     parse_request,
 )
 from repro.serve.routes import Route, RouteTable, build_routes
 from repro.serve.server import ReproServer, serve
 
 __all__ = [
+    "CachedResponse",
     "HttpError",
     "HttpRequest",
     "ReproServer",
+    "ResponseCache",
     "Route",
     "RouteTable",
     "build_response",
     "build_routes",
     "error_response",
+    "etag_matches",
+    "make_etag",
     "parse_request",
     "serve",
 ]

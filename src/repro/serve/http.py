@@ -2,10 +2,17 @@
 
 Only what a page server needs, built on the stdlib alone: parse one
 request head (request line + headers) from the bytes an
-``asyncio.StreamReader`` hands over, and format one response with a
-``Content-Length`` body.  No chunked transfer, no multipart, no
-trailers — requests with bodies are read and discarded up to a small
-cap, everything else is rejected with a clear status code.
+``asyncio.StreamReader`` hands over, format one response with a
+``Content-Length`` body, and frame one response as
+``Transfer-Encoding: chunked`` for the streaming mode.  Requests with
+bodies are read and discarded up to a small cap, everything else is
+rejected with a clear status code.
+
+Validators come with the framing: strong ETags (a content hash, so two
+responses carry the same tag exactly when their bytes match) and the
+``If-None-Match`` comparison that turns a revalidation into a bodiless
+304.  Every response carries a ``Date`` header (RFC 9110 §6.6.1),
+memoized per second so the hot path formats it at most once a second.
 
 The parser is strict where sloppiness would be ambiguous (malformed
 request line, header without ``:``, non-integer ``Content-Length``) and
@@ -15,6 +22,9 @@ empty header values are fine).
 
 from __future__ import annotations
 
+import hashlib
+import time
+from email.utils import formatdate
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.errors import ReproError
@@ -28,6 +38,7 @@ MAX_BODY_BYTES = 1 << 20
 #: the subset of status codes this server emits
 REASONS = {
     200: "OK",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -130,6 +141,68 @@ def parse_request(head: bytes) -> HttpRequest:
     return HttpRequest(method, target, path, query, version, headers)
 
 
+#: ``(whole_second, formatted)`` memo behind :func:`http_date`
+_DATE_MEMO: tuple[int, str] = (0, "")
+
+
+def http_date() -> str:
+    """The current time as an IMF-fixdate, memoized per second."""
+    global _DATE_MEMO
+    now = int(time.time())
+    if _DATE_MEMO[0] != now:
+        _DATE_MEMO = (now, formatdate(now, usegmt=True))
+    return _DATE_MEMO[1]
+
+
+def make_etag(body: bytes) -> str:
+    """A strong validator for *body*: quoted truncated content hash.
+
+    Deterministic in the bytes alone, so a re-rendered (or re-cached)
+    response revalidates against a tag handed out before any rebuild —
+    exactly the semantics a content-addressed cache wants.
+    """
+    return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
+
+
+def etag_matches(if_none_match: str, etag: str) -> bool:
+    """Does an ``If-None-Match`` value match *etag*?
+
+    Handles ``*``, comma-separated candidate lists, and ``W/`` weak
+    prefixes (If-None-Match comparison is weak per RFC 9110 §13.1.2,
+    so ``W/"x"`` matches ``"x"``).
+    """
+    if if_none_match.strip() == "*":
+        return True
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+def _head_lines(
+    status: int,
+    content_type: str | None,
+    *,
+    keep_alive: bool,
+    extra_headers: tuple[tuple[str, str], ...],
+) -> list[str]:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    if content_type is not None:
+        lines.append(f"Content-Type: {content_type}")
+    lines += [
+        f"Date: {http_date()}",
+        "Server: repro-serve",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    return lines
+
+
 def build_response(
     status: int,
     body: bytes,
@@ -144,20 +217,59 @@ def build_response(
     *head_only* answers a HEAD request: full headers — including the
     ``Content-Length`` the body would have — with no body bytes.
     """
-    reason = REASONS.get(status, "Unknown")
-    lines = [
-        f"HTTP/1.1 {status} {reason}",
-        f"Content-Type: {content_type}",
-        f"Content-Length: {len(body)}",
-        "Server: repro-serve",
-        f"Connection: {'keep-alive' if keep_alive else 'close'}",
-    ]
-    for name, value in extra_headers:
-        lines.append(f"{name}: {value}")
+    lines = _head_lines(
+        status, content_type, keep_alive=keep_alive, extra_headers=extra_headers
+    )
+    lines.insert(2, f"Content-Length: {len(body)}")
     head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
     if head_only:
         return head
     return head + body
+
+
+def not_modified_response(
+    etag: str,
+    *,
+    keep_alive: bool = True,
+) -> bytes:
+    """A 304 for a conditional request that hit: headers only, no body.
+
+    A 304 has no body by definition, so it omits ``Content-Length``
+    entirely — the connection stays correctly framed for keep-alive.
+    """
+    lines = _head_lines(
+        304, None, keep_alive=keep_alive, extra_headers=(("ETag", etag),)
+    )
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def start_chunked_response(
+    status: int,
+    content_type: str = "text/plain; charset=utf-8",
+    *,
+    keep_alive: bool = True,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """The head of a ``Transfer-Encoding: chunked`` response.
+
+    No ``Content-Length`` — the body follows as :func:`encode_chunk`
+    frames terminated by :data:`LAST_CHUNK`, so writing can begin
+    before the total size is known.
+    """
+    lines = _head_lines(
+        status, content_type, keep_alive=keep_alive, extra_headers=extra_headers
+    )
+    lines.insert(2, "Transfer-Encoding: chunked")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """One chunked-transfer frame: hex size, CRLF, data, CRLF."""
+    return b"%x\r\n%s\r\n" % (len(data), data)
+
+
+#: the zero-length chunk that terminates a chunked body (no trailers)
+LAST_CHUNK = b"0\r\n\r\n"
 
 
 def error_response(

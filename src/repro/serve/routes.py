@@ -27,8 +27,9 @@ page); missing ones surface as a client error in the server layer.
 
 from __future__ import annotations
 
+import hashlib
 import os
-from typing import Any
+from typing import Any, Hashable
 
 from repro import obs
 from repro.errors import ReproError
@@ -43,7 +44,16 @@ PAGE_SUFFIX = ".page"
 class Route:
     """One path bound to one compiled page."""
 
-    __slots__ = ("path", "name", "kind", "_template", "_page", "_hole_names")
+    __slots__ = (
+        "path",
+        "name",
+        "kind",
+        "_template",
+        "_page",
+        "_hole_names",
+        "_ordered_holes",
+        "fingerprint",
+    )
 
     def __init__(
         self,
@@ -62,6 +72,20 @@ class Route:
         self._page = page
         self._hole_names = (
             frozenset(template.hole_names) if template is not None else None
+        )
+        # Hole order is fixed at construction so a response key is built
+        # with len(holes) dict lookups, no sort on the hot path.
+        self._ordered_holes = (
+            tuple(template.hole_names) if template is not None else ()
+        )
+        # Content-addressed identity: path plus a hash of the template
+        # source.  Response-cache keys embed it, so even without the
+        # explicit clear-on-rebuild a route recompiled from an edited
+        # source can never replay the old bytes.
+        self.fingerprint = (
+            f"{path}|{hashlib.sha256(template.source.encode('utf-8')).hexdigest()[:16]}"
+            if template is not None
+            else None
         )
 
     @property
@@ -84,6 +108,39 @@ class Route:
             return self._template.render_text(**values)
         obs.count("serve.fallback", route=self.name, reason="serverpage")
         return self._page.render(**params)
+
+    def stream(self, params: dict[str, str]) -> list[str] | None:
+        """Render as a validated piece list for chunked streaming.
+
+        Returns ``None`` when this route cannot stream — server pages
+        (no segment program, arbitrary code) and templates whose shape
+        fell back to the DOM route; the caller then uses
+        :meth:`render` buffered.  Hole errors raise here, before any
+        piece exists, so the server's 422/400 mapping is untouched.
+        """
+        if self._template is None:
+            return None
+        holes = self._hole_names
+        values = {
+            key: value for key, value in params.items() if key in holes
+        }
+        return self._template.stream_text(**values)
+
+    def response_key(self, params: dict[str, str]) -> Hashable | None:
+        """The response-cache key for *params*, or ``None``: uncacheable.
+
+        ``(route fingerprint, typed hole values in hole order)`` — only
+        parameters naming a hole participate, so query noise neither
+        fragments the cache nor leaks into keys.  Server pages are never
+        cached: their output is arbitrary code, not a pure function the
+        checker vouches for.
+        """
+        if self.fingerprint is None:
+            return None
+        return (
+            self.fingerprint,
+            tuple(params.get(name) for name in self._ordered_holes),
+        )
 
 
 class RouteTable:

@@ -7,6 +7,22 @@ one ``Content-Length``-framed response.  Rendering is the segment
 pipeline's ``render_text`` — the same precomputed-string path the
 benchmarks measure — so the serving tier adds framing, not tree walks.
 
+Serve v2 takes the next step, not rendering at all when it can prove it
+does not have to:
+
+* **response cache** — a bounded LRU
+  (:class:`~repro.serve.cache.ResponseCache`) keyed on ``(route
+  fingerprint, typed hole values)`` replays final response bytes; every
+  200 carries a strong ETag (content hash), ``If-None-Match`` matches
+  collapse to bodiless 304s, and the cache is explicitly invalidated
+  when :meth:`ReproServer.set_routes` swaps in a rebuilt table;
+* **streaming mode** — with ``stream=True``, template routes answer as
+  ``Transfer-Encoding: chunked``, writing precomputed static segments
+  to the socket piece by piece.  Holes are validated *before* the first
+  chunk is committed (the segment fill raises with zero bytes written),
+  so 422/400 semantics are identical to the buffered path; server
+  pages, HEAD, and HTTP/1.0 clients fall back to buffered responses.
+
 Operational behaviour:
 
 * **connection cap with backpressure** — at most ``max_connections``
@@ -37,19 +53,30 @@ from typing import Any
 
 from repro import obs
 from repro.errors import PxmlError, ValidationError, VdomError
+from repro.serve.cache import DEFAULT_MAX_ENTRIES, ResponseCache
 from repro.serve.http import (
+    LAST_CHUNK,
     MAX_BODY_BYTES,
     MAX_HEAD_BYTES,
     HttpError,
     HttpRequest,
     build_response,
+    encode_chunk,
     error_response,
+    etag_matches,
+    make_etag,
+    not_modified_response,
     parse_request,
+    start_chunked_response,
 )
-from repro.serve.routes import RouteTable
+from repro.serve.routes import Route, RouteTable
 
 #: content type of every rendered page (they are XML by construction)
 PAGE_CONTENT_TYPE = "application/xml; charset=utf-8"
+
+#: streamed pieces are coalesced into chunks of at least this many bytes
+#: (per-chunk framing and drain cost would otherwise dominate tiny runs)
+STREAM_CHUNK_BYTES = 8 * 1024
 
 #: parameter-shaped failures: the request named holes that do not fit
 _CLIENT_PARAM_ERRORS = (TypeError, KeyError, NameError)
@@ -69,12 +96,18 @@ class ReproServer:
         *,
         max_connections: int = 64,
         request_timeout: float = 10.0,
+        cache_entries: int = DEFAULT_MAX_ENTRIES,
+        stream: bool = False,
     ):
         self.routes = routes
         self.host = host
         self.port = port  # replaced by the bound port after start()
         self.max_connections = max_connections
         self.request_timeout = request_timeout
+        #: bounded response cache; ``cache_entries=0`` serves uncached
+        self.cache = ResponseCache(cache_entries) if cache_entries else None
+        #: chunked streaming of segment pieces for template routes
+        self.stream = stream
         self.stats: dict[str, Any] = {
             "connections": 0,
             "requests": 0,
@@ -83,6 +116,8 @@ class ReproServer:
             "peak_active": 0,
             "timeouts": 0,
             "bytes_sent": 0,
+            "not_modified": 0,
+            "streamed": 0,
             "draining": False,
         }
         self._server: asyncio.base_events.Server | None = None
@@ -102,6 +137,19 @@ class ReproServer:
             limit=MAX_HEAD_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+
+    def set_routes(self, routes: RouteTable) -> None:
+        """Swap in a rebuilt route table and invalidate cached responses.
+
+        The explicit clear is the cache's correctness contract on
+        rebuild: a recompiled route may produce different bytes for the
+        same key shape, and stale entries must not outlive the table
+        they were rendered from.  (Content-addressed route fingerprints
+        are defense in depth, not a substitute.)
+        """
+        self.routes = routes
+        if self.cache is not None:
+            self.cache.clear()
 
     def request_shutdown(self) -> None:
         """Ask :meth:`run` to drain and return (signal-handler safe)."""
@@ -225,7 +273,14 @@ class ReproServer:
                 return
             keep_alive = request.wants_keep_alive()
             response = self._respond(request, keep_alive)
-            await self._send(writer, response)
+            if isinstance(response, bytes):
+                await self._send(writer, response)
+            else:
+                # A streamed response: the head, then each coalesced
+                # chunk, drained as it goes — static markup reaches the
+                # client while later chunks are still being written.
+                for part in response:
+                    await self._send(writer, part)
             if not keep_alive:
                 return
 
@@ -245,8 +300,12 @@ class ReproServer:
             "serve.request", route=route_name or "-", status=status
         )
 
-    def _respond(self, request: HttpRequest, keep_alive: bool) -> bytes:
-        """One request to one complete response byte string."""
+    def _respond(
+        self, request: HttpRequest, keep_alive: bool
+    ) -> bytes | list[bytes]:
+        """One request to one response: complete bytes, or — for the
+        streaming mode — a list of ``[head, chunk..., last-chunk]``
+        parts the connection loop writes and drains one by one."""
         keep_alive = keep_alive and not self.stats["draining"]
         head_only = request.method == "HEAD"
         if request.method not in ("GET", "HEAD"):
@@ -284,9 +343,40 @@ class ReproServer:
                 404, body, keep_alive=keep_alive, head_only=head_only
             )
         started = time.perf_counter()
+        params = request.query
+        if_none_match = request.headers.get("if-none-match")
+        key = (
+            route.response_key(params) if self.cache is not None else None
+        )
+        if key is not None:
+            entry = self.cache.get(key)
+            if entry is not None:
+                # Replaying the stored bytes *is* the render: template
+                # output is a pure function of its typed hole values.
+                return self._finish(
+                    route,
+                    entry.body,
+                    entry.etag,
+                    if_none_match,
+                    keep_alive=keep_alive,
+                    head_only=head_only,
+                )
+        pieces: list[str] | None = None
         try:
             with obs.timeit("serve.render", route=route.name):
-                text = route.render(request.query)
+                # Streaming needs the segment piece list and HTTP/1.1
+                # chunked framing; HEAD has no body to stream.  Hole
+                # validation happens inside stream()/render() — before
+                # a single piece exists — so every error below arrives
+                # with no bytes committed.
+                if (
+                    self.stream
+                    and not head_only
+                    and request.version == "HTTP/1.1"
+                ):
+                    pieces = route.stream(params)
+                if pieces is None:
+                    text = route.render(params)
         except _VALIDITY_ERRORS as error:
             # The page would have been schema-invalid; it is refused
             # whole instead of served broken.
@@ -311,16 +401,92 @@ class ReproServer:
                 reason=type(error).__name__,
             )
             return error_response(500, "page failed to render", keep_alive=False)
-        body = text.encode("utf-8")
-        self._record(route.name, 200)
+        if pieces is not None:
+            encoded = [piece.encode("utf-8") for piece in pieces]
+            body = b"".join(encoded)
+        else:
+            encoded = None
+            body = text.encode("utf-8")
+        etag = make_etag(body)
+        if key is not None:
+            self.cache.put(key, body, etag, PAGE_CONTENT_TYPE)
         self._observe_latency(route.name, time.perf_counter() - started)
+        if encoded is not None:
+            if if_none_match and etag_matches(if_none_match, etag):
+                self._record(route.name, 304)
+                self.stats["not_modified"] += 1
+                return not_modified_response(etag, keep_alive=keep_alive)
+            self._record(route.name, 200)
+            self.stats["streamed"] += 1
+            obs.count("serve.stream", route=route.name)
+            return self._chunked_parts(encoded, etag, keep_alive)
+        return self._finish(
+            route,
+            body,
+            etag,
+            if_none_match,
+            keep_alive=keep_alive,
+            head_only=head_only,
+        )
+
+    def _finish(
+        self,
+        route: Route,
+        body: bytes,
+        etag: str,
+        if_none_match: str | None,
+        *,
+        keep_alive: bool,
+        head_only: bool,
+    ) -> bytes:
+        """A buffered 200 with its validator, or a 304 when it matches."""
+        if if_none_match and etag_matches(if_none_match, etag):
+            self._record(route.name, 304)
+            self.stats["not_modified"] += 1
+            return not_modified_response(etag, keep_alive=keep_alive)
+        self._record(route.name, 200)
         return build_response(
             200,
             body,
             PAGE_CONTENT_TYPE,
             keep_alive=keep_alive,
             head_only=head_only,
+            extra_headers=(("ETag", etag),),
         )
+
+    def _chunked_parts(
+        self, encoded: list[bytes], etag: str, keep_alive: bool
+    ) -> list[bytes]:
+        """Frame validated pieces as a chunked response part list.
+
+        Pieces are coalesced up to :data:`STREAM_CHUNK_BYTES` per chunk;
+        empty pieces are dropped (a zero-length chunk would terminate
+        the body early).  De-chunked, the body is byte-identical to the
+        buffered response.
+        """
+        parts = [
+            start_chunked_response(
+                200,
+                PAGE_CONTENT_TYPE,
+                keep_alive=keep_alive,
+                extra_headers=(("ETag", etag),),
+            )
+        ]
+        pending: list[bytes] = []
+        size = 0
+        for piece in encoded:
+            if not piece:
+                continue
+            pending.append(piece)
+            size += len(piece)
+            if size >= STREAM_CHUNK_BYTES:
+                parts.append(encode_chunk(b"".join(pending)))
+                pending.clear()
+                size = 0
+        if pending:
+            parts.append(encode_chunk(b"".join(pending)))
+        parts.append(LAST_CHUNK)
+        return parts
 
     def _observe_latency(self, route_name: str, seconds: float) -> None:
         self.stats.setdefault("render_seconds", 0.0)
@@ -338,6 +504,10 @@ class ReproServer:
                 "routes": self.routes.paths(),
                 "max_connections": self.max_connections,
                 "request_timeout": self.request_timeout,
+                "stream": self.stream,
+                "cache": (
+                    self.cache.snapshot() if self.cache is not None else None
+                ),
             },
             "obs": obs.snapshot(),
         }

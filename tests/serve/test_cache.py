@@ -1,0 +1,482 @@
+"""Response caching and conditional GETs, unit and end-to-end.
+
+The contract under test: a cache hit replays byte-identical 200s with
+the same strong ETag; ``If-None-Match`` turns any match into a bodiless
+304; query noise neither fragments keys nor changes bodies; errors are
+never stored; and a route-table rebuild empties the cache explicitly.
+"""
+
+import asyncio
+import contextlib
+import json
+
+import pytest
+
+from repro import obs
+from repro.pxml import Template
+from repro.serve import (
+    ReproServer,
+    ResponseCache,
+    RouteTable,
+    etag_matches,
+    make_etag,
+)
+from repro.serve.routes import Route
+from repro.serverpages import ServerPage
+
+SHIP_TO = """\
+<shipTo country="US">
+  <name>$name$</name>
+  <street>123 Maple Street</street>
+  <city>Mill Valley</city>
+  <state>CA</state>
+  <zip>90952</zip>
+</shipTo>"""
+
+
+@pytest.fixture
+def routes(po_binding):
+    table = RouteTable()
+    table.add_template("/ship_to", Template(po_binding, SHIP_TO))
+    table.add_template(
+        "/item", Template(po_binding, "<quantity>$q$</quantity>")
+    )
+    table.add_page("/legacy", ServerPage("<b><%= who %></b>"))
+    return table
+
+
+@contextlib.asynccontextmanager
+async def running(routes, **options):
+    options.setdefault("request_timeout", 5.0)
+    server = ReproServer(routes, port=0, **options)
+    await server.start()
+    try:
+        yield server
+    finally:
+        server.request_shutdown()
+        await server.drain()
+
+
+async def request(
+    port: int,
+    target: str,
+    method: str = "GET",
+    headers: tuple[tuple[str, str], ...] = (),
+) -> tuple[int, dict, bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    lines = [f"{method} {target} HTTP/1.1", "Host: t", "Connection: close"]
+    lines += [f"{name}: {value}" for name, value in headers]
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode())
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    with contextlib.suppress(ConnectionError, OSError):
+        await writer.wait_closed()
+    head, _, body = data.partition(b"\r\n\r\n")
+    head_lines = head.decode().split("\r\n")
+    status = int(head_lines[0].split(" ")[1])
+    parsed = {}
+    for line in head_lines[1:]:
+        name, _, value = line.partition(":")
+        parsed[name.lower()] = value.strip()
+    return status, parsed, body
+
+
+class TestResponseCacheUnit:
+    def test_miss_then_store_then_hit(self):
+        cache = ResponseCache(4)
+        assert cache.get("k") is None
+        cache.put("k", b"body", '"e"', "text/plain")
+        entry = cache.get("k")
+        assert (entry.body, entry.etag) == (b"body", '"e"')
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = ResponseCache(2)
+        cache.put("a", b"1", '"a"', "t")
+        cache.put("b", b"2", '"b"', "t")
+        cache.get("a")  # refresh a; b is now the LRU entry
+        cache.put("c", b"3", '"c"', "t")
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_restore_of_existing_key_does_not_evict(self):
+        cache = ResponseCache(2)
+        cache.put("a", b"1", '"a"', "t")
+        cache.put("b", b"2", '"b"', "t")
+        cache.put("a", b"1x", '"a2"', "t")
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get("a").body == b"1x"
+
+    def test_clear_counts_invalidations(self):
+        cache = ResponseCache(4)
+        cache.put("a", b"1", '"a"', "t")
+        cache.put("b", b"2", '"b"', "t")
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.invalidations == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ResponseCache(0)
+
+
+class TestEtagMatching:
+    ETAG = '"abc123"'
+
+    @pytest.mark.parametrize(
+        "header, expected",
+        [
+            ('"abc123"', True),  # fresh: exact match
+            ('"stale"', False),  # stale: no match
+            ('"stale", "abc123"', True),  # multiple values, one fresh
+            ('"one", "two", "three"', False),  # multiple values, all stale
+            ("*", True),  # wildcard matches anything
+            ('W/"abc123"', True),  # weak comparison strips W/
+            ("", False),  # empty header value
+        ],
+    )
+    def test_matrix(self, header, expected):
+        assert etag_matches(header, self.ETAG) is expected
+
+    def test_make_etag_is_strong_and_content_addressed(self):
+        first = make_etag(b"same bytes")
+        assert first == make_etag(b"same bytes")
+        assert first != make_etag(b"other bytes")
+        assert first.startswith('"') and first.endswith('"')
+        assert not first.startswith('W/"')
+
+
+class TestConditionalGets:
+    def test_fresh_etag_gets_304_without_body(self, routes):
+        async def scenario():
+            async with running(routes) as server:
+                _, headers, body = await request(
+                    server.port, "/ship_to?name=A"
+                )
+                etag = headers["etag"]
+                status2, headers2, body2 = await request(
+                    server.port,
+                    "/ship_to?name=A",
+                    headers=(("If-None-Match", etag),),
+                )
+                return body, etag, status2, headers2, body2
+
+        body, etag, status2, headers2, body2 = asyncio.run(scenario())
+        assert status2 == 304
+        assert body2 == b""
+        assert headers2["etag"] == etag
+        assert "content-length" not in headers2
+        assert "date" in headers2
+
+    def test_stale_etag_gets_full_200(self, routes):
+        async def scenario():
+            async with running(routes) as server:
+                return await request(
+                    server.port,
+                    "/ship_to?name=A",
+                    headers=(("If-None-Match", '"stale"'),),
+                )
+
+        status, headers, body = asyncio.run(scenario())
+        assert status == 200
+        assert body != b""
+        assert headers["etag"] != '"stale"'
+
+    def test_multiple_values_and_wildcard(self, routes):
+        async def scenario():
+            async with running(routes) as server:
+                _, headers, _ = await request(server.port, "/ship_to?name=A")
+                etag = headers["etag"]
+                multi = await request(
+                    server.port,
+                    "/ship_to?name=A",
+                    headers=(("If-None-Match", f'"nope", {etag}'),),
+                )
+                wildcard = await request(
+                    server.port,
+                    "/ship_to?name=A",
+                    headers=(("If-None-Match", "*"),),
+                )
+                return multi[0], wildcard[0]
+
+        multi_status, wildcard_status = asyncio.run(scenario())
+        assert multi_status == 304
+        assert wildcard_status == 304
+
+    def test_304_applies_even_on_a_cache_miss(self, routes):
+        # The ETag is a content hash: a client can revalidate a response
+        # the server itself no longer has cached.
+        async def scenario():
+            async with running(routes) as server:
+                _, headers, _ = await request(server.port, "/ship_to?name=A")
+                server.cache.clear()
+                status, _, _ = await request(
+                    server.port,
+                    "/ship_to?name=A",
+                    headers=(("If-None-Match", headers["etag"]),),
+                )
+                return status, server.cache.snapshot()
+
+        status, snapshot = asyncio.run(scenario())
+        assert status == 304
+        assert snapshot["stores"] == 2  # re-rendered and re-stored
+
+    def test_head_carries_etag_and_length_but_no_body(self, routes):
+        async def scenario():
+            async with running(routes) as server:
+                get = await request(server.port, "/ship_to?name=A")
+                head = await request(
+                    server.port, "/ship_to?name=A", method="HEAD"
+                )
+                return get, head
+
+        get, head = asyncio.run(scenario())
+        assert head[0] == 200
+        assert head[2] == b""
+        assert head[1]["etag"] == get[1]["etag"]
+        assert int(head[1]["content-length"]) == len(get[2])
+
+    def test_date_header_on_every_response(self, routes):
+        async def scenario():
+            async with running(routes) as server:
+                return {
+                    "page": await request(server.port, "/ship_to?name=A"),
+                    "error": await request(server.port, "/nope"),
+                    "stats": await request(server.port, "/-/stats"),
+                }
+
+        results = asyncio.run(scenario())
+        for status, headers, _ in results.values():
+            assert "date" in headers, status
+            assert headers["date"].endswith(" GMT")
+
+    def test_keep_alive_survives_a_304(self, routes):
+        # A 304 has no body and no Content-Length; the framing must
+        # leave the connection reusable for the next request.
+        async def scenario():
+            async with running(routes) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    b"GET /ship_to?name=A HTTP/1.1\r\nHost: t\r\n\r\n"
+                )
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                etag = next(
+                    line.split(b": ", 1)[1]
+                    for line in head.split(b"\r\n")
+                    if line.lower().startswith(b"etag")
+                )
+                length = next(
+                    int(line.split(b":", 1)[1])
+                    for line in head.split(b"\r\n")
+                    if line.lower().startswith(b"content-length")
+                )
+                await reader.readexactly(length)
+                writer.write(
+                    b"GET /ship_to?name=A HTTP/1.1\r\nHost: t\r\n"
+                    b"If-None-Match: " + etag + b"\r\n\r\n"
+                )
+                await writer.drain()
+                not_modified = await reader.readuntil(b"\r\n\r\n")
+                writer.write(
+                    b"GET /ship_to?name=A HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n\r\n"
+                )
+                await writer.drain()
+                rest = await reader.read()
+                writer.close()
+                return not_modified, rest, server.stats["connections"]
+
+        not_modified, rest, connections = asyncio.run(scenario())
+        assert not_modified.startswith(b"HTTP/1.1 304 ")
+        assert rest.startswith(b"HTTP/1.1 200 ")
+        assert connections == 1
+
+
+class TestCacheBehaviour:
+    def test_repeat_request_is_a_hit_with_identical_bytes(
+        self, routes, po_binding
+    ):
+        async def scenario():
+            async with running(routes) as server:
+                first = await request(server.port, "/ship_to?name=Alice")
+                second = await request(server.port, "/ship_to?name=Alice")
+                return first, second, server.cache.snapshot()
+
+        first, second, snapshot = asyncio.run(scenario())
+        direct = Template(po_binding, SHIP_TO).render_text(name="Alice")
+        assert first[2] == second[2] == direct.encode("utf-8")
+        assert first[1]["etag"] == second[1]["etag"]
+        assert snapshot["hits"] == 1
+        assert snapshot["misses"] == 1
+
+    def test_query_noise_does_not_fragment_the_cache(self, routes):
+        async def scenario():
+            async with running(routes) as server:
+                await request(server.port, "/ship_to?name=A")
+                await request(server.port, "/ship_to?name=A&utm_source=x")
+                await request(server.port, "/ship_to?utm=y&name=A")
+                return server.cache.snapshot()
+
+        snapshot = asyncio.run(scenario())
+        assert snapshot["entries"] == 1
+        assert snapshot["hits"] == 2
+
+    def test_different_hole_values_get_distinct_entries(self, routes):
+        async def scenario():
+            async with running(routes) as server:
+                a = await request(server.port, "/ship_to?name=A")
+                b = await request(server.port, "/ship_to?name=B")
+                return a, b, server.cache.snapshot()
+
+        a, b, snapshot = asyncio.run(scenario())
+        assert a[2] != b[2]
+        assert a[1]["etag"] != b[1]["etag"]
+        assert snapshot["entries"] == 2
+
+    def test_errors_are_never_cached(self, routes):
+        async def scenario():
+            async with running(routes) as server:
+                first = await request(server.port, "/item?q=100")  # 422
+                second = await request(server.port, "/item?q=100")
+                return first[0], second[0], server.cache.snapshot()
+
+        first_status, second_status, snapshot = asyncio.run(scenario())
+        assert first_status == second_status == 422
+        assert snapshot["entries"] == 0
+        assert snapshot["stores"] == 0
+
+    def test_server_pages_bypass_the_cache(self, routes):
+        async def scenario():
+            async with running(routes) as server:
+                await request(server.port, "/legacy?who=x")
+                await request(server.port, "/legacy?who=x")
+                return server.cache.snapshot()
+
+        snapshot = asyncio.run(scenario())
+        assert snapshot["entries"] == 0
+        assert snapshot["misses"] == 0  # never even consulted
+
+    def test_disabled_cache_still_serves_with_etags(self, routes):
+        async def scenario():
+            async with running(routes, cache_entries=0) as server:
+                first = await request(server.port, "/ship_to?name=A")
+                status, _, _ = await request(
+                    server.port,
+                    "/ship_to?name=A",
+                    headers=(("If-None-Match", first[1]["etag"]),),
+                )
+                _, _, stats = await request(server.port, "/-/stats")
+                return first, status, json.loads(stats)
+
+        first, conditional_status, stats = asyncio.run(scenario())
+        assert first[0] == 200 and "etag" in first[1]
+        assert conditional_status == 304
+        assert stats["server"]["cache"] is None
+
+    def test_eviction_under_pressure(self, routes):
+        async def scenario():
+            async with running(routes, cache_entries=2) as server:
+                for name in ("A", "B", "C"):
+                    await request(server.port, f"/ship_to?name={name}")
+                return server.cache.snapshot()
+
+        snapshot = asyncio.run(scenario())
+        assert snapshot["entries"] == 2
+        assert snapshot["evictions"] == 1
+
+    def test_stats_endpoint_exposes_cache_counters(self, routes):
+        async def scenario():
+            async with running(routes) as server:
+                await request(server.port, "/ship_to?name=A")
+                await request(server.port, "/ship_to?name=A")
+                _, _, body = await request(server.port, "/-/stats")
+                return json.loads(body)
+
+        stats = asyncio.run(scenario())
+        cache = stats["server"]["cache"]
+        assert cache["hits"] == 1
+        assert cache["misses"] == 1
+        assert cache["stores"] == 1
+        assert cache["entries"] == 1
+
+    def test_cache_outcomes_flow_into_obs(self, routes):
+        obs.enable(reset=True)
+        try:
+
+            async def scenario():
+                async with running(routes) as server:
+                    await request(server.port, "/ship_to?name=A")
+                    await request(server.port, "/ship_to?name=A")
+
+            asyncio.run(scenario())
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert counters["serve.cache{outcome=miss}"] == 1
+        assert counters["serve.cache{outcome=store}"] == 1
+        assert counters["serve.cache{outcome=hit}"] == 1
+
+
+class TestInvalidation:
+    def test_route_rebuild_clears_the_cache(self, routes, po_binding):
+        async def scenario():
+            async with running(routes) as server:
+                await request(server.port, "/ship_to?name=A")
+                assert len(server.cache) == 1
+                rebuilt = RouteTable()
+                rebuilt.add_template(
+                    "/ship_to", Template(po_binding, SHIP_TO)
+                )
+                server.set_routes(rebuilt)
+                entries_after = len(server.cache)
+                status, _, _ = await request(server.port, "/ship_to?name=A")
+                return entries_after, status, server.cache.snapshot()
+
+        entries_after, status, snapshot = asyncio.run(scenario())
+        assert entries_after == 0
+        assert status == 200
+        assert snapshot["invalidations"] == 1
+        assert snapshot["stores"] == 2  # rebuilt route re-rendered
+
+    def test_conditional_get_survives_rebuild_of_identical_content(
+        self, routes, po_binding
+    ):
+        # Content-hash ETags revalidate across a rebuild when the bytes
+        # did not change — exactly what a deploy with no edits wants.
+        async def scenario():
+            async with running(routes) as server:
+                _, headers, _ = await request(server.port, "/ship_to?name=A")
+                rebuilt = RouteTable()
+                rebuilt.add_template(
+                    "/ship_to", Template(po_binding, SHIP_TO)
+                )
+                server.set_routes(rebuilt)
+                status, _, _ = await request(
+                    server.port,
+                    "/ship_to?name=A",
+                    headers=(("If-None-Match", headers["etag"]),),
+                )
+                return status
+
+        assert asyncio.run(scenario()) == 304
+
+    def test_edited_source_changes_the_response_key(self, po_binding):
+        # Defense in depth: even without the explicit clear, a route
+        # recompiled from different source cannot replay old entries,
+        # because its content fingerprint is part of every key.
+        same = Route(
+            "/page", template=Template(po_binding, "<quantity>$q$</quantity>")
+        )
+        edited = Route(
+            "/page", template=Template(po_binding, "<quantity> $q$ </quantity>")
+        )
+        assert same.response_key({"q": "1"}) != edited.response_key({"q": "1"})
+        assert same.response_key({"q": "1"}) == Route(
+            "/page", template=Template(po_binding, "<quantity>$q$</quantity>")
+        ).response_key({"q": "1"})

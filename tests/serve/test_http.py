@@ -125,3 +125,37 @@ class TestBuildResponse:
         response = error_response(400, "bad")
         assert b"Connection: close" in response
         assert b"400 Bad Request: bad\n" in response
+
+
+class TestValidatorsAndDate:
+    def test_every_builder_emits_a_date_header(self):
+        from repro.serve.http import (
+            not_modified_response,
+            start_chunked_response,
+        )
+
+        for response in (
+            build_response(200, b"x"),
+            error_response(400, "bad"),
+            not_modified_response('"e"'),
+            start_chunked_response(200),
+        ):
+            assert b"\r\nDate: " in response
+            assert response.split(b"\r\nDate: ")[1].split(b"\r\n")[0].endswith(
+                b" GMT"
+            )
+
+    def test_http_date_memoizes_within_a_second(self):
+        from repro.serve import http as http_module
+
+        first = http_module.http_date()
+        assert http_module.http_date() is first  # same object: memo hit
+
+    def test_not_modified_has_no_body_and_no_content_length(self):
+        from repro.serve.http import not_modified_response
+
+        response = not_modified_response('"abc"', keep_alive=True)
+        assert response.startswith(b"HTTP/1.1 304 Not Modified\r\n")
+        assert b"Content-Length" not in response
+        assert b'ETag: "abc"\r\n' in response
+        assert response.endswith(b"\r\n\r\n")

@@ -1,0 +1,362 @@
+"""Chunked segment streaming, unit and end-to-end.
+
+The invariant: for every route, the de-chunked streamed body is
+byte-identical to the buffered body and to ``render_text`` called
+directly — streaming changes the framing, never the payload — and
+every error path (missing hole, invalid hole) still arrives as a
+complete buffered 4xx with zero page bytes in front of it.
+"""
+
+import asyncio
+import contextlib
+import os
+
+import pytest
+
+from repro.core import bind
+from repro.pxml import Template
+from repro.serve import ReproServer, RouteTable, build_routes
+from repro.serve.http import LAST_CHUNK, encode_chunk, start_chunked_response
+from repro.serverpages import ServerPage
+
+SITE_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "site"
+)
+
+#: one known-good query per examples/site route (index has no holes)
+SITE_REQUESTS = {
+    "/": "",
+    "/index": "",
+    "/ship_to": "name=Alice%20Smith",
+    "/item": "q=7",
+    "/legacy": "who=Bob",
+}
+
+
+@pytest.fixture(scope="module")
+def site_binding():
+    with open(os.path.join(SITE_DIR, "purchase_order.xsd")) as handle:
+        return bind(handle.read())
+
+
+@pytest.fixture(scope="module")
+def site_routes(site_binding):
+    return build_routes(site_binding, SITE_DIR)
+
+
+@contextlib.asynccontextmanager
+async def running(routes, **options):
+    options.setdefault("request_timeout", 5.0)
+    server = ReproServer(routes, port=0, **options)
+    await server.start()
+    try:
+        yield server
+    finally:
+        server.request_shutdown()
+        await server.drain()
+
+
+async def raw(port: int, payload: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(payload)
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    with contextlib.suppress(ConnectionError, OSError):
+        await writer.wait_closed()
+    return data
+
+
+def split_head(data: bytes) -> tuple[int, dict, bytes]:
+    head, _, rest = data.partition(b"\r\n\r\n")
+    lines = head.decode().split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.lower()] = value.strip()
+    return status, headers, rest
+
+
+def dechunk(raw_body: bytes) -> bytes:
+    """Decode a chunked transfer coding body back to plain bytes."""
+    out = []
+    view = raw_body
+    while True:
+        size_line, _, view = view.partition(b"\r\n")
+        size = int(size_line.split(b";")[0], 16)
+        if size == 0:
+            break
+        out.append(view[:size])
+        assert view[size : size + 2] == b"\r\n", "chunk not CRLF-terminated"
+        view = view[size + 2 :]
+    return b"".join(out)
+
+
+def target(path: str) -> bytes:
+    query = SITE_REQUESTS[path]
+    suffix = f"?{query}" if query else ""
+    return (
+        f"GET {path}{suffix} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    ).encode()
+
+
+class TestChunkHelpers:
+    def test_encode_chunk_frames_size_and_data(self):
+        assert encode_chunk(b"hello") == b"5\r\nhello\r\n"
+        assert encode_chunk(b"x" * 16) == b"10\r\n" + b"x" * 16 + b"\r\n"
+        assert LAST_CHUNK == b"0\r\n\r\n"
+
+    def test_start_chunked_head_has_no_content_length(self):
+        head = start_chunked_response(200, "application/xml")
+        assert b"Transfer-Encoding: chunked\r\n" in head
+        assert b"Content-Length" not in head
+        assert head.endswith(b"\r\n\r\n")
+
+    def test_dechunk_roundtrip(self):
+        body = (
+            encode_chunk(b"abc") + encode_chunk(b"defgh") + LAST_CHUNK
+        )
+        assert dechunk(body) == b"abcdefgh"
+
+
+class TestStreamingParity:
+    @pytest.mark.parametrize("path", sorted(SITE_REQUESTS))
+    def test_every_site_route_streams_byte_identically(
+        self, site_routes, path
+    ):
+        """De-chunked streamed body == buffered body on each route."""
+
+        async def scenario():
+            async with running(
+                site_routes, stream=True, cache_entries=0
+            ) as streaming:
+                streamed = await raw(streaming.port, target(path))
+            async with running(
+                site_routes, stream=False, cache_entries=0
+            ) as buffered:
+                plain = await raw(buffered.port, target(path))
+            return streamed, plain
+
+        streamed, plain = asyncio.run(scenario())
+        streamed_status, streamed_headers, streamed_rest = split_head(streamed)
+        plain_status, _, plain_body = split_head(plain)
+        assert streamed_status == plain_status == 200
+        route = site_routes.resolve(path)
+        if route.kind == "template":
+            assert streamed_headers.get("transfer-encoding") == "chunked"
+            assert "content-length" not in streamed_headers
+            body = dechunk(streamed_rest)
+        else:
+            # Server pages have no segment program: buffered fallback.
+            assert "transfer-encoding" not in streamed_headers
+            body = streamed_rest
+        assert body == plain_body
+
+    def test_streamed_matches_direct_render_text(self, site_routes):
+        async def scenario():
+            async with running(
+                site_routes, stream=True, cache_entries=0
+            ) as server:
+                return await raw(server.port, target("/ship_to"))
+
+        data = asyncio.run(scenario())
+        _, _, rest = split_head(data)
+        route = site_routes.resolve("/ship_to")
+        direct = route._template.render_text(name="Alice Smith")
+        assert dechunk(rest) == direct.encode("utf-8")
+
+    def test_large_bodies_split_into_multiple_chunks(self, po_binding):
+        # ~40 items of static markup around one hole: enough bytes to
+        # cross the coalescing threshold more than once.
+        items = "".join(
+            f'<item partNum="123-AB"><productName>{"x" * 900}</productName>'
+            "<quantity>1</quantity><USPrice>9.99</USPrice></item>"
+            for _ in range(40)
+        )
+        source = f"<items>{items}<item partNum=\"$p$\"><productName>Rake</productName><quantity>2</quantity><USPrice>1.50</USPrice></item></items>"
+        table = RouteTable()
+        table.add_template("/big", Template(po_binding, source))
+
+        async def scenario():
+            async with running(table, stream=True, cache_entries=0) as server:
+                return await raw(
+                    server.port,
+                    b"GET /big?p=999-ZZ HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n\r\n",
+                )
+
+        data = asyncio.run(scenario())
+        _, headers, rest = split_head(data)
+        assert headers["transfer-encoding"] == "chunked"
+        chunk_count = 0
+        view = rest
+        while True:
+            size_line, _, view = view.partition(b"\r\n")
+            size = int(size_line, 16)
+            if size == 0:
+                break
+            chunk_count += 1
+            view = view[size + 2 :]
+        assert chunk_count > 1
+        direct = table.resolve("/big")._template.render_text(p="999-ZZ")
+        assert dechunk(rest) == direct.encode("utf-8")
+
+
+class TestStreamingSemantics:
+    @pytest.fixture
+    def table(self, po_binding):
+        table = RouteTable()
+        table.add_template(
+            "/item", Template(po_binding, "<quantity>$q$</quantity>")
+        )
+        table.add_page("/legacy", ServerPage("<b><%= who %></b>"))
+        return table
+
+    def test_invalid_hole_is_a_complete_buffered_422(self, table):
+        async def scenario():
+            async with running(table, stream=True, cache_entries=0) as server:
+                return await raw(
+                    server.port,
+                    b"GET /item?q=100 HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n\r\n",
+                )
+
+        data = asyncio.run(scenario())
+        status, headers, body = split_head(data)
+        assert status == 422
+        assert "transfer-encoding" not in headers
+        assert int(headers["content-length"]) == len(body)
+        assert b"maxExclusive" in body
+        assert not data.startswith(b"HTTP/1.1 200")  # no partial page
+
+    def test_missing_hole_is_a_complete_buffered_400(self, table):
+        async def scenario():
+            async with running(table, stream=True, cache_entries=0) as server:
+                return await raw(
+                    server.port,
+                    b"GET /item HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n\r\n",
+                )
+
+        status, headers, _ = split_head(asyncio.run(scenario()))
+        assert status == 400
+        assert "transfer-encoding" not in headers
+
+    def test_head_requests_never_stream(self, table):
+        async def scenario():
+            async with running(table, stream=True, cache_entries=0) as server:
+                return await raw(
+                    server.port,
+                    b"HEAD /item?q=7 HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n\r\n",
+                )
+
+        status, headers, body = split_head(asyncio.run(scenario()))
+        assert status == 200
+        assert "transfer-encoding" not in headers
+        assert "content-length" in headers
+        assert body == b""
+
+    def test_http10_clients_get_buffered_responses(self, table):
+        async def scenario():
+            async with running(table, stream=True, cache_entries=0) as server:
+                return await raw(
+                    server.port,
+                    b"GET /item?q=7 HTTP/1.0\r\nHost: t\r\n\r\n",
+                )
+
+        status, headers, _ = split_head(asyncio.run(scenario()))
+        assert status == 200
+        assert "transfer-encoding" not in headers
+        assert "content-length" in headers
+
+    def test_streamed_responses_feed_the_cache(self, table):
+        async def scenario():
+            async with running(table, stream=True) as server:
+                first = await raw(
+                    server.port,
+                    b"GET /item?q=7 HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n\r\n",
+                )
+                second = await raw(
+                    server.port,
+                    b"GET /item?q=7 HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n\r\n",
+                )
+                return first, second, server.cache.snapshot()
+
+        first, second, snapshot = asyncio.run(scenario())
+        assert snapshot["hits"] == 1
+        # The hit replays stored bytes buffered; parity must hold.
+        _, first_headers, first_rest = split_head(first)
+        _, second_headers, second_body = split_head(second)
+        assert first_headers["transfer-encoding"] == "chunked"
+        assert "transfer-encoding" not in second_headers
+        assert dechunk(first_rest) == second_body
+        assert first_headers["etag"] == second_headers["etag"]
+
+    def test_streamed_conditional_get_still_304s(self, table):
+        async def scenario():
+            async with running(table, stream=True, cache_entries=0) as server:
+                first = await raw(
+                    server.port,
+                    b"GET /item?q=7 HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n\r\n",
+                )
+                _, headers, _ = split_head(first)
+                etag = headers["etag"].encode()
+                second = await raw(
+                    server.port,
+                    b"GET /item?q=7 HTTP/1.1\r\nHost: t\r\n"
+                    b"If-None-Match: " + etag + b"\r\n"
+                    b"Connection: close\r\n\r\n",
+                )
+                return second
+
+        status, headers, body = split_head(asyncio.run(scenario()))
+        assert status == 304
+        assert body == b""
+        assert "transfer-encoding" not in headers
+
+    def test_keep_alive_survives_a_streamed_response(self, table):
+        async def scenario():
+            async with running(table, stream=True, cache_entries=0) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                statuses = []
+                for _ in range(2):
+                    writer.write(
+                        b"GET /item?q=7 HTTP/1.1\r\nHost: t\r\n\r\n"
+                    )
+                    await writer.drain()
+                    line = await reader.readline()
+                    statuses.append(line.decode().split(" ")[1])
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    assert b"chunked" in line + head
+                    # Consume the chunked body through the last chunk.
+                    while True:
+                        size_line = await reader.readline()
+                        size = int(size_line.strip(), 16)
+                        await reader.readexactly(size + 2)
+                        if size == 0:
+                            break
+                writer.close()
+                return statuses, server.stats["connections"]
+
+        statuses, connections = asyncio.run(scenario())
+        assert statuses == ["200", "200"]
+        assert connections == 1
+
+    def test_streamed_count_in_stats(self, table):
+        async def scenario():
+            async with running(table, stream=True, cache_entries=0) as server:
+                await raw(
+                    server.port,
+                    b"GET /item?q=7 HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n\r\n",
+                )
+                return server.stats["streamed"]
+
+        assert asyncio.run(scenario()) == 1

@@ -1,0 +1,137 @@
+"""The CI bench-gate script must actually gate.
+
+The acceptance criterion for the gate is negative: feed it a synthetic
+artifact that violates a floor and it must fail.  These tests exercise
+``scripts/check_bench.py`` against temporary artifact trees — passing
+numbers, violations, missing artifacts, and quick-mode floor selection.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+SCRIPT = os.path.join(
+    os.path.dirname(__file__), "..", "scripts", "check_bench.py"
+)
+
+spec = importlib.util.spec_from_file_location("check_bench", SCRIPT)
+check_bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_bench)
+
+FLOORS = {
+    "speed": {
+        "artifact": "BENCH_speed.json",
+        "path": "scenario:a.speedup",
+        "floor": 3.0,
+        "quick_floor": 1.5,
+    },
+    "rps": {
+        "artifact": "BENCH_serve.json",
+        "path": "serve:x.requests_per_sec",
+        "floor": 200,
+    },
+}
+
+
+def write_artifact(directory, filename, payload):
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, filename), "w") as handle:
+        json.dump(payload, handle)
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    """A passing artifact tree, nested the way download-artifact does."""
+    write_artifact(
+        tmp_path / "BENCH_speed.json",
+        "BENCH_speed.json",
+        {"scenario:a": {"speedup": 4.2}},
+    )
+    write_artifact(
+        tmp_path / "BENCH_serve.json",
+        "BENCH_serve.json",
+        {"serve:x": {"requests_per_sec": 5000.0}},
+    )
+    return tmp_path
+
+
+class TestGate:
+    def test_all_floors_clear(self, artifacts):
+        assert check_bench.check_artifacts(FLOORS, str(artifacts)) == []
+
+    def test_floor_violation_fails(self, artifacts):
+        write_artifact(
+            artifacts / "BENCH_speed.json",
+            "BENCH_speed.json",
+            {"scenario:a": {"speedup": 2.0}},
+        )
+        problems = check_bench.check_artifacts(FLOORS, str(artifacts))
+        assert len(problems) == 1
+        assert "speed" in problems[0]
+        assert "2.0 < floor 3.0" in problems[0]
+
+    def test_missing_artifact_fails(self, artifacts):
+        os.remove(artifacts / "BENCH_serve.json" / "BENCH_serve.json")
+        problems = check_bench.check_artifacts(FLOORS, str(artifacts))
+        assert len(problems) == 1
+        assert "BENCH_serve.json not found" in problems[0]
+
+    def test_missing_metric_fails(self, artifacts):
+        write_artifact(
+            artifacts / "BENCH_serve.json",
+            "BENCH_serve.json",
+            {"serve:x": {"wrong_key": 1}},
+        )
+        problems = check_bench.check_artifacts(FLOORS, str(artifacts))
+        assert len(problems) == 1
+        assert "missing" in problems[0]
+
+    def test_quick_mode_selects_relaxed_floor(self, artifacts):
+        # 2.0 violates the full floor (3.0) but clears quick (1.5) —
+        # the _meta marker must switch which one is enforced.
+        write_artifact(
+            artifacts / "BENCH_speed.json",
+            "BENCH_speed.json",
+            {"scenario:a": {"speedup": 2.0}, "_meta": {"quick": True}},
+        )
+        assert check_bench.check_artifacts(FLOORS, str(artifacts)) == []
+
+    def test_quick_mode_without_quick_floor_keeps_full(self, artifacts):
+        write_artifact(
+            artifacts / "BENCH_serve.json",
+            "BENCH_serve.json",
+            {"serve:x": {"requests_per_sec": 100}, "_meta": {"quick": True}},
+        )
+        problems = check_bench.check_artifacts(FLOORS, str(artifacts))
+        assert len(problems) == 1
+        assert "100 < floor 200" in problems[0]
+
+    def test_main_exit_codes(self, artifacts, tmp_path, monkeypatch, capsys):
+        registry = tmp_path / "floors.json"
+        registry.write_text(json.dumps(FLOORS))
+        monkeypatch.setattr(check_bench, "FLOORS_PATH", str(registry))
+
+        assert check_bench.main(["check_bench", str(artifacts)]) == 0
+        assert "all 2 floors clear" in capsys.readouterr().out
+
+        write_artifact(
+            artifacts / "BENCH_speed.json",
+            "BENCH_speed.json",
+            {"scenario:a": {"speedup": 0.1}},
+        )
+        assert check_bench.main(["check_bench", str(artifacts)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_real_registry_is_well_formed(self):
+        with open(check_bench.FLOORS_PATH) as handle:
+            floors = json.load(handle)
+        assert len(floors) >= 8
+        for name, entry in floors.items():
+            assert entry["artifact"].startswith("BENCH_"), name
+            assert entry["floor"] > 0, name
+            # Dotted path: scenario key + metric name at minimum.
+            assert "." in entry["path"], name
+            if "quick_floor" in entry:
+                assert entry["quick_floor"] <= entry["floor"], name
