@@ -12,12 +12,19 @@ Measured here:
 * **seed**   — reference parser -> DOM -> ``from_dom`` (the pre-PR path),
 * **legacy** — scanning parser -> DOM -> ``from_dom`` (tokenizer win only),
 * **fused**  — ``fused_parse`` (the full pipeline win),
+* **fused (object DFAs)** — ``fused_parse(use_tables=False)``: the
+  golden-reference route and the denominator for the table-driven floor,
+* **turbo**  — ``table_parse``: flat integer DFA tables stepped by the
+  single-alternation scanner (both the stdlib regex lane and, when
+  numpy is importable, the vectorized structural-index lane),
 * **tokenizer** — event iteration alone, both parsers,
 * **bulk**   — ``validate_files`` with a process pool, when cores allow.
 
-Acceptance floors (the ISSUE's criteria): fused must clear **3x** the
+Acceptance floors (the ISSUEs' criteria): fused must clear **3x** the
 seed pipeline on the purchase-order and XHTML corpora (1.5x under
-``REPRO_BENCH_QUICK``), and ``--jobs 4`` must clear **2x** ``--jobs 1``
+``REPRO_BENCH_QUICK``); the table-driven turbo lane must clear **2x**
+the object-DFA fused route on both corpora (``ingest:table_driven:*``
+in floors.json); and ``--jobs 4`` must clear **2x** ``--jobs 1``
 over a 100-document corpus — the latter only on machines with at least
 four CPUs (skipped elsewhere: a process pool cannot beat inline
 execution without cores to run on).
@@ -40,7 +47,8 @@ from benchmarks import bench_floor
 from benchmarks.conftest import purchase_order_text
 from repro.core import bind
 from repro.dom.document import Document
-from repro.ingest import fused_parse, legacy_parse, validate_files
+from repro.ingest import fused_parse, legacy_parse, table_parse, validate_files
+from repro.ingest import structural
 from repro.schemas import PURCHASE_ORDER_SCHEMA, XHTML_SUBSET_SCHEMA
 from repro.xml.events import Characters, EndElement, StartElement
 from repro.xml.parser import PullParser
@@ -55,6 +63,8 @@ BULK_DOCUMENTS = 40 if QUICK else 100
 #: the ISSUE's acceptance criterion (relaxed under quick mode), shared
 #: with the CI bench-gate via benchmarks/floors.json
 FLOOR = bench_floor("ingest_po_speedup", QUICK)
+#: the table-driven turbo lane vs the object-DFA fused route (PR 7)
+TABLE_FLOOR = bench_floor("ingest:table_driven:po", QUICK)
 
 #: module-level result sink, flushed at teardown
 RESULTS: dict[str, dict] = {}
@@ -141,59 +151,94 @@ def _drain(parser_cls, text):
 
 def _measure_corpus(label, schema_text, text):
     binding = bind(schema_text)
-    # Correctness precedes speed.
+    # Correctness precedes speed: every route must build the same tree.
     from repro.dom.serialize import serialize
 
-    assert serialize(fused_parse(binding, text)) == serialize(
-        _seed_pipeline(binding, text)
-    )
-    seed, legacy, fused, reference_scan, fast_scan = _best_seconds_interleaved(
-        [
-            lambda: _seed_pipeline(binding, text),
-            lambda: legacy_parse(binding, text),
-            lambda: fused_parse(binding, text),
-            lambda: _drain(ReferencePullParser, text),
-            lambda: _drain(PullParser, text),
-        ]
-    )
+    golden = serialize(_seed_pipeline(binding, text))
+    assert serialize(fused_parse(binding, text)) == golden
+    assert serialize(fused_parse(binding, text, use_tables=False)) == golden
+    assert serialize(table_parse(binding, text, lane="stdlib")) == golden
+    index_available = structural.markup_index(text) is not None
+    if index_available:
+        assert serialize(table_parse(binding, text, lane="index")) == golden
+    actions = [
+        lambda: _seed_pipeline(binding, text),
+        lambda: legacy_parse(binding, text),
+        lambda: fused_parse(binding, text),
+        lambda: fused_parse(binding, text, use_tables=False),
+        lambda: table_parse(binding, text),
+        lambda: table_parse(binding, text, lane="stdlib"),
+        lambda: _drain(ReferencePullParser, text),
+        lambda: _drain(PullParser, text),
+    ]
+    if index_available:
+        actions.append(lambda: table_parse(binding, text, lane="index"))
+    timings = _best_seconds_interleaved(actions)
+    (seed, legacy, fused, fused_object, turbo, turbo_stdlib,
+     reference_scan, fast_scan) = timings[:8]
+    turbo_index = timings[8] if index_available else None
     result = {
         "document_bytes": len(text),
         "seed_ms": round(seed * 1000, 2),
         "legacy_ms": round(legacy * 1000, 2),
         "fused_ms": round(fused * 1000, 2),
+        "fused_object_ms": round(fused_object * 1000, 2),
+        "turbo_ms": round(turbo * 1000, 2),
+        "turbo_stdlib_ms": round(turbo_stdlib * 1000, 2),
+        "turbo_index_ms": (
+            round(turbo_index * 1000, 2) if turbo_index is not None else None
+        ),
+        "index_lane_available": index_available,
         "reference_tokenize_ms": round(reference_scan * 1000, 2),
         "fast_tokenize_ms": round(fast_scan * 1000, 2),
         "tokenizer_speedup": round(reference_scan / fast_scan, 2),
         "fused_vs_seed": round(seed / fused, 2),
         "fused_vs_legacy": round(legacy / fused, 2),
+        "turbo_vs_fused_object": round(fused_object / turbo, 2),
+        "turbo_vs_seed": round(seed / turbo, 2),
         "repeats": REPEATS,
     }
     RESULTS[label] = result
     print(
         f"\n{label}: seed {result['seed_ms']}ms  legacy {result['legacy_ms']}ms  "
         f"fused {result['fused_ms']}ms  -> {result['fused_vs_seed']}x vs seed "
-        f"(tokenizer alone {result['tokenizer_speedup']}x)"
+        f"(tokenizer alone {result['tokenizer_speedup']}x)\n"
+        f"{label}: turbo {result['turbo_ms']}ms "
+        f"(stdlib {result['turbo_stdlib_ms']}ms, "
+        f"index {result['turbo_index_ms']}ms) "
+        f"-> {result['turbo_vs_fused_object']}x vs object-DFA fused, "
+        f"{result['turbo_vs_seed']}x vs seed"
     )
     return result
 
 
 def test_purchase_order_ingest(capsys):
-    """The headline floor: fused >= 3x the seed pipeline (PO corpus)."""
+    """The headline floors: fused >= 3x seed, turbo >= 2x object fused."""
     text = purchase_order_text(ITEMS)
     result = _measure_corpus("purchase_order", PURCHASE_ORDER_SCHEMA, text)
     assert result["fused_vs_seed"] >= FLOOR, (
         f"fused ingest is only {result['fused_vs_seed']:.2f}x the seed "
         f"pipeline (need >= {FLOOR}x)"
     )
+    assert result["turbo_vs_fused_object"] >= TABLE_FLOOR, (
+        f"table-driven ingest is only "
+        f"{result['turbo_vs_fused_object']:.2f}x the object-DFA fused "
+        f"route (need >= {TABLE_FLOOR}x)"
+    )
 
 
 def test_xhtml_ingest(capsys):
-    """The same floor on mixed-content XHTML."""
+    """The same floors on mixed-content XHTML."""
     text = xhtml_page_text(ITEMS)
     result = _measure_corpus("xhtml", XHTML_SUBSET_SCHEMA, text)
     assert result["fused_vs_seed"] >= FLOOR, (
         f"fused ingest is only {result['fused_vs_seed']:.2f}x the seed "
         f"pipeline (need >= {FLOOR}x)"
+    )
+    assert result["turbo_vs_fused_object"] >= TABLE_FLOOR, (
+        f"table-driven ingest is only "
+        f"{result['turbo_vs_fused_object']:.2f}x the object-DFA fused "
+        f"route (need >= {TABLE_FLOOR}x)"
     )
 
 

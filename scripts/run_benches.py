@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Regenerate every ``BENCH_*.json`` artifact locally, then gate it.
+
+CI runs each benchmark module in its own matrix job and feeds the
+uploaded artifacts to ``scripts/check_bench.py``; this script is the
+one-command local equivalent: run the same modules (quick mode by
+default, ``--full`` for the real floors), collect their JSON artifacts
+into one directory, and finish by running the same regression gate over
+the results.
+
+Usage::
+
+    python scripts/run_benches.py                  # quick run -> bench_artifacts/
+    python scripts/run_benches.py --full           # full floors (slow)
+    python scripts/run_benches.py --only parse-ingest serve-throughput
+    python scripts/run_benches.py --out /tmp/bench --no-gate
+
+Exit status is non-zero when a benchmark fails or the gate reports a
+floor violation, so the script can sit directly in a pre-push hook.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: name -> (pytest target, artifact filename); mirrors the CI bench matrix
+BENCHMARKS = {
+    "cache-amortization": (
+        "benchmarks/test_cache_amortization.py",
+        "BENCH_cache_amortization.json",
+    ),
+    "render-throughput": (
+        "benchmarks/test_render_throughput.py",
+        "BENCH_render_throughput.json",
+    ),
+    "parse-ingest": (
+        "benchmarks/test_parse_ingest.py",
+        "BENCH_parse_ingest.json",
+    ),
+    "serve-throughput": (
+        "benchmarks/test_serve_throughput.py",
+        "BENCH_serve_throughput.json",
+    ),
+    "obs-overhead": (
+        "benchmarks/test_obs_overhead.py",
+        "BENCH_obs_overhead.json",
+    ),
+}
+
+
+def run_benchmark(name: str, out_dir: str, quick: bool) -> bool:
+    """One module -> one artifact; True when pytest exited cleanly."""
+    target, artifact = BENCHMARKS[name]
+    env = dict(os.environ)
+    env["REPRO_BENCH_JSON"] = os.path.join(out_dir, artifact)
+    env["REPRO_BENCH_QUICK"] = "1" if quick else "0"
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH"))
+        if part
+    )
+    command = [sys.executable, "-m", "pytest", target, "-q", "-s"]
+    try:  # pragma: no cover - depends on the local environment
+        import pytest_benchmark  # noqa: F401
+
+        command.append("--benchmark-disable")
+    except ImportError:
+        pass
+    mode = "quick" if quick else "full"
+    print(f"== {name} ({mode}) -> {env['REPRO_BENCH_JSON']}", flush=True)
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    return completed.returncode == 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full iteration counts and enforce the full floors "
+        "(default: quick mode, the CI smoke configuration)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        choices=sorted(BENCHMARKS),
+        metavar="NAME",
+        help="run only these benchmarks (default: all of them)",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(REPO_ROOT, "bench_artifacts"),
+        help="directory collecting the BENCH_*.json artifacts "
+        "(default: bench_artifacts/)",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="skip the check_bench.py floor gate after the runs",
+    )
+    arguments = parser.parse_args(argv[1:])
+    os.makedirs(arguments.out, exist_ok=True)
+    names = arguments.only or sorted(BENCHMARKS)
+    failures = [
+        name
+        for name in names
+        if not run_benchmark(name, arguments.out, quick=not arguments.full)
+    ]
+    if failures:
+        print(f"run_benches: FAILED benchmarks: {', '.join(failures)}")
+        return 1
+    if arguments.no_gate:
+        return 0
+    if arguments.only:
+        # A partial run cannot satisfy the full floor registry (missing
+        # artifacts fail the gate by design); report and leave gating to
+        # a complete run.
+        print(
+            "run_benches: partial run (--only) — skipping the floor gate; "
+            f"artifacts are under {arguments.out}"
+        )
+        return 0
+    from check_bench import main as gate  # same directory
+
+    return gate(["check_bench.py", arguments.out])
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    sys.exit(main(sys.argv))

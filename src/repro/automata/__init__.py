@@ -33,11 +33,13 @@ from repro.automata.glushkov import (
     NondeterminismError,
     build_dfa,
 )
+from repro.automata.tables import DfaTable, TableMatcher
 
 __all__ = [
     "Alternation",
     "Dfa",
     "DfaBuildError",
+    "DfaTable",
     "Empty",
     "Epsilon",
     "Matcher",
@@ -46,6 +48,7 @@ __all__ = [
     "Repetition",
     "Sequence",
     "Symbol",
+    "TableMatcher",
     "UNBOUNDED",
     "build_dfa",
 ]

@@ -131,6 +131,7 @@ class Dfa:
     ):
         self.transitions = transitions
         self.accepting = accepting
+        self._expected: dict[int, list[Hashable]] = {}
 
     @property
     def start_state(self) -> int:
@@ -151,7 +152,14 @@ class Dfa:
         return len(self.transitions)
 
     def expected_keys(self, state: int) -> list[Hashable]:
-        return sorted(self.transitions[state], key=repr)
+        # Sorting the alphabet by repr on every call sat on the checker's
+        # expected-names error path; the transition map is immutable after
+        # construction, so memoize the sorted listing per state.
+        cached = self._expected.get(state)
+        if cached is None:
+            cached = sorted(self.transitions[state], key=repr)
+            self._expected[state] = cached
+        return cached
 
 
 class Matcher:

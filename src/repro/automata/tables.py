@@ -1,0 +1,220 @@
+"""Flat integer transition tables compiled from :class:`~repro.automata.glushkov.Dfa`.
+
+The object DFA keeps ``transitions[state][key] -> (next_state, payload)``
+— one dict per state, one tuple per edge.  That shape is ideal for
+construction and for error reporting, but a hot loop that steps it pays
+a method call, a dict probe, and a tuple unpack per event.
+
+:class:`DfaTable` re-compiles the same automaton *down to data*:
+
+* a per-DFA **interned symbol table** mapping element QNames to dense
+  integer ids (``symbol_ids``),
+* an ``array('i')`` **next-state matrix** of shape (states × symbols)
+  where ``-1`` means "no transition", and
+* a parallel ``array('i')`` **payload matrix** indexing into a tuple of
+  the distinct payload objects (element declarations).
+
+The inner loop of a consumer becomes one dict probe (symbol → id) and
+two array indexings — no per-step allocation, no method dispatch::
+
+    sym = table.symbol_ids.get(name)
+    if sym is not None:
+        cell = state * table.n_symbols + sym
+        target = table.nxt[cell]          # -1 = rejected
+        payload = table.payloads[table.pay[cell]]
+
+State numbering, acceptance, attribution (which payload consumes which
+key) and the *order* of expected-key error listings are all identical to
+the source DFA — ``tests/automata/test_tables.py`` holds every table to
+its object twin over the schema corpus — so an integer state produced by
+one route (e.g. the fused ingest's ``_content_state``) can be resumed by
+the other.
+
+Tables pickle compactly (the paper's "preparation time" artifact): the
+persistent compilation cache stores them prewarmed next to the object
+DFAs, so a warm start pays neither Glushkov construction nor table
+flattening.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Hashable
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.automata.glushkov import Dfa
+
+
+class DfaTable:
+    """One content-model DFA flattened to integer arrays."""
+
+    __slots__ = (
+        "symbols",
+        "symbol_ids",
+        "n_symbols",
+        "nxt",
+        "pay",
+        "payloads",
+        "accepting",
+        "_expected",
+    )
+
+    #: state numbering is inherited from the source DFA, so the start
+    #: state is always subset-construction state 0
+    start_state = 0
+
+    def __init__(
+        self,
+        symbols: tuple[Hashable, ...],
+        nxt: array,
+        pay: array,
+        payloads: tuple[Any, ...],
+        accepting: bytes,
+    ):
+        self.symbols = symbols
+        self.symbol_ids = {symbol: index for index, symbol in enumerate(symbols)}
+        self.n_symbols = len(symbols)
+        self.nxt = nxt
+        self.pay = pay
+        self.payloads = payloads
+        self.accepting = accepting
+        self._expected: dict[int, list[Hashable]] = {}
+
+    @classmethod
+    def from_dfa(cls, dfa: "Dfa") -> "DfaTable":
+        """Flatten *dfa* (state numbering and attribution preserved)."""
+        symbols: list[Hashable] = []
+        symbol_ids: dict[Hashable, int] = {}
+        for state_transitions in dfa.transitions:
+            for key in state_transitions:
+                if key not in symbol_ids:
+                    symbol_ids[key] = len(symbols)
+                    symbols.append(key)
+        n_states = len(dfa.transitions)
+        n_symbols = len(symbols)
+        nxt = array("i", [-1]) * (n_states * n_symbols)
+        pay = array("i", [0]) * (n_states * n_symbols)
+        payloads: list[Any] = []
+        payload_ids: dict[int, int] = {}
+        for state, transitions in enumerate(dfa.transitions):
+            base = state * n_symbols
+            for key, (target, payload) in transitions.items():
+                cell = base + symbol_ids[key]
+                nxt[cell] = target
+                payload_id = payload_ids.get(id(payload))
+                if payload_id is None:
+                    payload_id = len(payloads)
+                    payload_ids[id(payload)] = payload_id
+                    payloads.append(payload)
+                pay[cell] = payload_id
+        accepting = bytes(
+            1 if state in dfa.accepting else 0 for state in range(n_states)
+        )
+        return cls(tuple(symbols), nxt, pay, tuple(payloads), accepting)
+
+    # -- the object-matcher API, table-backed ---------------------------------
+
+    def matcher(self) -> "TableMatcher":
+        return TableMatcher(self)
+
+    def state_count(self) -> int:
+        return len(self.accepting)
+
+    def step(self, state: int, key: Hashable) -> tuple[int, Any] | None:
+        """One transition: ``(next_state, payload)`` or ``None``."""
+        sym = self.symbol_ids.get(key)
+        if sym is None:
+            return None
+        cell = state * self.n_symbols + sym
+        target = self.nxt[cell]
+        if target < 0:
+            return None
+        return target, self.payloads[self.pay[cell]]
+
+    def is_accepting(self, state: int) -> bool:
+        return self.accepting[state] == 1
+
+    def expected_keys(self, state: int) -> list[Hashable]:
+        """Keys with a transition out of *state*, in the exact order
+        ``Dfa.expected_keys`` reports them (sorted by ``repr``), memoized
+        per state — this sits on every content-model error path."""
+        cached = self._expected.get(state)
+        if cached is None:
+            base = state * self.n_symbols
+            nxt = self.nxt
+            cached = sorted(
+                (
+                    self.symbols[sym]
+                    for sym in range(self.n_symbols)
+                    if nxt[base + sym] >= 0
+                ),
+                key=repr,
+            )
+            self._expected[state] = cached
+        return cached
+
+    def accepts(self, keys: list[Hashable]) -> bool:
+        """Full-word match convenience (mirrors ``Dfa.accepts``)."""
+        state = 0
+        for key in keys:
+            entry = self.step(state, key)
+            if entry is None:
+                return False
+            state = entry[0]
+        return self.accepting[state] == 1
+
+    # -- pickling -------------------------------------------------------------
+
+    def __reduce__(self):
+        # The memoized expected-key lists are derived data; rebuilding
+        # the symbol-id dict from the symbol tuple keeps the artifact
+        # minimal and the load path a plain __init__.
+        return (
+            DfaTable,
+            (self.symbols, self.nxt, self.pay, self.payloads, self.accepting),
+        )
+
+
+class TableMatcher:
+    """Drop-in :class:`~repro.automata.glushkov.Matcher` over a table.
+
+    Same API (``step`` / ``at_accepting_state`` / ``expected`` /
+    ``reset`` and a plain-int ``state`` attribute), same return values,
+    same error-listing order — consumers written against the object
+    matcher (the streaming validator, the checker) switch by changing
+    only where the matcher comes from.  Hot loops that cannot afford the
+    per-step method call inline the two array indexings instead.
+    """
+
+    __slots__ = ("table", "state")
+
+    def __init__(self, table: DfaTable):
+        self.table = table
+        self.state = 0
+
+    def step(self, key: Hashable) -> Any | None:
+        """Consume *key*; return the matched payload or ``None``.
+
+        A failed step leaves the state unchanged (the caller may still
+        ask :meth:`expected` what would have been acceptable).
+        """
+        table = self.table
+        sym = table.symbol_ids.get(key)
+        if sym is None:
+            return None
+        cell = self.state * table.n_symbols + sym
+        target = table.nxt[cell]
+        if target < 0:
+            return None
+        self.state = target
+        return table.payloads[table.pay[cell]]
+
+    def at_accepting_state(self) -> bool:
+        return self.table.accepting[self.state] == 1
+
+    def expected(self) -> list[Hashable]:
+        return self.table.expected_keys(self.state)
+
+    def reset(self) -> None:
+        self.state = 0

@@ -43,7 +43,7 @@ _PROTOCOL = pickle.HIGHEST_PROTOCOL
 #: is refused at load time so a tampered cache file cannot import
 #: arbitrary code through unpickling
 _TRUSTED_MODULES = frozenset(
-    {"builtins", "collections", "datetime", "decimal", "re"}
+    {"array", "builtins", "collections", "datetime", "decimal", "re"}
 )
 
 
@@ -68,20 +68,24 @@ def _loads(payload: bytes) -> Any:
 
 
 def prewarm_dfas(schema: Schema, model: "InterfaceModel | None" = None) -> int:
-    """Build every content-model DFA the binding will need.
+    """Build every content-model DFA (and its flat table) the binding needs.
 
     Doing this *before* pickling moves the Glushkov/subset construction
-    cost into the cached artifact: a warm start never builds a DFA.
+    cost — and, since the table-driven ingest, the flattening into
+    ``array('i')`` transition tables — into the cached artifact: a warm
+    start never builds an automaton in either representation.
     Returns the number of automata in the schema's cache afterwards.
     """
     for definition in schema.types.values():
         if isinstance(definition, ComplexType):
             schema.content_dfa(definition)
+            schema.content_table(definition)
     if model is not None:
         for interface in model:
             definition = interface.type_definition
             if isinstance(definition, ComplexType):
                 schema.content_dfa(definition)
+                schema.content_table(definition)
     return len(schema._dfa_cache)
 
 

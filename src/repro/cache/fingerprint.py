@@ -20,7 +20,9 @@ from typing import Any
 #: render-to-text fast path).
 #: 3: ``Location`` and the parse events grew ``__slots__``;
 #: ``ComplexType`` gained the attribute-use memo field.
-CACHE_FORMAT_VERSION = 3
+#: 4: bindings ship prewarmed flat DFA transition tables
+#: (``Schema._table_cache`` of ``DfaTable``) next to the object DFAs.
+CACHE_FORMAT_VERSION = 4
 
 
 def _library_version() -> str:

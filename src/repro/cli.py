@@ -397,6 +397,7 @@ def _dispatch(arguments: argparse.Namespace) -> int:
                 arguments.cache_entries if arguments.response_cache else 0
             ),
             stream=arguments.stream,
+            schema=binding.schema,
         )
 
         async def _serve() -> None:
@@ -417,6 +418,7 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             )
             for path in routes.paths():
                 print(f"  route {path}", flush=True)
+            print("  route /-/validate (POST)", flush=True)
             await server.run()
 
         asyncio.run(_serve())

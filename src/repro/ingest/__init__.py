@@ -3,8 +3,12 @@
 Two entry points:
 
 * :func:`parse_typed` / :func:`ingest` — one document to a typed V-DOM
-  tree in a single pass (events drive the content-model DFAs during
-  parsing; no generic DOM intermediate), with transparent fallback to
+  tree in a single pass.  The table-driven turbo lane
+  (:func:`table_parse`) scans the source with one precompiled regex
+  alternation (or a numpy structural index when available) and steps
+  flat integer DFA tables; documents outside its subset restart through
+  :func:`fused_parse` (events drive the content-model automata during
+  parsing; no generic DOM intermediate), which in turn falls back to
   the legacy parse → build → bind route for documents the fused walk
   does not cover;
 * :func:`validate_files` — a whole corpus through a multiprocessing
@@ -21,6 +25,7 @@ from repro.ingest.fused import (
     legacy_parse,
     parse_typed,
 )
+from repro.ingest.table_driven import table_parse
 
 __all__ = [
     "IngestFallback",
@@ -30,5 +35,6 @@ __all__ = [
     "ingest",
     "legacy_parse",
     "parse_typed",
+    "table_parse",
     "validate_files",
 ]

@@ -46,6 +46,11 @@ from repro.xsd.simple import SimpleType
 
 _STRUCTURED = (ContentType.ELEMENT_ONLY, ContentType.MIXED)
 
+#: per-declaration cap on the accepted-leaf-value memo (turbo lane):
+#: high-cardinality corpora stop inserting once full instead of growing
+#: without bound, and hits keep working for the values already seen
+_VALUE_MEMO_LIMIT = 4096
+
 
 class IngestFallback(Exception):
     """Raised internally when a document needs the legacy parse route."""
@@ -59,10 +64,13 @@ class _Frame:
         "cls",
         "type_definition",
         "matcher",
+        "table",
+        "state",
         "structured",
         "content_type",
         "has_required",
         "cinfo",
+        "memo",
         "children",
         "text_parts",
         "attributes",
@@ -75,6 +83,7 @@ class _Frame:
         cls,
         type_definition,
         matcher,
+        table,
         structured,
         content_type,
         has_required,
@@ -84,11 +93,14 @@ class _Frame:
         self.tag = tag
         self.cls = cls
         self.type_definition = type_definition
-        self.matcher = matcher
+        self.matcher = matcher  # object-DFA Matcher (golden route) or None
+        self.table = table  # DfaTable when stepping flat tables, else None
+        self.state = 0  # integer DFA state (table route)
         self.structured = structured
         self.content_type = content_type  # None for simple-typed elements
         self.has_required = has_required  # any required attribute use?
         self.cinfo = cinfo  # class-derived constants for _construct
+        self.memo = None  # accepted-leaf-value memo (turbo lane only)
         self.children = []  # str | TypedElement, in document order
         self.text_parts = []  # all character data in the subtree (leaf only)
         self.attributes = attributes
@@ -120,8 +132,11 @@ def parse_typed(binding: Binding, text: str, source: str | None = None):
 
 def ingest(binding: Binding, text: str, source: str | None = None) -> IngestResult:
     """Like :func:`parse_typed` but reporting which route ran."""
+    # Function-level import: table_driven builds on this module.
+    from repro.ingest.table_driven import table_parse
+
     try:
-        result = IngestResult(fused_parse(binding, text, source), True)
+        result = IngestResult(table_parse(binding, text, source), True)
     except IngestFallback as fallback:
         obs.count(
             "ingest.route", route="legacy", reason=str(fallback) or "unknown"
@@ -132,19 +147,31 @@ def ingest(binding: Binding, text: str, source: str | None = None) -> IngestResu
 
 
 def fused_parse(
-    binding: Binding, text: str, source: str | None = None
+    binding: Binding,
+    text: str,
+    source: str | None = None,
+    *,
+    use_tables: bool = True,
 ) -> TypedElement:
     """Single-pass parse + validate + typed construction.
 
     Raises :class:`IngestFallback` on documents the fused walk does not
     cover (DOCTYPE declarations); callers wanting transparency use
     :func:`ingest` / :func:`parse_typed`.
+
+    With ``use_tables`` (the default) content models are stepped through
+    flat integer transition tables — one dict probe and two array
+    indexings per child element.  ``use_tables=False`` steps the object
+    DFAs instead; it is the golden reference the table route is held to
+    (and the baseline the ``ingest:table_driven`` benchmark floor is
+    measured against).
     """
     schema = binding.schema
     class_by_declaration = binding.class_by_declaration
     # Per-declaration dispatch info (class, resolved type, structuredness,
-    # DFA, content type), computed once per binding: declarations are
-    # interned in the schema, so ``id`` keys are stable for its lifetime.
+    # DFA + flat table, content type), computed once per binding:
+    # declarations are interned in the schema, so ``id`` keys are stable
+    # for its lifetime.
     dispatch = binding.__dict__.get("_ingest_dispatch")
     if dispatch is None:
         dispatch = {}
@@ -172,13 +199,31 @@ def fused_parse(
                     if not frame.structured:
                         skip_depth += 1
                         continue
-                    matched = frame.matcher.step(event.name)
-                    if matched is None:
-                        raise VdomTypeError(
-                            f"<{event.name}> is not allowed inside "
-                            f"<{frame.tag}>"
-                        )
-                    declaration = matched
+                    table = frame.table
+                    if table is not None:
+                        # The table-driven hot step: symbol-id probe plus
+                        # two array indexings, no method dispatch.
+                        sym = table.symbol_ids.get(event.name)
+                        if sym is None:
+                            target = -1
+                        else:
+                            cell = frame.state * table.n_symbols + sym
+                            target = table.nxt[cell]
+                        if target < 0:
+                            raise VdomTypeError(
+                                f"<{event.name}> is not allowed inside "
+                                f"<{frame.tag}>"
+                            )
+                        frame.state = target
+                        declaration = table.payloads[table.pay[cell]]
+                    else:
+                        matched = frame.matcher.step(event.name)
+                        if matched is None:
+                            raise VdomTypeError(
+                                f"<{event.name}> is not allowed inside "
+                                f"<{frame.tag}>"
+                            )
+                        declaration = matched
                 else:
                     declaration = schema.elements.get(event.name)
                     if declaration is None:
@@ -188,36 +233,8 @@ def fused_parse(
                         )
                 info = dispatch.get(id(declaration))
                 if info is None:
-                    cls = class_by_declaration.get(id(declaration))
-                    if cls is None:
-                        raise VdomTypeError(
-                            f"no generated class for declaration "
-                            f"'{declaration.name}'"
-                        )
-                    type_definition = declaration.resolved_type()
-                    if isinstance(type_definition, ComplexType):
-                        content_type = type_definition.content_type
-                        structured = content_type in _STRUCTURED
-                        has_required = any(
-                            use.required
-                            for use in (
-                                type_definition.effective_attribute_uses()
-                            ).values()
-                        )
-                    else:
-                        content_type = None
-                        structured = False
-                        has_required = False
-                    info = (
-                        cls,
-                        type_definition,
-                        structured,
-                        schema.content_dfa(type_definition)
-                        if structured
-                        else None,
-                        content_type,
-                        has_required,
-                        _construct_info(cls),
+                    info = _dispatch_info(
+                        schema, class_by_declaration, declaration
                     )
                     dispatch[id(declaration)] = info
                 (
@@ -225,9 +242,11 @@ def fused_parse(
                     type_definition,
                     structured,
                     dfa,
+                    table,
                     content_type,
                     has_required,
                     cinfo,
+                    _memo,  # turbo-lane leaf-value memo; unused here
                 ) = info
                 attributes = event.attributes
                 if attributes:
@@ -241,7 +260,8 @@ def fused_parse(
                         event.name,
                         cls,
                         type_definition,
-                        dfa.matcher() if structured else None,
+                        dfa.matcher() if structured and not use_tables else None,
+                        table if structured and use_tables else None,
                         structured,
                         content_type,
                         has_required,
@@ -274,6 +294,50 @@ def fused_parse(
         raise
     assert root is not None  # the parser guarantees a root element
     return root
+
+
+def _dispatch_info(schema, class_by_declaration, declaration) -> tuple:
+    """Build one per-declaration dispatch entry: ``(cls, type_definition,
+    structured, dfa, table, content_type, has_required, cinfo)``.
+
+    Shared by the event-driven fused walk and the table-driven turbo
+    lane; entries live in ``binding._ingest_dispatch`` keyed on
+    ``id(declaration)``.
+    """
+    cls = class_by_declaration.get(id(declaration))
+    if cls is None:
+        raise VdomTypeError(
+            f"no generated class for declaration '{declaration.name}'"
+        )
+    type_definition = declaration.resolved_type()
+    if isinstance(type_definition, ComplexType):
+        content_type = type_definition.content_type
+        structured = content_type in _STRUCTURED
+        has_required = any(
+            use.required
+            for use in type_definition.effective_attribute_uses().values()
+        )
+    else:
+        content_type = None
+        structured = False
+        has_required = False
+    return (
+        cls,
+        type_definition,
+        structured,
+        schema.content_dfa(type_definition) if structured else None,
+        schema.content_table(type_definition) if structured else None,
+        content_type,
+        has_required,
+        _construct_info(cls),
+        # Accepted-leaf-value memo, used by the turbo lane only: a
+        # bounded set of raw text contents this declaration's simple
+        # type has already accepted, so repeated values skip the
+        # facet/lexical re-validation.  Validation is pure, so caching
+        # acceptance is observationally free; rejections are never
+        # cached (the error path re-raises identically every time).
+        {},
+    )
 
 
 def _construct_info(cls) -> tuple:
@@ -387,19 +451,27 @@ def _construct(binding: Binding, frame: _Frame) -> TypedElement:
                     f"<{tag}> has a simple type and may not "
                     "carry attributes"
                 )
-            try:
-                type_definition.parse(data)
-            except SimpleTypeError as error:
-                raise VdomTypeError(
-                    f"content of <{tag}>: {error.message}"
-                )
+            memo = frame.memo
+            if memo is None or data not in memo:
+                try:
+                    type_definition.parse(data)
+                except SimpleTypeError as error:
+                    raise VdomTypeError(
+                        f"content of <{tag}>: {error.message}"
+                    )
+                if memo is not None and len(memo) < _VALUE_MEMO_LIMIT:
+                    memo[data] = True
         elif not is_any:
             matcher = frame.matcher
-            if matcher is not None and type_definition is frame.type_definition:
-                # The live matcher already accepted every child in order;
-                # only the checks it cannot subsume remain.  With no
-                # attributes present and none required, the attribute
-                # check is a proven no-op.
+            table = frame.table
+            if (
+                matcher is not None or table is not None
+            ) and type_definition is frame.type_definition:
+                # The live automaton (object matcher or flat table)
+                # already accepted every child in order; only the checks
+                # it cannot subsume remain.  With no attributes present
+                # and none required, the attribute check is a proven
+                # no-op.
                 if attrs or frame.has_required:
                     element._check_attributes(type_definition)
                 if (
@@ -410,18 +482,31 @@ def _construct(binding: Binding, frame: _Frame) -> TypedElement:
                         f"<{tag}> has element-only content and "
                         "may not contain text"
                     )
-                if not matcher.at_accepting_state():
+                if table is not None:
+                    state = frame.state
+                    accepted = table.accepting[state] == 1
+                else:
+                    state = matcher.state
+                    accepted = matcher.at_accepting_state()
+                if not accepted:
+                    expected_keys = (
+                        table.expected_keys(state)
+                        if table is not None
+                        else matcher.expected()
+                    )
                     expected = ", ".join(
-                        f"<{key}>" for key in matcher.expected()
+                        f"<{key}>" for key in expected_keys
                     )
                     raise VdomTypeError(
                         f"content of <{tag}> is incomplete; "
                         f"expected {expected}"
                     )
+                # Table and object DFAs share state numbering, so the
+                # incremental-append cache resumes either way.
                 element._content_state = (
                     frame.element_count,
                     len(nodes),
-                    matcher.state,
+                    state,
                 )
             elif not frame.structured and type_definition is frame.type_definition:
                 # Leaf complex frame (EMPTY or SIMPLE content): the checks
@@ -435,13 +520,17 @@ def _construct(binding: Binding, frame: _Frame) -> TypedElement:
                             f"<{tag}> must be empty"
                         )
                 else:  # ContentType.SIMPLE
-                    try:
-                        type_definition.simple_content.parse(data)
-                    except SimpleTypeError as error:
-                        raise VdomTypeError(
-                            f"content of <{tag}>: "
-                            f"{error.message}"
-                        )
+                    memo = frame.memo
+                    if memo is None or data not in memo:
+                        try:
+                            type_definition.simple_content.parse(data)
+                        except SimpleTypeError as error:
+                            raise VdomTypeError(
+                                f"content of <{tag}>: "
+                                f"{error.message}"
+                            )
+                        if memo is not None and len(memo) < _VALUE_MEMO_LIMIT:
+                            memo[data] = True
             else:
                 # A class whose declared type differs from the matched
                 # declaration's: run the full check, exactly as the typed

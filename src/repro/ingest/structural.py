@@ -1,0 +1,56 @@
+"""Vectorized structural index over an XML source (the numpy fast lane).
+
+simdjson-style stage 1: find every markup delimiter position in one
+vectorized sweep instead of discovering them one ``re.match`` at a time.
+The document's bytes are viewed as a ``uint8`` array and the positions
+of ``<`` and ``>`` fall out of two ``flatnonzero`` passes; the turbo
+scanner (:mod:`repro.ingest.table_driven`) then walks tag-body and
+text-run *slices* directly instead of running the token regex per tag.
+
+The lane is strictly optional:
+
+* numpy absent (or disabled via the ``REPRO_NO_NUMPY`` environment
+  variable, which the CI no-numpy leg sets) → :data:`AVAILABLE` is
+  False and :func:`markup_index` returns ``None``;
+* non-ASCII documents → ``None`` (byte offsets would diverge from
+  character offsets, and every consumer indexes the ``str``).
+
+Either way the caller falls back to the stdlib regex lane, which is
+held byte-identical to this one by the parity suite — the index is a
+pure accelerator, never a semantic fork.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    if os.environ.get("REPRO_NO_NUMPY", "") not in ("", "0"):
+        raise ImportError("numpy disabled via REPRO_NO_NUMPY")
+    import numpy as _np
+except ImportError:  # numpy genuinely missing or explicitly disabled
+    _np = None
+
+#: True when the vectorized lane can run at all in this process
+AVAILABLE = _np is not None
+
+
+def markup_index(
+    text: str, start: int = 0
+) -> tuple[list[int], list[int]] | None:
+    """Positions of every ``<`` and ``>`` in ``text[start:]``, sorted.
+
+    Returns ``None`` when numpy is unavailable or *text* is not pure
+    ASCII (the byte view would not line up with string indices).  The
+    position lists are plain Python ints (``tolist`` converts in C),
+    ready for slicing without per-element numpy boxing.
+    """
+    if _np is None or not text.isascii():
+        return None
+    data = _np.frombuffer(text.encode("ascii"), dtype=_np.uint8)
+    lts = _np.flatnonzero(data == 60)  # ord("<")
+    gts = _np.flatnonzero(data == 62)  # ord(">")
+    if start:
+        lts = lts[_np.searchsorted(lts, start) :]
+        gts = gts[_np.searchsorted(gts, start) :]
+    return lts.tolist(), gts.tolist()

@@ -52,7 +52,7 @@ import time
 from typing import Any
 
 from repro import obs
-from repro.errors import PxmlError, ValidationError, VdomError
+from repro.errors import PxmlError, ValidationError, VdomError, XmlSyntaxError
 from repro.serve.cache import DEFAULT_MAX_ENTRIES, ResponseCache
 from repro.serve.http import (
     LAST_CHUNK,
@@ -98,6 +98,7 @@ class ReproServer:
         request_timeout: float = 10.0,
         cache_entries: int = DEFAULT_MAX_ENTRIES,
         stream: bool = False,
+        schema: Any = None,
     ):
         self.routes = routes
         self.host = host
@@ -108,6 +109,14 @@ class ReproServer:
         self.cache = ResponseCache(cache_entries) if cache_entries else None
         #: chunked streaming of segment pieces for template routes
         self.stream = stream
+        #: schema backing ``POST /-/validate`` (table-driven streaming
+        #: pre-check for incoming documents); ``None`` disables the route
+        self.schema = schema
+        self._validator = None
+        if schema is not None:
+            from repro.xsd import StreamingValidator
+
+            self._validator = StreamingValidator(schema)
         self.stats: dict[str, Any] = {
             "connections": 0,
             "requests": 0,
@@ -118,6 +127,7 @@ class ReproServer:
             "bytes_sent": 0,
             "not_modified": 0,
             "streamed": 0,
+            "validated": 0,
             "draining": False,
         }
         self._server: asyncio.base_events.Server | None = None
@@ -250,15 +260,17 @@ class ReproServer:
                     writer, error_response(431, "request head too large")
                 )
                 return
+            body = b""
             try:
                 request = parse_request(head[:-4])
                 length = request.content_length
                 if length > MAX_BODY_BYTES:
                     raise HttpError(413, "request body too large")
                 if length:
-                    # Bodies are irrelevant to GET-shaped page serving;
-                    # read and discard to keep the stream framed.
-                    await asyncio.wait_for(
+                    # Page serving is GET-shaped, but ``POST /-/validate``
+                    # consumes its body; reading it always keeps the
+                    # stream framed either way.
+                    body = await asyncio.wait_for(
                         reader.readexactly(length), self.request_timeout
                     )
             except HttpError as error:
@@ -272,7 +284,7 @@ class ReproServer:
                 await self._send(writer, error_response(408, "body timed out"))
                 return
             keep_alive = request.wants_keep_alive()
-            response = self._respond(request, keep_alive)
+            response = self._respond(request, keep_alive, body)
             if isinstance(response, bytes):
                 await self._send(writer, response)
             else:
@@ -301,13 +313,15 @@ class ReproServer:
         )
 
     def _respond(
-        self, request: HttpRequest, keep_alive: bool
+        self, request: HttpRequest, keep_alive: bool, body: bytes = b""
     ) -> bytes | list[bytes]:
         """One request to one response: complete bytes, or — for the
         streaming mode — a list of ``[head, chunk..., last-chunk]``
         parts the connection loop writes and drains one by one."""
         keep_alive = keep_alive and not self.stats["draining"]
         head_only = request.method == "HEAD"
+        if request.path == "/-/validate":
+            return self._validate_body(request, body, keep_alive)
         if request.method not in ("GET", "HEAD"):
             self._record(None, 405)
             body = f"405 Method Not Allowed: {request.method}\n".encode()
@@ -429,6 +443,62 @@ class ReproServer:
             head_only=head_only,
         )
 
+    def _validate_body(
+        self, request: HttpRequest, body: bytes, keep_alive: bool
+    ) -> bytes:
+        """``POST /-/validate``: the 422 pre-check as a service.
+
+        The posted document streams through the table-driven
+        :class:`~repro.xsd.stream.StreamingValidator` — no DOM, no typed
+        tree — and the verdict comes back as JSON: 200 with
+        ``{"valid": true}`` or 422 listing every validation error (or
+        the one fatal syntax error) with line/column positions.
+        """
+        json_type = "application/json; charset=utf-8"
+        if request.method != "POST":
+            self._record("-/validate", 405)
+            return build_response(
+                405,
+                b"405 Method Not Allowed: POST an XML document to validate\n",
+                keep_alive=keep_alive,
+                head_only=request.method == "HEAD",
+                extra_headers=(("Allow", "POST"),),
+            )
+        if self._validator is None:
+            self._record("-/validate", 404)
+            return build_response(
+                404,
+                b"404 Not Found: the server has no schema to validate "
+                b"against\n",
+                keep_alive=keep_alive,
+            )
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError:
+            self._record("-/validate", 400)
+            return error_response(400, "request body is not valid UTF-8")
+        try:
+            with obs.timeit("serve.validate"):
+                errors = self._validator.validate_text(text)
+        except XmlSyntaxError as error:
+            errors = [error]
+        self.stats["validated"] += 1
+        obs.count(
+            "serve.validate", outcome="valid" if not errors else "invalid"
+        )
+        status = 200 if not errors else 422
+        self._record("-/validate", status)
+        payload = {
+            "valid": not errors,
+            "errors": [_error_entry(error) for error in errors],
+        }
+        return build_response(
+            status,
+            (json.dumps(payload, indent=2) + "\n").encode(),
+            json_type,
+            keep_alive=keep_alive,
+        )
+
     def _finish(
         self,
         route: Route,
@@ -512,6 +582,24 @@ class ReproServer:
             "obs": obs.snapshot(),
         }
         return (json.dumps(snapshot, indent=2, sort_keys=True) + "\n").encode()
+
+
+def _error_entry(error: Exception) -> dict[str, Any]:
+    """JSON shape for one validation/syntax error."""
+    entry: dict[str, Any] = {
+        "message": getattr(error, "message", str(error)),
+        "kind": (
+            "syntax" if isinstance(error, XmlSyntaxError) else "validation"
+        ),
+    }
+    location = getattr(error, "location", None)
+    if location is not None:
+        entry["line"] = location.line
+        entry["column"] = location.column
+    path = getattr(error, "path", None)
+    if path:
+        entry["path"] = path
+    return entry
 
 
 async def serve(

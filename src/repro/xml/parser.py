@@ -48,7 +48,10 @@ _MAX_ENTITY_DEPTH = 16
 _MAX_ENTITY_EXPANSION = 1 << 20
 
 #: the next markup or reference inside a character-data run
-_TEXT_DELIM = re.compile(r"[<&]")
+# One alternation finds the next structural stop — markup/reference
+# delimiter or a stray CDATA terminator — in a single compiled scan
+# instead of chained ``search`` + ``str.find`` passes over the run.
+_TEXT_STOP = re.compile(r"[<&]|]]>")
 
 #: XML 1.0 §2.11: a literal ``\r\n`` pair or a bare ``\r`` in parsed text
 #: is passed to the application as a single ``\n``.  Characters arriving
@@ -550,34 +553,37 @@ class PullParser:
         """Consume one character-data run up to the next ``<``.
 
         The run is eaten in whole slices between markup/reference
-        delimiters; ``]]>`` and illegal characters are found with
-        compiled scans, and whichever problem occurs first in document
-        order is reported — exactly as the character-stepping reference
-        parser would.
+        delimiters; the next ``<``, ``&``, or stray ``]]>`` is found by
+        a *single* precompiled alternation (:data:`_TEXT_STOP`), with an
+        illegal-character scan over just the accepted slice.  Whichever
+        problem occurs first in document order is reported — exactly as
+        the character-stepping reference parser would.
         """
         reader = self._reader
         text = reader.text
         length = len(text)
         location = reader.location()
         offset = reader.offset
-        delimiter = _TEXT_DELIM.search(text, offset)
-        if delimiter is None or delimiter.group() == "<":
+        stop_match = _TEXT_STOP.search(text, offset)
+        found = stop_match.group() if stop_match is not None else ""
+        if found != "&":
             # Single-slice run with no references — the overwhelmingly
             # common case (indentation and plain text between tags).
-            stop = delimiter.start() if delimiter is not None else length
+            stop = stop_match.start() if stop_match is not None else length
             run = text[offset:stop]
-            cdata_end = run.find("]]>")
+            # The run ends at the first structural stop, so any illegal
+            # character inside it necessarily precedes a ``]]>`` stop.
             bad = _ILLEGAL_CHAR.search(run)
-            if cdata_end >= 0 and (bad is None or cdata_end < bad.start()):
-                reader.offset = offset + cdata_end
-                raise XmlSyntaxError(
-                    "']]>' is not allowed in character data", reader.location()
-                )
             if bad is not None:
                 reader.offset = offset + bad.start()
                 raise XmlSyntaxError(
                     f"illegal character U+{ord(bad.group()):04X}",
                     reader.location(),
+                )
+            if found == "]]>":
+                reader.offset = stop
+                raise XmlSyntaxError(
+                    "']]>' is not allowed in character data", reader.location()
                 )
             reader.offset = stop
             return Characters(_normalize_line_endings(run), False, location)
@@ -592,21 +598,21 @@ class PullParser:
                 pieces.append(self._resolve_general(body, location, depth=0))
                 offset = reader.offset
                 continue
-            delimiter = _TEXT_DELIM.search(text, offset)
-            stop = delimiter.start() if delimiter is not None else length
+            stop_match = _TEXT_STOP.search(text, offset)
+            found = stop_match.group() if stop_match is not None else ""
+            stop = stop_match.start() if stop_match is not None else length
             run = text[offset:stop]
-            cdata_end = run.find("]]>")
             bad = _ILLEGAL_CHAR.search(run)
-            if cdata_end >= 0 and (bad is None or cdata_end < bad.start()):
-                reader.offset = offset + cdata_end
-                raise XmlSyntaxError(
-                    "']]>' is not allowed in character data", reader.location()
-                )
             if bad is not None:
                 reader.offset = offset + bad.start()
                 raise XmlSyntaxError(
                     f"illegal character U+{ord(bad.group()):04X}",
                     reader.location(),
+                )
+            if found == "]]>":
+                reader.offset = stop
+                raise XmlSyntaxError(
+                    "']]>' is not allowed in character data", reader.location()
                 )
             pieces.append(_normalize_line_endings(run))
             offset = stop

@@ -15,6 +15,7 @@ from repro.errors import SchemaError
 from repro.automata import (
     Alternation,
     Dfa,
+    DfaTable,
     Epsilon,
     Regex,
     Repetition,
@@ -301,6 +302,7 @@ class Schema:
         #: retained so the cache can be re-keyed after unpickling, when
         #: every object identity (and so every ``id()``) has changed
         self._dfa_cache: dict[int, tuple[ComplexType, Dfa]] = {}
+        self._table_cache: dict[int, tuple[ComplexType, DfaTable]] = {}
 
     # -- lookups ---------------------------------------------------------------
 
@@ -422,6 +424,21 @@ class Schema:
             )
         return self._dfa_cache[cache_key][1]
 
+    def content_table(self, complex_type: ComplexType) -> DfaTable:
+        """Flat integer transition table for *complex_type* (cached).
+
+        Same automaton as :meth:`content_dfa` — identical state numbering,
+        acceptance, and payload attribution — compiled down to
+        ``array('i')`` matrices for the table-driven hot loops.
+        """
+        cache_key = id(complex_type)
+        if cache_key not in self._table_cache:
+            self._table_cache[cache_key] = (
+                complex_type,
+                DfaTable.from_dfa(self.content_dfa(complex_type)),
+            )
+        return self._table_cache[cache_key][1]
+
     # -- pickling (the persistent compilation cache) ------------------------------
 
     def __getstate__(self) -> dict:
@@ -429,11 +446,18 @@ class Schema:
         # ``id()`` keys are meaningless in another process; ship the
         # (type, dfa) pairs and re-key on load.
         state["_dfa_cache"] = list(self._dfa_cache.values())
+        state["_table_cache"] = list(self._table_cache.values())
         return state
 
     def __setstate__(self, state: dict) -> None:
         pairs = state.pop("_dfa_cache")
+        # Older artifacts predate the table cache; default to empty.
+        table_pairs = state.pop("_table_cache", [])
         self.__dict__.update(state)
         self._dfa_cache = {
             id(complex_type): (complex_type, dfa) for complex_type, dfa in pairs
+        }
+        self._table_cache = {
+            id(complex_type): (complex_type, table)
+            for complex_type, table in table_pairs
         }

@@ -55,10 +55,19 @@ class _Frame:
 
 
 class StreamingValidator:
-    """Validate event streams against one schema."""
+    """Validate event streams against one schema.
 
-    def __init__(self, schema: Schema):
+    Content models are stepped through flat integer transition tables
+    (:class:`repro.automata.DfaTable`) by default; ``use_tables=False``
+    selects the object-DFA matchers instead.  Both routes produce
+    identical verdicts, messages, and orderings (the parity suite holds
+    them together) — the flag exists so tests can pin the golden
+    reference route.
+    """
+
+    def __init__(self, schema: Schema, *, use_tables: bool = True):
         self._schema = schema
+        self._use_tables = use_tables
 
     # -- entry points ---------------------------------------------------------
 
@@ -207,9 +216,14 @@ class StreamingValidator:
                     ContentType.ELEMENT_ONLY,
                     ContentType.MIXED,
                 ):
-                    matcher = self._schema.content_dfa(
-                        type_definition
-                    ).matcher()
+                    if self._use_tables:
+                        matcher = self._schema.content_table(
+                            type_definition
+                        ).matcher()
+                    else:
+                        matcher = self._schema.content_dfa(
+                            type_definition
+                        ).matcher()
                 self._check_attributes(
                     event, type_definition, path, errors
                 )

@@ -1,0 +1,232 @@
+"""Table-driven turbo lanes against the object-DFA golden reference.
+
+The turbo lane's contract is *observational equality* with
+``fused_parse(use_tables=False)`` — the object-DFA route preserved as
+the golden reference: identical trees (byte-identical serialization)
+for accepted documents, identical exception type, message, location,
+and path for rejected ones.  It earns that equality either by handling
+a document inside its subset bit-for-bit, or by restarting into
+``fused_parse`` and letting the reference produce the verdict — so the
+property must hold over *hostile* corpora (the scanner-parity golden
+set, CRLF documents, expansion bombs), not just clean ones.
+
+Both tokenizer lanes are pinned: the stdlib regex lane always, the
+vectorized structural-index lane whenever numpy is importable.
+"""
+
+import pytest
+
+from repro.core import bind
+from repro.dom.serialize import serialize
+from repro.errors import ReproError
+from repro.ingest import IngestFallback, fused_parse, legacy_parse, table_parse
+from repro.ingest import structural
+from repro.schemas import (
+    PURCHASE_ORDER_DOCUMENT,
+    PURCHASE_ORDER_SCHEMA,
+    XHTML_SUBSET_SCHEMA,
+)
+from repro.schemas.purchase_order import PURCHASE_ORDER_INVALID_DOCUMENTS
+from tests.xml.test_line_endings import CRLF_PURCHASE_ORDER, GOLDEN
+from tests.xml.test_parser import _expansion_bomb
+from tests.xml.test_scanner_parity import ILL_FORMED, WELL_FORMED
+
+#: every tokenizer lane the parity must pin; "index" silently equals
+#: "stdlib" when numpy is missing (the absent-safe degradation itself)
+LANES = ["auto", "stdlib"] + (["index"] if structural.AVAILABLE else [])
+
+XHTML_DOCUMENT = """\
+<html>
+  <head><title>turbo</title><meta name="k" content="v"/></head>
+  <body>
+    <h1>Heading <b>bold</b> tail</h1>
+    <p>Mixed <i>content</i>, a <a href="/x">link</a>,<br/> &amp; more.</p>
+    <ul><li>one</li><li>two</li></ul>
+  </body>
+</html>
+"""
+
+
+@pytest.fixture(scope="module")
+def po_binding():
+    return bind(PURCHASE_ORDER_SCHEMA)
+
+
+@pytest.fixture(scope="module")
+def xhtml_binding():
+    return bind(XHTML_SUBSET_SCHEMA)
+
+
+def _outcome(route, binding, text):
+    """Collapse a parse to a comparable verdict tuple."""
+    try:
+        tree = route(binding, text)
+    except (ReproError, IngestFallback) as error:
+        return (
+            type(error).__name__,
+            getattr(error, "message", str(error)),
+            getattr(error, "location", None),
+            getattr(error, "path", None),
+        )
+    return ("ok", serialize(tree))
+
+
+def _assert_parity(binding, text):
+    golden = _outcome(
+        lambda b, t: fused_parse(b, t, use_tables=False), binding, text
+    )
+    for lane in LANES:
+        if lane == "index" and not text.isascii():
+            continue  # the ASCII gate; "auto" covers the degradation
+        turbo = _outcome(
+            lambda b, t, lane=lane: table_parse(b, t, lane=lane),
+            binding,
+            text,
+        )
+        assert turbo == golden, f"lane {lane!r} diverged"
+
+
+class TestScannerParityCorpus:
+    """The 60+ golden scanner documents, most far outside the PO schema:
+    every one must produce the same verdict through every lane."""
+
+    @pytest.mark.parametrize("name", sorted(WELL_FORMED))
+    def test_well_formed(self, po_binding, name):
+        _assert_parity(po_binding, WELL_FORMED[name])
+
+    @pytest.mark.parametrize("name", sorted(ILL_FORMED))
+    def test_ill_formed(self, po_binding, name):
+        _assert_parity(po_binding, ILL_FORMED[name])
+
+
+class TestLineEndingCorpus:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_golden_line_endings(self, po_binding, name):
+        document, _expected = GOLDEN[name]
+        _assert_parity(po_binding, document)
+
+    def test_crlf_purchase_order(self, po_binding):
+        _assert_parity(po_binding, CRLF_PURCHASE_ORDER)
+        # ...and the accepted tree equals the legacy route's, i.e. the
+        # CRLF normalization survived the turbo lane's restart.
+        assert serialize(table_parse(po_binding, CRLF_PURCHASE_ORDER)) == (
+            serialize(legacy_parse(po_binding, CRLF_PURCHASE_ORDER))
+        )
+
+
+class TestHostileDocuments:
+    @pytest.mark.parametrize("where", ["content", "attribute"])
+    def test_expansion_bomb(self, po_binding, where):
+        _assert_parity(po_binding, _expansion_bomb(where=where))
+
+    def test_unknown_root(self, po_binding):
+        _assert_parity(po_binding, "<unknown><x/></unknown>")
+
+    def test_doctype_document(self, po_binding):
+        # DOCTYPE is outside the *fused* subset too: both routes must
+        # raise the same IngestFallback signal.
+        _assert_parity(
+            po_binding, "<!DOCTYPE purchaseOrder><purchaseOrder/>"
+        )
+
+
+class TestSchemaVerdicts:
+    @pytest.mark.parametrize("name", sorted(PURCHASE_ORDER_INVALID_DOCUMENTS))
+    def test_invalid_documents(self, po_binding, name):
+        _assert_parity(po_binding, PURCHASE_ORDER_INVALID_DOCUMENTS[name])
+
+    def test_valid_purchase_order(self, po_binding):
+        _assert_parity(po_binding, PURCHASE_ORDER_DOCUMENT)
+        for lane in LANES:
+            assert serialize(table_parse(
+                po_binding, PURCHASE_ORDER_DOCUMENT, lane=lane
+            )) == serialize(legacy_parse(po_binding, PURCHASE_ORDER_DOCUMENT))
+
+    def test_valid_xhtml(self, xhtml_binding):
+        _assert_parity(xhtml_binding, XHTML_DOCUMENT)
+
+    def test_non_ascii_document(self, po_binding):
+        # Forces the index lane's ASCII gate: "auto" must degrade to the
+        # stdlib scanner and still match the golden route.
+        text = PURCHASE_ORDER_DOCUMENT.replace(
+            "Mill Valley", "Mill Vällé\U0001f600"
+        )
+        _assert_parity(po_binding, text)
+
+
+class TestLaneSelection:
+    def test_unknown_lane_rejected(self, po_binding):
+        with pytest.raises(ValueError, match="unknown turbo lane"):
+            table_parse(po_binding, "<a/>", lane="warp")
+
+    @pytest.mark.skipif(
+        not structural.AVAILABLE, reason="numpy unavailable"
+    )
+    def test_index_lane_rejects_non_ascii(self, po_binding):
+        with pytest.raises(ValueError):
+            table_parse(
+                po_binding, "<purchaseOrder>é</purchaseOrder>", lane="index"
+            )
+
+
+class TestStructuralIndex:
+    def test_positions_match_str_scan(self):
+        text = '<a x="1"><b>text > with stray gt</b><c/></a>'
+        index = structural.markup_index(text)
+        if index is None:
+            pytest.skip("numpy unavailable")
+        lts, gts = index
+        assert lts == [i for i, c in enumerate(text) if c == "<"]
+        assert gts == [i for i, c in enumerate(text) if c == ">"]
+
+    def test_start_offset_trims(self):
+        text = "<a><b/></a>"
+        index = structural.markup_index(text, start=3)
+        if index is None:
+            pytest.skip("numpy unavailable")
+        lts, gts = index
+        assert all(p >= 3 for p in lts + gts)
+        assert lts == [3, 7]
+
+    def test_non_ascii_returns_none(self):
+        if not structural.AVAILABLE:
+            pytest.skip("numpy unavailable")
+        assert structural.markup_index("<a>é</a>") is None
+
+    def test_absent_numpy_is_clean(self, tmp_path):
+        """REPRO_NO_NUMPY must yield AVAILABLE=False and full parity."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.ingest import structural, table_parse, fused_parse\n"
+            "from repro.core import bind\n"
+            "from repro.dom.serialize import serialize\n"
+            "from repro.schemas import PURCHASE_ORDER_SCHEMA, "
+            "PURCHASE_ORDER_DOCUMENT\n"
+            "assert structural.AVAILABLE is False\n"
+            "assert structural.markup_index('<a/>') is None\n"
+            "binding = bind(PURCHASE_ORDER_SCHEMA)\n"
+            "assert serialize(table_parse(binding, PURCHASE_ORDER_DOCUMENT))"
+            " == serialize(fused_parse(binding, PURCHASE_ORDER_DOCUMENT,"
+            " use_tables=False))\n"
+            "print('no-numpy-ok')\n"
+        )
+        env = dict(os.environ, REPRO_NO_NUMPY="1")
+        env["PYTHONPATH"] = os.pathsep.join(
+            part
+            for part in (
+                os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+                env.get("PYTHONPATH"),
+            )
+            if part
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "no-numpy-ok" in completed.stdout
