@@ -18,15 +18,18 @@ Measured here:
   single-alternation scanner (both the stdlib regex lane and, when
   numpy is importable, the vectorized structural-index lane),
 * **tokenizer** — event iteration alone, both parsers,
-* **bulk**   — ``validate_files`` with a process pool, when cores allow.
+* **bulk**   — ``validate_files`` through the persistent
+  ``ValidationPool`` (warm workers, sharded batches), when cores allow.
 
 Acceptance floors (the ISSUEs' criteria): fused must clear **3x** the
 seed pipeline on the purchase-order and XHTML corpora (1.5x under
 ``REPRO_BENCH_QUICK``); the table-driven turbo lane must clear **2x**
 the object-DFA fused route on both corpora (``ingest:table_driven:*``
-in floors.json); and ``--jobs 4`` must clear **2x** ``--jobs 1``
-over a 100-document corpus — the latter only on machines with at least
-four CPUs (skipped elsewhere: a process pool cannot beat inline
+in floors.json); and ``--jobs 4`` must clear **2.5x** ``--jobs 1``
+over a 100-document corpus (``ingest:bulk_scaling``) — the latter only
+on machines with at least four CPUs; elsewhere the timings are still
+recorded but the artifact carries a ``floor_skipped`` marker that
+``scripts/check_bench.py`` honors (a process pool cannot beat inline
 execution without cores to run on).
 
 Environment knobs (used by the CI smoke job):
@@ -54,8 +57,6 @@ from repro.xml.events import Characters, EndElement, StartElement
 from repro.xml.parser import PullParser
 from repro.xml.reference import ReferencePullParser
 
-REQUIRED_SCALING = 2.0
-
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 REPEATS = 3 if QUICK else 7
 ITEMS = 100 if QUICK else 300
@@ -65,6 +66,10 @@ BULK_DOCUMENTS = 40 if QUICK else 100
 FLOOR = bench_floor("ingest_po_speedup", QUICK)
 #: the table-driven turbo lane vs the object-DFA fused route (PR 7)
 TABLE_FLOOR = bench_floor("ingest:table_driven:po", QUICK)
+#: the persistent-pool scaling criterion (PR 8); the artifact records a
+#: ``floor_skipped`` marker instead of asserting when the machine has
+#: too few cores for a pool to beat inline execution
+SCALING_FLOOR = bench_floor("ingest:bulk_scaling", QUICK)
 
 #: module-level result sink, flushed at teardown
 RESULTS: dict[str, dict] = {}
@@ -243,10 +248,17 @@ def test_xhtml_ingest(capsys):
 
 
 def test_bulk_scaling(tmp_path, capsys):
-    """``--jobs 4`` must be >= 2x ``--jobs 1`` over 100 documents.
+    """``--jobs 4`` must be >= 2.5x ``--jobs 1`` over 100 documents.
 
-    Gated on the machine actually having 4 cores; a 1-CPU container
-    cannot exhibit (or meaningfully test) process-pool scaling.
+    The parallel run goes through the persistent :class:`ValidationPool`
+    (workers warm-started once, batches sharded by consistent hash), so
+    this floor measures the pool, not per-task spawn cost.  On machines
+    with fewer than four cores the timings are still recorded but the
+    floor assertion is replaced by a ``floor_skipped`` marker in the
+    artifact — ``scripts/check_bench.py`` honors the marker, so the CI
+    gate distinguishes "skipped for lack of cores" from "regressed".
+    A 1-CPU container cannot exhibit process-pool scaling at all; its
+    jobs=4 request clamps to a single worker.
     """
     cores = multiprocessing.cpu_count()
     corpus = []
@@ -272,28 +284,40 @@ def test_bulk_scaling(tmp_path, capsys):
         )
         elapsed = time.perf_counter() - start
         assert report["summary"]["invalid"] == 0
-        return elapsed
+        return elapsed, report
 
-    serial = min(run(1) for _ in range(2))
-    parallel = min(run(4) for _ in range(2))
+    serial = min(run(1)[0] for _ in range(2))
+    parallel, parallel_report = run(4)
+    retry, retry_report = run(4)
+    if retry < parallel:
+        parallel, parallel_report = retry, retry_report
+    floor_skipped = cores < 4
+    skip_reason = (
+        f"parallel-scaling floor needs >= 4 CPUs (have {cores})"
+        if floor_skipped
+        else None
+    )
     result = {
         "documents": BULK_DOCUMENTS,
         "cpu_count": cores,
         "jobs1_ms": round(serial * 1000, 2),
         "jobs4_ms": round(parallel * 1000, 2),
+        "jobs4_effective": parallel_report["jobs"],
+        "batch_size": parallel_report["batch_size"],
         "scaling": round(serial / parallel, 2),
+        "floor_skipped": floor_skipped,
+        "floor_skip_reason": skip_reason,
     }
     RESULTS["bulk_scaling"] = result
     print(
         f"\nbulk: jobs=1 {result['jobs1_ms']}ms  jobs=4 {result['jobs4_ms']}ms"
+        f" ({result['jobs4_effective']} effective, "
+        f"batches of {result['batch_size']})"
         f"  -> {result['scaling']}x on {cores} cores"
     )
-    if cores < 4:
-        pytest.skip(
-            f"parallel-scaling floor needs >= 4 CPUs (have {cores}); "
-            "timings recorded without the floor"
-        )
-    assert result["scaling"] >= REQUIRED_SCALING, (
+    if floor_skipped:
+        pytest.skip(f"{skip_reason}; timings recorded without the floor")
+    assert result["scaling"] >= SCALING_FLOOR, (
         f"--jobs 4 is only {result['scaling']:.2f}x --jobs 1 "
-        f"(need >= {REQUIRED_SCALING}x on {cores} cores)"
+        f"(need >= {SCALING_FLOOR}x on {cores} cores)"
     )

@@ -12,6 +12,15 @@ Artifacts written under ``REPRO_BENCH_QUICK=1`` record
 (when present) is enforced instead of the full floor, mirroring what
 the benchmark itself asserted when it ran.
 
+A floor entry may name a ``skip_if`` marker — a dotted path into the
+artifact.  When the marker is truthy the floor is waived for that
+artifact (reported as ``skip``, with the reason the benchmark recorded
+next to the marker as ``<prefix>.floor_skip_reason``): the benchmark
+ran and published its numbers but declared the floor inapplicable,
+e.g. a parallel-scaling ratio measured on a runner without enough
+cores.  A *missing* artifact still fails — only an explicit marker
+can waive a floor.
+
 Usage::
 
     python scripts/check_bench.py [artifact-dir]
@@ -52,9 +61,17 @@ def extract(report: dict, dotted: str):
     return node
 
 
-def check_artifacts(floors: dict, artifact_dir: str) -> list[str]:
-    """Every floor violation / missing artifact, as printable strings."""
+def check_artifacts(
+    floors: dict, artifact_dir: str
+) -> tuple[list[str], list[str]]:
+    """``(problems, skipped)`` — violations and waived floors.
+
+    *problems* holds every floor violation / missing artifact as a
+    printable string; *skipped* holds floors waived by their ``skip_if``
+    marker (with the benchmark's recorded reason).
+    """
     problems = []
+    skipped = []
     for name, entry in floors.items():
         path = find_artifact(artifact_dir, entry["artifact"])
         if path is None:
@@ -65,6 +82,15 @@ def check_artifacts(floors: dict, artifact_dir: str) -> list[str]:
             continue
         with open(path, encoding="utf-8") as handle:
             report = json.load(handle)
+        marker = entry.get("skip_if")
+        if marker and extract(report, marker):
+            prefix = marker.rsplit(".", 1)[0]
+            reason = extract(report, f"{prefix}.floor_skip_reason")
+            skipped.append(
+                f"{name}: floor waived by {marker}"
+                + (f" ({reason})" if reason else "")
+            )
+            continue
         quick = bool(report.get("_meta", {}).get("quick"))
         floor = (
             entry.get("quick_floor", entry["floor"])
@@ -82,23 +108,31 @@ def check_artifacts(floors: dict, artifact_dir: str) -> list[str]:
                 f"{name}: {value} < floor {floor} ({mode} mode, "
                 f"{entry['path']} in {entry['artifact']})"
             )
-    return problems
+    return problems, skipped
 
 
 def main(argv: list[str]) -> int:
     artifact_dir = argv[1] if len(argv) > 1 else "."
     with open(FLOORS_PATH, encoding="utf-8") as handle:
         floors = json.load(handle)
-    problems = check_artifacts(floors, artifact_dir)
+    problems, skipped = check_artifacts(floors, artifact_dir)
     checked = len(floors)
+    for line in skipped:
+        print(f"  skip {line}")
     if problems:
         print(f"bench-gate: {len(problems)}/{checked} checks FAILED")
         for problem in problems:
             print(f"  FAIL {problem}")
         return 1
-    print(f"bench-gate: all {checked} floors clear")
+    skipped_names = {line.split(":", 1)[0] for line in skipped}
+    cleared = checked - len(skipped)
+    print(
+        f"bench-gate: all {cleared} floors clear"
+        + (f" ({len(skipped)} waived)" if skipped else "")
+    )
     for name, entry in sorted(floors.items()):
-        print(f"  ok   {name} ({entry['path']} >= {entry['floor']})")
+        if name not in skipped_names:
+            print(f"  ok   {name} ({entry['path']} >= {entry['floor']})")
     return 0
 
 

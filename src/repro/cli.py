@@ -117,6 +117,15 @@ def main(argv: list[str] | None = None) -> int:
         "clamped down",
     )
     validate_command.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="documents per pool batch (bulk mode; default: auto, "
+        "files/jobs/4 — batches amortize queue round-trips and ship "
+        "one obs delta each)",
+    )
+    validate_command.add_argument(
         "--report",
         default=None,
         metavar="PATH",
@@ -212,6 +221,16 @@ def main(argv: list[str] | None = None) -> int:
         "streaming precomputed static segments (holes are still "
         "validated before the first byte)",
     )
+    serve_command.add_argument(
+        "--validate-pool",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan POST /-/validate out to N persistent warm worker "
+        "processes (0 = validate inline on the event loop; requests "
+        "beyond the CPU count are clamped down, 0 workers per the "
+        "--jobs convention is not accepted here)",
+    )
 
     cache_command = commands.add_parser(
         "cache", help="inspect or clear the compilation cache"
@@ -284,6 +303,7 @@ def _bulk_validate(
         jobs=arguments.jobs,
         cache_dir=cache.directory if cache is not None else None,
         schema_label=arguments.schema,
+        batch_size=arguments.batch_size,
     )
     for record in report["files"]:
         if record["valid"]:
@@ -385,8 +405,19 @@ def _dispatch(arguments: argparse.Namespace) -> int:
 
         from repro.serve import ReproServer, build_routes
 
-        binding = bind(_read(arguments.schema), cache=cache)
+        schema_text = _read(arguments.schema)
+        binding = bind(schema_text, cache=cache)
         routes = build_routes(binding, arguments.directory, cache=cache)
+        validate_pool = None
+        if arguments.validate_pool > 0:
+            from repro.ingest import ValidationPool, effective_jobs
+
+            pool_workers = effective_jobs(arguments.validate_pool)
+            validate_pool = ValidationPool(
+                schema_text,
+                pool_workers,
+                cache_dir=cache.directory if cache is not None else None,
+            )
         server = ReproServer(
             routes,
             arguments.host,
@@ -398,6 +429,7 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             ),
             stream=arguments.stream,
             schema=binding.schema,
+            validate_pool=validate_pool,
         )
 
         async def _serve() -> None:
@@ -419,9 +451,19 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             for path in routes.paths():
                 print(f"  route {path}", flush=True)
             print("  route /-/validate (POST)", flush=True)
+            if validate_pool is not None:
+                print(
+                    f"  validate pool: {validate_pool.workers} "
+                    "warm worker(s)",
+                    flush=True,
+                )
             await server.run()
 
-        asyncio.run(_serve())
+        try:
+            asyncio.run(_serve())
+        finally:
+            if validate_pool is not None:
+                validate_pool.close()
         return 0
     if arguments.command == "cache":
         store_cache = cache if cache is not None else ReproCache.persistent(

@@ -11,12 +11,20 @@ Two entry points:
   parsing; no generic DOM intermediate), which in turn falls back to
   the legacy parse → build → bind route for documents the fused walk
   does not cover;
-* :func:`validate_files` — a whole corpus through a multiprocessing
-  pool of workers warm-started from the persistent compilation cache,
-  aggregated into a JSON-ready report.
+* :func:`validate_files` — a whole corpus through a persistent
+  :class:`ValidationPool` of workers warm-started from the persistent
+  compilation cache, consistent-hash sharded into document batches,
+  aggregated into a JSON-ready report.  The pool itself is reusable
+  across runs (and backs the serve tier's ``POST /-/validate``
+  fan-out).
 """
 
-from repro.ingest.bulk import effective_jobs, validate_files
+from repro.ingest.bulk import (
+    auto_batch_size,
+    effective_jobs,
+    validate_files,
+)
+from repro.ingest.pool import HashRing, ValidationPool
 from repro.ingest.fused import (
     IngestFallback,
     IngestResult,
@@ -28,8 +36,11 @@ from repro.ingest.fused import (
 from repro.ingest.table_driven import table_parse
 
 __all__ = [
+    "HashRing",
     "IngestFallback",
     "IngestResult",
+    "ValidationPool",
+    "auto_batch_size",
     "effective_jobs",
     "fused_parse",
     "ingest",

@@ -52,7 +52,13 @@ import time
 from typing import Any
 
 from repro import obs
-from repro.errors import PxmlError, ValidationError, VdomError, XmlSyntaxError
+from repro.errors import (
+    PxmlError,
+    ReproError,
+    ValidationError,
+    VdomError,
+    XmlSyntaxError,
+)
 from repro.serve.cache import DEFAULT_MAX_ENTRIES, ResponseCache
 from repro.serve.http import (
     LAST_CHUNK,
@@ -99,6 +105,7 @@ class ReproServer:
         cache_entries: int = DEFAULT_MAX_ENTRIES,
         stream: bool = False,
         schema: Any = None,
+        validate_pool: Any = None,
     ):
         self.routes = routes
         self.host = host
@@ -117,6 +124,11 @@ class ReproServer:
             from repro.xsd import StreamingValidator
 
             self._validator = StreamingValidator(schema)
+        #: persistent :class:`~repro.ingest.pool.ValidationPool` backing
+        #: ``POST /-/validate`` — documents fan out to warm worker
+        #: processes so the validation tier scales past one core.  The
+        #: caller owns the pool's lifecycle; ``None`` validates inline.
+        self.validate_pool = validate_pool
         self.stats: dict[str, Any] = {
             "connections": 0,
             "requests": 0,
@@ -128,6 +140,7 @@ class ReproServer:
             "not_modified": 0,
             "streamed": 0,
             "validated": 0,
+            "pool_validated": 0,
             "draining": False,
         }
         self._server: asyncio.base_events.Server | None = None
@@ -284,7 +297,19 @@ class ReproServer:
                 await self._send(writer, error_response(408, "body timed out"))
                 return
             keep_alive = request.wants_keep_alive()
-            response = self._respond(request, keep_alive, body)
+            if (
+                self.validate_pool is not None
+                and request.path == "/-/validate"
+                and request.method == "POST"
+            ):
+                # Fan the document out to a warm pool worker; the
+                # event loop stays free for other connections while the
+                # worker runs the table-driven streaming validator.
+                response = await self._validate_pooled(
+                    request, body, keep_alive
+                )
+            else:
+                response = self._respond(request, keep_alive, body)
             if isinstance(response, bytes):
                 await self._send(writer, response)
             else:
@@ -499,6 +524,50 @@ class ReproServer:
             keep_alive=keep_alive,
         )
 
+    async def _validate_pooled(
+        self, request: HttpRequest, body: bytes, keep_alive: bool
+    ) -> bytes:
+        """``POST /-/validate`` through the persistent worker pool.
+
+        Verdict JSON is byte-identical to the inline path — workers
+        shape errors with the same helper — but the validation itself
+        runs in another process, so N pool workers validate N posted
+        documents genuinely in parallel.
+        """
+        keep_alive = keep_alive and not self.stats["draining"]
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError:
+            self._record("-/validate", 400)
+            return error_response(400, "request body is not valid UTF-8")
+        try:
+            with obs.timeit("serve.validate", route="pool"):
+                future = self.validate_pool.submit_text(text)
+                payload = await asyncio.wrap_future(future)
+        except ReproError as error:
+            # The pool lost every worker (or was closed under us):
+            # fail the request, not the server.
+            self._record("-/validate", 503)
+            obs.count("serve.fallback", route="-/validate", reason="pool-down")
+            return error_response(
+                503, f"validation pool unavailable ({error})", keep_alive=False
+            )
+        self.stats["validated"] += 1
+        self.stats["pool_validated"] += 1
+        obs.count(
+            "serve.validate",
+            outcome="valid" if payload["valid"] else "invalid",
+        )
+        obs.count("serve.validate.pool")
+        status = 200 if payload["valid"] else 422
+        self._record("-/validate", status)
+        return build_response(
+            status,
+            (json.dumps(payload, indent=2) + "\n").encode(),
+            "application/json; charset=utf-8",
+            keep_alive=keep_alive,
+        )
+
     def _finish(
         self,
         route: Route,
@@ -578,6 +647,11 @@ class ReproServer:
                 "cache": (
                     self.cache.snapshot() if self.cache is not None else None
                 ),
+                "validate_pool": (
+                    self.validate_pool.stats_snapshot()
+                    if self.validate_pool is not None
+                    else None
+                ),
             },
             "obs": obs.snapshot(),
         }
@@ -585,21 +659,11 @@ class ReproServer:
 
 
 def _error_entry(error: Exception) -> dict[str, Any]:
-    """JSON shape for one validation/syntax error."""
-    entry: dict[str, Any] = {
-        "message": getattr(error, "message", str(error)),
-        "kind": (
-            "syntax" if isinstance(error, XmlSyntaxError) else "validation"
-        ),
-    }
-    location = getattr(error, "location", None)
-    if location is not None:
-        entry["line"] = location.line
-        entry["column"] = location.column
-    path = getattr(error, "path", None)
-    if path:
-        entry["path"] = path
-    return entry
+    """JSON shape for one validation/syntax error (shared with the
+    pool workers, so pooled and inline verdicts are byte-identical)."""
+    from repro.xsd.stream import error_entry
+
+    return error_entry(error)
 
 
 async def serve(

@@ -404,3 +404,28 @@ def _derives_from(candidate, declared) -> bool:
     if isinstance(candidate, SimpleType) and isinstance(declared, SimpleType):
         return candidate.is_derived_from(declared)
     return False
+
+
+def error_entry(error: Exception) -> dict:
+    """JSON shape for one validation/syntax error verdict.
+
+    Shared by the serve tier's ``POST /-/validate`` endpoint and the
+    bulk pool's text-validation workers, so a pooled verdict is
+    byte-identical to the inline one.
+    """
+    from repro.errors import XmlSyntaxError
+
+    entry: dict = {
+        "message": getattr(error, "message", str(error)),
+        "kind": (
+            "syntax" if isinstance(error, XmlSyntaxError) else "validation"
+        ),
+    }
+    location = getattr(error, "location", None)
+    if location is not None:
+        entry["line"] = location.line
+        entry["column"] = location.column
+    path = getattr(error, "path", None)
+    if path:
+        entry["path"] = path
+    return entry

@@ -162,6 +162,30 @@ class TestCli:
         assert code == 0
         assert "3 valid, 0 invalid" in capsys.readouterr().out
 
+    def test_bulk_mode_batch_size_lands_in_report(self, tmp_path, capsys):
+        schema = self._write_schema(tmp_path)
+        docs = []
+        for index in range(4):
+            doc = tmp_path / f"d{index}.xml"
+            doc.write_text(PURCHASE_ORDER_DOCUMENT, encoding="utf-8")
+            docs.append(str(doc))
+        report_path = tmp_path / "report.json"
+        code = main(
+            ["--cache-dir", str(tmp_path / "cache"),
+             "validate", str(schema), *docs,
+             "--jobs", "2", "--batch-size", "2",
+             "--report", str(report_path)]
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        # On a pooled run the report records the batch size; a 1-CPU
+        # runner clamps jobs to 1 and runs inline (batch_size: null).
+        if report["jobs"] > 1:
+            assert report["batch_size"] == 2
+            assert report["pool"]["workers"] == report["jobs"]
+        else:
+            assert report["batch_size"] is None
+
 
 class TestHardening:
     """Document- vs schema-level failures: contain the first, fail the

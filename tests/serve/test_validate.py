@@ -113,3 +113,88 @@ class TestValidateEndpoint:
         stats = asyncio.run(scenario())["server"]
         assert stats["validated"] == 1
         assert stats["responses"]["200"] >= 1
+
+
+class TestPooledEndpoint:
+    """``--validate-pool``: the same endpoint, fanned out to workers."""
+
+    @pytest.fixture
+    def pool(self):
+        from repro.ingest import ValidationPool
+        from repro.schemas import PURCHASE_ORDER_SCHEMA
+
+        with ValidationPool(PURCHASE_ORDER_SCHEMA, 1) as pool:
+            yield pool
+
+    def test_pooled_verdicts_match_inline(self, schema, pool):
+        bad = PURCHASE_ORDER_DOCUMENT.replace(
+            "<city>Mill Valley</city>", "<bogus>x</bogus>", 1
+        )
+
+        async def scenario(validate_pool):
+            async with running(
+                RouteTable(), schema=schema, validate_pool=validate_pool
+            ) as server:
+                return [
+                    await _post(server.port, body.encode())
+                    for body in (
+                        PURCHASE_ORDER_DOCUMENT, bad, "<a><b></a>"
+                    )
+                ]
+
+        inline = [_parse(data) for data in asyncio.run(scenario(None))]
+        pooled = [_parse(data) for data in asyncio.run(scenario(pool))]
+        # Status AND verdict JSON byte-identical to the inline path.
+        assert pooled == inline
+        assert [status for status, _ in pooled] == [200, 422, 422]
+
+    def test_pool_activity_lands_in_stats(self, schema, pool):
+        async def scenario():
+            async with running(
+                RouteTable(), schema=schema, validate_pool=pool
+            ) as server:
+                await _post(server.port, PURCHASE_ORDER_DOCUMENT.encode())
+                _status, _headers, body = await get(server.port, "/-/stats")
+                return json.loads(body)
+
+        stats = asyncio.run(scenario())["server"]
+        assert stats["validated"] == 1
+        assert stats["pool_validated"] == 1
+        assert stats["validate_pool"]["texts"] == 1
+        assert stats["validate_pool"]["completed"] == 1
+        assert stats["validate_pool"]["live_workers"] == 1
+
+    def test_dead_pool_answers_503_not_crash(self, schema):
+        from repro.ingest import ValidationPool
+        from repro.schemas import PURCHASE_ORDER_SCHEMA
+
+        pool = ValidationPool(PURCHASE_ORDER_SCHEMA, 1)
+        pool.close()
+
+        async def scenario():
+            async with running(
+                RouteTable(), schema=schema, validate_pool=pool
+            ) as server:
+                first = await _post(
+                    server.port, PURCHASE_ORDER_DOCUMENT.encode()
+                )
+                # The server keeps serving after the pool failure.
+                status, _headers, _body = await get(server.port, "/-/stats")
+                return first, status
+
+        first, stats_status = asyncio.run(scenario())
+        status, body = _parse(first)
+        assert status == 503
+        assert b"validation pool unavailable" in body
+        assert stats_status == 200
+
+    def test_get_still_method_not_allowed_with_pool(self, schema, pool):
+        async def scenario():
+            async with running(
+                RouteTable(), schema=schema, validate_pool=pool
+            ) as server:
+                return await get(server.port, "/-/validate")
+
+        status, headers, _body = asyncio.run(scenario())
+        assert status == 405
+        assert headers["allow"] == "POST"

@@ -3,7 +3,8 @@
 The acceptance criterion for the gate is negative: feed it a synthetic
 artifact that violates a floor and it must fail.  These tests exercise
 ``scripts/check_bench.py`` against temporary artifact trees — passing
-numbers, violations, missing artifacts, and quick-mode floor selection.
+numbers, violations, missing artifacts, quick-mode floor selection,
+and ``skip_if`` waivers.
 """
 
 import importlib.util
@@ -59,7 +60,7 @@ def artifacts(tmp_path):
 
 class TestGate:
     def test_all_floors_clear(self, artifacts):
-        assert check_bench.check_artifacts(FLOORS, str(artifacts)) == []
+        assert check_bench.check_artifacts(FLOORS, str(artifacts)) == ([], [])
 
     def test_floor_violation_fails(self, artifacts):
         write_artifact(
@@ -67,14 +68,19 @@ class TestGate:
             "BENCH_speed.json",
             {"scenario:a": {"speedup": 2.0}},
         )
-        problems = check_bench.check_artifacts(FLOORS, str(artifacts))
+        problems, skipped = check_bench.check_artifacts(
+            FLOORS, str(artifacts)
+        )
+        assert skipped == []
         assert len(problems) == 1
         assert "speed" in problems[0]
         assert "2.0 < floor 3.0" in problems[0]
 
     def test_missing_artifact_fails(self, artifacts):
         os.remove(artifacts / "BENCH_serve.json" / "BENCH_serve.json")
-        problems = check_bench.check_artifacts(FLOORS, str(artifacts))
+        problems, _skipped = check_bench.check_artifacts(
+            FLOORS, str(artifacts)
+        )
         assert len(problems) == 1
         assert "BENCH_serve.json not found" in problems[0]
 
@@ -84,7 +90,9 @@ class TestGate:
             "BENCH_serve.json",
             {"serve:x": {"wrong_key": 1}},
         )
-        problems = check_bench.check_artifacts(FLOORS, str(artifacts))
+        problems, _skipped = check_bench.check_artifacts(
+            FLOORS, str(artifacts)
+        )
         assert len(problems) == 1
         assert "missing" in problems[0]
 
@@ -96,7 +104,9 @@ class TestGate:
             "BENCH_speed.json",
             {"scenario:a": {"speedup": 2.0}, "_meta": {"quick": True}},
         )
-        assert check_bench.check_artifacts(FLOORS, str(artifacts)) == []
+        assert check_bench.check_artifacts(FLOORS, str(artifacts)) == (
+            [], []
+        )
 
     def test_quick_mode_without_quick_floor_keeps_full(self, artifacts):
         write_artifact(
@@ -104,7 +114,9 @@ class TestGate:
             "BENCH_serve.json",
             {"serve:x": {"requests_per_sec": 100}, "_meta": {"quick": True}},
         )
-        problems = check_bench.check_artifacts(FLOORS, str(artifacts))
+        problems, _skipped = check_bench.check_artifacts(
+            FLOORS, str(artifacts)
+        )
         assert len(problems) == 1
         assert "100 < floor 200" in problems[0]
 
@@ -135,3 +147,79 @@ class TestGate:
             assert "." in entry["path"], name
             if "quick_floor" in entry:
                 assert entry["quick_floor"] <= entry["floor"], name
+
+
+SKIP_FLOORS = {
+    "scaling": {
+        "artifact": "BENCH_scaling.json",
+        "path": "bulk.scaling",
+        "floor": 2.5,
+        "skip_if": "bulk.floor_skipped",
+    },
+}
+
+
+class TestSkipMarkers:
+    """``skip_if``: a benchmark may waive its own floor, loudly."""
+
+    def test_truthy_marker_waives_the_floor(self, tmp_path):
+        write_artifact(
+            tmp_path / "a",
+            "BENCH_scaling.json",
+            {
+                "bulk": {
+                    "scaling": 0.9,
+                    "floor_skipped": True,
+                    "floor_skip_reason": "needs >= 4 CPUs (have 1)",
+                }
+            },
+        )
+        problems, skipped = check_bench.check_artifacts(
+            SKIP_FLOORS, str(tmp_path)
+        )
+        assert problems == []
+        assert len(skipped) == 1
+        assert "waived by bulk.floor_skipped" in skipped[0]
+        assert "needs >= 4 CPUs" in skipped[0]
+
+    def test_false_marker_keeps_the_floor(self, tmp_path):
+        write_artifact(
+            tmp_path / "a",
+            "BENCH_scaling.json",
+            {"bulk": {"scaling": 0.9, "floor_skipped": False}},
+        )
+        problems, skipped = check_bench.check_artifacts(
+            SKIP_FLOORS, str(tmp_path)
+        )
+        assert skipped == []
+        assert len(problems) == 1
+        assert "0.9 < floor 2.5" in problems[0]
+
+    def test_missing_artifact_is_not_waivable(self, tmp_path):
+        problems, skipped = check_bench.check_artifacts(
+            SKIP_FLOORS, str(tmp_path)
+        )
+        assert skipped == []
+        assert len(problems) == 1
+        assert "not found" in problems[0]
+
+    def test_main_reports_waivers_and_exits_zero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        registry = tmp_path / "floors.json"
+        registry.write_text(json.dumps(SKIP_FLOORS))
+        monkeypatch.setattr(check_bench, "FLOORS_PATH", str(registry))
+        write_artifact(
+            tmp_path / "artifacts",
+            "BENCH_scaling.json",
+            {"bulk": {"scaling": 0.9, "floor_skipped": True}},
+        )
+        code = check_bench.main(
+            ["check_bench", str(tmp_path / "artifacts")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "skip scaling" in out
+        assert "(1 waived)" in out
+
+
