@@ -22,7 +22,11 @@ from typing import Any
 #: ``ComplexType`` gained the attribute-use memo field.
 #: 4: bindings ship prewarmed flat DFA transition tables
 #: (``Schema._table_cache`` of ``DfaTable``) next to the object DFAs.
-CACHE_FORMAT_VERSION = 4
+#: 5: schemas are namespace-aware — global maps keyed by expanded
+#: (Clark) names, declarations carry ``target_namespace``, schemas
+#: record ``related_documents`` (include/import manifest) and
+#: ``subset_roots`` (lazy per-subset binding artifacts).
+CACHE_FORMAT_VERSION = 5
 
 
 def _library_version() -> str:

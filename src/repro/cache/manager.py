@@ -42,6 +42,27 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 
+def _related_documents_fresh(schema: Any) -> bool:
+    """True when every include/import target still hashes as recorded.
+
+    Schemas parsed from a single document have an empty manifest and are
+    always fresh; a missing or edited related file turns the hit into a
+    recompile (which re-reads everything and records the new digests).
+    """
+    import hashlib
+
+    manifest = getattr(schema, "related_documents", ())
+    for path, digest in manifest:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError):
+            return False
+        if hashlib.sha256(text.encode("utf-8")).hexdigest() != digest:
+            return False
+    return True
+
+
 class ReproCache:
     """Compilation cache for schema bindings, templates, and pages.
 
@@ -125,16 +146,30 @@ class ReproCache:
         naming: Any = None,
         choice_strategy: Any = None,
         validate_on_mutate: bool = True,
+        location: str | None = None,
+        lazy_roots: tuple[str, ...] | None = None,
     ):
         """Cached equivalent of :func:`repro.core.bind` on schema text.
 
         A same-process repeat returns the *same* live binding; a
         cross-process repeat unpickles the prepared schema + interface
         model (DFAs included) and only re-materializes classes.
+
+        *location* is where the text came from; include/import
+        ``schemaLocation`` values resolve relative to it, and warm
+        starts re-hash every related document so editing an included
+        file misses the cache.  *lazy_roots* binds the per-subset
+        artifact for those root element keys instead of the full schema
+        — each distinct root set is its own cache entry.
         """
         with obs.timeit("cache.bind"):
             return self._bind(
-                schema_text, naming, choice_strategy, validate_on_mutate
+                schema_text,
+                naming,
+                choice_strategy,
+                validate_on_mutate,
+                location,
+                tuple(lazy_roots) if lazy_roots else None,
             )
 
     def _bind(
@@ -143,6 +178,8 @@ class ReproCache:
         naming: Any,
         choice_strategy: Any,
         validate_on_mutate: bool,
+        location: str | None,
+        lazy_roots: tuple[str, ...] | None,
     ):
         from repro.core.generate import ChoiceStrategy, generate_interfaces
         from repro.core.normalize import normalize
@@ -159,10 +196,14 @@ class ReproCache:
             schema_text,
             choice_strategy=strategy.value,
             naming=type(naming).__name__ if naming is not None else "default",
+            location=location,
+            subset=sorted(lazy_roots) if lazy_roots else None,
         )
         with self._lock:
             cached = self._bindings.get((key, validate_on_mutate))
-            if cached is not None:
+            if cached is not None and _related_documents_fresh(
+                cached.schema
+            ):
                 self._bindings.move_to_end((key, validate_on_mutate))
                 self.stats.record_hit("binding")
                 obs.count("cache.bind.outcome", outcome="live")
@@ -171,17 +212,24 @@ class ReproCache:
         if payload is not None:
             try:
                 schema, model = artifacts.load_binding(payload)
-                binding = Binding(
-                    schema, model, validate_on_mutate=validate_on_mutate
-                )
-                binding.cache_fingerprint = key
-                self._remember_binding(key, validate_on_mutate, binding)
-                obs.count("cache.bind.outcome", outcome="warm")
-                return binding
             except ArtifactError:
                 self.stats.record_corrupt("binding")
                 self.invalidate(key)
-        schema = parse_schema(schema_text)
+            else:
+                if _related_documents_fresh(schema):
+                    binding = Binding(
+                        schema, model, validate_on_mutate=validate_on_mutate
+                    )
+                    binding.cache_fingerprint = key
+                    self._remember_binding(key, validate_on_mutate, binding)
+                    obs.count("cache.bind.outcome", outcome="warm")
+                    return binding
+                self.invalidate(key)
+        schema = parse_schema(schema_text, location=location)
+        if lazy_roots:
+            from repro.xsd.subset import subset_schema
+
+            schema = subset_schema(schema, lazy_roots)
         normalize(schema, naming)
         model = generate_interfaces(schema, strategy)
         # Build the live binding *before* pickling: building memoizes
@@ -202,7 +250,7 @@ class ReproCache:
                 self._bindings.popitem(last=False)
                 self.stats.evictions += 1
 
-    def schema(self, schema_text: str):
+    def schema(self, schema_text: str, location: str | None = None):
         """Cached parse of raw schema text (the validator's input).
 
         Unlike :meth:`bind` the schema is *not* normalized — it is
@@ -211,15 +259,19 @@ class ReproCache:
         """
         from repro.xsd.schema_parser import parse_schema
 
-        key = fingerprint("schema", schema_text)
+        key = fingerprint("schema", schema_text, location=location)
         payload = self.get_bytes("schema", key)
         if payload is not None:
             try:
-                return artifacts.load_schema(payload)
+                schema = artifacts.load_schema(payload)
             except ArtifactError:
                 self.stats.record_corrupt("schema")
                 self.invalidate(key)
-        schema = parse_schema(schema_text)
+            else:
+                if _related_documents_fresh(schema):
+                    return schema
+                self.invalidate(key)
+        schema = parse_schema(schema_text, location=location)
         self.put_bytes("schema", key, artifacts.dump_schema(schema))
         return schema
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro import obs
@@ -130,6 +131,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PATH",
         help="write the bulk-mode JSON report to PATH ('-' for stdout)",
+    )
+    validate_command.add_argument(
+        "--lazy",
+        action="store_true",
+        help="bulk mode: sniff each document's root element and bind "
+        "only the schema subset those roots reach (per-subset cached "
+        "artifact; falls back to the full binding when a root cannot "
+        "be sniffed)",
     )
 
     preprocess_command = commands.add_parser(
@@ -304,6 +313,8 @@ def _bulk_validate(
         cache_dir=cache.directory if cache is not None else None,
         schema_label=arguments.schema,
         batch_size=arguments.batch_size,
+        schema_location=os.path.abspath(arguments.schema),
+        lazy=getattr(arguments, "lazy", False),
     )
     for record in report["files"]:
         if record["valid"]:
@@ -335,13 +346,16 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             else ChoiceStrategy.INHERITANCE
         )
         text = _read(arguments.schema)
+        schema_location = os.path.abspath(arguments.schema)
         if cache is not None:
-            binding = cache.bind(text, choice_strategy=strategy)
+            binding = cache.bind(
+                text, choice_strategy=strategy, location=schema_location
+            )
             print(render_idl(binding.model), end="")
         else:
             from repro.xsd import parse_schema
 
-            schema = parse_schema(text)
+            schema = parse_schema(text, location=schema_location)
             normalize(schema)
             print(render_idl(generate_interfaces(schema, strategy)), end="")
         return 0
@@ -357,12 +371,13 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         )
         if bulk:
             return _bulk_validate(arguments, text, cache)
+        schema_location = os.path.abspath(arguments.schema)
         if cache is not None:
-            schema = cache.schema(text)
+            schema = cache.schema(text, location=schema_location)
         else:
             from repro.xsd import parse_schema
 
-            schema = parse_schema(text)
+            schema = parse_schema(text, location=schema_location)
         document = parse_document(_read(arguments.documents[0]))
         errors = SchemaValidator(schema).validate(document)
         for error in errors:
@@ -370,7 +385,11 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         print(f"{len(errors)} error(s)")
         return 0 if not errors else 1
     if arguments.command == "preprocess":
-        binding = bind(_read(arguments.schema), cache=cache)
+        binding = bind(
+            _read(arguments.schema),
+            cache=cache,
+            location=os.path.abspath(arguments.schema),
+        )
         result = preprocess_module(_read(arguments.module), binding)
         print(result.source, end="")
         print(
@@ -381,7 +400,11 @@ def _dispatch(arguments: argparse.Namespace) -> int:
     if arguments.command == "render":
         from repro.pxml import Template
 
-        binding = bind(_read(arguments.schema), cache=cache)
+        binding = bind(
+            _read(arguments.schema),
+            cache=cache,
+            location=os.path.abspath(arguments.schema),
+        )
         template = Template(binding, _read(arguments.template), cache=cache)
         values: dict[str, str] = {}
         for item in arguments.hole:
@@ -406,7 +429,8 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         from repro.serve import ReproServer, build_routes
 
         schema_text = _read(arguments.schema)
-        binding = bind(schema_text, cache=cache)
+        schema_location = os.path.abspath(arguments.schema)
+        binding = bind(schema_text, cache=cache, location=schema_location)
         routes = build_routes(binding, arguments.directory, cache=cache)
         validate_pool = None
         if arguments.validate_pool > 0:
@@ -417,6 +441,7 @@ def _dispatch(arguments: argparse.Namespace) -> int:
                 schema_text,
                 pool_workers,
                 cache_dir=cache.directory if cache is not None else None,
+                schema_location=schema_location,
             )
         server = ReproServer(
             routes,

@@ -413,9 +413,9 @@ class _Generator:
         cache_key = id(declaration)
         if cache_key in self._element_keys:
             return self._model[self._element_keys[cache_key]]
-        if declaration.is_global and declaration.name in self._schema.elements:
+        if declaration.is_global and declaration.key in self._schema.elements:
             # Use the canonical global declaration object.
-            canonical = self._schema.elements[declaration.name]
+            canonical = self._schema.elements[declaration.key]
             if canonical is not declaration:
                 return self._element_interface(canonical, owner_key=None)
         if owner_key is not None and declaration.type_definition is not None:

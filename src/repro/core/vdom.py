@@ -33,6 +33,7 @@ from typing import Any
 
 from repro.errors import (
     SimpleTypeError,
+    UnsupportedFeatureError,
     VdomStateError,
     VdomTypeError,
 )
@@ -847,12 +848,22 @@ class Binding:
         unmarshalling *is* validation, one of the paper's selling points
         for typed bindings.
         """
+        self._require_no_namespaces("from_dom")
         declaration = self.schema.elements.get(element.tag_name)
         if declaration is None:
             raise VdomTypeError(
                 f"<{element.tag_name}> is not a global element of the schema"
             )
         return self._from_dom(element, declaration)
+
+    def _require_no_namespaces(self, operation: str) -> None:
+        # The typed layer matches by local tag name; namespaced schemas
+        # validate through the streaming lanes instead.
+        if self.schema.uses_namespaces:
+            raise UnsupportedFeatureError(
+                f"{operation} is not available for schemas with a target "
+                "namespace; use the streaming or DOM validators instead"
+            )
 
     def _from_dom(
         self, element: Element, declaration: ElementDeclaration
@@ -901,7 +912,7 @@ class Binding:
     def document(self, root: TypedElement) -> Document:
         """Wrap a typed root element in a document."""
         declaration = type(root)._DECLARATION
-        if declaration.name not in self.schema.elements:
+        if declaration.key not in self.schema.elements:
             raise VdomTypeError(
                 f"<{root.tag_name}> is not a global element and cannot be "
                 "a document root"
@@ -923,6 +934,7 @@ def bind(
     choice_strategy: ChoiceStrategy = ChoiceStrategy.INHERITANCE,
     validate_on_mutate: bool = True,
     cache: Any = None,
+    location: str | None = None,
 ) -> Binding:
     """Generate a live binding for a schema (text or parsed).
 
@@ -930,6 +942,8 @@ def bind(
     generate interfaces → materialize classes.  With a
     :class:`repro.cache.ReproCache` (schema text only), the prepared
     schema and interface model are reused across calls and processes.
+    *location* is where schema text came from, the base that relative
+    ``xsd:include``/``xsd:import`` locations resolve against.
     """
     if cache is not None and isinstance(schema_or_text, str):
         return cache.bind(
@@ -937,9 +951,10 @@ def bind(
             naming=naming,
             choice_strategy=choice_strategy,
             validate_on_mutate=validate_on_mutate,
+            location=location,
         )
     if isinstance(schema_or_text, str):
-        schema = parse_schema(schema_or_text)
+        schema = parse_schema(schema_or_text, location=location)
     else:
         schema = schema_or_text
     normalize(schema, naming)

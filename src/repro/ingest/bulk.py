@@ -78,6 +78,8 @@ def _init_worker(
     cache_dir: str | None,
     use_verdict_cache: bool,
     collect_obs: bool = False,
+    schema_location: str | None = None,
+    lazy_roots: tuple[str, ...] | None = None,
 ) -> None:
     """Bind the schema in this process, warm from the persistent cache."""
     mark = None
@@ -90,11 +92,21 @@ def _init_worker(
         mark = obs.snapshot()
         obs.enable()
     cache = ReproCache(directory=cache_dir)
-    binding = cache.bind(schema_text)
+    binding = cache.bind(
+        schema_text, location=schema_location, lazy_roots=lazy_roots
+    )
     _WORKER["binding"] = binding
     _WORKER["schema_key"] = binding.cache_fingerprint
     _WORKER["cache"] = cache if (use_verdict_cache and cache_dir) else None
     _WORKER["obs_mark"] = mark
+    # Namespaced schemas bypass the typed ingest lanes (which match by
+    # local tag name) and validate through the streaming validator.
+    if binding.schema.uses_namespaces:
+        from repro.xsd.stream import StreamingValidator
+
+        _WORKER["streaming"] = StreamingValidator(binding.schema)
+    else:
+        _WORKER["streaming"] = None
 
 
 def _validate_one(path: str) -> dict[str, Any]:
@@ -134,10 +146,19 @@ def _validate_one(path: str) -> dict[str, Any]:
             record.update(verdict)
             record["cached"] = True
             return _finish(record, started)
+    streaming = _WORKER.get("streaming")
     try:
-        result = ingest(binding, text, source=path)
-        record["valid"] = True
-        record["fused"] = result.fused
+        if streaming is not None:
+            errors = streaming.validate_text(text)
+            if errors:
+                record["error"] = str(errors[0])
+                record["error_type"] = type(errors[0]).__name__
+            else:
+                record["valid"] = True
+        else:
+            result = ingest(binding, text, source=path)
+            record["valid"] = True
+            record["fused"] = result.fused
     except ReproError as error:
         record["error"] = str(error)
         record["error_type"] = type(error).__name__
@@ -159,7 +180,12 @@ def _finish(record: dict[str, Any], started: float) -> dict[str, Any]:
     return record
 
 
-def _preflight_bind(schema_text: str, cache_dir: str | None) -> None:
+def _preflight_bind(
+    schema_text: str,
+    cache_dir: str | None,
+    schema_location: str | None = None,
+    lazy_roots: tuple[str, ...] | None = None,
+) -> None:
     """Bind once in the parent before any worker exists.
 
     A failure here is a clean :class:`ReproError` instead of the hung
@@ -168,7 +194,9 @@ def _preflight_bind(schema_text: str, cache_dir: str | None) -> None:
     is exactly the warm start the workers want.
     """
     try:
-        ReproCache(directory=cache_dir).bind(schema_text)
+        ReproCache(directory=cache_dir).bind(
+            schema_text, location=schema_location, lazy_roots=lazy_roots
+        )
     except ReproError:
         raise
     # Audited boundary: any bind crash must surface as the library's
@@ -216,6 +244,29 @@ def _pooled_files(
     return files  # type: ignore[return-value]
 
 
+def _sniff_roots(names: list[str]) -> tuple[str, ...] | None:
+    """Root element keys of every document, or None when any resists.
+
+    The lazy route only engages when *all* roots are known: an
+    unsniffable document falls the whole run back to the full binding so
+    verdicts never depend on what the sniffer could read.
+    """
+    from repro.xsd.subset import SNIFF_WINDOW, sniff_root_key
+
+    roots: set[str] = set()
+    for name in names:
+        try:
+            with open(name, encoding="utf-8") as handle:
+                head = handle.read(SNIFF_WINDOW)
+        except (OSError, UnicodeDecodeError):
+            return None
+        key = sniff_root_key(head)
+        if key is None:
+            return None
+        roots.add(key)
+    return tuple(sorted(roots)) if roots else None
+
+
 def validate_files(
     schema_text: str,
     paths: list[str | os.PathLike],
@@ -227,6 +278,8 @@ def validate_files(
     clamp_jobs: bool = True,
     batch_size: int | None = None,
     pool=None,
+    schema_location: str | None = None,
+    lazy: bool = False,
 ) -> dict[str, Any]:
     """Validate *paths* against the schema, *jobs* processes wide.
 
@@ -263,6 +316,15 @@ def validate_files(
     *collect_obs* defaults to whatever :func:`repro.obs.enabled` says in
     the parent; when on, worker observations are merged into the parent
     registry and returned under the report's ``"obs"`` key.
+
+    *schema_location* is the path the schema text came from — required
+    for ``xsd:include``/``xsd:import`` with relative locations.  *lazy*
+    sniffs every document's root element first and binds only the
+    schema subset those roots reach (falling back to the full binding
+    whenever a root cannot be sniffed); verdicts are identical either
+    way.  Namespaced schemas validate through the streaming validator
+    (the typed ingest lanes match by local name); their records report
+    ``"fused": null``.
     """
     started = time.perf_counter()
     if collect_obs is None:
@@ -282,12 +344,31 @@ def validate_files(
             "ingest.bulk.jobs_clamped", requested=requested, effective=jobs
         )
     names = [os.fspath(path) for path in paths]
+    lazy_roots: tuple[str, ...] | None = None
+    if lazy and pool is None:
+        # Sniff the root of every document up front; the workers then
+        # bind only the subset those roots reach.  Any unsniffable
+        # document disables the subset for the whole run (full binding,
+        # identical verdicts either way).
+        lazy_roots = _sniff_roots(names)
+        obs.count(
+            "ingest.bulk.lazy",
+            outcome="subset" if lazy_roots else "full",
+            roots=len(lazy_roots) if lazy_roots else 0,
+        )
     effective_batch: int | None = None
     pool_info: dict[str, Any] | None = None
     pool_obs: dict[str, Any] | None = None
     with obs.span("ingest.bulk"):
         if not use_pool:
-            _init_worker(schema_text, cache_dir, use_verdict_cache, collect_obs)
+            _init_worker(
+                schema_text,
+                cache_dir,
+                use_verdict_cache,
+                collect_obs,
+                schema_location,
+                lazy_roots,
+            )
             files = [_validate_one(name) for name in names]
         else:
             from repro.ingest.pool import ValidationPool
@@ -300,6 +381,8 @@ def validate_files(
                     cache_dir=cache_dir,
                     use_verdict_cache=use_verdict_cache,
                     collect_obs=collect_obs,
+                    schema_location=schema_location,
+                    lazy_roots=lazy_roots,
                 )
             try:
                 effective_batch = batch_size or auto_batch_size(

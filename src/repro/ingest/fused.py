@@ -166,6 +166,7 @@ def fused_parse(
     (and the baseline the ``ingest:table_driven`` benchmark floor is
     measured against).
     """
+    binding._require_no_namespaces("fused ingest")
     schema = binding.schema
     class_by_declaration = binding.class_by_declaration
     # Per-declaration dispatch info (class, resolved type, structuredness,

@@ -208,6 +208,8 @@ def _worker_main(
     collect_obs: bool,
     tasks,
     results,
+    schema_location: str | None = None,
+    lazy_roots: tuple[str, ...] | None = None,
 ) -> None:
     """Worker process body: bind once, then serve batches until told.
 
@@ -230,13 +232,21 @@ def _worker_main(
     # batch's delta (mirrors the inline runner's bookkeeping).
     mark = obs.snapshot() if collect_obs else None
     cache = ReproCache(directory=cache_dir)
-    binding = cache.bind(schema_text)
+    binding = cache.bind(
+        schema_text, location=schema_location, lazy_roots=lazy_roots
+    )
     bulk._WORKER["binding"] = binding
     bulk._WORKER["schema_key"] = binding.cache_fingerprint
     bulk._WORKER["cache"] = (
         _HotVerdicts(cache) if (use_verdict_cache and cache_dir) else None
     )
     bulk._WORKER["obs_mark"] = None  # deltas are per batch, not per file
+    if binding.schema.uses_namespaces:
+        from repro.xsd.stream import StreamingValidator
+
+        bulk._WORKER["streaming"] = StreamingValidator(binding.schema)
+    else:
+        bulk._WORKER["streaming"] = None
     validator = None
     crash_marker = os.environ.get(CRASH_ENV) or None
     empty_polls = 0
@@ -309,6 +319,8 @@ class ValidationPool:
         cache_dir: str | None = None,
         use_verdict_cache: bool = True,
         collect_obs: bool | None = None,
+        schema_location: str | None = None,
+        lazy_roots: tuple[str, ...] | None = None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -320,7 +332,7 @@ class ValidationPool:
             collect_obs = obs.enabled()
         # A schema that cannot bind must fail here, in the parent, as a
         # clean ReproError — not as a pile of dead worker processes.
-        bulk._preflight_bind(schema_text, cache_dir)
+        bulk._preflight_bind(schema_text, cache_dir, schema_location, lazy_roots)
         context = get_context()
         self._results = context.Queue()
         self._workers: dict[int, _Worker] = {}
@@ -336,6 +348,8 @@ class ValidationPool:
                     collect_obs,
                     task_queue,
                     self._results,
+                    schema_location,
+                    lazy_roots,
                 ),
                 daemon=True,
             )

@@ -130,6 +130,7 @@ def table_parse(
     in every outcome; restarts are counted under the
     ``ingest.turbo{outcome=restart}`` observability counter.
     """
+    binding._require_no_namespaces("table-driven ingest")
     try:
         root, used = _turbo_parse(binding, text, lane)
     except _Restart as restart:

@@ -10,10 +10,15 @@ paper's transformation consumes:
   attribute uses, extension and restriction derivation, abstractness,
   substitution groups, named model groups
   (:mod:`repro.xsd.components`),
-* a schema-document parser (:mod:`repro.xsd.schema_parser`),
+* a namespace-aware multi-document schema parser —
+  ``targetNamespace``, ``elementFormDefault``/``form``, cross-namespace
+  ``ref=``, ``xsd:include``/``xsd:import``
+  (:mod:`repro.xsd.schema_parser`),
 * a runtime instance validator (:mod:`repro.xsd.validator`) — the
   "expensive validation at run-time" of low-level bindings that V-DOM
-  renders unnecessary.
+  renders unnecessary,
+* instance-driven lazy subsetting for per-document-class bindings
+  (:mod:`repro.xsd.subset`).
 
 Identity constraints and wildcards are intentionally not handled, exactly
 as the paper states in Sect. 3.
@@ -32,7 +37,12 @@ from repro.xsd.components import (
     Particle,
     Schema,
 )
-from repro.xsd.schema_parser import parse_schema, parse_schema_document
+from repro.xsd.schema_parser import (
+    parse_schema,
+    parse_schema_document,
+    parse_schema_file,
+)
+from repro.xsd.subset import sniff_root_key, subset_schema
 from repro.xsd.validator import SchemaValidator, validate
 from repro.xsd.stream import StreamingValidator
 
@@ -55,5 +65,8 @@ __all__ = [
     "builtin_type",
     "parse_schema",
     "parse_schema_document",
+    "parse_schema_file",
+    "sniff_root_key",
+    "subset_schema",
     "validate",
 ]

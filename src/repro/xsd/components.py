@@ -29,6 +29,19 @@ from repro.xsd.simple import SimpleType
 TypeDefinition = Union[SimpleType, "ComplexType"]
 
 
+def expanded_name(namespace: str | None, local_name: str) -> str:
+    """The matching key for a component: Clark notation when namespaced.
+
+    ``{uri}local`` for components in a namespace, the bare local name
+    otherwise — so schemas without namespaces keep exactly the keys (and
+    the DFA symbol tables, error messages, and cache artifacts) they had
+    before namespace support existed.
+    """
+    if namespace:
+        return f"{{{namespace}}}{local_name}"
+    return local_name
+
+
 class Compositor(enum.Enum):
     """Model-group compositors."""
 
@@ -70,6 +83,16 @@ class ElementDeclaration:
     substitution_group: str | None = None
     default: str | None = None
     fixed: str | None = None
+    #: the namespace instance elements must use to match this
+    #: declaration: the schema document's ``targetNamespace`` for global
+    #: declarations, and for local ones only when ``form`` /
+    #: ``elementFormDefault`` says *qualified*
+    target_namespace: str | None = None
+
+    @property
+    def key(self) -> str:
+        """The expanded name content models and lookups match on."""
+        return expanded_name(self.target_namespace, self.name)
 
     def resolved_type(self) -> TypeDefinition:
         if self.type_definition is None:
@@ -153,6 +176,18 @@ class AttributeDeclaration:
     name: str
     type_name: str | None = None
     type_definition: SimpleType | None = None
+    #: non-None for global attribute declarations and for local ones
+    #: with qualified form — unprefixed instance attributes are in *no*
+    #: namespace, so the default here stays None
+    target_namespace: str | None = None
+    #: value constraints carried by *global* declarations; ``ref=`` uses
+    #: inherit them unless the use overrides
+    default: str | None = None
+    fixed: str | None = None
+
+    @property
+    def key(self) -> str:
+        return expanded_name(self.target_namespace, self.name)
 
     def resolved_type(self) -> SimpleType:
         if self.type_definition is None:
@@ -175,6 +210,11 @@ class AttributeUse:
     @property
     def name(self) -> str:
         return self.declaration.name
+
+    @property
+    def key(self) -> str:
+        """The expanded attribute name instance attributes match on."""
+        return self.declaration.key
 
 
 @dataclass
@@ -203,7 +243,17 @@ class ComplexType:
     def content_type(self) -> ContentType:
         if self.simple_content is not None:
             return ContentType.SIMPLE
-        if self.content is None or not _has_elements(self.content):
+        has_elements = self.content is not None and _has_elements(self.content)
+        if (
+            not has_elements
+            and self.derivation is DerivationMethod.EXTENSION
+            and isinstance(self.base, ComplexType)
+        ):
+            # An attribute-only extension inherits the base's particle,
+            # so classify from the effective content, not the local one.
+            inherited = self.base.effective_content()
+            has_elements = inherited is not None and _has_elements(inherited)
+        if not has_elements:
             return ContentType.MIXED if self.mixed else ContentType.EMPTY
         return ContentType.MIXED if self.mixed else ContentType.ELEMENT_ONLY
 
@@ -292,17 +342,46 @@ class Schema:
 
     def __init__(self, target_namespace: str | None = None):
         self.target_namespace = target_namespace
+        #: every target namespace that contributed components (imports
+        #: included); empty for namespace-free schemas
+        self.namespaces: set[str] = set()
+        if target_namespace:
+            self.namespaces.add(target_namespace)
+        #: global maps are keyed by :func:`expanded_name` — the bare
+        #: local name for namespace-free components, Clark notation
+        #: (``{uri}local``) otherwise
         self.elements: dict[str, ElementDeclaration] = {}
         self.types: dict[str, TypeDefinition] = {}
         self.groups: dict[str, GroupDefinition] = {}
         self.attribute_groups: dict[str, list[AttributeUse]] = {}
-        #: head element name -> members (transitively closed at resolution)
+        #: global ``<xsd:attribute>`` declarations (``ref=`` targets)
+        self.attributes: dict[str, AttributeDeclaration] = {}
+        #: head element key -> members (transitively closed at resolution)
         self.substitution_members: dict[str, list[ElementDeclaration]] = {}
+        #: ``(resolved location, content sha256)`` of every document
+        #: reached through include/import — caches re-hash these to
+        #: detect edits to related documents
+        self.related_documents: tuple[tuple[str, str], ...] = ()
+        #: root element keys this schema was subset to (lazy binding);
+        #: empty for a full schema
+        self.subset_roots: tuple[str, ...] = ()
         #: id(complex_type) -> (complex_type, dfa); the type reference is
         #: retained so the cache can be re-keyed after unpickling, when
         #: every object identity (and so every ``id()``) has changed
         self._dfa_cache: dict[int, tuple[ComplexType, Dfa]] = {}
         self._table_cache: dict[int, tuple[ComplexType, DfaTable]] = {}
+
+    @property
+    def uses_namespaces(self) -> bool:
+        """True when any component lives in a namespace.
+
+        Namespace-free schemas (the paper's own examples, DTD
+        conversions) keep the exact pre-namespace behavior everywhere
+        this is consulted.
+        """
+        # getattr: Schema instances built before this field existed
+        # (old pickles, hand-rolled test doubles) count as namespace-free
+        return bool(getattr(self, "namespaces", None))
 
     # -- lookups ---------------------------------------------------------------
 
@@ -335,7 +414,7 @@ class Schema:
         alternatives: list[ElementDeclaration] = []
         if not declaration.abstract:
             alternatives.append(declaration)
-        alternatives.extend(self.substitution_members.get(declaration.name, ()))
+        alternatives.extend(self.substitution_members.get(declaration.key, ()))
         return alternatives
 
     # -- content automata ------------------------------------------------------------
@@ -351,7 +430,7 @@ class Schema:
         term = particle.term
         if isinstance(term, ElementDeclaration):
             alternatives = self.substitution_alternatives(
-                self.elements.get(term.name, term)
+                self.elements.get(term.key, term)
                 if term.is_global
                 else term
             )
@@ -398,7 +477,7 @@ class Schema:
             try:
                 build_dfa(
                     self.particle_to_regex(content),
-                    key=lambda declaration: declaration.name,
+                    key=lambda declaration: declaration.key,
                     require_deterministic=True,
                 )
             except NondeterminismError as error:
@@ -420,7 +499,7 @@ class Schema:
             )
             self._dfa_cache[cache_key] = (
                 complex_type,
-                build_dfa(regex, key=lambda declaration: declaration.name),
+                build_dfa(regex, key=lambda declaration: declaration.key),
             )
         return self._dfa_cache[cache_key][1]
 

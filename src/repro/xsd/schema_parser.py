@@ -1,24 +1,40 @@
 """Parse XML Schema documents into the component model.
 
-The parser walks a DOM built by :mod:`repro.dom` in two phases: first it
-indexes the global definitions (elements, types, groups, attribute
-groups), then it resolves references on demand with cycle detection, so
-forward references — ubiquitous in real schemas, including the paper's
-purchase order schema — just work.
+The parser walks DOMs built by :mod:`repro.dom` in two phases: first it
+indexes the global definitions (elements, types, groups, attributes,
+attribute groups) of the root document and of every document reached
+through ``xsd:include``/``xsd:import``, then it resolves references on
+demand with cycle detection, so forward references — ubiquitous in real
+schemas, including the paper's purchase order schema — just work.
 
-Supported surface: element, complexType (complexContent/simpleContent
-with extension/restriction), simpleType (restriction/list/union with all
-standard facets), group, attributeGroup, attribute, annotation (skipped),
-abstract elements/types, substitutionGroup.  Wildcards, identity
-constraints, import/include/redefine raise
-:class:`~repro.errors.UnsupportedFeatureError` — matching the feature
-boundary the paper draws in Sect. 3.
+Namespaces are handled with real QName resolution: every reference
+attribute (``type=``, ``ref=``, ``base=``, ``substitutionGroup=``,
+``memberTypes=``, ``itemType=``) is resolved against the in-scope
+``xmlns`` bindings of the element carrying it, and every global
+component is keyed by its *expanded name* — Clark notation
+(``{uri}local``) when the schema has a ``targetNamespace``, the bare
+local name otherwise, so namespace-free schemas keep exactly the
+component keys they always had.  ``elementFormDefault`` /
+``attributeFormDefault`` / ``form`` decide whether local declarations
+are qualified.
+
+Multi-document schemas compose through ``xsd:include`` (same or absent
+— chameleon — target namespace) and ``xsd:import`` (different target
+namespace), with ``schemaLocation`` resolved relative to the including
+document and already-loaded documents skipped, which also makes
+include/import cycles terminate.  Wildcards, identity constraints and
+``xsd:redefine`` still raise
+:class:`~repro.errors.UnsupportedFeatureError`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+from typing import Callable
+
 from repro.errors import SchemaError, SimpleTypeError, UnsupportedFeatureError
-from repro.xml.qname import XSD_NAMESPACE
+from repro.xml.qname import XML_NAMESPACE, XSD_NAMESPACE
 from repro.dom import Element, parse_document
 from repro.automata.rex import UNBOUNDED
 from repro.xsd.components import (
@@ -35,6 +51,7 @@ from repro.xsd.components import (
     Particle,
     Schema,
     TypeDefinition,
+    expanded_name,
 )
 from repro.xsd.simple import (
     BUILTIN_TYPES,
@@ -44,14 +61,15 @@ from repro.xsd.simple import (
     union_of,
 )
 
+#: resolver(location, base_location) -> (document text, resolved location)
+SchemaResolver = Callable[[str, "str | None"], "tuple[str, str]"]
+
 _UNSUPPORTED = {
     "any": "wildcards (xsd:any)",
     "anyAttribute": "attribute wildcards (xsd:anyAttribute)",
     "key": "identity constraints (xsd:key)",
     "keyref": "identity constraints (xsd:keyref)",
     "unique": "identity constraints (xsd:unique)",
-    "import": "schema composition (xsd:import)",
-    "include": "schema composition (xsd:include)",
     "redefine": "schema composition (xsd:redefine)",
 }
 
@@ -70,86 +88,467 @@ _FACET_NAMES = {
     "fractionDigits",
 }
 
+_FORMS = ("qualified", "unqualified")
 
-def parse_schema(text: str, source: str | None = None) -> Schema:
-    """Parse schema-document *text* into a resolved :class:`Schema`."""
+
+def _resolve_schema_location(location: str, base: str | None) -> tuple[str, str]:
+    """Default resolver: *location* as a path relative to *base*'s directory."""
+    candidate = location
+    if not os.path.isabs(candidate):
+        directory = os.path.dirname(base) if base else os.getcwd()
+        candidate = os.path.join(directory, candidate)
+    candidate = os.path.normpath(candidate)
+    try:
+        with open(candidate, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise SchemaError(f"cannot load schema document '{location}': {error}")
+    return text, candidate
+
+
+def parse_schema(
+    text: str,
+    source: str | None = None,
+    *,
+    location: str | None = None,
+    resolver: SchemaResolver | None = None,
+) -> Schema:
+    """Parse schema-document *text* into a resolved :class:`Schema`.
+
+    Relative ``schemaLocation`` values on ``xsd:include``/``xsd:import``
+    resolve against *location* (falling back to *source* when it looks
+    like where the text came from), via *resolver* — by default the
+    filesystem.
+    """
     document = parse_document(text, source)
     root = document.document_element
     if root is None:
         raise SchemaError("schema document has no root element")
-    return parse_schema_document(root)
+    return parse_schema_document(
+        root, location=location if location is not None else source,
+        resolver=resolver,
+    )
 
 
-def parse_schema_document(root: Element) -> Schema:
+def parse_schema_file(
+    path: "str | os.PathLike[str]", *, resolver: SchemaResolver | None = None
+) -> Schema:
+    """Parse the schema document at *path*, following include/import."""
+    path = os.fspath(path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise SchemaError(f"cannot load schema document '{path}': {error}")
+    return parse_schema(
+        text, source=path, location=os.path.abspath(path), resolver=resolver
+    )
+
+
+def parse_schema_document(
+    root: Element,
+    *,
+    location: str | None = None,
+    resolver: SchemaResolver | None = None,
+) -> Schema:
     """Parse a DOM whose root is ``<xsd:schema>``."""
-    return _SchemaParser(root).parse()
+    return _SchemaLoader(resolver).load(root, location)
 
 
-class _SchemaParser:
-    def __init__(self, root: Element):
+class _SchemaLoader:
+    """Shared component pools across every document of one schema.
+
+    One loader builds one :class:`Schema`; each schema *document* (the
+    root plus everything reached through include/import) gets its own
+    :class:`_DocParser` carrying that document's namespace context, and
+    registers its globals here under expanded-name keys.
+    """
+
+    def __init__(self, resolver: SchemaResolver | None):
+        self._resolver = resolver or _resolve_schema_location
+        self.schema: Schema = Schema()
+        #: expanded key -> (owning document, DOM node), per component kind
+        self.type_nodes: dict[str, tuple[_DocParser, Element]] = {}
+        self.group_nodes: dict[str, tuple[_DocParser, Element]] = {}
+        self.attribute_group_nodes: dict[str, tuple[_DocParser, Element]] = {}
+        self.element_nodes: dict[str, tuple[_DocParser, Element]] = {}
+        self.attribute_nodes: dict[str, tuple[_DocParser, Element]] = {}
+        self._resolving: set[str] = set()
+        #: (particle, ref text, owning doc, node) for <element ref="..."/>
+        self.element_ref_patches: list[
+            tuple[Particle, str, _DocParser, Element]
+        ] = []
+        #: (resolved location, adopted namespace) of every loaded
+        #: document — re-including one is a no-op, which is what makes
+        #: include/import cycles terminate
+        self._seen_documents: set[tuple[str, str | None]] = set()
+        #: resolved location -> content digest of every include/import
+        #: target, so caches can tell when a related document changed
+        self._related_documents: dict[str, str] = {}
+
+    # -- document loading --------------------------------------------------------
+
+    def load(self, root: Element, location: str | None) -> Schema:
+        target = root.get_attribute("targetNamespace") or None
+        self.schema = Schema(target)
+        if location is not None:
+            self._seen_documents.add((os.path.normpath(location), target))
+        document = _DocParser(self, root, location, target)
+        document.register_globals()
+        self._resolve_all()
+        self.schema.related_documents = tuple(
+            sorted(self._related_documents.items())
+        )
+        return self.schema
+
+    def load_related(
+        self,
+        location: str,
+        base: str | None,
+        namespace: str | None,
+        directive: str,
+    ) -> None:
+        """Load one include/import target into the shared pools."""
+        text, resolved = self._resolver(location, base)
+        self._related_documents[resolved] = hashlib.sha256(
+            text.encode("utf-8")
+        ).hexdigest()
+        dom = parse_document(text, resolved)
+        root = dom.document_element
+        if root is None:
+            raise SchemaError(f"schema document '{resolved}' has no root element")
+        declared = root.get_attribute("targetNamespace") or None
+        if directive == "include":
+            if declared is None:
+                # Chameleon include: the document adopts the including
+                # schema's target namespace.
+                adopted = namespace
+            elif declared != namespace:
+                raise SchemaError(
+                    f"included schema '{resolved}' declares targetNamespace "
+                    f"'{declared}' but the including schema's is "
+                    f"'{namespace or '(none)'}'"
+                )
+            else:
+                adopted = declared
+        else:
+            if declared != namespace:
+                raise SchemaError(
+                    f"imported schema '{resolved}' declares targetNamespace "
+                    f"'{declared or '(none)'}' but the xsd:import expects "
+                    f"'{namespace or '(none)'}'"
+                )
+            adopted = declared
+        dedup_key = (os.path.normpath(resolved), adopted)
+        if dedup_key in self._seen_documents:
+            return
+        self._seen_documents.add(dedup_key)
+        document = _DocParser(
+            self,
+            root,
+            resolved,
+            adopted,
+            chameleon=declared is None and adopted is not None,
+        )
+        document.register_globals()
+
+    # -- resolution --------------------------------------------------------------
+
+    def _resolve_all(self) -> None:
+        for key in list(self.type_nodes):
+            self.resolve_type(key)
+        for key in list(self.group_nodes):
+            self.resolve_group(key)
+        for key in list(self.attribute_nodes):
+            self.resolve_attribute(key)
+        for key in list(self.element_nodes):
+            self.resolve_element(key)
+        self._patch_element_references()
+        self._close_substitution_groups()
+
+    def _guard(self, kind: str, key: str) -> str:
+        guard = f"{kind}:{key}"
+        if guard in self._resolving:
+            raise SchemaError(f"circular {kind} definition involving '{key}'")
+        self._resolving.add(guard)
+        return guard
+
+    def resolve_type(self, key: str) -> TypeDefinition | None:
+        if key in self.schema.types:
+            return self.schema.types[key]
+        entry = self.type_nodes.get(key)
+        if entry is None:
+            return None
+        guard = self._guard("type", key)
+        try:
+            document, node = entry
+            if document._local_name(node) == "simpleType":
+                definition: TypeDefinition = document._parse_simple_type(
+                    node, key
+                )
+                self.schema.types[key] = definition
+            else:
+                # Register the shell first so recursive content models
+                # (a Tree containing Tree children) resolve to it.
+                shell = document._complex_type_shell(node, key)
+                self.schema.types[key] = shell
+                document._fill_complex_type(node, shell)
+                definition = shell
+            return definition
+        finally:
+            self._resolving.discard(guard)
+
+    def resolve_group(self, key: str) -> GroupDefinition:
+        if key in self.schema.groups:
+            return self.schema.groups[key]
+        entry = self.group_nodes.get(key)
+        if entry is None:
+            raise SchemaError(f"reference to undefined group '{key}'")
+        guard = self._guard("group", key)
+        try:
+            document, node = entry
+            children = document._xsd_children(node)
+            if len(children) != 1 or children[0][0] not in (
+                "sequence",
+                "choice",
+                "all",
+            ):
+                raise SchemaError(
+                    f"group '{key}' must contain exactly one model group"
+                )
+            model_group = document._parse_model_group(
+                children[0][1], children[0][0]
+            )
+            model_group.name = key
+            definition = GroupDefinition(key, model_group)
+            self.schema.groups[key] = definition
+            return definition
+        finally:
+            self._resolving.discard(guard)
+
+    def resolve_attribute_group(self, key: str) -> list[AttributeUse]:
+        if key in self.schema.attribute_groups:
+            return self.schema.attribute_groups[key]
+        entry = self.attribute_group_nodes.get(key)
+        if entry is None:
+            raise SchemaError(f"reference to undefined attribute group '{key}'")
+        guard = self._guard("attribute group", key)
+        try:
+            document, node = entry
+            uses: list[AttributeUse] = []
+            for local, child in document._xsd_children(node):
+                if local == "attribute":
+                    use = document._parse_attribute_use(child)
+                    if use is not None:
+                        uses.append(use)
+                elif local == "attributeGroup":
+                    reference = child.get_attribute("ref")
+                    uses.extend(
+                        self.resolve_attribute_group(
+                            document._reference_key(
+                                reference, child, "attributeGroup reference"
+                            )
+                        )
+                    )
+                else:
+                    raise SchemaError(
+                        f"unexpected xsd:{local} in attribute group '{key}'"
+                    )
+            self.schema.attribute_groups[key] = uses
+            return uses
+        finally:
+            self._resolving.discard(guard)
+
+    def resolve_element(self, key: str) -> ElementDeclaration | None:
+        if key in self.schema.elements:
+            return self.schema.elements[key]
+        entry = self.element_nodes.get(key)
+        if entry is None:
+            return None
+        guard = self._guard("element", key)
+        try:
+            document, node = entry
+            declaration = document._parse_element_declaration(
+                node, is_global=True
+            )
+            self.schema.elements[key] = declaration
+            return declaration
+        finally:
+            self._resolving.discard(guard)
+
+    def resolve_attribute(self, key: str) -> AttributeDeclaration | None:
+        if key in self.schema.attributes:
+            return self.schema.attributes[key]
+        entry = self.attribute_nodes.get(key)
+        if entry is None:
+            return None
+        guard = self._guard("attribute", key)
+        try:
+            document, node = entry
+            declaration = document._parse_global_attribute(node)
+            self.schema.attributes[key] = declaration
+            return declaration
+        finally:
+            self._resolving.discard(guard)
+
+    def _patch_element_references(self) -> None:
+        for particle, reference, document, node in self.element_ref_patches:
+            key = document._reference_key(reference, node, "element reference")
+            declaration = self.resolve_element(key)
+            if declaration is None:
+                raise SchemaError(
+                    f"element reference '{reference}' has no global declaration"
+                )
+            particle.term = declaration
+
+    def _close_substitution_groups(self) -> None:
+        """Build the transitive member lists for every head element.
+
+        ``substitution_group`` holds the head's already-resolved
+        expanded key by the time declarations land in the pool.
+        """
+        direct: dict[str, list[ElementDeclaration]] = {}
+        for declaration in self.schema.elements.values():
+            head = declaration.substitution_group
+            if head is None:
+                continue
+            if head not in self.schema.elements:
+                raise SchemaError(
+                    f"substitutionGroup head '{head}' of element "
+                    f"'{declaration.name}' is not a global element"
+                )
+            direct.setdefault(head, []).append(declaration)
+
+        def members(head: str, seen: frozenset[str]) -> list[ElementDeclaration]:
+            if head in seen:
+                raise SchemaError(
+                    f"circular substitution group through '{head}'"
+                )
+            result: list[ElementDeclaration] = []
+            for member in direct.get(head, ()):
+                result.append(member)
+                result.extend(members(member.key, seen | {head}))
+            return result
+
+        for head in direct:
+            self.schema.substitution_members[head] = members(head, frozenset())
+
+
+class _DocParser:
+    """One schema *document*: its DOM plus its namespace context."""
+
+    def __init__(
+        self,
+        loader: _SchemaLoader,
+        root: Element,
+        location: str | None,
+        target_namespace: str | None,
+        chameleon: bool = False,
+    ):
+        self._loader = loader
         self._root = root
-        self._xsd_prefixes: set[str] = set()
-        self._default_is_xsd = False
-        self._scan_namespace_bindings(root)
-        local = self._local_name(root)
-        if local != "schema":
+        self._location = location
+        self.target_namespace = target_namespace
+        #: a chameleon include adopted the includer's namespace, and its
+        #: unprefixed references follow the components there
+        self._chameleon = chameleon
+        # Tolerate schemas written without any XSD namespace declaration
+        # (common in teaching material, incl. the paper's snippets):
+        # unprefixed schema elements and the conventional xsd:/xs:
+        # prefixes are then treated as the XSD namespace.
+        self._legacy = not any(
+            (name == "xmlns" or name.startswith("xmlns:"))
+            and value == XSD_NAMESPACE
+            for name, value in root.attributes.items()
+        )
+        self._base_bindings: dict[str, str] = {"xml": XML_NAMESPACE}
+        if self._legacy:
+            self._base_bindings["xsd"] = XSD_NAMESPACE
+            self._base_bindings["xs"] = XSD_NAMESPACE
+        self._ns_memo: dict[int, dict[str, str]] = {}
+        if self._local_name(root) != "schema":
             raise SchemaError(
                 f"root element is <{root.tag_name}>, expected an xsd:schema"
             )
-        self._schema = Schema(
-            target_namespace=root.get_attribute("targetNamespace") or None
+        self.element_form_default = self._form_attribute(
+            root, "elementFormDefault"
         )
-        # Global definition indexes (DOM nodes until resolved).
-        self._type_nodes: dict[str, Element] = {}
-        self._group_nodes: dict[str, Element] = {}
-        self._attribute_group_nodes: dict[str, Element] = {}
-        self._element_nodes: dict[str, Element] = {}
-        self._resolving: set[str] = set()
-        #: (particle, ref) patches for <element ref="..."/>
-        self._element_ref_patches: list[tuple[Particle, str]] = []
+        self.attribute_form_default = self._form_attribute(
+            root, "attributeFormDefault"
+        )
+        if target_namespace:
+            loader.schema.namespaces.add(target_namespace)
+
+    @staticmethod
+    def _form_attribute(root: Element, attribute: str) -> str:
+        value = root.get_attribute(attribute) or "unqualified"
+        if value not in _FORMS:
+            raise SchemaError(f"bad {attribute} '{value}'")
+        return value
 
     # -- namespace handling -----------------------------------------------------
 
-    def _scan_namespace_bindings(self, root: Element) -> None:
-        """Find prefixes bound to the XSD namespace on the root element.
-
-        Nested re-bindings are rare in schema documents and unsupported;
-        they would silently change element identities, so we fail fast if
-        we meet one below the root.
-        """
-        for name, value in root.attributes.items():
-            if name == "xmlns" and value == XSD_NAMESPACE:
-                self._default_is_xsd = True
-            elif name.startswith("xmlns:") and value == XSD_NAMESPACE:
-                self._xsd_prefixes.add(name[len("xmlns:") :])
-        if not self._xsd_prefixes and not self._default_is_xsd:
-            # Tolerate schemas written without namespace declarations
-            # (common in teaching material, incl. the paper's snippets).
-            self._default_is_xsd = True
-            self._xsd_prefixes.update({"xsd", "xs"})
+    def _bindings(self, element: Element) -> dict[str, str]:
+        """In-scope prefix -> namespace bindings at *element* (memoized)."""
+        cached = self._ns_memo.get(id(element))
+        if cached is not None:
+            return cached
+        parent = element.parent_node
+        base = (
+            self._bindings(parent)
+            if isinstance(parent, Element)
+            else self._base_bindings
+        )
+        overrides: dict[str, str] | None = None
+        for name, value in element.attributes.items():
+            if name == "xmlns":
+                overrides = overrides or {}
+                overrides[""] = value
+            elif name.startswith("xmlns:"):
+                overrides = overrides or {}
+                overrides[name[len("xmlns:") :]] = value
+        bindings = {**base, **overrides} if overrides else base
+        self._ns_memo[id(element)] = bindings
+        return bindings
 
     def _local_name(self, element: Element) -> str | None:
         """Local name if *element* is an XSD-namespace element else None."""
         prefix, colon, local = element.tag_name.partition(":")
+        bindings = self._bindings(element)
         if not colon:
-            return element.tag_name if self._default_is_xsd else None
-        if prefix in self._xsd_prefixes:
-            return local
-        if prefix.startswith("xmlns"):
-            return None
-        for name, value in element.attributes.items():
-            if name == f"xmlns:{prefix}" and value == XSD_NAMESPACE:
-                return local
-        return None
+            default = bindings.get("")
+            if default:
+                return element.tag_name if default == XSD_NAMESPACE else None
+            return element.tag_name if self._legacy else None
+        return local if bindings.get(prefix) == XSD_NAMESPACE else None
 
-    def _split_reference(self, reference: str) -> tuple[bool, str]:
-        """Return (is_builtin_namespace, local_name) for a QName reference."""
+    def _resolve_qname(
+        self, reference: str, node: Element, what: str
+    ) -> tuple[str | None, str]:
+        """Resolve QName *reference* at *node* to (namespace, local name).
+
+        Per the QName rules, an unprefixed reference takes the in-scope
+        *default* namespace (unlike unprefixed attribute names).
+        """
         prefix, colon, local = reference.partition(":")
         if not colon:
-            # Unprefixed: builtin if the default namespace is XSD *and*
-            # there is no local definition shadowing it.
-            return False, reference
-        return prefix in self._xsd_prefixes, local
+            default = self._bindings(node).get("") or None
+            if default is None and self._chameleon:
+                # Chameleon transformation: unqualified references track
+                # the components into the adopted target namespace.
+                return self.target_namespace, reference
+            return default, reference
+        uri = self._bindings(node).get(prefix)
+        if not uri:
+            raise SchemaError(
+                f"{what} '{reference}' uses undeclared namespace "
+                f"prefix '{prefix}'"
+            )
+        return uri, local
+
+    def _reference_key(self, reference: str, node: Element, what: str) -> str:
+        uri, local = self._resolve_qname(reference, node, what)
+        return expanded_name(uri, local)
 
     # -- child iteration ----------------------------------------------------------
 
@@ -173,45 +572,70 @@ class _SchemaParser:
 
     # -- top level -------------------------------------------------------------------
 
-    def parse(self) -> Schema:
+    def register_globals(self) -> None:
+        loader = self._loader
         for local, child in self._xsd_children(self._root):
+            if local == "include":
+                self._handle_include(child)
+                continue
+            if local == "import":
+                self._handle_import(child)
+                continue
             name = child.get_attribute("name")
+            key = expanded_name(self.target_namespace, name)
             if local in ("complexType", "simpleType"):
                 self._require_name(name, local)
-                if name in self._type_nodes or name in BUILTIN_TYPES:
-                    raise SchemaError(f"duplicate type definition '{name}'")
-                self._type_nodes[name] = child
+                if key in loader.type_nodes or (
+                    self.target_namespace is None and name in BUILTIN_TYPES
+                ):
+                    raise SchemaError(f"duplicate type definition '{key}'")
+                loader.type_nodes[key] = (self, child)
             elif local == "element":
                 self._require_name(name, local)
-                if name in self._element_nodes:
-                    raise SchemaError(f"duplicate global element '{name}'")
-                self._element_nodes[name] = child
+                if key in loader.element_nodes:
+                    raise SchemaError(f"duplicate global element '{key}'")
+                loader.element_nodes[key] = (self, child)
             elif local == "group":
                 self._require_name(name, local)
-                if name in self._group_nodes:
-                    raise SchemaError(f"duplicate group definition '{name}'")
-                self._group_nodes[name] = child
+                if key in loader.group_nodes:
+                    raise SchemaError(f"duplicate group definition '{key}'")
+                loader.group_nodes[key] = (self, child)
             elif local == "attributeGroup":
                 self._require_name(name, local)
-                if name in self._attribute_group_nodes:
-                    raise SchemaError(f"duplicate attribute group '{name}'")
-                self._attribute_group_nodes[name] = child
+                if key in loader.attribute_group_nodes:
+                    raise SchemaError(f"duplicate attribute group '{key}'")
+                loader.attribute_group_nodes[key] = (self, child)
             elif local == "attribute":
-                raise UnsupportedFeatureError(
-                    "global attribute declarations are not supported"
-                )
+                self._require_name(name, local)
+                if key in loader.attribute_nodes:
+                    raise SchemaError(
+                        f"duplicate global attribute declaration '{key}'"
+                    )
+                loader.attribute_nodes[key] = (self, child)
             else:
                 raise SchemaError(f"unexpected top-level xsd:{local}")
 
-        for name in self._type_nodes:
-            self._resolve_type(name)
-        for name in self._group_nodes:
-            self._resolve_group(name)
-        for name in self._element_nodes:
-            self._resolve_global_element(name)
-        self._patch_element_references()
-        self._close_substitution_groups()
-        return self._schema
+    def _handle_include(self, node: Element) -> None:
+        location = node.get_attribute("schemaLocation")
+        if not location:
+            raise SchemaError("xsd:include needs a schemaLocation")
+        self._loader.load_related(
+            location, self._location, self.target_namespace, "include"
+        )
+
+    def _handle_import(self, node: Element) -> None:
+        namespace = node.get_attribute("namespace") or None
+        if namespace == self.target_namespace:
+            raise SchemaError(
+                "xsd:import may not import the schema's own target "
+                "namespace; use xsd:include"
+            )
+        location = node.get_attribute("schemaLocation")
+        if not location:
+            # Location-less import just asserts the namespace exists;
+            # its components must arrive from elsewhere.
+            return
+        self._loader.load_related(location, self._location, namespace, "import")
 
     @staticmethod
     def _require_name(name: str, what: str) -> None:
@@ -220,157 +644,50 @@ class _SchemaParser:
 
     # -- reference resolution -------------------------------------------------------
 
-    def _resolve_type_reference(self, reference: str) -> TypeDefinition:
-        is_builtin_ns, local = self._split_reference(reference)
-        if is_builtin_ns:
+    def _resolve_type_reference(
+        self, reference: str, node: Element
+    ) -> TypeDefinition:
+        uri, local = self._resolve_qname(reference, node, "type reference")
+        if uri == XSD_NAMESPACE:
+            if ":" not in reference:
+                # The *default* namespace is XSD: schema-local types
+                # still shadow the built-ins, matching how the paper's
+                # xmlns="…XMLSchema" examples have always resolved here.
+                own = self._loader.resolve_type(
+                    expanded_name(self.target_namespace, local)
+                )
+                if own is not None:
+                    return own
             if local == "anyType":
                 return ANY_TYPE
             if local in BUILTIN_TYPES:
                 return BUILTIN_TYPES[local]
             raise SchemaError(f"unknown built-in type '{reference}'")
-        if local in self._schema.types:
-            return self._schema.types[local]
-        if local in self._type_nodes:
-            return self._resolve_type(local)
-        # Fall back to built-ins for unprefixed references in schemas
-        # whose default namespace is XSD.
-        if local in BUILTIN_TYPES:
-            return BUILTIN_TYPES[local]
-        if local == "anyType":
-            return ANY_TYPE
-        raise SchemaError(f"reference to undefined type '{reference}'")
+        key = expanded_name(uri, local)
+        resolved = self._loader.resolve_type(key)
+        if resolved is not None:
+            return resolved
+        if uri is None:
+            # No default namespace in scope: after the no-namespace
+            # pool, tolerate bare built-in names (teaching schemas).
+            if local == "anyType":
+                return ANY_TYPE
+            if local in BUILTIN_TYPES:
+                return BUILTIN_TYPES[local]
+            raise SchemaError(f"reference to undefined type '{reference}'")
+        raise SchemaError(
+            f"reference to undefined type '{key}' (written '{reference}'); "
+            f"namespace '{uri}' is not the XML Schema namespace, so "
+            "built-ins do not apply"
+        )
 
-    def _resolve_simple_type_reference(self, reference: str) -> SimpleType:
-        resolved = self._resolve_type_reference(reference)
+    def _resolve_simple_type_reference(
+        self, reference: str, node: Element
+    ) -> SimpleType:
+        resolved = self._resolve_type_reference(reference, node)
         if not isinstance(resolved, SimpleType):
             raise SchemaError(f"'{reference}' is not a simple type")
         return resolved
-
-    def _resolve_type(self, name: str) -> TypeDefinition:
-        if name in self._schema.types:
-            return self._schema.types[name]
-        if name in self._resolving:
-            raise SchemaError(f"circular type definition involving '{name}'")
-        self._resolving.add(name)
-        try:
-            node = self._type_nodes[name]
-            local = self._local_name(node)
-            if local == "simpleType":
-                definition: TypeDefinition = self._parse_simple_type(node, name)
-                self._schema.types[name] = definition
-            else:
-                # Register the shell first so recursive content models
-                # (a Tree containing Tree children) resolve to it.
-                shell = self._complex_type_shell(node, name)
-                self._schema.types[name] = shell
-                self._fill_complex_type(node, shell)
-                definition = shell
-            return definition
-        finally:
-            self._resolving.discard(name)
-
-    def _resolve_group(self, name: str) -> GroupDefinition:
-        if name in self._schema.groups:
-            return self._schema.groups[name]
-        if name in self._resolving:
-            raise SchemaError(f"circular group definition involving '{name}'")
-        self._resolving.add(name)
-        try:
-            node = self._group_nodes.get(name)
-            if node is None:
-                raise SchemaError(f"reference to undefined group '{name}'")
-            children = self._xsd_children(node)
-            if len(children) != 1 or children[0][0] not in (
-                "sequence",
-                "choice",
-                "all",
-            ):
-                raise SchemaError(
-                    f"group '{name}' must contain exactly one model group"
-                )
-            model_group = self._parse_model_group(children[0][1], children[0][0])
-            model_group.name = name
-            definition = GroupDefinition(name, model_group)
-            self._schema.groups[name] = definition
-            return definition
-        finally:
-            self._resolving.discard(name)
-
-    def _resolve_attribute_group(self, name: str) -> list[AttributeUse]:
-        if name in self._schema.attribute_groups:
-            return self._schema.attribute_groups[name]
-        if name in self._resolving:
-            raise SchemaError(
-                f"circular attribute group definition involving '{name}'"
-            )
-        self._resolving.add(name)
-        try:
-            node = self._attribute_group_nodes.get(name)
-            if node is None:
-                raise SchemaError(f"reference to undefined attribute group '{name}'")
-            uses: list[AttributeUse] = []
-            for local, child in self._xsd_children(node):
-                if local == "attribute":
-                    use = self._parse_attribute_use(child)
-                    if use is not None:
-                        uses.append(use)
-                elif local == "attributeGroup":
-                    reference = child.get_attribute("ref")
-                    __, ref_local = self._split_reference(reference)
-                    uses.extend(self._resolve_attribute_group(ref_local))
-                else:
-                    raise SchemaError(
-                        f"unexpected xsd:{local} in attribute group '{name}'"
-                    )
-            self._schema.attribute_groups[name] = uses
-            return uses
-        finally:
-            self._resolving.discard(name)
-
-    def _resolve_global_element(self, name: str) -> ElementDeclaration:
-        if name in self._schema.elements:
-            return self._schema.elements[name]
-        node = self._element_nodes[name]
-        declaration = self._parse_element_declaration(node, is_global=True)
-        self._schema.elements[name] = declaration
-        return declaration
-
-    def _patch_element_references(self) -> None:
-        for particle, reference in self._element_ref_patches:
-            __, local = self._split_reference(reference)
-            if local not in self._element_nodes:
-                raise SchemaError(
-                    f"element reference '{reference}' has no global declaration"
-                )
-            particle.term = self._resolve_global_element(local)
-
-    def _close_substitution_groups(self) -> None:
-        """Build the transitive member lists for every head element."""
-        direct: dict[str, list[ElementDeclaration]] = {}
-        for declaration in self._schema.elements.values():
-            head = declaration.substitution_group
-            if head is None:
-                continue
-            if head not in self._schema.elements:
-                raise SchemaError(
-                    f"substitutionGroup head '{head}' of element "
-                    f"'{declaration.name}' is not a global element"
-                )
-            direct.setdefault(head, []).append(declaration)
-
-        def members(head: str, seen: frozenset[str]) -> list[ElementDeclaration]:
-            if head in seen:
-                raise SchemaError(
-                    f"circular substitution group through '{head}'"
-                )
-            result: list[ElementDeclaration] = []
-            for member in direct.get(head, ()):
-                result.append(member)
-                result.extend(members(member.name, seen | {head}))
-            return result
-
-        for head in direct:
-            self._schema.substitution_members[head] = members(head, frozenset())
 
     # -- element declarations ------------------------------------------------------
 
@@ -380,19 +697,36 @@ class _SchemaParser:
         name = node.get_attribute("name")
         if not name:
             raise SchemaError("element declaration needs a 'name'")
+        form = node.get_attribute("form") or None
+        if form is not None and form not in _FORMS:
+            raise SchemaError(f"bad form '{form}' on element '{name}'")
+        if is_global:
+            target = self.target_namespace
+        else:
+            effective = form or self.element_form_default
+            target = (
+                self.target_namespace if effective == "qualified" else None
+            )
+        head_reference = node.get_attribute("substitutionGroup") or None
+        head_key: str | None = None
+        if head_reference:
+            if not is_global:
+                raise SchemaError(
+                    f"local element '{name}' may not join a substitution group"
+                )
+            head_key = self._reference_key(
+                head_reference, node, f"substitutionGroup of element '{name}'"
+            )
         declaration = ElementDeclaration(
             name,
             type_name=node.get_attribute("type") or None,
             is_global=is_global,
             abstract=node.get_attribute("abstract") == "true",
-            substitution_group=node.get_attribute("substitutionGroup") or None,
+            substitution_group=head_key,
             default=node.get_attribute("default") or None,
             fixed=node.get_attribute("fixed") or None,
+            target_namespace=target,
         )
-        if declaration.substitution_group and not is_global:
-            raise SchemaError(
-                f"local element '{name}' may not join a substitution group"
-            )
         inline_children = self._xsd_children(node)
         inline_type = [
             (local, child)
@@ -405,7 +739,7 @@ class _SchemaParser:
             )
         if declaration.type_name:
             declaration.type_definition = self._resolve_type_reference(
-                declaration.type_name
+                declaration.type_name, node
             )
         elif inline_type:
             local, child = inline_type[0]
@@ -413,10 +747,14 @@ class _SchemaParser:
                 declaration.type_definition = self._parse_simple_type(child, None)
             else:
                 declaration.type_definition = self._parse_complex_type(child, None)
-        elif declaration.substitution_group:
+        elif head_key:
             # Per spec the type defaults to the head's type.
-            __, head_local = self._split_reference(declaration.substitution_group)
-            head = self._resolve_global_element(head_local)
+            head = self._loader.resolve_element(head_key)
+            if head is None:
+                raise SchemaError(
+                    f"substitutionGroup head '{head_key}' of element "
+                    f"'{name}' is not a global element"
+                )
             declaration.type_definition = head.resolved_type()
         else:
             declaration.type_definition = ANY_TYPE
@@ -428,11 +766,16 @@ class _SchemaParser:
         if local == "element":
             reference = node.get_attribute("ref")
             if reference:
+                uri, ref_local = self._resolve_qname(
+                    reference, node, "element reference"
+                )
                 placeholder = ElementDeclaration(
-                    self._split_reference(reference)[1], is_global=True
+                    ref_local, is_global=True, target_namespace=uri
                 )
                 particle = Particle(placeholder, min_occurs, max_occurs)
-                self._element_ref_patches.append((particle, reference))
+                self._loader.element_ref_patches.append(
+                    (particle, reference, self, node)
+                )
                 return particle
             declaration = self._parse_element_declaration(node, is_global=False)
             return Particle(declaration, min_occurs, max_occurs)
@@ -440,10 +783,10 @@ class _SchemaParser:
             reference = node.get_attribute("ref")
             if not reference:
                 raise SchemaError("nested xsd:group must use ref=")
-            __, ref_local = self._split_reference(reference)
-            definition = self._resolve_group(ref_local)
+            key = self._reference_key(reference, node, "group reference")
+            definition = self._loader.resolve_group(key)
             return Particle(
-                GroupReference(ref_local, definition), min_occurs, max_occurs
+                GroupReference(key, definition), min_occurs, max_occurs
             )
         model_group = self._parse_model_group(node, local)
         return Particle(model_group, min_occurs, max_occurs)
@@ -540,49 +883,71 @@ class _SchemaParser:
             if local == "attribute":
                 use = self._parse_attribute_use(child)
                 if use is not None:
-                    if use.name in complex_type.attribute_uses:
+                    if use.key in complex_type.attribute_uses:
                         raise SchemaError(
-                            f"duplicate attribute '{use.name}' on complex type "
+                            f"duplicate attribute '{use.key}' on complex type "
                             f"'{complex_type.name}'"
                         )
-                    complex_type.attribute_uses[use.name] = use
+                    complex_type.attribute_uses[use.key] = use
             elif local == "attributeGroup":
                 reference = child.get_attribute("ref")
                 if not reference:
                     raise SchemaError("nested xsd:attributeGroup must use ref=")
-                __, ref_local = self._split_reference(reference)
-                for use in self._resolve_attribute_group(ref_local):
-                    complex_type.attribute_uses[use.name] = use
+                key = self._reference_key(
+                    reference, child, "attributeGroup reference"
+                )
+                for use in self._loader.resolve_attribute_group(key):
+                    complex_type.attribute_uses[use.key] = use
 
     def _parse_attribute_use(self, node: Element) -> AttributeUse | None:
-        name = node.get_attribute("name")
-        if not name:
-            raise SchemaError("attribute declaration needs a 'name'")
         use_kind = node.get_attribute("use") or "optional"
         if use_kind == "prohibited":
             return None
+        reference = node.get_attribute("ref") or None
+        if reference:
+            if node.get_attribute("name"):
+                raise SchemaError(
+                    "attribute may not carry both 'name' and 'ref'"
+                )
+            key = self._reference_key(reference, node, "attribute reference")
+            declaration = self._loader.resolve_attribute(key)
+            if declaration is None:
+                raise SchemaError(
+                    f"attribute reference '{reference}' has no global "
+                    f"declaration ('{key}')"
+                )
+            default = node.get_attribute("default") or declaration.default
+            fixed = node.get_attribute("fixed") or declaration.fixed
+            return self._build_attribute_use(
+                declaration, use_kind, default, fixed
+            )
+        name = node.get_attribute("name")
+        if not name:
+            raise SchemaError("attribute declaration needs a 'name'")
+        form = node.get_attribute("form") or None
+        if form is not None and form not in _FORMS:
+            raise SchemaError(f"bad form '{form}' on attribute '{name}'")
+        effective = form or self.attribute_form_default
         declaration = AttributeDeclaration(
-            name, type_name=node.get_attribute("type") or None
+            name,
+            type_name=node.get_attribute("type") or None,
+            target_namespace=(
+                self.target_namespace if effective == "qualified" else None
+            ),
         )
-        inline = [
-            child
-            for local, child in self._xsd_children(node)
-            if local == "simpleType"
-        ]
-        if declaration.type_name and inline:
-            raise SchemaError(
-                f"attribute '{name}' has both a type attribute and an inline type"
-            )
-        if declaration.type_name:
-            declaration.type_definition = self._resolve_simple_type_reference(
-                declaration.type_name
-            )
-        elif inline:
-            declaration.type_definition = self._parse_simple_type(inline[0], None)
-        else:
-            declaration.type_definition = BUILTIN_TYPES["anySimpleType"]
+        self._fill_attribute_type(declaration, node)
         default = node.get_attribute("default") or None
         fixed = node.get_attribute("fixed") or None
+        return self._build_attribute_use(declaration, use_kind, default, fixed)
+
+    def _build_attribute_use(
+        self,
+        declaration: AttributeDeclaration,
+        use_kind: str,
+        default: str | None,
+        fixed: str | None,
+    ) -> AttributeUse:
+        name = declaration.name
         if default and fixed:
             raise SchemaError(
                 f"attribute '{name}' has both a default and a fixed value"
@@ -607,6 +972,65 @@ class _SchemaParser:
             fixed=fixed,
         )
 
+    def _fill_attribute_type(
+        self, declaration: AttributeDeclaration, node: Element
+    ) -> None:
+        inline = [
+            child
+            for local, child in self._xsd_children(node)
+            if local == "simpleType"
+        ]
+        if declaration.type_name and inline:
+            raise SchemaError(
+                f"attribute '{declaration.name}' has both a type attribute "
+                "and an inline type"
+            )
+        if declaration.type_name:
+            declaration.type_definition = self._resolve_simple_type_reference(
+                declaration.type_name, node
+            )
+        elif inline:
+            declaration.type_definition = self._parse_simple_type(inline[0], None)
+        else:
+            declaration.type_definition = BUILTIN_TYPES["anySimpleType"]
+
+    def _parse_global_attribute(self, node: Element) -> AttributeDeclaration:
+        name = node.get_attribute("name")
+        if node.get_attribute("ref"):
+            raise SchemaError(
+                f"top-level attribute '{name or ''}' may not use ref="
+            )
+        if node.get_attribute("use"):
+            raise SchemaError(
+                f"top-level attribute '{name}' may not constrain 'use'"
+            )
+        # Global attribute declarations are always qualified.
+        declaration = AttributeDeclaration(
+            name,
+            type_name=node.get_attribute("type") or None,
+            target_namespace=self.target_namespace,
+        )
+        self._fill_attribute_type(declaration, node)
+        declaration.default = node.get_attribute("default") or None
+        declaration.fixed = node.get_attribute("fixed") or None
+        if declaration.default and declaration.fixed:
+            raise SchemaError(
+                f"attribute '{name}' has both a default and a fixed value"
+            )
+        for kind, constant in (
+            ("default", declaration.default),
+            ("fixed", declaration.fixed),
+        ):
+            if constant is not None:
+                try:
+                    declaration.resolved_type().validate(constant)
+                except SimpleTypeError as error:
+                    raise SchemaError(
+                        f"{kind} value {constant!r} of attribute '{name}' "
+                        f"does not satisfy its type: {error}"
+                    )
+        return declaration
+
     def _parse_simple_content(self, node: Element, complex_type: ComplexType) -> None:
         children = self._xsd_children(node)
         if len(children) != 1 or children[0][0] not in ("extension", "restriction"):
@@ -617,7 +1041,7 @@ class _SchemaParser:
         base_reference = child.get_attribute("base")
         if not base_reference:
             raise SchemaError(f"simpleContent {local} needs a 'base'")
-        base = self._resolve_type_reference(base_reference)
+        base = self._resolve_type_reference(base_reference, child)
         complex_type.base_name = base_reference
         complex_type.derivation = (
             DerivationMethod.EXTENSION
@@ -657,7 +1081,7 @@ class _SchemaParser:
         base_reference = child.get_attribute("base")
         if not base_reference:
             raise SchemaError(f"complexContent {local} needs a 'base'")
-        base = self._resolve_type_reference(base_reference)
+        base = self._resolve_type_reference(base_reference, child)
         if not isinstance(base, ComplexType):
             raise SchemaError(
                 f"complexContent base '{base_reference}' is not a complex type"
@@ -710,7 +1134,7 @@ class _SchemaParser:
                 "restriction has both a base attribute and an inline base"
             )
         if base_reference:
-            base = self._resolve_simple_type_reference(base_reference)
+            base = self._resolve_simple_type_reference(base_reference, node)
         elif inline_base:
             base = self._parse_simple_type(inline_base[0], None)
         else:
@@ -779,7 +1203,7 @@ class _SchemaParser:
         if item_reference and inline:
             raise SchemaError("list has both itemType and an inline item type")
         if item_reference:
-            item_type = self._resolve_simple_type_reference(item_reference)
+            item_type = self._resolve_simple_type_reference(item_reference, node)
         elif inline:
             item_type = self._parse_simple_type(inline[0], None)
         else:
@@ -790,7 +1214,7 @@ class _SchemaParser:
         members: list[SimpleType] = []
         member_references = node.get_attribute("memberTypes").split()
         for reference in member_references:
-            members.append(self._resolve_simple_type_reference(reference))
+            members.append(self._resolve_simple_type_reference(reference, node))
         for local, child in self._xsd_children(node):
             if local == "simpleType":
                 members.append(self._parse_simple_type(child, None))

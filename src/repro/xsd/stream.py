@@ -7,6 +7,13 @@ document size.  Functionally equivalent to
 set (the benchmarks assert agreement); it is the validation mode a
 server would use for *incoming* documents before unmarshalling, and an
 ablation partner for the DOM-based walk.
+
+Namespaces are tracked as a stack of in-scope ``xmlns`` bindings pushed
+per start tag: element and attribute names resolve to expanded names and
+match the schema's component keys, XSI attributes are recognized by
+resolved namespace whatever prefix they use (an undeclared ``xsi:``
+prefix keeps its conventional meaning for legacy documents), and
+diagnostics for namespaced schemas name elements in Clark notation.
 """
 
 from __future__ import annotations
@@ -21,12 +28,14 @@ from repro.xml.events import (
     StartElement,
 )
 from repro.xml.parser import PullParser
+from repro.xml.qname import XML_NAMESPACE, XSI_NAMESPACE
 from repro.xsd.components import (
     ANY_TYPE,
     ComplexType,
     ContentType,
     ElementDeclaration,
     Schema,
+    expanded_name,
 )
 from repro.xsd.simple import SimpleType
 
@@ -54,6 +63,38 @@ class _Frame:
         self.skip = skip  # inside anyType: accept everything below
 
 
+class _EventNamespaces:
+    """In-scope ``xmlns`` bindings, one frame per open element.
+
+    Frames without declarations share their parent's dict, so the common
+    case (namespace-free documents, or declarations only on the root)
+    costs one list append per element.
+    """
+
+    __slots__ = ("_stack",)
+
+    def __init__(self) -> None:
+        self._stack: list[dict[str, str]] = [{"xml": XML_NAMESPACE}]
+
+    def push(self, attributes: tuple[tuple[str, str], ...]) -> None:
+        top = self._stack[-1]
+        overrides: dict[str, str] | None = None
+        for name, value in attributes:
+            if name == "xmlns":
+                overrides = overrides or {}
+                overrides[""] = value
+            elif name.startswith("xmlns:"):
+                overrides = overrides or {}
+                overrides[name[len("xmlns:") :]] = value
+        self._stack.append({**top, **overrides} if overrides else top)
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    def get(self, prefix: str) -> str | None:
+        return self._stack[-1].get(prefix)
+
+
 class StreamingValidator:
     """Validate event streams against one schema.
 
@@ -68,6 +109,7 @@ class StreamingValidator:
     def __init__(self, schema: Schema, *, use_tables: bool = True):
         self._schema = schema
         self._use_tables = use_tables
+        self._namespaced = schema.uses_namespaces
 
     # -- entry points ---------------------------------------------------------
 
@@ -80,12 +122,15 @@ class StreamingValidator:
 
         errors: list[ValidationError] = []
         stack: list[_Frame] = []
+        namespaces = _EventNamespaces()
         with obs.span("xsd.stream.validate"):
             for event in events:
                 if isinstance(event, StartElement):
-                    self._start(event, stack, errors)
+                    namespaces.push(event.attributes)
+                    self._start(event, stack, errors, namespaces)
                 elif isinstance(event, EndElement):
                     self._end(stack, errors)
+                    namespaces.pop()
                 elif isinstance(event, Characters):
                     self._characters(event, stack, errors)
                 # comments / PIs / doctype / declarations are transparent
@@ -97,6 +142,80 @@ class StreamingValidator:
     def is_valid(self, text: str) -> bool:
         return not self.validate_text(text)
 
+    # -- namespace resolution ---------------------------------------------------
+
+    def _event_key(self, event: StartElement, namespaces: _EventNamespaces) -> str:
+        """Expanded name the event matches schema components under.
+
+        Lexical tag name for namespace-free schemas (the pre-namespace
+        behavior, byte for byte) and for undeclared prefixes, where the
+        schema's "no such element" diagnostics do the explaining.
+        """
+        if not self._namespaced:
+            return event.name
+        prefix, colon, local = event.name.partition(":")
+        if not colon:
+            return expanded_name(namespaces.get("") or None, event.name)
+        uri = namespaces.get(prefix)
+        if uri is None:
+            return event.name
+        return expanded_name(uri, local)
+
+    def _attribute_items(
+        self, event: StartElement, namespaces: _EventNamespaces
+    ) -> list[tuple[str, str, str]]:
+        """(lexical name, matching key, value) for schema-checked attributes.
+
+        Filters namespace declarations and XSI attributes by *resolved*
+        namespace; an undeclared ``xsi:`` prefix keeps its conventional
+        meaning, any other undeclared prefix leaves the attribute
+        matched (and reported) by its lexical name.
+        """
+        items: list[tuple[str, str, str]] = []
+        for name, value in event.attributes:
+            if name == "xmlns" or name.startswith("xmlns:"):
+                continue
+            prefix, colon, local = name.partition(":")
+            if not colon:
+                items.append((name, name, value))
+                continue
+            uri = namespaces.get(prefix)
+            if uri is None:
+                if prefix == "xsi":
+                    continue
+                items.append((name, name, value))
+                continue
+            if uri == XSI_NAMESPACE:
+                continue
+            items.append((name, expanded_name(uri, local), value))
+        return items
+
+    def _xsi_type_value(
+        self, event: StartElement, namespaces: _EventNamespaces
+    ) -> str | None:
+        for name, value in event.attributes:
+            prefix, colon, local = name.partition(":")
+            if not colon or local != "type" or prefix == "xmlns":
+                continue
+            uri = namespaces.get(prefix)
+            if uri == XSI_NAMESPACE or (uri is None and prefix == "xsi"):
+                return value
+        return None
+
+    def _xsi_type_key(
+        self, type_name: str, namespaces: _EventNamespaces
+    ) -> str:
+        """Resolve the QName *value* of ``xsi:type`` to a type key."""
+        if not self._namespaced:
+            return type_name.rpartition(":")[2]
+        prefix, colon, local = type_name.partition(":")
+        if not colon:
+            return expanded_name(namespaces.get("") or None, type_name)
+        uri = namespaces.get(prefix)
+        if uri is None:
+            return local
+        return expanded_name(uri, local)
+
     # -- event handlers ----------------------------------------------------------
 
     def _start(
@@ -104,32 +223,36 @@ class StreamingValidator:
         event: StartElement,
         stack: list[_Frame],
         errors: list[ValidationError],
+        namespaces: _EventNamespaces,
     ) -> None:
+        key = self._event_key(event, namespaces)
         if not stack:
-            declaration = self._schema.elements.get(event.name)
+            declaration = self._schema.elements.get(key)
             if declaration is None:
                 errors.append(
                     ValidationError(
-                        f"root element <{event.name}> is not a global "
+                        f"root element <{key}> is not a global "
                         "element of the schema",
                         event.location,
                     )
                 )
                 stack.append(
-                    _Frame(None, ANY_TYPE, None, None, f"/{event.name}", True)
+                    _Frame(None, ANY_TYPE, None, None, f"/{key}", True)
                 )
                 return
             if declaration.abstract:
                 errors.append(
                     ValidationError(
-                        f"element '{event.name}' is abstract",
+                        f"element '{key}' is abstract",
                         event.location,
                     )
                 )
-            self._push(event, declaration, f"/{event.name}", stack, errors)
+            self._push(
+                event, declaration, key, f"/{key}", stack, errors, namespaces
+            )
             return
         parent = stack[-1]
-        path = f"{parent.path}/{event.name}"
+        path = f"{parent.path}/{key}"
         if parent.skip:
             stack.append(_Frame(None, ANY_TYPE, None, None, path, True))
             return
@@ -137,7 +260,7 @@ class StreamingValidator:
             # Parent has empty or simple content: no child allowed.
             errors.append(
                 ValidationError(
-                    f"<{event.name}> is not allowed inside "
+                    f"<{key}> is not allowed inside "
                     f"<{_name_of(parent)}>",
                     event.location,
                     path=parent.path,
@@ -145,14 +268,14 @@ class StreamingValidator:
             )
             stack.append(_Frame(None, ANY_TYPE, None, None, path, True))
             return
-        matched = parent.matcher.step(event.name)
+        matched = parent.matcher.step(key)
         if matched is None:
             expected = ", ".join(
-                f"<{key}>" for key in parent.matcher.expected()
+                f"<{key_}>" for key_ in parent.matcher.expected()
             ) or "no further elements"
             errors.append(
                 ValidationError(
-                    f"<{event.name}> is not allowed here inside "
+                    f"<{key}> is not allowed here inside "
                     f"<{_name_of(parent)}>; expected {expected}",
                     event.location,
                     path=parent.path,
@@ -161,21 +284,24 @@ class StreamingValidator:
             stack.append(_Frame(None, ANY_TYPE, None, None, path, True))
             return
         assert isinstance(matched, ElementDeclaration)
-        self._push(event, matched, path, stack, errors)
+        self._push(event, matched, key, path, stack, errors, namespaces)
 
     def _push(
         self,
         event: StartElement,
         declaration: ElementDeclaration,
+        display: str,
         path: str,
         stack: list[_Frame],
         errors: list[ValidationError],
+        namespaces: _EventNamespaces,
     ) -> None:
         type_definition = declaration.resolved_type()
-        override = event.get("xsi:type")
+        override = self._xsi_type_value(event, namespaces)
         if override is not None:
-            local = override.rpartition(":")[2]
-            candidate = self._schema.types.get(local)
+            candidate = self._schema.types.get(
+                self._xsi_type_key(override, namespaces)
+            )
             if candidate is None:
                 errors.append(
                     ValidationError(
@@ -206,7 +332,7 @@ class StreamingValidator:
                     errors.append(
                         ValidationError(
                             f"type '{type_definition.name}' of element "
-                            f"'{declaration.name}' is abstract",
+                            f"'{declaration.key}' is abstract",
                             event.location,
                             path=path,
                         )
@@ -225,17 +351,14 @@ class StreamingValidator:
                             type_definition
                         ).matcher()
                 self._check_attributes(
-                    event, type_definition, path, errors
+                    event, type_definition, display, path, errors, namespaces
                 )
         else:
-            if event.attributes and any(
-                not name.startswith("xmlns") and not name.startswith("xsi:")
-                for name, __ in event.attributes
-            ):
+            if event.attributes and self._attribute_items(event, namespaces):
                 errors.append(
                     ValidationError(
-                        f"element <{event.name}> of simple type may not "
-                        "carry attributes",
+                        f"element <{display}> of simple type "
+                        "may not carry attributes",
                         event.location,
                         path=path,
                     )
@@ -310,7 +433,7 @@ class StreamingValidator:
         ):
             errors.append(
                 ValidationError(
-                    f"element '{frame.declaration.name}' must have the "
+                    f"element '{frame.declaration.key}' must have the "
                     f"fixed value {frame.declaration.fixed!r}",
                     path=frame.path,
                 )
@@ -337,21 +460,22 @@ class StreamingValidator:
         self,
         event: StartElement,
         complex_type: ComplexType,
+        display: str,
         path: str,
         errors: list[ValidationError],
+        namespaces: _EventNamespaces,
     ) -> None:
         uses = complex_type.effective_attribute_uses()
         seen: set[str] = set()
-        for name, value in event.attributes:
-            if name.startswith("xmlns") or name.startswith("xsi:"):
-                continue
-            seen.add(name)
-            use = uses.get(name)
+        for name, key, value in self._attribute_items(event, namespaces):
+            seen.add(key)
+            label = key if self._namespaced else name
+            use = uses.get(key)
             if use is None:
                 errors.append(
                     ValidationError(
-                        f"attribute '{name}' is not declared on "
-                        f"<{event.name}>",
+                        f"attribute '{label}' is not declared on "
+                        f"<{display}>",
                         event.location,
                         path=path,
                     )
@@ -360,7 +484,7 @@ class StreamingValidator:
             if use.fixed is not None and value != use.fixed:
                 errors.append(
                     ValidationError(
-                        f"attribute '{name}' must have the fixed value "
+                        f"attribute '{label}' must have the fixed value "
                         f"{use.fixed!r}, found {value!r}",
                         event.location,
                         path=path,
@@ -372,18 +496,18 @@ class StreamingValidator:
             except SimpleTypeError as error:
                 errors.append(
                     ValidationError(
-                        f"attribute '{name}' of <{event.name}>: "
+                        f"attribute '{label}' of <{display}>: "
                         f"{error.message}",
                         event.location,
                         path=path,
                     )
                 )
-        for name, use in uses.items():
-            if use.required and name not in seen:
+        for key, use in uses.items():
+            if use.required and key not in seen:
                 errors.append(
                     ValidationError(
-                        f"required attribute '{name}' missing on "
-                        f"<{event.name}>",
+                        f"required attribute '{key}' missing on "
+                        f"<{display}>",
                         event.location,
                         path=path,
                     )
@@ -392,7 +516,7 @@ class StreamingValidator:
 
 def _name_of(frame: _Frame) -> str:
     if frame.declaration is not None:
-        return frame.declaration.name
+        return frame.declaration.key
     return frame.path.rsplit("/", 1)[-1]
 
 

@@ -1,0 +1,264 @@
+"""Instance-driven lazy binding: subset a schema to reachable components.
+
+Real-world schemas (the gauntlet corpus, DocBook-scale vocabularies)
+declare far more than any one document class touches.  The paper's
+preparation/runtime split says the preparation cost should follow the
+*instances*: :func:`subset_schema` takes the root element keys actually
+observed and keeps only the components a validation starting at those
+roots can reach —
+
+* the root declarations, every element reachable through their content
+  models (substitution-group members included),
+* every type on those elements' base/content/attribute chains, and
+* every *named* global type derived from a reachable type, because an
+  instance may substitute it via ``xsi:type``.
+
+The subset shares component objects with the full schema (no deep
+copy); only the global maps shrink.  Because the derived-type closure
+mirrors exactly the substitutability test the validators run, a
+document whose root is in the subset's roots produces byte-identical
+verdicts against the subset and the full schema — the equivalence the
+corpus suite asserts.
+
+:func:`sniff_root_key` extracts the expanded root element name from an
+instance document's head without validating it, which is how bulk
+``--lazy`` decides the roots before any worker binds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.xsd.components import (
+    AttributeDeclaration,
+    ComplexType,
+    ElementDeclaration,
+    GroupDefinition,
+    GroupReference,
+    ModelGroup,
+    Particle,
+    Schema,
+    TypeDefinition,
+)
+from repro.xsd.simple import SimpleType
+
+#: how much of an instance document the root sniffer reads; the root
+#: start tag of any realistic document is well inside this window
+SNIFF_WINDOW = 65536
+
+
+def reachable_components(
+    schema: Schema, roots: Iterable[str]
+) -> tuple[dict[str, ElementDeclaration], set[int], list[TypeDefinition]]:
+    """Fixpoint over everything validation from *roots* can touch.
+
+    Returns ``(reachable global elements by key, id-set of reachable
+    type objects, the reachable type objects themselves)``.  Roots not
+    declared in the schema are simply absent from the result — the
+    validator's "not a global element" diagnostic stays accurate.
+    """
+    elements: dict[str, ElementDeclaration] = {}
+    type_ids: set[int] = set()
+    type_objects: list[TypeDefinition] = []
+    pending_elements: list[ElementDeclaration] = []
+    for key in roots:
+        declaration = schema.elements.get(key)
+        if declaration is not None and key not in elements:
+            elements[key] = declaration
+            pending_elements.append(declaration)
+
+    def visit_type(definition: TypeDefinition | None) -> None:
+        while definition is not None and id(definition) not in type_ids:
+            type_ids.add(id(definition))
+            type_objects.append(definition)
+            if isinstance(definition, SimpleType):
+                if definition.item_type is not None:
+                    visit_type(definition.item_type)
+                for member in definition.member_types:
+                    visit_type(member)
+                definition = definition.base
+                continue
+            assert isinstance(definition, ComplexType)
+            if definition.simple_content is not None:
+                visit_type(definition.simple_content)
+            for use in definition.attribute_uses.values():
+                visit_type(use.declaration.type_definition)
+            if definition.content is not None:
+                visit_particle(definition.content)
+            definition = definition.base
+
+    def visit_particle(particle: Particle) -> None:
+        term = particle.term
+        if isinstance(term, ElementDeclaration):
+            visit_element(term)
+        elif isinstance(term, GroupReference):
+            if term.definition is not None:
+                visit_group(term.definition.model_group)
+        elif isinstance(term, ModelGroup):
+            visit_group(term)
+
+    def visit_group(group: ModelGroup) -> None:
+        for particle in group.particles:
+            visit_particle(particle)
+
+    def visit_element(declaration: ElementDeclaration) -> None:
+        key = declaration.key
+        canonical = schema.elements.get(key, declaration)
+        if canonical.is_global or declaration.is_global:
+            if key in elements:
+                return
+            elements[key] = canonical
+            pending_elements.append(canonical)
+            return
+        # Local declaration: no global entry to record, but its type
+        # (and substitution members of same-named globals) still count.
+        pending_elements.append(declaration)
+
+    # Alternate the two fixpoints until neither grows: element/type
+    # reachability first, then the xsi:type derived-closure, whose new
+    # types can in turn reach new elements.
+    while True:
+        while pending_elements:
+            declaration = pending_elements.pop()
+            visit_type(declaration.type_definition)
+            for member in schema.substitution_members.get(
+                declaration.key, ()
+            ):
+                visit_element(member)
+        grew = False
+        for candidate in schema.types.values():
+            if id(candidate) in type_ids:
+                continue
+            if any(
+                _substitutable(candidate, reachable)
+                for reachable in type_objects
+            ):
+                visit_type(candidate)
+                grew = True
+        if not (grew or pending_elements):
+            break
+    return elements, type_ids, type_objects
+
+
+def _substitutable(candidate: TypeDefinition, declared: TypeDefinition) -> bool:
+    """Mirror of the validators' ``xsi:type`` derivation test."""
+    if isinstance(candidate, ComplexType) and isinstance(declared, ComplexType):
+        return candidate.is_derived_from(declared)
+    if isinstance(candidate, SimpleType) and isinstance(declared, SimpleType):
+        return candidate.is_derived_from(declared)
+    return False
+
+
+def subset_schema(schema: Schema, roots: Iterable[str]) -> Schema:
+    """A schema containing only what validation from *roots* can reach.
+
+    Components are shared with *schema*; the global maps are filtered.
+    The ``namespaces`` set is copied whole so namespace-aware matching
+    behaves identically to the full schema.
+    """
+    root_keys = tuple(sorted(set(roots)))
+    elements, type_ids, _objects = reachable_components(schema, root_keys)
+    subset = Schema(schema.target_namespace)
+    subset.namespaces = set(schema.namespaces)
+    subset.related_documents = schema.related_documents
+    subset.subset_roots = root_keys
+    subset.elements = dict(elements)
+    subset.types = {
+        key: definition
+        for key, definition in schema.types.items()
+        if id(definition) in type_ids
+    }
+    subset.groups = {
+        key: definition
+        for key, definition in schema.groups.items()
+        if _group_reachable(definition, type_ids, elements)
+    }
+    subset.attribute_groups = dict(schema.attribute_groups)
+    subset.attributes = {
+        key: declaration
+        for key, declaration in schema.attributes.items()
+        if _attribute_reachable(declaration, type_ids, schema)
+    }
+    subset.substitution_members = {
+        head: [member for member in members if member.key in elements]
+        for head, members in schema.substitution_members.items()
+        if head in elements
+    }
+    return subset
+
+
+def _group_reachable(
+    definition: GroupDefinition,
+    type_ids: set[int],
+    elements: dict[str, ElementDeclaration],
+) -> bool:
+    """A named group stays when any reachable type's content can use it.
+
+    Groups are only consulted through already-resolved
+    ``GroupReference.definition`` objects at validation time, so keeping
+    one is about binding generation; a cheap membership probe on the
+    group's own element terms is enough.
+    """
+    stack = [definition.model_group]
+    while stack:
+        group = stack.pop()
+        for particle in group.particles:
+            term = particle.term
+            if isinstance(term, ElementDeclaration):
+                if term.key in elements:
+                    return True
+            elif isinstance(term, ModelGroup):
+                stack.append(term)
+            elif isinstance(term, GroupReference) and term.definition:
+                stack.append(term.definition.model_group)
+    return False
+
+
+def _attribute_reachable(
+    declaration: AttributeDeclaration, type_ids: set[int], schema: Schema
+) -> bool:
+    """A global attribute stays when a reachable type uses it by ref."""
+    for definition in schema.types.values():
+        if id(definition) not in type_ids:
+            continue
+        if isinstance(definition, ComplexType) and any(
+            use.declaration is declaration
+            for use in definition.attribute_uses.values()
+        ):
+            return True
+    return False
+
+
+def sniff_root_key(text: str) -> str | None:
+    """Expanded name of an instance document's root element, or None.
+
+    Reads at most :data:`SNIFF_WINDOW` characters and stops at the first
+    start tag; any parse trouble (odd prologs, truncated markup) returns
+    None, which callers treat as "cannot subset — bind the full schema".
+    """
+    from repro.xml.events import StartElement
+    from repro.xml.parser import PullParser
+    from repro.xml.qname import XML_NAMESPACE, split_qname
+    from repro.xsd.components import expanded_name
+
+    try:
+        for event in PullParser(text[:SNIFF_WINDOW]):
+            if not isinstance(event, StartElement):
+                continue
+            prefix, local = split_qname(event.name)
+            bindings = {"xml": XML_NAMESPACE}
+            for name, value in event.attributes:
+                if name == "xmlns":
+                    bindings[""] = value
+                elif name.startswith("xmlns:"):
+                    bindings[name[6:]] = value
+            if prefix is None:
+                return expanded_name(bindings.get("", None) or None, local)
+            uri = bindings.get(prefix)
+            if uri is None:
+                # Undeclared prefix: match lexically, as the validators do.
+                return event.name
+            return expanded_name(uri, local)
+    except Exception:  # noqa: BLE001 — sniffing must never raise
+        return None
+    return None

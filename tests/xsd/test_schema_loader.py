@@ -1,0 +1,266 @@
+"""Multi-document schema loading: xsd:include, xsd:import, cycles,
+chameleon adoption, and the related-documents manifest."""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.xsd import StreamingValidator, parse_schema, parse_schema_file
+
+XSD = "http://www.w3.org/2001/XMLSchema"
+
+
+def _resolver(documents):
+    """Dict-backed resolver: location -> text, base ignored."""
+
+    def resolve(location, base):
+        try:
+            return documents[location], location
+        except KeyError:
+            raise SchemaError(f"cannot load schema document '{location}'")
+
+    return resolve
+
+
+class TestInclude:
+    def test_include_same_target_namespace(self):
+        documents = {
+            "types.xsd": f"""
+                <xsd:schema xmlns:xsd="{XSD}"
+                            targetNamespace="http://example.org/a">
+                  <xsd:complexType name="T">
+                    <xsd:sequence/>
+                  </xsd:complexType>
+                </xsd:schema>
+            """
+        }
+        schema = parse_schema(
+            f"""
+            <xsd:schema xmlns:xsd="{XSD}" xmlns:a="http://example.org/a"
+                        targetNamespace="http://example.org/a">
+              <xsd:include schemaLocation="types.xsd"/>
+              <xsd:element name="root" type="a:T"/>
+            </xsd:schema>
+            """,
+            resolver=_resolver(documents),
+        )
+        assert "{http://example.org/a}T" in schema.types
+
+    def test_include_target_namespace_mismatch_is_an_error(self):
+        documents = {
+            "other.xsd": f"""
+                <xsd:schema xmlns:xsd="{XSD}"
+                            targetNamespace="http://example.org/OTHER">
+                  <xsd:element name="x" type="xsd:string"/>
+                </xsd:schema>
+            """
+        }
+        with pytest.raises(SchemaError) as excinfo:
+            parse_schema(
+                f"""
+                <xsd:schema xmlns:xsd="{XSD}"
+                            targetNamespace="http://example.org/a">
+                  <xsd:include schemaLocation="other.xsd"/>
+                </xsd:schema>
+                """,
+                resolver=_resolver(documents),
+            )
+        assert "include" in str(excinfo.value)
+
+    def test_missing_document_is_a_schema_error(self):
+        with pytest.raises(SchemaError) as excinfo:
+            parse_schema(
+                f"""
+                <xsd:schema xmlns:xsd="{XSD}">
+                  <xsd:include schemaLocation="nowhere.xsd"/>
+                </xsd:schema>
+                """,
+                resolver=_resolver({}),
+            )
+        assert "nowhere.xsd" in str(excinfo.value)
+
+    def test_include_cycle_terminates(self):
+        documents = {
+            "a.xsd": f"""
+                <xsd:schema xmlns:xsd="{XSD}" xmlns:n="urn:cycle"
+                            targetNamespace="urn:cycle">
+                  <xsd:include schemaLocation="b.xsd"/>
+                  <xsd:element name="root" type="n:B"/>
+                  <xsd:complexType name="A"><xsd:sequence/></xsd:complexType>
+                </xsd:schema>
+            """,
+            "b.xsd": f"""
+                <xsd:schema xmlns:xsd="{XSD}" xmlns:n="urn:cycle"
+                            targetNamespace="urn:cycle">
+                  <xsd:include schemaLocation="a.xsd"/>
+                  <xsd:complexType name="B">
+                    <xsd:complexContent>
+                      <xsd:extension base="n:A"/>
+                    </xsd:complexContent>
+                  </xsd:complexType>
+                </xsd:schema>
+            """,
+        }
+        schema = parse_schema(
+            documents["a.xsd"],
+            location="a.xsd",
+            resolver=_resolver(documents),
+        )
+        assert "{urn:cycle}A" in schema.types
+        assert "{urn:cycle}B" in schema.types
+
+
+class TestChameleon:
+    DOCUMENTS = {
+        "parts.xsd": f"""
+            <xsd:schema xmlns:xsd="{XSD}" elementFormDefault="qualified">
+              <xsd:element name="chapter" type="ChapterType"/>
+              <xsd:complexType name="ChapterType">
+                <xsd:sequence>
+                  <xsd:element name="title" type="xsd:string"/>
+                </xsd:sequence>
+              </xsd:complexType>
+            </xsd:schema>
+        """
+    }
+
+    def test_components_adopt_including_namespace(self):
+        schema = parse_schema(
+            f"""
+            <xsd:schema xmlns:xsd="{XSD}" xmlns:d="urn:doc"
+                        targetNamespace="urn:doc"
+                        elementFormDefault="qualified">
+              <xsd:include schemaLocation="parts.xsd"/>
+              <xsd:element name="doc">
+                <xsd:complexType>
+                  <xsd:sequence>
+                    <xsd:element ref="d:chapter" maxOccurs="unbounded"/>
+                  </xsd:sequence>
+                </xsd:complexType>
+              </xsd:element>
+            </xsd:schema>
+            """,
+            resolver=_resolver(self.DOCUMENTS),
+        )
+        # Both the declaration and its unprefixed type reference land in
+        # the adopted namespace — the chameleon transformation.
+        assert "{urn:doc}chapter" in schema.elements
+        assert "{urn:doc}ChapterType" in schema.types
+        errors = StreamingValidator(schema).validate_text(
+            '<doc xmlns="urn:doc"><chapter><title>T</title></chapter></doc>'
+        )
+        assert errors == []
+
+    def test_same_document_included_twice_under_one_namespace(self):
+        schema = parse_schema(
+            f"""
+            <xsd:schema xmlns:xsd="{XSD}" xmlns:d="urn:doc"
+                        targetNamespace="urn:doc">
+              <xsd:include schemaLocation="parts.xsd"/>
+              <xsd:include schemaLocation="parts.xsd"/>
+              <xsd:element name="doc" type="d:ChapterType"/>
+            </xsd:schema>
+            """,
+            resolver=_resolver(self.DOCUMENTS),
+        )
+        assert "{urn:doc}ChapterType" in schema.types
+
+
+class TestImport:
+    def test_import_joins_namespaces(self):
+        documents = {
+            "common.xsd": f"""
+                <xsd:schema xmlns:xsd="{XSD}"
+                            targetNamespace="urn:common">
+                  <xsd:element name="note" type="xsd:string"/>
+                </xsd:schema>
+            """
+        }
+        schema = parse_schema(
+            f"""
+            <xsd:schema xmlns:xsd="{XSD}" xmlns:c="urn:common"
+                        targetNamespace="urn:main">
+              <xsd:import namespace="urn:common"
+                          schemaLocation="common.xsd"/>
+              <xsd:element name="root">
+                <xsd:complexType>
+                  <xsd:sequence>
+                    <xsd:element ref="c:note"/>
+                  </xsd:sequence>
+                </xsd:complexType>
+              </xsd:element>
+            </xsd:schema>
+            """,
+            resolver=_resolver(documents),
+        )
+        assert schema.namespaces == {"urn:main", "urn:common"}
+        assert "{urn:common}note" in schema.elements
+
+    def test_import_namespace_mismatch_is_an_error(self):
+        documents = {
+            "common.xsd": f"""
+                <xsd:schema xmlns:xsd="{XSD}"
+                            targetNamespace="urn:actual">
+                  <xsd:element name="note" type="xsd:string"/>
+                </xsd:schema>
+            """
+        }
+        with pytest.raises(SchemaError):
+            parse_schema(
+                f"""
+                <xsd:schema xmlns:xsd="{XSD}" targetNamespace="urn:main">
+                  <xsd:import namespace="urn:promised"
+                              schemaLocation="common.xsd"/>
+                </xsd:schema>
+                """,
+                resolver=_resolver(documents),
+            )
+
+    def test_locationless_import_is_tolerated(self):
+        schema = parse_schema(
+            f"""
+            <xsd:schema xmlns:xsd="{XSD}" targetNamespace="urn:main">
+              <xsd:import namespace="urn:elsewhere"/>
+              <xsd:element name="root" type="xsd:string"/>
+            </xsd:schema>
+            """
+        )
+        assert "{urn:main}root" in schema.elements
+
+
+class TestRelatedDocuments:
+    def test_manifest_records_locations_and_hashes(self, tmp_path):
+        included = (
+            f'<xsd:schema xmlns:xsd="{XSD}" targetNamespace="urn:m">\n'
+            '  <xsd:complexType name="T"><xsd:sequence/></xsd:complexType>\n'
+            "</xsd:schema>\n"
+        )
+        (tmp_path / "types.xsd").write_text(included, encoding="utf-8")
+        main = tmp_path / "main.xsd"
+        main.write_text(
+            f"""
+            <xsd:schema xmlns:xsd="{XSD}" xmlns:m="urn:m"
+                        targetNamespace="urn:m">
+              <xsd:include schemaLocation="types.xsd"/>
+              <xsd:element name="root" type="m:T"/>
+            </xsd:schema>
+            """,
+            encoding="utf-8",
+        )
+        schema = parse_schema_file(main)
+        assert len(schema.related_documents) == 1
+        location, digest = schema.related_documents[0]
+        assert os.path.basename(location) == "types.xsd"
+        assert digest == hashlib.sha256(included.encode("utf-8")).hexdigest()
+
+    def test_single_document_schema_has_empty_manifest(self):
+        schema = parse_schema(
+            f"""
+            <xsd:schema xmlns:xsd="{XSD}">
+              <xsd:element name="root" type="xsd:string"/>
+            </xsd:schema>
+            """
+        )
+        assert schema.related_documents == ()

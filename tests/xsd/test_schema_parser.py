@@ -330,13 +330,21 @@ class TestUnsupportedAndErrors:
         [
             '<xsd:complexType name="T"><xsd:sequence><xsd:any/>'
             "</xsd:sequence></xsd:complexType>",
-            '<xsd:import namespace="http://other"/>',
-            '<xsd:include schemaLocation="other.xsd"/>',
+            '<xsd:redefine schemaLocation="other.xsd"/>',
         ],
     )
     def test_unsupported_features_flagged(self, body):
         with pytest.raises(UnsupportedFeatureError):
             schema_of(body)
+
+    def test_location_less_import_is_tolerated(self):
+        # The namespace is merely asserted to exist elsewhere; no
+        # components are loaded, and nothing references them here.
+        schema_of('<xsd:import namespace="http://other"/>')
+
+    def test_include_of_missing_file_is_a_schema_error(self):
+        with pytest.raises(SchemaError, match="cannot load schema document"):
+            schema_of('<xsd:include schemaLocation="/nonexistent/other.xsd"/>')
 
     def test_identity_constraints_flagged(self):
         with pytest.raises(UnsupportedFeatureError):

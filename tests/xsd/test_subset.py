@@ -1,0 +1,128 @@
+"""Instance-driven lazy subsetting: root sniffing and reachability."""
+
+from repro.xsd import StreamingValidator, parse_schema
+from repro.xsd.subset import SNIFF_WINDOW, sniff_root_key, subset_schema
+
+XSD = "http://www.w3.org/2001/XMLSchema"
+
+
+class TestSniffRootKey:
+    def test_default_namespace_root(self):
+        assert (
+            sniff_root_key('<order xmlns="urn:po"><item/></order>')
+            == "{urn:po}order"
+        )
+
+    def test_prefixed_root(self):
+        assert (
+            sniff_root_key('<po:order xmlns:po="urn:po"/>')
+            == "{urn:po}order"
+        )
+
+    def test_no_namespace_root_keeps_plain_name(self):
+        assert sniff_root_key("<order><item/></order>") == "order"
+
+    def test_malformed_document_returns_none(self):
+        assert sniff_root_key("<order") is None
+        assert sniff_root_key("") is None
+        assert sniff_root_key("plain text, no markup") is None
+
+    def test_huge_prolog_beyond_window_returns_none(self):
+        text = "<!-- " + "x" * (SNIFF_WINDOW + 10) + " --><root/>"
+        assert sniff_root_key(text) is None
+
+
+def _library_schema():
+    return parse_schema(
+        f"""
+        <xsd:schema xmlns:xsd="{XSD}" xmlns:l="urn:lib"
+                    targetNamespace="urn:lib"
+                    elementFormDefault="qualified">
+          <xsd:element name="book" type="l:BookType"/>
+          <xsd:element name="magazine" type="l:MagazineType"/>
+          <xsd:complexType name="BookType">
+            <xsd:sequence>
+              <xsd:element name="title" type="xsd:string"/>
+            </xsd:sequence>
+          </xsd:complexType>
+          <xsd:complexType name="AnnotatedBookType">
+            <xsd:complexContent>
+              <xsd:extension base="l:BookType">
+                <xsd:sequence>
+                  <xsd:element name="note" type="xsd:string"/>
+                </xsd:sequence>
+              </xsd:extension>
+            </xsd:complexContent>
+          </xsd:complexType>
+          <xsd:complexType name="MagazineType">
+            <xsd:sequence>
+              <xsd:element name="issue" type="xsd:int"/>
+            </xsd:sequence>
+          </xsd:complexType>
+        </xsd:schema>
+        """
+    )
+
+
+class TestSubsetSchema:
+    def test_unreachable_globals_are_pruned(self):
+        subset = subset_schema(_library_schema(), ("{urn:lib}book",))
+        assert "{urn:lib}book" in subset.elements
+        assert "{urn:lib}magazine" not in subset.elements
+        assert "{urn:lib}MagazineType" not in subset.types
+        assert subset.subset_roots == ("{urn:lib}book",)
+
+    def test_derived_types_survive_for_xsi_type(self):
+        """Types derived from a reachable type stay bound, so an
+        ``xsi:type`` substitution validates identically to a full bind."""
+        subset = subset_schema(_library_schema(), ("{urn:lib}book",))
+        assert "{urn:lib}AnnotatedBookType" in subset.types
+
+        doc = (
+            '<l:book xmlns:l="urn:lib"'
+            ' xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"'
+            ' xsi:type="l:AnnotatedBookType">'
+            "<l:title>t</l:title><l:note>n</l:note></l:book>"
+        )
+        full_errors = StreamingValidator(_library_schema()).validate_text(doc)
+        subset_errors = StreamingValidator(subset).validate_text(doc)
+        assert [str(e) for e in subset_errors] == [
+            str(e) for e in full_errors
+        ]
+        assert full_errors == []
+
+    def test_verdicts_match_full_bind_for_invalid_documents(self):
+        schema = _library_schema()
+        subset = subset_schema(schema, ("{urn:lib}book",))
+        doc = '<l:book xmlns:l="urn:lib"><l:title>t</l:title><l:extra/></l:book>'
+        assert [
+            str(e) for e in StreamingValidator(subset).validate_text(doc)
+        ] == [str(e) for e in StreamingValidator(schema).validate_text(doc)]
+
+    def test_substitution_members_of_reachable_heads_survive(self):
+        schema = parse_schema(
+            f"""
+            <xsd:schema xmlns:xsd="{XSD}" xmlns:s="urn:sub"
+                        targetNamespace="urn:sub"
+                        elementFormDefault="qualified">
+              <xsd:element name="root">
+                <xsd:complexType>
+                  <xsd:sequence>
+                    <xsd:element ref="s:block" maxOccurs="unbounded"/>
+                  </xsd:sequence>
+                </xsd:complexType>
+              </xsd:element>
+              <xsd:element name="block" type="xsd:string" abstract="true"/>
+              <xsd:element name="para" type="xsd:string"
+                           substitutionGroup="s:block"/>
+              <xsd:element name="orphan" type="xsd:string"/>
+            </xsd:schema>
+            """
+        )
+        subset = subset_schema(schema, ("{urn:sub}root",))
+        assert "{urn:sub}para" in subset.elements
+        assert "{urn:sub}orphan" not in subset.elements
+        errors = StreamingValidator(subset).validate_text(
+            '<s:root xmlns:s="urn:sub"><s:para>x</s:para></s:root>'
+        )
+        assert errors == []
