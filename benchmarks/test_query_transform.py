@@ -1,0 +1,221 @@
+"""QUERY→TRANSFORM — the typed transform pipeline with and without the DOM.
+
+A :class:`~repro.query.TypedTransform` renders one template instance per
+query hit.  The DOM route builds a ``TypedElement`` tree for every hit
+and serializes it; the segment route (``apply_text``) emits the final
+markup through the PR 2 segment machinery, skipping the intermediate
+tree entirely.  This experiment runs a product-listing transform over a
+purchase order with many items — the XML→WML projection workload of the
+paper's Sect. 8 outlook — and measures full-document transforms/sec for
+both routes.
+
+Acceptance floor (the ISSUE's criterion): the segment route must clear
+**2x** the DOM route on the text-hole transform (1.5x in
+``REPRO_BENCH_QUICK`` mode).  A two-rule :class:`TransformProgram`
+(elements + attribute values) is measured and recorded without a floor.
+
+Environment knobs (used by the CI smoke job):
+
+* ``REPRO_BENCH_QUICK=1``      — fewer iterations, relaxed floor,
+* ``REPRO_BENCH_JSON=<path>``  — where to write the JSON artifact
+  (default: ``BENCH_query_transform.json``).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks import bench_floor
+from repro.core import bind
+from repro.dom.serialize import serialize
+from repro.query import Query, Rule, TransformProgram, TypedTransform
+from repro.schemas import PURCHASE_ORDER_SCHEMA, WML_SCHEMA
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+ITEMS = 60 if QUICK else 200
+PASSES = 20 if QUICK else 100
+REPEATS = 3 if QUICK else 5
+#: the ISSUE's acceptance criterion (CI-noise-tolerant in quick mode),
+#: shared with the bench-gate via benchmarks/floors.json
+FLOOR = bench_floor("query:transform_text", QUICK)
+
+#: module-level result sink, flushed at teardown
+RESULTS: dict[str, dict[str, float]] = {}
+
+OPTION_TEMPLATE = '<option value="p">$name:text$</option>'
+SKU_TEMPLATE = "<option>$sku:text$</option>"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_json_report():
+    yield
+    target = os.environ.get(
+        "REPRO_BENCH_JSON", "BENCH_query_transform.json"
+    )
+    if target and RESULTS:
+        RESULTS["_meta"] = {"quick": QUICK, "items": ITEMS}
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(RESULTS, handle, indent=2, sort_keys=True)
+
+
+def _build_order(binding, items=ITEMS):
+    """A purchase order carrying *items* distinct items."""
+    f = binding.factory
+    return f.create_purchase_order(
+        f.create_ship_to(
+            f.create_name("Alice Smith"),
+            f.create_street("123 Maple Street"),
+            f.create_city("Mill Valley"),
+            f.create_state("CA"),
+            f.create_zip("90952"),
+        ),
+        f.create_bill_to(
+            f.create_name("Robert Smith"),
+            f.create_street("8 Oak Avenue"),
+            f.create_city("Old Town"),
+            f.create_state("PA"),
+            f.create_zip("95819"),
+        ),
+        f.create_items(
+            *(
+                f.create_item(
+                    f.create_product_name(f"Product {number:03d}"),
+                    f.create_quantity(1 + number % 9),
+                    f.create_us_price(f"{number}.99"),
+                    part_num=f"{number % 1000:03d}-AA",
+                )
+                for number in range(items)
+            )
+        ),
+        order_date="1999-10-20",
+    )
+
+
+def _passes_per_second(action, passes=PASSES, repeats=REPEATS):
+    """Best-of-*repeats* full-document passes/sec."""
+    rates = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(passes):
+            action()
+        elapsed = time.perf_counter() - start
+        rates.append(passes / elapsed)
+    return max(rates)
+
+
+def test_transform_text_throughput(capsys):
+    """The headline number: apply_text vs apply+serialize, with floor."""
+    po_binding = bind(PURCHASE_ORDER_SCHEMA)
+    wml_binding = bind(WML_SCHEMA)
+    order = _build_order(po_binding)
+    transform = TypedTransform(
+        binding_out=wml_binding,
+        query=Query(po_binding, "purchaseOrder", "items/item/productName"),
+        template=OPTION_TEMPLATE,
+        hole="name",
+    )
+    assert transform.template.text_source is not None, (
+        "template must segment-compile"
+    )
+    # Correctness precedes speed: both routes must emit identical bytes
+    # for every hit.
+    assert transform.apply_text(order) == [
+        serialize(fragment) for fragment in transform.apply(order)
+    ]
+    dom_pps = _passes_per_second(
+        lambda: [serialize(f) for f in transform.apply(order)]
+    )
+    text_pps = _passes_per_second(lambda: transform.apply_text(order))
+    result = {
+        "dom_passes_per_sec": round(dom_pps, 1),
+        "text_passes_per_sec": round(text_pps, 1),
+        "speedup": round(text_pps / dom_pps, 2),
+        "items": ITEMS,
+        "passes": PASSES,
+        "repeats": REPEATS,
+        "hits_per_pass": ITEMS,
+    }
+    RESULTS["query:transform_text"] = result
+    print(
+        f"\ntransform_text: dom {result['dom_passes_per_sec']:.0f}/s  "
+        f"text {result['text_passes_per_sec']:.0f}/s  "
+        f"speedup {result['speedup']:.2f}x"
+    )
+    assert result["speedup"] >= FLOOR, (
+        f"apply_text is only {result['speedup']:.2f}x the DOM route "
+        f"(need >= {FLOOR}x)"
+    )
+
+
+def test_transform_program_throughput(capsys):
+    """A two-rule program (elements + attribute values), no floor.
+
+    The attribute-value rule skips tree-walking on the query side
+    already; recorded to document how the mix behaves.
+    """
+    po_binding = bind(PURCHASE_ORDER_SCHEMA)
+    wml_binding = bind(WML_SCHEMA)
+    order = _build_order(po_binding)
+    program = TransformProgram(
+        po_binding,
+        wml_binding,
+        "purchaseOrder",
+        [
+            Rule("items/item/productName", OPTION_TEMPLATE, "name"),
+            Rule("items/item/@partNum", SKU_TEMPLATE, "sku"),
+        ],
+    )
+    assert program.apply_text(order) == [
+        serialize(fragment) for fragment in program.apply(order)
+    ]
+    dom_pps = _passes_per_second(
+        lambda: [serialize(f) for f in program.apply(order)]
+    )
+    text_pps = _passes_per_second(lambda: program.apply_text(order))
+    result = {
+        "dom_passes_per_sec": round(dom_pps, 1),
+        "text_passes_per_sec": round(text_pps, 1),
+        "speedup": round(text_pps / dom_pps, 2),
+        "items": ITEMS,
+        "passes": PASSES,
+        "repeats": REPEATS,
+        "hits_per_pass": 2 * ITEMS,
+    }
+    RESULTS["query:transform_program"] = result
+    print(
+        f"\ntransform_program: dom {result['dom_passes_per_sec']:.0f}/s  "
+        f"text {result['text_passes_per_sec']:.0f}/s  "
+        f"speedup {result['speedup']:.2f}x"
+    )
+    # Still must never be slower than the route it replaces.
+    assert result["speedup"] >= 1.0
+
+
+def test_query_selection_rate(capsys):
+    """Selection alone (no rendering), recorded for the doc table."""
+    po_binding = bind(PURCHASE_ORDER_SCHEMA)
+    order = _build_order(po_binding)
+    child_query = Query(
+        po_binding, "purchaseOrder", "items/item/productName"
+    )
+    descendant_query = Query(po_binding, "purchaseOrder", "//productName")
+    assert len(child_query.apply(order)) == ITEMS
+    assert len(descendant_query.apply(order)) == ITEMS
+    result = {
+        "child_axis_passes_per_sec": round(
+            _passes_per_second(lambda: child_query.apply(order)), 1
+        ),
+        "descendant_axis_passes_per_sec": round(
+            _passes_per_second(lambda: descendant_query.apply(order)), 1
+        ),
+        "items": ITEMS,
+        "passes": PASSES,
+        "repeats": REPEATS,
+    }
+    RESULTS["query:selection"] = result
+    print(
+        f"\nselection: child {result['child_axis_passes_per_sec']:.0f}/s  "
+        f"descendant {result['descendant_axis_passes_per_sec']:.0f}/s"
+    )

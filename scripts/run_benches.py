@@ -48,6 +48,10 @@ BENCHMARKS = {
         "benchmarks/test_parse_ingest.py::test_bulk_scaling",
         "BENCH_bulk_scaling.json",
     ),
+    "query-transform": (
+        "benchmarks/test_query_transform.py",
+        "BENCH_query_transform.json",
+    ),
     "serve-throughput": (
         "benchmarks/test_serve_throughput.py",
         "BENCH_serve_throughput.json",

@@ -9,6 +9,11 @@ Subcommands mirror the paper's tooling:
   pipeline with warm-started worker processes,
 * ``preprocess <schema> <m>`` — run the P-XML preprocessor on a module
   (Fig. 9), printing the rewritten source,
+* ``query <schema> <doc> <path>`` — run a schema-typed path query over a
+  document (a path the schema can never satisfy is a compile error, not
+  an empty result),
+* ``transform <schema> <doc>``   — apply a typed query→template transform,
+  emitting one output fragment per hit through the segment pipeline,
 * ``serve <schema> <dir>``    — serve a directory of compiled pages
   (``*.pxml`` templates, ``*.page`` server pages) over HTTP,
 * ``cache stats|clear``       — inspect or empty the compilation cache.
@@ -168,6 +173,59 @@ def main(argv: list[str] | None = None) -> int:
         "(reference path; output is byte-identical)",
     )
 
+    query_command = commands.add_parser(
+        "query",
+        help="run a schema-typed path query over a document (impossible "
+        "paths are compile errors, not empty results)",
+    )
+    query_command.add_argument("schema")
+    query_command.add_argument("document")
+    query_command.add_argument(
+        "path",
+        help="relative path from the document root, e.g. "
+        "items/item[@partNum='872-AA']/productName, "
+        "//shipDate, items/item/@partNum",
+    )
+
+    transform_command = commands.add_parser(
+        "transform",
+        help="apply a typed query→template transform to a document, "
+        "printing one output fragment per hit (segment pipeline)",
+    )
+    transform_command.add_argument("schema")
+    transform_command.add_argument("document")
+    transform_command.add_argument(
+        "--query",
+        required=True,
+        metavar="PATH",
+        dest="query_path",
+        help="path query selecting the hits (relative to the document root)",
+    )
+    transform_command.add_argument(
+        "--template",
+        required=True,
+        metavar="FILE",
+        help="template source file checked against the output schema",
+    )
+    transform_command.add_argument(
+        "--hole",
+        required=True,
+        metavar="NAME",
+        help="template hole each query hit fills",
+    )
+    transform_command.add_argument(
+        "--out-schema",
+        default=None,
+        metavar="FILE",
+        help="schema the output is valid against (default: the input schema)",
+    )
+    transform_command.add_argument(
+        "--dom",
+        action="store_true",
+        help="build each fragment as a typed DOM tree and serialize it "
+        "instead (reference path; output is byte-identical)",
+    )
+
     serve_command = commands.add_parser(
         "serve",
         help="serve a directory of compiled pages over HTTP "
@@ -252,6 +310,8 @@ def main(argv: list[str] | None = None) -> int:
         validate_command,
         preprocess_command,
         render_command,
+        query_command,
+        transform_command,
         serve_command,
         cache_command,
     ):
@@ -422,6 +482,69 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             print(serialize(template.render(**values)))
         else:
             print(template.render_text(**values))
+        return 0
+    if arguments.command == "query":
+        from repro.dom.serialize import serialize
+        from repro.ingest import parse_typed
+        from repro.query import Query
+
+        binding = bind(
+            _read(arguments.schema),
+            cache=cache,
+            location=os.path.abspath(arguments.schema),
+        )
+        typed = parse_typed(
+            binding, _read(arguments.document), arguments.document
+        )
+        # Compiling the query typechecks the path against the schema: a
+        # path no instance could satisfy raises QueryError here, before
+        # any tree is walked.
+        query = Query(binding, typed.tag_name, arguments.path)
+        hits = query.apply(typed)
+        if query.result_kind == "attribute-values":
+            for value in hits:
+                print(value)
+        else:
+            for hit in hits:
+                print(serialize(hit))
+        print(f"{len(hits)} hit(s)", file=sys.stderr)
+        return 0
+    if arguments.command == "transform":
+        from repro.ingest import parse_typed
+        from repro.query import Query, TypedTransform
+
+        binding_in = bind(
+            _read(arguments.schema),
+            cache=cache,
+            location=os.path.abspath(arguments.schema),
+        )
+        if arguments.out_schema is not None:
+            binding_out = bind(
+                _read(arguments.out_schema),
+                cache=cache,
+                location=os.path.abspath(arguments.out_schema),
+            )
+        else:
+            binding_out = binding_in
+        typed = parse_typed(
+            binding_in, _read(arguments.document), arguments.document
+        )
+        compiled = TypedTransform(
+            binding_out,
+            Query(binding_in, typed.tag_name, arguments.query_path),
+            _read(arguments.template),
+            arguments.hole,
+            cache=cache,
+        )
+        if arguments.dom:
+            from repro.dom.serialize import serialize
+
+            pieces = [serialize(item) for item in compiled.apply(typed)]
+        else:
+            pieces = compiled.apply_text(typed)
+        for piece in pieces:
+            print(piece)
+        print(f"{len(pieces)} fragment(s)", file=sys.stderr)
         return 0
     if arguments.command == "serve":
         import asyncio

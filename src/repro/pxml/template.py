@@ -54,6 +54,7 @@ class Template:
         self.text_source: str | None = None
         self._segments = None
         self._hole_names: list[str] = []
+        self._hole_specs: dict[str, Any] = {}
         self._root_name: str | None = None
         cache_key = self._cache_key(cache, source, param_types, compiled)
         if cache_key is not None and self._load_cached(cache, cache_key):
@@ -62,6 +63,7 @@ class Template:
         self._root_name = self.ast.name
         self.checked = check_template(binding, self.ast, param_types)
         self._hole_names = self.checked.hole_names()
+        self._hole_specs = self.checked.holes
         if compiled:
             self.generated_source, self._render = compile_template(self.checked)
             self._segments, self.text_source, self._render_text = (
@@ -116,6 +118,7 @@ class Template:
         self._root_name = record["root"]
         self.generated_source = record["generated_source"]
         self._hole_names = sorted(record["holes"])
+        self._hole_specs = record["holes"]
         namespace: dict[str, Any] = {
             "_lex": lexicalize,
             "_hole_specs": record["holes"],
@@ -159,6 +162,30 @@ class Template:
     @property
     def hole_names(self) -> list[str]:
         return self._hole_names
+
+    def checked_holes(self) -> dict[str, Any]:
+        """Hole name → :class:`~repro.pxml.checker.HoleSpec`.
+
+        Unlike ``self.checked.holes`` this also works on a
+        cache-rehydrated template, whose ``checked`` AST never existed
+        in this process — the specs ride in the cached artifact.
+        """
+        if self.checked is not None:
+            return self.checked.holes
+        return self._hole_specs
+
+    def checked_root_class(self) -> type | None:
+        """The generated class of the template's root element.
+
+        ``None`` only for a cache-rehydrated template whose root name is
+        ambiguous in the binding (several local declarations share it).
+        """
+        if self.checked is not None:
+            return self.checked.root_class
+        candidates = self.binding.declarations_by_name.get(
+            self._root_name or "", []
+        )
+        return candidates[0] if len(candidates) == 1 else None
 
     def render(self, **values: Any) -> TypedElement:
         """Instantiate the template; returns a typed (valid) element."""

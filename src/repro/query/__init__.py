@@ -10,6 +10,18 @@ then applied to typed trees, yielding typed (valid) elements.
 """
 
 from repro.query.path import Query, select
-from repro.query.transform import TypedTransform, transform
+from repro.query.transform import (
+    Rule,
+    TransformProgram,
+    TypedTransform,
+    transform,
+)
 
-__all__ = ["Query", "TypedTransform", "select", "transform"]
+__all__ = [
+    "Query",
+    "Rule",
+    "TransformProgram",
+    "TypedTransform",
+    "select",
+    "transform",
+]

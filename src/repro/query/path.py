@@ -2,18 +2,38 @@
 
 Grammar (an XPath-flavoured subset)::
 
-    path      ::= step ('/' step)*
-    step      ::= name | '*' | name predicate*
-    predicate ::= '[' digits ']'                 positional (1-based)
-                | '[@' name '=' "'" text "'" ']'  attribute equality
-                | '[' name '=' "'" text "'" ']'   child-text equality
+    path      ::= step (('/' | '//') step)*
+    step      ::= test predicate* | '@' name
+    test      ::= name | '*' | '(' name ('|' name)+ ')'
+    predicate ::= '[' digits ']'                   positional (1-based)
+                | '[@' name '=' value ']'          attribute equality
+                | '[' name '=' value ']'           child-text equality
+    value     ::= "'" text "'" | '"' text '"'      entity refs allowed
+
+``//`` before a step selects on the **descendant** axis (every proper
+descendant, document order) instead of the child axis; a leading ``//``
+searches the whole tree below the root.  A parenthesized **union test**
+matches any of its names in one step, and a final ``@name`` step selects
+attribute *values* (strings) off the elements reached so far.  Predicate
+values may use either quote and XML entity references (``&apos;``,
+``&quot;``, ``&amp;``, …), so any string is expressible.
 
 Compilation walks the schema in parallel with the path: at each step the
 set of element declarations that could be current is advanced through
 the content models; an impossible step raises
 :class:`~repro.errors.QueryError` *at compile time*, and
 ``Query.result_classes`` exposes the statically known result type(s) —
-the "typed query language" the paper sketches.
+the "typed query language" the paper sketches.  Impossibility includes
+predicates no instance could ever satisfy: ``[0]`` (positions are
+1-based) and positions provably above what the content model's
+``maxOccurs`` bounds allow are definition-time errors, not silent empty
+result sets.
+
+Chained predicates follow XPath semantics: each predicate filters the
+survivors of the one before it, and positional predicates are numbered
+over those survivors — ``item[@partNum='926-AA'][1]`` is the first item
+*after* the attribute filter, not an item that is both first and
+matching.
 """
 
 from __future__ import annotations
@@ -21,7 +41,9 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from repro.errors import QueryError
+from repro import obs
+from repro.errors import QueryError, XmlSyntaxError
+from repro.xml.entities import unescape
 from repro.xsd.components import (
     ANY_TYPE,
     ComplexType,
@@ -30,12 +52,23 @@ from repro.xsd.components import (
     ModelGroup,
     Particle,
 )
+from repro.automata.rex import UNBOUNDED
 from repro.core.vdom import Binding, TypedElement
+
+_INFINITY = float("inf")
 
 _PREDICATE_RE = re.compile(
     r"\[(?:(?P<index>\d+)"
-    r"|@(?P<attr>[\w.-]+)=\'(?P<attr_value>[^\']*)\'"
-    r"|(?P<child>[\w.-]+)=\'(?P<child_value>[^\']*)\')\]"
+    r"|@(?P<attr>[\w.-]+)=(?P<attr_quote>['\"])"
+    r"(?P<attr_value>.*?)(?P=attr_quote)"
+    r"|(?P<child>[\w.-]+)=(?P<child_quote>['\"])"
+    r"(?P<child_value>.*?)(?P=child_quote))\]"
+)
+
+_TEST_RE = re.compile(
+    r"(?P<attribute>@[\w.-]+)"
+    r"|(?P<union>\([\w.-]+(?:\|[\w.-]+)+\))"
+    r"|(?P<name>\*|[\w.-]+)"
 )
 
 
@@ -64,29 +97,73 @@ class Predicate:
 
 @dataclass
 class Step:
-    name: str  # '*' = any
+    #: element name test: ``()`` means wildcard ``*``; unions carry
+    #: every alternative.  Empty for attribute steps.
+    names: tuple[str, ...] = ()
+    #: 'child' or 'descendant' (the step was introduced by ``//``)
+    axis: str = "child"
+    #: set for a final ``@name`` step selecting attribute values
+    attribute: str | None = None
     predicates: list[Predicate] = field(default_factory=list)
+
+    def matches_name(self, tag_name: str) -> bool:
+        return not self.names or tag_name in self.names
+
+    def describe(self) -> str:
+        if self.attribute is not None:
+            return f"@{self.attribute}"
+        if not self.names:
+            return "*"
+        if len(self.names) == 1:
+            return self.names[0]
+        return "(" + "|".join(self.names) + ")"
 
 
 class Query:
     """A compiled, schema-typed path query."""
 
-    def __init__(self, binding: Binding, root_element: str, path: str):
+    def __init__(
+        self,
+        binding: Binding,
+        root_element: str,
+        path: str,
+        root_declaration: ElementDeclaration | None = None,
+    ):
         self.binding = binding
         self.path = path
         self.steps = _parse_path(path)
-        root_declaration = binding.schema.elements.get(root_element)
         if root_declaration is None:
-            raise QueryError(
-                f"'{root_element}' is not a global element of the schema"
-            )
+            root_declaration = binding.schema.elements.get(root_element)
+            if root_declaration is None:
+                raise QueryError(
+                    f"'{root_element}' is not a global element of the schema"
+                )
         self.root_element = root_element
-        #: statically derived: the declarations a result can have
+        self.root_declaration = root_declaration
+        #: ``@name`` of the final step when the query selects attribute
+        #: values instead of elements, else ``None``
+        self.result_attribute = (
+            self.steps[-1].attribute if self.steps else None
+        )
+        #: statically derived: the declarations a result can have (for
+        #: attribute-value queries: the declarations owning the attribute)
         self.result_declarations = self._type_check(root_declaration)
+        obs.count("query.compile", kind=self.result_kind)
+
+    @property
+    def result_kind(self) -> str:
+        """``'elements'`` or ``'attribute-values'`` (final ``@name`` step)."""
+        return "attribute-values" if self.result_attribute else "elements"
 
     @property
     def result_classes(self) -> tuple[type, ...]:
-        """Generated classes the query can yield (static result type)."""
+        """Generated classes the query can yield (static result type).
+
+        Empty for attribute-value queries — their results are strings,
+        statically known not to be elements.
+        """
+        if self.result_attribute is not None:
+            return ()
         classes = []
         for declaration in self.result_declarations:
             cls = self.binding.class_by_declaration.get(id(declaration))
@@ -99,24 +176,52 @@ class Query:
     def _type_check(
         self, root: ElementDeclaration
     ) -> tuple[ElementDeclaration, ...]:
-        current: set[int] = {id(root)}
         declarations: dict[int, ElementDeclaration] = {id(root): root}
         for step in self.steps:
+            if step.attribute is not None:
+                self._check_attribute_step(step, declarations.values())
+                continue
             next_declarations: dict[int, ElementDeclaration] = {}
-            for key in current:
-                declaration = declarations[key]
-                for child in self._child_declarations(declaration):
-                    if step.name in ("*", child.name):
-                        next_declarations[id(child)] = child
+            if step.axis == "descendant":
+                candidates = self._descendant_declarations(
+                    declarations.values()
+                )
+            else:
+                candidates = []
+                for declaration in declarations.values():
+                    candidates.extend(self._child_declarations(declaration))
+            for child in candidates:
+                if step.matches_name(child.name):
+                    next_declarations[id(child)] = child
             if not next_declarations:
                 raise QueryError(
-                    f"step '{step.name}' of '{self.path}' matches nothing: "
-                    f"the schema allows no such child there"
+                    f"step '{step.describe()}' of '{self.path}' matches "
+                    f"nothing: the schema allows no such "
+                    f"{'descendant' if step.axis == 'descendant' else 'child'}"
+                    f" there"
                 )
             self._check_predicates(step, next_declarations.values())
+            if step.axis == "child":
+                self._check_positions(step, declarations.values())
             declarations = next_declarations
-            current = set(next_declarations)
         return tuple(declarations.values())
+
+    def _check_attribute_step(self, step: Step, declarations) -> None:
+        name = step.attribute
+        assert name is not None
+        known = False
+        for declaration in declarations:
+            type_definition = declaration.resolved_type()
+            if isinstance(type_definition, ComplexType) and (
+                type_definition is ANY_TYPE
+                or name in type_definition.effective_attribute_uses()
+            ):
+                known = True
+        if not known:
+            raise QueryError(
+                f"step '@{name}' of '{self.path}' selects an attribute "
+                "the schema never declares there"
+            )
 
     def _check_predicates(self, step: Step, declarations) -> None:
         for predicate in step.predicates:
@@ -148,6 +253,88 @@ class Query:
                         "tests a child the schema never declares there"
                     )
 
+    def _check_positions(self, step: Step, parents) -> None:
+        """Reject positional predicates provably above ``maxOccurs``.
+
+        The bound is the maximum number of *step*-matching children any
+        instance of a parent declaration can carry, computed over the
+        particle tree (occurrence factors multiply; choices take the
+        best branch).  Filter predicates only ever shrink the candidate
+        list, so a position above the raw bound stays unreachable no
+        matter what precedes it.  Descendant steps are exempt — their
+        counts compound across arbitrary depth.
+        """
+        indexes = [
+            predicate.index
+            for predicate in step.predicates
+            if predicate.kind == "index"
+        ]
+        if not indexes:
+            return
+        bound = 0.0
+        for parent in parents:
+            bound = max(bound, self._occurrence_bound(parent, step))
+            if bound == _INFINITY:
+                return
+        for index in indexes:
+            if index > bound:
+                raise QueryError(
+                    f"positional predicate [{index}] of '{self.path}' can "
+                    f"never match: the schema allows at most "
+                    f"{int(bound)} occurrence(s) of "
+                    f"'{step.describe()}' there"
+                )
+
+    def _occurrence_bound(
+        self, declaration: ElementDeclaration, step: Step
+    ) -> float:
+        type_definition = declaration.resolved_type()
+        if not isinstance(type_definition, ComplexType):
+            return 0
+        if type_definition is ANY_TYPE:
+            return _INFINITY
+        content = type_definition.effective_content()
+        if content is None:
+            return 0
+        return self._particle_bound(content, step)
+
+    def _particle_bound(self, particle: Particle, step: Step) -> float:
+        term = particle.term
+        if isinstance(term, ElementDeclaration):
+            canonical = (
+                self.binding.schema.elements.get(term.name, term)
+                if term.is_global
+                else term
+            )
+            alternatives = self.binding.schema.substitution_alternatives(
+                canonical
+            )
+            inner: float = (
+                1.0
+                if any(
+                    step.matches_name(alt.name)
+                    for alt in (alternatives or [term])
+                )
+                else 0.0
+            )
+        elif isinstance(term, GroupReference):
+            inner = self._particle_bound(Particle(term.resolved()), step)
+        elif isinstance(term, ModelGroup):
+            bounds = [
+                self._particle_bound(child, step) for child in term.particles
+            ]
+            if term.compositor.value == "choice":
+                inner = max(bounds, default=0.0)
+            else:  # sequence / all
+                inner = sum(bounds)
+        else:  # pragma: no cover - exhaustive over particle terms
+            inner = 0.0
+        if inner == 0.0:
+            return 0.0
+        if particle.max_occurs == UNBOUNDED:
+            return _INFINITY
+        return inner * particle.max_occurs
+
     def _child_declarations(
         self, declaration: ElementDeclaration
     ) -> list[ElementDeclaration]:
@@ -173,6 +360,18 @@ class Query:
             )
         return expanded
 
+    def _descendant_declarations(self, roots) -> list[ElementDeclaration]:
+        """Every declaration reachable below *roots* (closure, any depth)."""
+        seen: dict[int, ElementDeclaration] = {}
+        worklist = list(roots)
+        while worklist:
+            declaration = worklist.pop()
+            for child in self._child_declarations(declaration):
+                if id(child) not in seen:
+                    seen[id(child)] = child
+                    worklist.append(child)
+        return list(seen.values())
+
     def _collect(
         self, particle: Particle, sink: list[ElementDeclaration]
     ) -> None:
@@ -187,78 +386,196 @@ class Query:
 
     # -- application ------------------------------------------------------------------
 
-    def apply(self, element: TypedElement) -> list[TypedElement]:
+    def apply(
+        self, element: TypedElement
+    ) -> list[TypedElement] | list[str]:
         """Run the query; *element* must be the root the query was
-        compiled for."""
+        compiled for.  Attribute-value queries return strings."""
         if element.tag_name != self.root_element:
             raise QueryError(
                 f"query was compiled for <{self.root_element}>, applied "
                 f"to <{element.tag_name}>"
             )
+        expected_class = self.binding.class_by_declaration.get(
+            id(self.root_declaration)
+        )
+        if expected_class is not None and not isinstance(
+            element, expected_class
+        ):
+            raise QueryError(
+                f"query was compiled for <{self.root_element}>, applied "
+                f"to an element built for a different declaration of "
+                f"that name"
+            )
         current: list[TypedElement] = [element]
         for step in self.steps:
+            if step.attribute is not None:
+                return [
+                    node.get_attribute(step.attribute)
+                    for node in current
+                    if node.has_attribute(step.attribute)
+                ]
             matched: list[TypedElement] = []
             for node in current:
-                position = 0
-                for child in node.child_elements():
-                    if step.name not in ("*", child.tag_name):
-                        continue
-                    position += 1
-                    if all(
-                        predicate.matches(child, position)  # type: ignore[arg-type]
-                        for predicate in step.predicates
-                    ) and isinstance(child, TypedElement):
-                        matched.append(child)
+                candidates = [
+                    child
+                    for child in self._axis_nodes(node, step)
+                    if step.matches_name(child.tag_name)
+                    and isinstance(child, TypedElement)
+                ]
+                # XPath semantics: predicates apply left-to-right, and a
+                # positional predicate is numbered over the survivors of
+                # the predicates before it — not the raw sibling index.
+                for predicate in step.predicates:
+                    candidates = [
+                        child
+                        for position, child in enumerate(candidates, 1)
+                        if predicate.matches(child, position)
+                    ]
+                matched.extend(candidates)
             current = matched
         return current
 
+    @staticmethod
+    def _axis_nodes(node: TypedElement, step: Step):
+        if step.axis == "child":
+            return node.child_elements()
+        # descendant axis: proper descendants, document order
+        found = []
+        stack = list(reversed(node.child_elements()))
+        while stack:
+            child = stack.pop()
+            found.append(child)
+            stack.extend(reversed(child.child_elements()))
+        return found
+
     def __repr__(self) -> str:
+        if self.result_attribute is not None:
+            return f"Query({self.path!r} -> [str])"
         names = ", ".join(cls.__name__ for cls in self.result_classes)
         return f"Query({self.path!r} -> [{names}])"
 
 
 def select(
     element: TypedElement, path: str
-) -> list[TypedElement]:
-    """Compile-and-run convenience over a typed element."""
+) -> list[TypedElement] | list[str]:
+    """Compile-and-run convenience over a typed element.
+
+    Works from *any* typed element, not just document roots: the start
+    declaration is resolved through the element's own generated class
+    (``select(order.items, "item")``), falling back to the schema's
+    global element map for untyped starts.
+    """
     binding = type(element)._BINDING
-    query = Query(binding, element.tag_name, path)
+    declaration = getattr(type(element), "_DECLARATION", None)
+    query = Query(
+        binding, element.tag_name, path, root_declaration=declaration
+    )
     return query.apply(element)
 
 
+def _unescape_value(raw: str, path: str) -> str:
+    if "&" not in raw:
+        return raw
+    try:
+        return unescape(raw)
+    except XmlSyntaxError as error:
+        raise QueryError(
+            f"bad predicate value in '{path}': {error.message}"
+        )
+
+
+def _split_steps(path: str) -> list[tuple[str, str]]:
+    """``[(axis, token)]`` — '//' marks the following step as descendant."""
+    tokens = path.split("/")
+    steps: list[tuple[str, str]] = []
+    axis = "child"
+    for position, token in enumerate(tokens):
+        if token == "":
+            if axis == "descendant" or position == len(tokens) - 1:
+                raise QueryError(f"empty step in path '{path}'")
+            if position == 0:
+                # A leading '//' arrives as two empty tokens; a single
+                # leading '/' (absolute path) is rejected below when no
+                # second empty token follows.
+                if len(tokens) < 2 or tokens[1] != "":
+                    raise QueryError(
+                        f"path '{path}' must be relative "
+                        f"(start with a step or '//')"
+                    )
+                continue
+            axis = "descendant"
+            continue
+        steps.append((axis, token))
+        axis = "child"
+    return steps
+
+
 def _parse_path(path: str) -> list[Step]:
-    if not path or path.startswith("/"):
+    if not path:
         raise QueryError(f"path '{path}' must be relative (start with a step)")
+    raw_steps = _split_steps(path)
+    if not raw_steps:
+        raise QueryError(f"empty step in path '{path}'")
     steps: list[Step] = []
-    for raw in path.split("/"):
-        if not raw:
-            raise QueryError(f"empty step in path '{path}'")
-        match = re.match(r"(?P<name>\*|[\w.-]+)", raw)
+    for axis, raw in raw_steps:
+        match = _TEST_RE.match(raw)
         if not match:
             raise QueryError(f"bad step '{raw}' in path '{path}'")
-        step = Step(match.group("name"))
-        rest = raw[match.end() :]
+        if match.group("attribute"):
+            step = Step(axis=axis, attribute=match.group("attribute")[1:])
+            if axis == "descendant":
+                raise QueryError(
+                    f"attribute step '@{step.attribute}' of '{path}' "
+                    "cannot use the descendant axis"
+                )
+        elif match.group("union"):
+            names = tuple(match.group("union")[1:-1].split("|"))
+            step = Step(axis=axis, names=names)
+        else:
+            name = match.group("name")
+            step = Step(axis=axis, names=() if name == "*" else (name,))
+        rest = raw[match.end():]
         while rest:
+            if step.attribute is not None:
+                raise QueryError(
+                    f"attribute step '@{step.attribute}' of '{path}' "
+                    "cannot carry predicates"
+                )
             predicate_match = _PREDICATE_RE.match(rest)
             if not predicate_match:
                 raise QueryError(f"bad predicate '{rest}' in path '{path}'")
             groups = predicate_match.groupdict()
             if groups["index"]:
-                step.predicates.append(
-                    Predicate("index", index=int(groups["index"]))
-                )
+                index = int(groups["index"])
+                if index == 0:
+                    raise QueryError(
+                        f"positional predicate [0] of '{path}' can never "
+                        "match: positions are 1-based"
+                    )
+                step.predicates.append(Predicate("index", index=index))
             elif groups["attr"]:
                 step.predicates.append(
-                    Predicate("attr", name=groups["attr"], value=groups["attr_value"])
+                    Predicate(
+                        "attr",
+                        name=groups["attr"],
+                        value=_unescape_value(groups["attr_value"], path),
+                    )
                 )
             else:
                 step.predicates.append(
                     Predicate(
                         "child",
                         name=groups["child"],
-                        value=groups["child_value"],
+                        value=_unescape_value(groups["child_value"], path),
                     )
                 )
-            rest = rest[predicate_match.end() :]
+            rest = rest[predicate_match.end():]
         steps.append(step)
+    if any(
+        step.attribute is not None for step in steps[:-1]
+    ):
+        raise QueryError(
+            f"attribute step of '{path}' must be the final step"
+        )
     return steps

@@ -33,6 +33,7 @@ def test_expected_examples_present():
         "schema_evolution",
         "codegen_tour",
         "dtd_legacy",
+        "query_transform_demo",
     } <= names
 
 
@@ -59,6 +60,11 @@ class TestExampleOutputs:
         assert "a client parsing this page would explode" in output
         assert "static error" in output
         assert "factory.create_p(" in output  # the Fig. 11 code
+
+    def test_query_transform_demo_narrates_static_rejection(self):
+        output = self._run("query_transform_demo")
+        assert output.count("rejected at definition time") == 4
+        assert '<option value="p">Lawnmower</option>' in output
 
     def test_dtd_legacy_shows_the_gap(self):
         output = self._run("dtd_legacy")

@@ -1,0 +1,154 @@
+"""The ``vdom-generate query`` / ``transform`` subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.schemas import PURCHASE_ORDER_SCHEMA, WML_SCHEMA
+from repro.schemas.purchase_order import PURCHASE_ORDER_DOCUMENT
+
+
+@pytest.fixture
+def site(tmp_path):
+    """Schema + document + template files on disk for the CLI."""
+    schema = tmp_path / "po.xsd"
+    schema.write_text(PURCHASE_ORDER_SCHEMA)
+    document = tmp_path / "po.xml"
+    document.write_text(PURCHASE_ORDER_DOCUMENT)
+    wml = tmp_path / "wml.xsd"
+    wml.write_text(WML_SCHEMA)
+    template = tmp_path / "option.pxml"
+    template.write_text('<option value="p">$name:text$</option>')
+    return tmp_path
+
+
+class TestQueryCommand:
+    def test_element_hits_serialized(self, site, capsys):
+        code = main(
+            [
+                "--no-cache",
+                "query",
+                str(site / "po.xsd"),
+                str(site / "po.xml"),
+                "items/item/productName",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.splitlines() == [
+            "<productName>Lawnmower</productName>",
+            "<productName>Baby Monitor</productName>",
+        ]
+        assert "2 hit(s)" in captured.err
+
+    def test_attribute_values_printed_raw(self, site, capsys):
+        code = main(
+            [
+                "--no-cache",
+                "query",
+                str(site / "po.xsd"),
+                str(site / "po.xml"),
+                "items/item/@partNum",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.splitlines() == ["872-AA", "926-AA"]
+
+    def test_descendant_axis(self, site, capsys):
+        code = main(
+            [
+                "--no-cache",
+                "query",
+                str(site / "po.xsd"),
+                str(site / "po.xml"),
+                "//shipDate",
+            ]
+        )
+        assert code == 0
+        assert "1999-05-21" in capsys.readouterr().out
+
+    def test_impossible_path_is_an_error(self, site, capsys):
+        code = main(
+            [
+                "--no-cache",
+                "query",
+                str(site / "po.xsd"),
+                str(site / "po.xml"),
+                "items/chapter",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no such child" in captured.err
+        assert captured.out == ""
+
+
+class TestTransformCommand:
+    def test_cross_schema_transform(self, site, capsys):
+        code = main(
+            [
+                "--no-cache",
+                "transform",
+                str(site / "po.xsd"),
+                str(site / "po.xml"),
+                "--query",
+                "items/item/productName",
+                "--template",
+                str(site / "option.pxml"),
+                "--hole",
+                "name",
+                "--out-schema",
+                str(site / "wml.xsd"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.splitlines() == [
+            '<option value="p">Lawnmower</option>',
+            '<option value="p">Baby Monitor</option>',
+        ]
+        assert "2 fragment(s)" in captured.err
+
+    def test_dom_route_byte_identical(self, site, capsys):
+        arguments = [
+            "--no-cache",
+            "transform",
+            str(site / "po.xsd"),
+            str(site / "po.xml"),
+            "--query",
+            "items/item/@partNum",
+            "--template",
+            str(site / "option.pxml"),
+            "--hole",
+            "name",
+            "--out-schema",
+            str(site / "wml.xsd"),
+        ]
+        assert main(arguments) == 0
+        segment_output = capsys.readouterr().out
+        assert main(arguments + ["--dom"]) == 0
+        assert capsys.readouterr().out == segment_output
+
+    def test_incompatible_transform_is_an_error(self, site, capsys):
+        (site / "item.pxml").write_text(
+            "<items><item partNum='111-AB'>"
+            "<productName>x</productName><quantity>1</quantity>"
+            "<USPrice>1.0</USPrice>$c:comment$</item></items>"
+        )
+        code = main(
+            [
+                "--no-cache",
+                "transform",
+                str(site / "po.xsd"),
+                str(site / "po.xml"),
+                "--query",
+                "items/item/@partNum",
+                "--template",
+                str(site / "item.pxml"),
+                "--hole",
+                "c",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "rejected statically" in captured.err
+        assert captured.out == ""

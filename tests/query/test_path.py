@@ -92,10 +92,192 @@ class TestApplication:
             query.apply(comment)
 
 
+class TestDescendantAxis:
+    def test_descendant_from_root(self, full_po):
+        comments = select(full_po, "//comment")
+        assert [c.content for c in comments] == [
+            "Hurry, my lawn is going wild",
+            "Confirm this is electric",
+        ]
+
+    def test_descendant_below_step(self, full_po):
+        comments = select(full_po, "items//comment")
+        assert [c.content for c in comments] == ["Confirm this is electric"]
+
+    def test_descendant_skips_levels(self, full_po):
+        dates = select(full_po, "//shipDate")
+        assert [d.content for d in dates] == ["1999-05-21"]
+
+    def test_descendant_result_classes(self, po_binding):
+        query = Query(po_binding, "purchaseOrder", "//productName")
+        assert [cls.__name__ for cls in query.result_classes] == [
+            "ProductNameElement"
+        ]
+
+    def test_impossible_descendant_rejected(self, po_binding):
+        with pytest.raises(QueryError, match="no such descendant"):
+            Query(po_binding, "purchaseOrder", "items//shipTo")
+
+
+class TestUnionSteps:
+    def test_union_selects_either_name(self, full_po):
+        names = select(full_po, "(shipTo|billTo)/name")
+        assert [n.content for n in names] == ["Alice Smith", "Robert Smith"]
+
+    def test_union_result_classes(self, po_binding):
+        query = Query(po_binding, "purchaseOrder", "(shipTo|billTo)")
+        names = {cls.__name__ for cls in query.result_classes}
+        assert names == {"ShipToElement", "BillToElement"}
+
+    def test_union_of_unknown_names_rejected(self, po_binding):
+        with pytest.raises(QueryError, match="matches nothing"):
+            Query(po_binding, "purchaseOrder", "(ghost|phantom)")
+
+
+class TestAttributeSteps:
+    def test_attribute_values(self, full_po):
+        assert select(full_po, "items/item/@partNum") == [
+            "872-AA",
+            "926-AA",
+        ]
+
+    def test_attribute_step_from_root(self, full_po):
+        assert select(full_po, "@orderDate") == ["1999-10-20"]
+
+    def test_attribute_step_after_predicates(self, full_po):
+        assert select(full_po, "items/item[1]/@partNum") == ["872-AA"]
+
+    def test_attribute_queries_are_string_typed(self, po_binding):
+        query = Query(po_binding, "purchaseOrder", "items/item/@partNum")
+        assert query.result_kind == "attribute-values"
+        assert query.result_classes == ()
+
+    def test_unknown_attribute_step_rejected(self, po_binding):
+        with pytest.raises(QueryError, match="never declares"):
+            Query(po_binding, "purchaseOrder", "items/item/@color")
+
+    def test_attribute_step_must_be_final(self, po_binding):
+        with pytest.raises(QueryError, match="final step"):
+            Query(po_binding, "purchaseOrder", "shipTo/@country/name")
+
+    def test_attribute_step_rejects_descendant_axis(self, po_binding):
+        with pytest.raises(QueryError, match="descendant axis"):
+            Query(po_binding, "purchaseOrder", "items/item//@partNum")
+
+
+class TestPredicateSemantics:
+    """Regression tests for the three bugs the stub engine had."""
+
+    def test_zero_position_rejected_at_definition_time(self, po_binding):
+        # Bug 1: [0] used to compile and silently return [] forever.
+        with pytest.raises(QueryError, match="1-based"):
+            Query(po_binding, "purchaseOrder", "items/item[0]")
+
+    def test_position_above_max_occurs_rejected(self, po_binding):
+        # Bug 1 (second half): shipTo occurs exactly once, so [2] can
+        # never match any instance — a definition-time error.
+        with pytest.raises(QueryError, match="at most 1 occurrence"):
+            Query(po_binding, "purchaseOrder", "shipTo[2]")
+
+    def test_optional_child_bound_is_its_max_occurs(self, po_binding):
+        with pytest.raises(QueryError, match="at most 1 occurrence"):
+            Query(po_binding, "purchaseOrder", "comment[2]")
+
+    def test_unbounded_positions_compile(self, po_binding):
+        # maxOccurs="unbounded": any position is reachable.
+        query = Query(po_binding, "purchaseOrder", "items/item[99]")
+        assert query.result_kind == "elements"
+
+    def test_descendant_positions_exempt_from_bound(self, po_binding):
+        # Descendant counts compound across depth; no static bound.
+        Query(po_binding, "purchaseOrder", "//comment[2]")
+
+    def test_chained_predicates_renumber_survivors(self, full_po):
+        # Bug 2: the position used to be the raw sibling index, so the
+        # second item could never be [1] after a filter.  XPath numbers
+        # positions over the survivors of the preceding predicates.
+        hits = select(full_po, "items/item[@partNum='926-AA'][1]")
+        assert len(hits) == 1
+        assert hits[0].product_name.content == "Baby Monitor"
+
+    def test_chained_predicates_filter_left_to_right(self, full_po):
+        # The first raw item fails the attribute test applied first.
+        assert select(full_po, "items/item[1][@partNum='926-AA']") == []
+
+    def test_select_from_non_root_element(self, full_po):
+        # Bug 3: select() used to resolve the start element through the
+        # global element map only, so any nested start raised.
+        items = select(full_po.items, "item")
+        assert [i.get_attribute("partNum") for i in items] == [
+            "872-AA",
+            "926-AA",
+        ]
+
+    def test_select_from_deeply_nested_element(self, full_po):
+        item = full_po.items.item_list[0]
+        assert [n.content for n in select(item, "productName")] == [
+            "Lawnmower"
+        ]
+
+
+class TestPredicateValues:
+    def test_double_quoted_value(self, full_po):
+        items = select(full_po, 'items/item[@partNum="872-AA"]')
+        assert len(items) == 1
+
+    def test_entity_references_unescaped(self, po_binding):
+        query = Query(
+            po_binding,
+            "purchaseOrder",
+            "items/item[productName='Rock &amp; Roll']",
+        )
+        assert query.steps[-1].predicates[0].value == "Rock & Roll"
+
+    def test_escaped_quotes_match_content(self, po_factory):
+        f = po_factory
+        items = f.create_items(
+            f.create_item(
+                f.create_product_name("it's \"electric\" & loud"),
+                f.create_quantity(1),
+                f.create_us_price("1.0"),
+                part_num="111-AB",
+            )
+        )
+        hits = select(
+            items,
+            "item[productName="
+            "'it&apos;s &quot;electric&quot; &amp; loud']",
+        )
+        assert [h.get_attribute("partNum") for h in hits] == ["111-AB"]
+
+    def test_bad_entity_rejected(self, po_binding):
+        with pytest.raises(QueryError, match="bad predicate value"):
+            Query(
+                po_binding,
+                "purchaseOrder",
+                "items/item[productName='&bogus;']",
+            )
+
+
 class TestPathParsing:
     @pytest.mark.parametrize(
-        "path", ["", "/abs", "a//b", "a[", "a[bad", "a[@x=unquoted]"]
+        "path",
+        [
+            "",
+            "/abs",
+            "a///b",
+            "a//",
+            "//",
+            "a[",
+            "a[bad",
+            "a[@x=unquoted]",
+            "@x[1]",
+        ],
     )
     def test_bad_paths_rejected(self, po_binding, path):
         with pytest.raises(QueryError):
             Query(po_binding, "purchaseOrder", path)
+
+    def test_leading_descendant_allowed(self, po_binding):
+        query = Query(po_binding, "purchaseOrder", "//quantity")
+        assert query.steps[0].axis == "descendant"

@@ -2,9 +2,10 @@
 
 import pytest
 
+from repro import obs
 from repro.dom import serialize
 from repro.errors import QueryError
-from repro.query import Query, TypedTransform
+from repro.query import Query, Rule, TransformProgram, TypedTransform
 
 
 class TestTextTransforms:
@@ -118,4 +119,210 @@ class TestStaticRejection:
                 "<USPrice>1.0</USPrice>$c:comment$</item></items>",
                 hole="c",
                 extract=lambda element: element,
+            )
+
+    def test_attribute_values_rejected_for_element_holes(self, po_binding):
+        """An .../@name query yields strings; wiring it into an element
+        hole is caught at definition time, no document involved."""
+        with pytest.raises(QueryError, match="attribute values"):
+            TypedTransform(
+                binding_out=po_binding,
+                query=Query(
+                    po_binding, "purchaseOrder", "items/item/@partNum"
+                ),
+                template="<items><item partNum='111-AB'>"
+                "<productName>x</productName><quantity>1</quantity>"
+                "<USPrice>1.0</USPrice>$c:comment$</item></items>",
+                hole="c",
+            )
+
+
+class TestAttributeValueQueries:
+    def test_attribute_values_feed_text_holes(
+        self, po_binding, wml_binding, full_po
+    ):
+        transform = TypedTransform(
+            binding_out=wml_binding,
+            query=Query(po_binding, "purchaseOrder", "items/item/@partNum"),
+            template="<option>$sku:text$</option>",
+            hole="sku",
+        )
+        options = transform.apply(full_po)
+        assert [option.content for option in options] == ["872-AA", "926-AA"]
+
+
+class TestSegmentRoute:
+    def _names_transform(self, po_binding, wml_binding):
+        return TypedTransform(
+            binding_out=wml_binding,
+            query=Query(
+                po_binding, "purchaseOrder", "items/item/productName"
+            ),
+            template='<option value="p">$name:text$</option>',
+            hole="name",
+        )
+
+    def test_apply_text_byte_identical_to_dom_route(
+        self, po_binding, wml_binding, full_po
+    ):
+        transform = self._names_transform(po_binding, wml_binding)
+        texts = transform.apply_text(full_po)
+        assert texts == [
+            serialize(fragment) for fragment in transform.apply(full_po)
+        ]
+
+    def test_apply_text_with_other_holes(
+        self, po_binding, wml_binding, full_po
+    ):
+        transform = TypedTransform(
+            binding_out=wml_binding,
+            query=Query(
+                po_binding, "purchaseOrder", "items/item/productName"
+            ),
+            template='<option value="$base$">$name:text$</option>',
+            hole="name",
+        )
+        texts = transform.apply_text(full_po, base="/shop")
+        assert texts == [
+            '<option value="/shop">Lawnmower</option>',
+            '<option value="/shop">Baby Monitor</option>',
+        ]
+
+    def test_element_hole_parity(self, po_binding, full_po):
+        transform = TypedTransform(
+            binding_out=po_binding,
+            query=Query(po_binding, "purchaseOrder", "comment"),
+            template="<items><item partNum='111-AB'>"
+            "<productName>x</productName><quantity>1</quantity>"
+            "<USPrice>1.0</USPrice>$c:comment$</item></items>",
+            hole="c",
+        )
+        # apply_text first: it never adopts hits out of the source tree,
+        # so the DOM reference route still sees the same input after.
+        texts = transform.apply_text(full_po)
+        assert texts == [
+            serialize(fragment) for fragment in transform.apply(full_po)
+        ]
+
+    def test_segment_route_counted(self, po_binding, wml_binding, full_po):
+        transform = self._names_transform(po_binding, wml_binding)
+        obs.enable(reset=True)
+        try:
+            transform.apply_text(full_po)
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert counters.get("query.transform{route=segment}") == 2
+
+    def test_interpreted_template_still_byte_identical(
+        self, po_binding, wml_binding, full_po
+    ):
+        from repro.pxml import Template
+
+        template = Template(
+            wml_binding,
+            '<option value="p">$name:text$</option>',
+            compiled=False,
+        )
+        transform = TypedTransform(
+            binding_out=wml_binding,
+            query=Query(
+                po_binding, "purchaseOrder", "items/item/productName"
+            ),
+            template=template,
+            hole="name",
+        )
+        texts = transform.apply_text(full_po)
+        assert texts == [
+            serialize(fragment) for fragment in transform.apply(full_po)
+        ]
+
+
+class TestTransformProgram:
+    def _program(self, po_binding, wml_binding):
+        return TransformProgram(
+            po_binding,
+            wml_binding,
+            "purchaseOrder",
+            [
+                Rule(
+                    "items/item/productName",
+                    '<option value="p">$name:text$</option>',
+                    "name",
+                    label="names",
+                ),
+                Rule(
+                    "items/item/@partNum",
+                    "<option>$sku:text$</option>",
+                    "sku",
+                    label="skus",
+                ),
+            ],
+        )
+
+    def test_rule_order_then_document_order(
+        self, po_binding, wml_binding, full_po
+    ):
+        program = self._program(po_binding, wml_binding)
+        assert program.apply_text(full_po) == [
+            '<option value="p">Lawnmower</option>',
+            '<option value="p">Baby Monitor</option>',
+            "<option>872-AA</option>",
+            "<option>926-AA</option>",
+        ]
+
+    def test_segment_route_matches_dom_route(
+        self, po_binding, wml_binding, full_po
+    ):
+        program = self._program(po_binding, wml_binding)
+        texts = program.apply_text(full_po)
+        assert texts == [
+            serialize(fragment) for fragment in program.apply(full_po)
+        ]
+
+    def test_transform_text_joins(self, po_binding, wml_binding, full_po):
+        program = self._program(po_binding, wml_binding)
+        joined = program.transform_text(full_po, separator="\n")
+        assert joined == "\n".join(program.apply_text(full_po))
+
+    def test_result_classes_statically_known(self, po_binding, wml_binding):
+        program = self._program(po_binding, wml_binding)
+        assert [cls.__name__ for cls in program.result_classes()] == [
+            "OptionElement"
+        ]
+        assert program.rule_labels == ["names", "skus"]
+
+    def test_empty_program_rejected(self, po_binding, wml_binding):
+        with pytest.raises(QueryError, match="at least one rule"):
+            TransformProgram(po_binding, wml_binding, "purchaseOrder", [])
+
+    def test_impossible_rule_named_in_error(self, po_binding, wml_binding):
+        with pytest.raises(QueryError, match=r"rule 2 \('items/ghost'\)"):
+            TransformProgram(
+                po_binding,
+                wml_binding,
+                "purchaseOrder",
+                [
+                    Rule("comment", "<option>$c:text$</option>", "c"),
+                    Rule("items/ghost", "<option>$c:text$</option>", "c"),
+                ],
+            )
+
+    def test_incompatible_rule_named_by_label(self, po_binding):
+        with pytest.raises(QueryError, match="skus.*rejected statically"):
+            TransformProgram(
+                po_binding,
+                po_binding,
+                "purchaseOrder",
+                [
+                    Rule(
+                        "items/item/@partNum",
+                        "<items><item partNum='111-AB'>"
+                        "<productName>x</productName>"
+                        "<quantity>1</quantity>"
+                        "<USPrice>1.0</USPrice>$c:comment$</item></items>",
+                        "c",
+                        label="skus",
+                    ),
+                ],
             )
